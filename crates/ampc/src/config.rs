@@ -1,0 +1,109 @@
+//! Resource configuration of the simulated AMPC deployment.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource parameters of an AMPC execution (Section 3.1 of the paper).
+///
+/// Given an input of size `N` and a constant `δ ∈ (0, 1)`, every machine has
+/// `S = Θ(N^δ)` words of local space, may issue `O(S)` reads and `O(S)`
+/// writes per round, and the total space across machines is `O(N^{1+δ})`.
+///
+/// The simulator works with explicit word counts; the constant in front of
+/// `N^δ` can be adjusted through `space_slack`, which several of the paper's
+/// algorithms implicitly rely on ("scaling the constant δ" in Lemma 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmpcConfig {
+    /// Input size `N` (for graphs, `n + m`).
+    pub input_size: usize,
+    /// The exponent `δ`.
+    pub delta: f64,
+    /// Multiplicative slack applied to the local-space/budget bound.
+    pub space_slack: f64,
+}
+
+impl AmpcConfig {
+    /// Configuration for an input of size `N` with exponent `delta` and unit
+    /// slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1]`.
+    pub fn for_input_size(input_size: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0, "delta must lie in (0, 1]");
+        AmpcConfig {
+            input_size,
+            delta,
+            space_slack: 1.0,
+        }
+    }
+
+    /// Returns a copy with the given multiplicative space slack.
+    pub fn with_space_slack(mut self, slack: f64) -> Self {
+        assert!(slack >= 1.0, "slack must be at least 1");
+        self.space_slack = slack;
+        self
+    }
+
+    /// Local space `S = ⌈slack · N^δ⌉` in words (at least 1).
+    pub fn local_space(&self) -> usize {
+        let base = (self.input_size.max(1) as f64).powf(self.delta);
+        (self.space_slack * base).ceil().max(1.0) as usize
+    }
+
+    /// Per-round read budget of a machine (`O(S)`, equal to `S` here).
+    pub fn read_budget(&self) -> usize {
+        self.local_space()
+    }
+
+    /// Per-round write budget of a machine (`O(S)`, equal to `S` here).
+    pub fn write_budget(&self) -> usize {
+        self.local_space()
+    }
+
+    /// Number of machines needed so that `P · S ≥ slack · N^{1+δ}` total
+    /// space is available (the paper uses `P = n` machines via parallel
+    /// slackness; the simulator only needs the count for reporting).
+    pub fn machines_for_total_space(&self) -> usize {
+        let total = (self.input_size.max(1) as f64).powf(1.0 + self.delta) * self.space_slack;
+        (total / self.local_space() as f64).ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_space_follows_power_law() {
+        let config = AmpcConfig::for_input_size(10_000, 0.5);
+        assert_eq!(config.local_space(), 100);
+        assert_eq!(config.read_budget(), 100);
+        assert_eq!(config.write_budget(), 100);
+    }
+
+    #[test]
+    fn slack_scales_budgets() {
+        let config = AmpcConfig::for_input_size(10_000, 0.5).with_space_slack(3.0);
+        assert_eq!(config.local_space(), 300);
+    }
+
+    #[test]
+    fn machine_count_covers_total_space() {
+        let config = AmpcConfig::for_input_size(10_000, 0.5);
+        let machines = config.machines_for_total_space();
+        assert!(machines * config.local_space() >= 10_000usize.pow(1) * 100);
+    }
+
+    #[test]
+    fn tiny_inputs_still_get_space() {
+        let config = AmpcConfig::for_input_size(0, 0.3);
+        assert!(config.local_space() >= 1);
+        assert!(config.machines_for_total_space() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must lie in (0, 1]")]
+    fn rejects_invalid_delta() {
+        AmpcConfig::for_input_size(10, 1.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! Distributed data stores: the key-value storage AMPC machines communicate
+//! through.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of `u64` words a [`Key`] or [`Value`] may hold.
+///
+/// The AMPC model requires keys and values to consist of a *constant* number
+/// of words (Section 3.1); fixing the constant at 3 is enough for every use
+/// in this repository (e.g. `(tag, node, index)` keys).
+pub const MAX_WORDS: usize = 3;
+
+/// A key of at most [`MAX_WORDS`] machine words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Key {
+    words: [u64; MAX_WORDS],
+    len: u8,
+}
+
+/// A value of at most [`MAX_WORDS`] machine words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Value {
+    words: [u64; MAX_WORDS],
+    len: u8,
+}
+
+macro_rules! impl_word_tuple {
+    ($name:ident) => {
+        impl $name {
+            /// Constructs from a single word.
+            pub fn single(word: u64) -> Self {
+                Self::from_words(&[word])
+            }
+
+            /// Constructs from a pair of words.
+            pub fn pair(a: u64, b: u64) -> Self {
+                Self::from_words(&[a, b])
+            }
+
+            /// Constructs from a triple of words.
+            pub fn triple(a: u64, b: u64, c: u64) -> Self {
+                Self::from_words(&[a, b, c])
+            }
+
+            /// Constructs from a slice of at most [`MAX_WORDS`] words.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `words.len() > MAX_WORDS`.
+            pub fn from_words(words: &[u64]) -> Self {
+                assert!(
+                    words.len() <= MAX_WORDS,
+                    "at most {MAX_WORDS} words allowed, got {}",
+                    words.len()
+                );
+                let mut storage = [0u64; MAX_WORDS];
+                storage[..words.len()].copy_from_slice(words);
+                Self {
+                    words: storage,
+                    len: words.len() as u8,
+                }
+            }
+
+            /// The stored words.
+            pub fn words(&self) -> &[u64] {
+                &self.words[..self.len as usize]
+            }
+
+            /// Number of words stored.
+            pub fn len(&self) -> usize {
+                self.len as usize
+            }
+
+            /// Returns `true` if no words are stored.
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+        }
+    };
+}
+
+impl_word_tuple!(Key);
+impl_word_tuple!(Value);
+
+/// A distributed key-value data store (`D_i` in the paper).
+///
+/// The store itself is a plain hash map; the *access restrictions* (which
+/// round may read or write it, and with what budget) are enforced by
+/// [`crate::AmpcExecutor`] / [`crate::MachineContext`], not by the store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataStore {
+    entries: HashMap<Key, Value>,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DataStore::default()
+    }
+
+    /// Number of key-value pairs stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the store holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key-value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Looks up a key. A missing key yields `None` ("empty response" in the
+    /// paper's terminology).
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: Key) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: Key) -> Option<Value> {
+        self.entries.remove(&key)
+    }
+
+    /// Iterates over all key-value pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Total space used, in words (keys plus values), for space accounting.
+    pub fn space_in_words(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len())
+            .sum()
+    }
+}
+
+impl FromIterator<(Key, Value)> for DataStore {
+    fn from_iter<T: IntoIterator<Item = (Key, Value)>>(iter: T) -> Self {
+        DataStore {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Key, Value)> for DataStore {
+    fn extend<T: IntoIterator<Item = (Key, Value)>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_and_values_round_trip_words() {
+        let k = Key::triple(1, 2, 3);
+        assert_eq!(k.words(), &[1, 2, 3]);
+        assert_eq!(k.len(), 3);
+        assert!(!k.is_empty());
+
+        let v = Value::pair(7, 8);
+        assert_eq!(v.words(), &[7, 8]);
+
+        assert_ne!(Key::single(1), Key::pair(1, 0));
+        assert_eq!(Key::from_words(&[5]), Key::single(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_words_is_rejected() {
+        Key::from_words(&[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn store_basic_operations() {
+        let mut store = DataStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.insert(Key::single(1), Value::single(10)), None);
+        assert_eq!(
+            store.insert(Key::single(1), Value::single(20)),
+            Some(Value::single(10))
+        );
+        assert_eq!(store.get(Key::single(1)), Some(Value::single(20)));
+        assert_eq!(store.get(Key::single(2)), None);
+        assert!(store.contains(Key::single(1)));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.remove(Key::single(1)), Some(Value::single(20)));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn space_accounting_counts_words() {
+        let store: DataStore = [
+            (Key::single(1), Value::pair(1, 2)),
+            (Key::triple(1, 2, 3), Value::single(9)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(store.space_in_words(), (1 + 2) + (3 + 1));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_words() {
+        assert!(Value::single(1) < Value::single(2));
+        assert!(Value::pair(1, 5) < Value::pair(2, 0));
+        // Shorter tuples padded with zeros but distinguished by length.
+        assert!(Value::single(1) != Value::pair(1, 0));
+    }
+}

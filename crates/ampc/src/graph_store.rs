@@ -1,0 +1,131 @@
+//! Storing graphs in distributed data stores using the paper's key scheme.
+
+use sparse_graph::{CsrGraph, NodeId};
+
+use crate::dds::{DataStore, Key, Value};
+use crate::error::ModelError;
+use crate::executor::MachineContext;
+
+/// Helper implementing the DDS layout for graphs described in the proof of
+/// Theorem 1.2: the edges of the (sub)graph `G_i` are stored as key-value
+/// pairs `(v, j) → u` where `u` is the `j`-th neighbor of `v`, plus a degree
+/// entry per node.
+///
+/// The helper is deliberately tag-based so that algorithm crates can coexist
+/// with it in the same store (they use different tags for their own data,
+/// e.g. layer assignments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStore;
+
+/// Key tag for degree entries: `(TAG_DEGREE, v) → degree`.
+pub(crate) const TAG_DEGREE: u64 = 0xD0;
+/// Key tag for adjacency entries: `(TAG_NEIGHBOR, v, j) → neighbor`.
+pub(crate) const TAG_NEIGHBOR: u64 = 0xD1;
+
+impl GraphStore {
+    /// Writes `graph` into `store` using the `(v, j) → u` layout.
+    pub fn load(graph: &CsrGraph, store: &mut DataStore) {
+        for v in graph.nodes() {
+            store.insert(
+                Key::pair(TAG_DEGREE, v as u64),
+                Value::single(graph.degree(v) as u64),
+            );
+            for (j, &u) in graph.neighbors(v).iter().enumerate() {
+                store.insert(
+                    Key::triple(TAG_NEIGHBOR, v as u64, j as u64),
+                    Value::single(u as u64),
+                );
+            }
+        }
+    }
+
+    /// Creates a fresh store containing only `graph`.
+    pub fn store_of(graph: &CsrGraph) -> DataStore {
+        let mut store = DataStore::new();
+        Self::load(graph, &mut store);
+        store
+    }
+
+    /// Number of words the graph occupies in a store (for space accounting).
+    pub fn words_for(graph: &CsrGraph) -> usize {
+        // Degree entries: (2-word key + 1-word value) per node;
+        // neighbor entries: (3-word key + 1-word value) per directed edge.
+        3 * graph.num_nodes() + 4 * 2 * graph.num_edges()
+    }
+
+    /// Reads the degree of `v` through a machine context (one query).
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget violations; returns `InvalidUsage` if the degree
+    /// entry is missing (the graph was not loaded).
+    pub fn degree(ctx: &mut MachineContext<'_>, v: NodeId) -> Result<usize, ModelError> {
+        match ctx.read(Key::pair(TAG_DEGREE, v as u64))? {
+            Some(value) => Ok(value.words()[0] as usize),
+            None => Err(ModelError::InvalidUsage(format!(
+                "degree entry for node {v} missing from the data store"
+            ))),
+        }
+    }
+
+    /// Reads the `j`-th neighbor of `v` through a machine context (one
+    /// query). Returns `Ok(None)` when `j` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget violations.
+    pub fn neighbor(
+        ctx: &mut MachineContext<'_>,
+        v: NodeId,
+        j: usize,
+    ) -> Result<Option<NodeId>, ModelError> {
+        Ok(ctx
+            .read(Key::triple(TAG_NEIGHBOR, v as u64, j as u64))?
+            .map(|value| value.words()[0] as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AmpcConfig;
+    use crate::executor::{AmpcExecutor, ConflictPolicy};
+
+    #[test]
+    fn load_and_query_through_context() {
+        let graph = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let store = GraphStore::store_of(&graph);
+        assert_eq!(store.len(), 4 + 2 * 4);
+
+        let config = AmpcConfig::for_input_size(1_000, 0.5);
+        let mut exec = AmpcExecutor::new(config, store);
+        exec.round(4, ConflictPolicy::Error, |machine, ctx| {
+            let degree = GraphStore::degree(ctx, machine)?;
+            assert_eq!(degree, 2);
+            let first = GraphStore::neighbor(ctx, machine, 0)?;
+            assert!(first.is_some());
+            assert_eq!(GraphStore::neighbor(ctx, machine, 5)?, None);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_degree_is_an_error() {
+        let config = AmpcConfig::for_input_size(1_000, 0.5);
+        let mut exec = AmpcExecutor::new(config, DataStore::new());
+        let err = exec
+            .round(1, ConflictPolicy::Error, |_, ctx| {
+                GraphStore::degree(ctx, 7).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidUsage(_)));
+    }
+
+    #[test]
+    fn words_estimate_scales_with_graph() {
+        let small = CsrGraph::from_edges(3, [(0, 1)]);
+        let large = CsrGraph::from_edges(100, (0..99).map(|i| (i, i + 1)));
+        assert!(GraphStore::words_for(&large) > GraphStore::words_for(&small));
+    }
+}

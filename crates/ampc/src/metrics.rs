@@ -1,0 +1,183 @@
+//! Resource metrics collected by the model simulators.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource usage of a single AMPC round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Number of machines that participated.
+    pub machines: usize,
+    /// Maximum reads issued by any single machine.
+    pub max_reads: usize,
+    /// Maximum writes issued by any single machine.
+    pub max_writes: usize,
+    /// Total reads across machines.
+    pub total_reads: usize,
+    /// Total writes across machines.
+    pub total_writes: usize,
+    /// Size (in words) of the data store produced by the round.
+    pub store_words: usize,
+}
+
+impl RoundReport {
+    /// Builds a report from externally measured quantities.
+    ///
+    /// Algorithm drivers that simulate a round without going through
+    /// [`crate::AmpcExecutor`] (e.g. the β-partition driver, which runs one
+    /// LCA per machine) use this to feed their measurements into
+    /// [`AmpcMetrics`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_measurements(
+        round: usize,
+        machines: usize,
+        max_reads: usize,
+        max_writes: usize,
+        total_reads: usize,
+        total_writes: usize,
+        store_words: usize,
+    ) -> Self {
+        RoundReport {
+            round,
+            machines,
+            max_reads,
+            max_writes,
+            total_reads,
+            total_writes,
+            store_words,
+        }
+    }
+
+    pub(crate) fn new(round: usize, machines: usize) -> Self {
+        RoundReport {
+            round,
+            machines,
+            max_reads: 0,
+            max_writes: 0,
+            total_reads: 0,
+            total_writes: 0,
+            store_words: 0,
+        }
+    }
+
+    pub(crate) fn record_machine(&mut self, reads: usize, writes: usize) {
+        self.max_reads = self.max_reads.max(reads);
+        self.max_writes = self.max_writes.max(writes);
+        self.total_reads += reads;
+        self.total_writes += writes;
+    }
+
+    pub(crate) fn finish(&mut self, store_words: usize) {
+        self.store_words = store_words;
+    }
+}
+
+/// Aggregated metrics over a full AMPC execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmpcMetrics {
+    rounds: Vec<RoundReport>,
+}
+
+impl AmpcMetrics {
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Per-round reports, in execution order.
+    pub fn rounds(&self) -> &[RoundReport] {
+        &self.rounds
+    }
+
+    /// The largest per-machine read count observed in any round.
+    pub fn max_reads_per_machine(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_reads).max().unwrap_or(0)
+    }
+
+    /// The largest per-machine write count observed in any round.
+    pub fn max_writes_per_machine(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_writes).max().unwrap_or(0)
+    }
+
+    /// Total communication (reads + writes) across the execution.
+    pub fn total_communication(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.total_reads + r.total_writes)
+            .sum()
+    }
+
+    /// The largest data-store size (in words) produced in any round, i.e. the
+    /// total space requirement of the execution.
+    pub fn max_store_words(&self) -> usize {
+        self.rounds.iter().map(|r| r.store_words).max().unwrap_or(0)
+    }
+
+    /// Appends another execution's metrics (used when an algorithm chains
+    /// several executors, e.g. the guessing scheme of Lemma 5.1).
+    pub fn absorb(&mut self, other: &AmpcMetrics) {
+        for report in &other.rounds {
+            let mut renumbered = report.clone();
+            renumbered.round = self.rounds.len();
+            self.rounds.push(renumbered);
+        }
+    }
+
+    /// Appends an externally constructed round report (renumbering it to the
+    /// next round index).
+    pub fn record(&mut self, mut report: RoundReport) {
+        report.round = self.rounds.len();
+        self.rounds.push(report);
+    }
+
+    pub(crate) fn push_round(&mut self, report: RoundReport) {
+        self.rounds.push(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_over_rounds() {
+        let mut metrics = AmpcMetrics::default();
+        let mut r0 = RoundReport::new(0, 2);
+        r0.record_machine(3, 1);
+        r0.record_machine(5, 2);
+        r0.finish(40);
+        metrics.push_round(r0);
+
+        let mut r1 = RoundReport::new(1, 2);
+        r1.record_machine(1, 7);
+        r1.finish(10);
+        metrics.push_round(r1);
+
+        assert_eq!(metrics.num_rounds(), 2);
+        assert_eq!(metrics.max_reads_per_machine(), 5);
+        assert_eq!(metrics.max_writes_per_machine(), 7);
+        assert_eq!(metrics.total_communication(), (3 + 5 + 1 + 2) + (1 + 7));
+        assert_eq!(metrics.max_store_words(), 40);
+    }
+
+    #[test]
+    fn absorb_renumbers_rounds() {
+        let mut a = AmpcMetrics::default();
+        a.push_round(RoundReport::new(0, 1));
+        let mut b = AmpcMetrics::default();
+        b.push_round(RoundReport::new(0, 1));
+        b.push_round(RoundReport::new(1, 1));
+        a.absorb(&b);
+        assert_eq!(a.num_rounds(), 3);
+        assert_eq!(a.rounds()[2].round, 2);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let metrics = AmpcMetrics::default();
+        assert_eq!(metrics.num_rounds(), 0);
+        assert_eq!(metrics.max_reads_per_machine(), 0);
+        assert_eq!(metrics.total_communication(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Low-space MPC primitives: broadcast-tree aggregation and round
+//! accounting.
+//!
+//! Theorem 1.5 of the paper is an **MPC** (non-adaptive) algorithm. Its
+//! building blocks are (i) aggregating a sum/minimum over all machines
+//! through an `n^{δ/2}`-ary broadcast tree in `O(1/δ)` rounds and (ii)
+//! constant-round deterministic sorting. This module provides those
+//! primitives together with a round-cost tracker so the simulated algorithm
+//! reports the same round complexity the theorem claims.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource parameters of a simulated MPC deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcConfig {
+    /// Input size `N` (number of words distributed over the machines).
+    pub input_size: usize,
+    /// The local-space exponent `δ`.
+    pub delta: f64,
+}
+
+impl MpcConfig {
+    /// Creates a configuration for input size `input_size` and exponent
+    /// `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1]`.
+    pub fn new(input_size: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0, "delta must lie in (0, 1]");
+        MpcConfig { input_size, delta }
+    }
+
+    /// Local space `S = ⌈N^δ⌉` in words (at least 2, so a broadcast tree has
+    /// fan-out at least 2).
+    pub fn local_space(&self) -> usize {
+        ((self.input_size.max(2) as f64).powf(self.delta).ceil() as usize).max(2)
+    }
+
+    /// Fan-out of the broadcast tree (`n^{δ/2}`, at least 2).
+    pub fn tree_fanout(&self) -> usize {
+        ((self.input_size.max(2) as f64)
+            .powf(self.delta / 2.0)
+            .ceil() as usize)
+            .max(2)
+    }
+
+    /// Depth of a broadcast tree over `leaves` leaves, i.e. the number of
+    /// MPC rounds one aggregation takes (at least 1).
+    pub fn aggregation_rounds(&self, leaves: usize) -> usize {
+        tree_depth(leaves, self.tree_fanout())
+    }
+
+    /// Round cost of one constant-round deterministic MPC sort
+    /// ([Goo99, GSZ11]); modeled as `⌈1/δ⌉` rounds.
+    pub fn sort_rounds(&self) -> usize {
+        (1.0 / self.delta).ceil() as usize
+    }
+}
+
+/// Depth of a `fanout`-ary aggregation tree over `leaves` leaves.
+///
+/// ```
+/// assert_eq!(ampc_model::mpc::tree_depth(1, 4), 1);
+/// assert_eq!(ampc_model::mpc::tree_depth(16, 4), 2);
+/// assert_eq!(ampc_model::mpc::tree_depth(17, 4), 3);
+/// ```
+pub fn tree_depth(leaves: usize, fanout: usize) -> usize {
+    assert!(fanout >= 2, "fanout must be at least 2");
+    if leaves <= 1 {
+        return 1;
+    }
+    let mut depth = 0;
+    let mut remaining = leaves;
+    while remaining > 1 {
+        remaining = remaining.div_ceil(fanout);
+        depth += 1;
+    }
+    depth
+}
+
+/// Aggregates `values` with the associative operation `combine` through a
+/// `fanout`-ary tree, returning the result and the number of tree levels
+/// (MPC rounds) used.
+///
+/// Returns `None` for an empty input.
+///
+/// ```
+/// let (sum, rounds) = ampc_model::mpc::tree_aggregate(&[1u64, 2, 3, 4, 5], 2, |a, b| a + b).unwrap();
+/// assert_eq!(sum, 15);
+/// assert_eq!(rounds, 3);
+/// ```
+pub fn tree_aggregate<T, F>(values: &[T], fanout: usize, combine: F) -> Option<(T, usize)>
+where
+    T: Clone,
+    F: Fn(T, T) -> T,
+{
+    assert!(fanout >= 2, "fanout must be at least 2");
+    if values.is_empty() {
+        return None;
+    }
+    let mut level: Vec<T> = values.to_vec();
+    let mut rounds = 0;
+    while level.len() > 1 {
+        level = level
+            .chunks(fanout)
+            .map(|chunk| {
+                let mut iter = chunk.iter().cloned();
+                let first = iter.next().expect("chunk is non-empty");
+                iter.fold(first, &combine)
+            })
+            .collect();
+        rounds += 1;
+    }
+    Some((level.into_iter().next().expect("single root"), rounds.max(1)))
+}
+
+/// Accumulates the MPC round cost of a simulated algorithm.
+///
+/// The algorithms in this repository perform the actual computation directly
+/// (single-threaded) but charge every communication primitive to a tracker
+/// so the reported round complexity matches the model analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MpcCostTracker {
+    rounds: usize,
+    aggregations: usize,
+    sorts: usize,
+}
+
+impl MpcCostTracker {
+    /// A fresh tracker with zero cost.
+    pub fn new() -> Self {
+        MpcCostTracker::default()
+    }
+
+    /// Total MPC rounds charged so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of tree aggregations charged.
+    pub fn aggregations(&self) -> usize {
+        self.aggregations
+    }
+
+    /// Number of sorts charged.
+    pub fn sorts(&self) -> usize {
+        self.sorts
+    }
+
+    /// Charges a fixed number of rounds.
+    pub fn charge_rounds(&mut self, rounds: usize) {
+        self.rounds += rounds;
+    }
+
+    /// Charges one broadcast-tree aggregation over `leaves` leaves.
+    pub fn charge_aggregation(&mut self, config: &MpcConfig, leaves: usize) {
+        self.aggregations += 1;
+        self.rounds += config.aggregation_rounds(leaves);
+    }
+
+    /// Charges one deterministic sort.
+    pub fn charge_sort(&mut self, config: &MpcConfig) {
+        self.sorts += 1;
+        self.rounds += config.sort_rounds();
+    }
+
+    /// Merges another tracker's cost into this one.
+    pub fn absorb(&mut self, other: &MpcCostTracker) {
+        self.rounds += other.rounds;
+        self.aggregations += other.aggregations;
+        self.sorts += other.sorts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_space_and_fanout() {
+        let config = MpcConfig::new(10_000, 0.5);
+        assert_eq!(config.local_space(), 100);
+        assert_eq!(config.tree_fanout(), 10);
+        assert_eq!(config.sort_rounds(), 2);
+    }
+
+    #[test]
+    fn tree_depth_edge_cases() {
+        assert_eq!(tree_depth(0, 2), 1);
+        assert_eq!(tree_depth(1, 2), 1);
+        assert_eq!(tree_depth(2, 2), 1);
+        assert_eq!(tree_depth(3, 2), 2);
+        assert_eq!(tree_depth(1_000_000, 10), 6);
+    }
+
+    #[test]
+    fn tree_aggregate_matches_sequential_fold() {
+        let values: Vec<u64> = (1..=100).collect();
+        let (sum, rounds) = tree_aggregate(&values, 4, |a, b| a + b).unwrap();
+        assert_eq!(sum, values.iter().sum::<u64>());
+        assert_eq!(rounds, tree_depth(100, 4));
+
+        let (min, _) = tree_aggregate(&values, 7, |a, b| a.min(b)).unwrap();
+        assert_eq!(min, 1);
+
+        assert!(tree_aggregate::<u64, _>(&[], 2, |a, b| a + b).is_none());
+        let (single, rounds) = tree_aggregate(&[42u64], 2, |a, b| a + b).unwrap();
+        assert_eq!(single, 42);
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn cost_tracker_accumulates() {
+        let config = MpcConfig::new(10_000, 0.5);
+        let mut tracker = MpcCostTracker::new();
+        tracker.charge_aggregation(&config, 10_000);
+        tracker.charge_sort(&config);
+        tracker.charge_rounds(3);
+        assert_eq!(tracker.aggregations(), 1);
+        assert_eq!(tracker.sorts(), 1);
+        assert_eq!(tracker.rounds(), config.aggregation_rounds(10_000) + 2 + 3);
+
+        let mut other = MpcCostTracker::new();
+        other.charge_rounds(5);
+        tracker.absorb(&other);
+        assert_eq!(tracker.rounds(), config.aggregation_rounds(10_000) + 2 + 3 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least 2")]
+    fn rejects_unary_trees() {
+        tree_depth(10, 1);
+    }
+}

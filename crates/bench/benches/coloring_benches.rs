@@ -1,0 +1,80 @@
+//! Criterion benches for the coloring pipelines (experiments E4–E6, E8):
+//! the three Theorem 1.3 variants and the sequential baselines.
+
+use ampc_coloring_bench::Workload;
+use arbo_coloring::ampc::{
+    color_alpha_squared, color_two_alpha_plus_one, AmpcColoringParams,
+};
+use arbo_coloring::{arb_linial_coloring, kw_color_reduction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_graph::{greedy_by_degeneracy_order, Coloring, Orientation};
+use std::hint::black_box;
+
+fn bench_arb_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arb_linial");
+    group.sample_size(20);
+    for k in [2usize, 4] {
+        let graph = Workload::ForestUnion { n: 5_000, k }.build(11);
+        let decomposition = sparse_graph::degeneracy_ordering(&graph);
+        let mut position = vec![0usize; graph.num_nodes()];
+        for (i, &v) in decomposition.ordering.iter().enumerate() {
+            position[v] = i;
+        }
+        let orientation = Orientation::from_total_order(&graph, |v| position[v]);
+        group.bench_with_input(
+            BenchmarkId::new("forest_union", k),
+            &(&graph, &orientation),
+            |b, (graph, orientation)| {
+                b.iter(|| black_box(arb_linial_coloring(graph, orientation, None).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kw_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kuhn_wattenhofer");
+    group.sample_size(20);
+    let graph = Workload::ForestUnion { n: 4_000, k: 2 }.build(12);
+    let initial = Coloring::new((0..graph.num_nodes()).collect());
+    let delta = graph.max_degree();
+    group.bench_function("n=4000", |b| {
+        b.iter(|| black_box(kw_color_reduction(&graph, &initial, delta).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_theorem_13_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_1_3");
+    group.sample_size(10);
+    let params = AmpcColoringParams::default().with_x(4);
+    let graph = Workload::PowerLaw { n: 800, edges_per_node: 3 }.build(13);
+    group.bench_function("alpha_squared", |b| {
+        b.iter(|| black_box(color_alpha_squared(&graph, 3, &params).unwrap()));
+    });
+    group.bench_function("two_alpha_plus_one", |b| {
+        b.iter(|| black_box(color_two_alpha_plus_one(&graph, 3, &params).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(30);
+    for n in [2_000usize, 8_000] {
+        let graph = Workload::PowerLaw { n, edges_per_node: 3 }.build(14);
+        group.bench_with_input(BenchmarkId::new("degeneracy_greedy", n), &graph, |b, graph| {
+            b.iter(|| black_box(greedy_by_degeneracy_order(graph)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arb_linial,
+    bench_kw_reduction,
+    bench_theorem_13_variants,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the coin-dropping LCA (experiment E1): per-node
+//! query cost as a function of the coin budget `x` and the instance shape.
+
+use ampc_coloring_bench::Workload;
+use ampc_model::LcaOracle;
+use beta_partition::{partial_partition_lca, CoinGameConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lca_by_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lca_coin_game_budget");
+    group.sample_size(20);
+    let graph = Workload::ForestUnion { n: 5_000, k: 2 }.build(21);
+    for x in [4usize, 8, 16] {
+        let config = CoinGameConfig::new(x, 6);
+        group.bench_with_input(BenchmarkId::new("x", x), &graph, |b, graph| {
+            let oracle = LcaOracle::new(graph);
+            let mut node = 0usize;
+            b.iter(|| {
+                node = (node + 97) % graph.num_nodes();
+                black_box(partial_partition_lca(&oracle, node, &config).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lca_deep_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lca_coin_game_deep_tree");
+    group.sample_size(10);
+    let graph = Workload::DeepTree { arity: 4, depth: 5 }.build(0);
+    let config = CoinGameConfig::new(16, 3);
+    group.bench_function("root_of_4ary_depth5", |b| {
+        let oracle = LcaOracle::new(&graph);
+        b.iter(|| black_box(partial_partition_lca(&oracle, 0, &config).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lca_by_budget, bench_lca_deep_instance);
+criterion_main!(benches);

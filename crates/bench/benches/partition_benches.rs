@@ -1,0 +1,53 @@
+//! Criterion benches for the β-partition algorithms (experiments E2/E3):
+//! Barenboim–Elkin peeling vs the AMPC partitioner at different `β`.
+
+use ampc_coloring_bench::Workload;
+use beta_partition::{ampc_beta_partition, h_partition, natural_partition, PartitionParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_natural_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("natural_partition");
+    group.sample_size(20);
+    for k in [2usize, 4] {
+        let graph = Workload::ForestUnion { n: 5_000, k }.build(1);
+        let beta = 2 * k + 2;
+        group.bench_with_input(BenchmarkId::new("forest_union", k), &graph, |b, graph| {
+            b.iter(|| black_box(natural_partition(graph, beta)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_h_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h_partition_peeling");
+    group.sample_size(20);
+    for n in [2_000usize, 8_000] {
+        let graph = Workload::ForestUnion { n, k: 2 }.build(2);
+        group.bench_with_input(BenchmarkId::new("n", n), &graph, |b, graph| {
+            b.iter(|| black_box(h_partition(graph, 6)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ampc_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ampc_beta_partition");
+    group.sample_size(10);
+    for (label, beta) in [("beta=2.5a", 5usize), ("beta=a^2", 4usize)] {
+        let graph = Workload::ForestUnion { n: 800, k: 2 }.build(3);
+        let params = PartitionParams::new(beta).with_x(4);
+        group.bench_with_input(BenchmarkId::new(label, beta), &graph, |b, graph| {
+            b.iter(|| black_box(ampc_beta_partition(graph, &params).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_natural_partition,
+    bench_h_partition,
+    bench_ampc_partition
+);
+criterion_main!(benches);

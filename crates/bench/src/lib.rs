@@ -1,0 +1,20 @@
+//! # ampc-coloring-bench
+//!
+//! Benchmark and experiment harness regenerating every experiment listed in
+//! `DESIGN.md` / `EXPERIMENTS.md` (the paper is theoretical, so the
+//! "experiments" are its theorem-level claims evaluated on synthetic
+//! workloads).
+//!
+//! The [`experiments`] module produces text tables; the `experiments` binary
+//! prints them, and the Criterion benches in `benches/` time the hot loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use experiments::{all_experiments, experiment_by_id, Experiment};
+pub use table::Table;
+pub use workloads::Workload;

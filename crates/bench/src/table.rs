@@ -1,0 +1,113 @@
+//! Minimal text/JSON table rendering for the experiment harness.
+
+use serde::Serialize;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. `"E2"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// What the paper claims and what to look for in the rows.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row data (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (converting every cell to a string).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n\n", self.claim));
+        let format_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:>width$}", cell, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the table as a JSON object (for machine consumption).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut table = Table::new("E0", "demo", "demo claim", &["n", "value"]);
+        table.push_row(vec!["10".to_string(), "3".to_string()]);
+        table.push_row(vec!["1000".to_string(), "42".to_string()]);
+        let text = table.render();
+        assert!(text.contains("E0"));
+        assert!(text.contains("demo claim"));
+        assert!(text.contains("1000"));
+        let json = table.to_json();
+        assert!(json.contains("\"rows\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut table = Table::new("E0", "demo", "claim", &["a", "b"]);
+        table.push_row(vec!["1".to_string()]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The Arb-Linial one-sided color reduction (Sections 6.1–6.2).
+//!
+//! Linial's classic coloring algorithm reduces an `m`-coloring to an
+//! `O(∆² log m)`-coloring in one round using cover-free set families. As
+//! observed by Barenboim–Elkin [BE10b], the algorithm only needs the colors
+//! of *out*-neighbors of an acyclic orientation, so `∆` can be replaced by
+//! the maximum out-degree `β` — this is the version the paper simulates
+//! inside AMPC on top of its β-partitions.
+//!
+//! The cover-free families are the standard polynomial construction over a
+//! prime field `GF(q)`: color `c` is identified with the polynomial whose
+//! coefficients are the base-`q` digits of `c`, and the set of `c` is
+//! `{(a, p_c(a)) : a ∈ GF(q)}`. For `q > d·β` a node can always pick an
+//! evaluation point on which its polynomial differs from the polynomials of
+//! all (at most `β`) out-neighbors, and the pair `(a, p_c(a))` becomes its
+//! new color from a palette of size `q²`.
+
+use sparse_graph::{Coloring, CsrGraph, NodeId, Orientation};
+
+use crate::primes::next_prime;
+
+/// Result of running the Arb-Linial reduction to its fixed point.
+#[derive(Debug, Clone)]
+pub struct ArbLinialResult {
+    /// The final proper coloring.
+    pub coloring: Coloring,
+    /// Palette size after every round, starting with the input palette.
+    pub palette_trajectory: Vec<usize>,
+    /// Number of (simulated LOCAL) reduction rounds executed.
+    pub rounds: usize,
+}
+
+impl ArbLinialResult {
+    /// The final palette size (`palette_trajectory.last()`).
+    pub fn final_palette(&self) -> usize {
+        *self
+            .palette_trajectory
+            .last()
+            .expect("trajectory always contains the initial palette")
+    }
+}
+
+/// The palette `q²` that one reduction round with polynomial degree `d`
+/// would produce from the given palette.
+fn palette_after_round(palette: usize, beta: usize, d: usize) -> usize {
+    let mut q = next_prime((d as u64 * beta as u64) + 1);
+    while (q as u128).pow(d as u32 + 1) < palette as u128 {
+        q = next_prime(q + 1);
+    }
+    (q * q) as usize
+}
+
+/// The polynomial degree minimizing the palette after one reduction round.
+fn best_degree(palette: usize, beta: usize) -> usize {
+    let max_degree = (usize::BITS - palette.max(2).leading_zeros()) as usize + 1;
+    (1..=max_degree.max(1))
+        .min_by_key(|&d| palette_after_round(palette, beta, d))
+        .unwrap_or(1)
+}
+
+/// One round of the polynomial reduction: maps a proper `m`-coloring to a
+/// proper `q²`-coloring where `q` is the smallest prime satisfying
+/// `q ≥ d·β + 1` and `q^{d+1} ≥ m`.
+///
+/// Returns the new per-node colors and the new palette size `q²`.
+fn reduction_round(
+    graph: &CsrGraph,
+    orientation: &Orientation,
+    colors: &[usize],
+    palette: usize,
+    beta: usize,
+    degree_d: usize,
+) -> (Vec<usize>, usize) {
+    let d = degree_d.max(1);
+    // q must exceed d * beta (so that at most d*beta evaluation points are
+    // "covered" by out-neighbors) and q^{d+1} must reach the palette so that
+    // distinct colors map to distinct polynomials.
+    let mut q = next_prime((d as u64 * beta as u64) + 1);
+    while (q as u128).pow(d as u32 + 1) < palette as u128 {
+        q = next_prime(q + 1);
+    }
+    let q = q as usize;
+
+    // Coefficients of color c: its base-q digits (d+1 of them).
+    let coefficients = |c: usize| -> Vec<u64> {
+        let mut digits = Vec::with_capacity(d + 1);
+        let mut rest = c as u64;
+        for _ in 0..=d {
+            digits.push(rest % q as u64);
+            rest /= q as u64;
+        }
+        digits
+    };
+    let evaluate = |coeffs: &[u64], a: u64| -> u64 {
+        // Horner evaluation over GF(q).
+        let mut value = 0u64;
+        for &coefficient in coeffs.iter().rev() {
+            value = (value * a + coefficient) % q as u64;
+        }
+        value
+    };
+
+    let mut new_colors = vec![0usize; graph.num_nodes()];
+    for v in graph.nodes() {
+        let own = coefficients(colors[v]);
+        let neighbor_polys: Vec<Vec<u64>> = orientation
+            .out_neighbors(v)
+            .iter()
+            .map(|&u| coefficients(colors[u]))
+            .collect();
+        let mut chosen = None;
+        for a in 0..q as u64 {
+            let own_value = evaluate(&own, a);
+            let clashes = neighbor_polys
+                .iter()
+                .any(|poly| evaluate(poly, a) == own_value);
+            if !clashes {
+                chosen = Some((a, own_value));
+                break;
+            }
+        }
+        let (a, value) = chosen.expect(
+            "a conflict-free evaluation point exists because q > d * beta \
+             bounds the number of covered points",
+        );
+        new_colors[v] = (a as usize) * q + value as usize;
+    }
+    (new_colors, q * q)
+}
+
+/// Runs the Arb-Linial algorithm on top of an acyclic orientation until the
+/// palette stops shrinking.
+///
+/// * `graph` — the input graph,
+/// * `orientation` — an acyclic orientation covering `graph` (out-degree
+///   `β`), typically derived from a β-partition,
+/// * `initial` — a proper coloring to start from; `None` uses the trivial
+///   `n`-coloring by node id (what the paper's simulation does).
+///
+/// The final palette is `O(β²)`: at the fixed point the reduction uses
+/// degree `d = 1` polynomials over the smallest prime `q ≥ β + 1` capable of
+/// encoding the palette, so the palette converges to at most
+/// `(2(β + 1))² = O(β²)` by Bertrand's postulate (in practice much closer to
+/// `(β + 1)²`).
+///
+/// # Errors
+///
+/// Returns an error if `orientation` does not cover `graph` or if `initial`
+/// is not a proper coloring (the reduction requires adjacent nodes to carry
+/// distinct polynomials).
+///
+/// # Examples
+///
+/// ```
+/// use arbo_coloring::arb_linial_coloring;
+/// use sparse_graph::{generators, Orientation};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let graph = generators::forest_union(500, 2, &mut rng);
+/// // Orient by node id: out-degree can be large, but stays far below n.
+/// let orientation = Orientation::from_total_order(&graph, |v| v);
+/// let result = arb_linial_coloring(&graph, &orientation, None)?;
+/// assert!(result.coloring.is_proper(&graph));
+/// let beta = orientation.max_out_degree();
+/// assert!(result.final_palette() <= 4 * (beta + 2) * (beta + 2));
+/// # Ok::<(), String>(())
+/// ```
+pub fn arb_linial_coloring(
+    graph: &CsrGraph,
+    orientation: &Orientation,
+    initial: Option<&Coloring>,
+) -> Result<ArbLinialResult, String> {
+    if !orientation.covers_graph(graph) {
+        return Err("orientation does not cover the graph's edge set".to_string());
+    }
+    let n = graph.num_nodes();
+    let beta = orientation.max_out_degree();
+
+    let (mut colors, mut palette): (Vec<usize>, usize) = match initial {
+        Some(coloring) => {
+            if !coloring.is_proper(graph) {
+                return Err("initial coloring is not proper".to_string());
+            }
+            (coloring.colors().to_vec(), coloring.palette_size().max(1))
+        }
+        None => ((0..n).collect::<Vec<NodeId>>(), n.max(1)),
+    };
+
+    let mut trajectory = vec![palette];
+    let mut rounds = 0usize;
+
+    loop {
+        // Choose the polynomial degree that gives the strongest single-round
+        // reduction (the classic Linial schedule uses a logarithmic degree
+        // while the palette is huge and degree ~2 near the fixed point).
+        let degree = best_degree(palette, beta);
+        let (new_colors, new_palette) =
+            reduction_round(graph, orientation, &colors, palette, beta, degree);
+        rounds += 1;
+        if new_palette >= palette {
+            // Fixed point reached; keep the smaller palette.
+            trajectory.push(palette);
+            break;
+        }
+        colors = new_colors;
+        palette = new_palette;
+        trajectory.push(palette);
+        if rounds > 64 {
+            break; // safety net; log* n convergence makes this unreachable
+        }
+    }
+
+    Ok(ArbLinialResult {
+        coloring: Coloring::new(colors),
+        palette_trajectory: trajectory,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    fn id_orientation(graph: &CsrGraph) -> Orientation {
+        Orientation::from_total_order(graph, |v| v)
+    }
+
+    #[test]
+    fn colors_a_tree_with_constant_palette() {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let graph = generators::random_tree(1_000, &mut rng);
+        // Orient towards the root-free degeneracy order: out-degree 1.
+        let decomposition = sparse_graph::degeneracy_ordering(&graph);
+        let mut position = vec![0usize; graph.num_nodes()];
+        for (i, &v) in decomposition.ordering.iter().enumerate() {
+            position[v] = i;
+        }
+        let orientation = Orientation::from_total_order(&graph, |v| position[v]);
+        assert_eq!(orientation.max_out_degree(), 1);
+        let result = arb_linial_coloring(&graph, &orientation, None).unwrap();
+        assert!(result.coloring.is_proper(&graph));
+        // beta = 1: the fixed point is at most (2 * 2)^2 = 16, in practice <= 9.
+        assert!(result.final_palette() <= 16, "palette {}", result.final_palette());
+        assert!(result.rounds <= 10);
+    }
+
+    #[test]
+    fn respects_beta_squared_bound_on_forest_unions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(67);
+        for k in [2usize, 4] {
+            let graph = generators::forest_union(800, k, &mut rng);
+            let decomposition = sparse_graph::degeneracy_ordering(&graph);
+            let mut position = vec![0usize; graph.num_nodes()];
+            for (i, &v) in decomposition.ordering.iter().enumerate() {
+                position[v] = i;
+            }
+            let orientation = Orientation::from_total_order(&graph, |v| position[v]);
+            let beta = orientation.max_out_degree();
+            let result = arb_linial_coloring(&graph, &orientation, None).unwrap();
+            assert!(result.coloring.is_proper(&graph), "k = {k}");
+            assert!(
+                result.final_palette() <= 4 * (beta + 2) * (beta + 2),
+                "k = {k}: palette {} for beta {beta}",
+                result.final_palette()
+            );
+        }
+    }
+
+    #[test]
+    fn palette_trajectory_is_monotone_decreasing() {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let graph = generators::preferential_attachment(600, 3, &mut rng);
+        let orientation = id_orientation(&graph);
+        let result = arb_linial_coloring(&graph, &orientation, None).unwrap();
+        for window in result.palette_trajectory.windows(2) {
+            assert!(window[1] <= window[0]);
+        }
+        assert_eq!(result.palette_trajectory[0], 600);
+    }
+
+    #[test]
+    fn accepts_an_explicit_initial_coloring() {
+        let graph = generators::cycle(50);
+        let orientation = id_orientation(&graph);
+        let greedy = sparse_graph::greedy_by_id_order(&graph);
+        let result = arb_linial_coloring(&graph, &orientation, Some(&greedy)).unwrap();
+        assert!(result.coloring.is_proper(&graph));
+        assert!(result.final_palette() <= greedy.palette_size().max(16));
+    }
+
+    #[test]
+    fn rejects_improper_initial_colorings() {
+        let graph = generators::cycle(4);
+        let orientation = id_orientation(&graph);
+        let bad = Coloring::new(vec![0, 0, 1, 1]);
+        assert!(arb_linial_coloring(&graph, &orientation, Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn rejects_orientations_that_do_not_cover() {
+        let graph = generators::cycle(4);
+        let partial = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![3], vec![]]);
+        assert!(arb_linial_coloring(&graph, &partial, None).is_err());
+    }
+
+    #[test]
+    fn single_round_reduction_is_proper_and_small() {
+        // Directly exercise one reduction round on a star oriented towards
+        // the hub (out-degree 1).
+        let graph = generators::star(200);
+        let orientation = Orientation::from_total_order(&graph, |v| if v == 0 { 1 } else { 0 });
+        let colors: Vec<usize> = (0..200).collect();
+        let (new_colors, new_palette) =
+            reduction_round(&graph, &orientation, &colors, 200, 1, 2);
+        assert!(new_palette < 200);
+        let coloring = Coloring::new(new_colors);
+        assert!(coloring.is_proper(&graph));
+        assert!(coloring.palette_size() <= new_palette);
+    }
+}

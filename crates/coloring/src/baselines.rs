@@ -1,0 +1,121 @@
+//! Sequential baselines the experiment tables compare the AMPC algorithms
+//! against.
+//!
+//! None of these are contributions of the paper; they are the reference
+//! points its introduction argues against (`∆ + 1`-type colorings that
+//! ignore sparsity) or the natural sequential upper bounds
+//! (degeneracy-ordering greedy, which achieves `≤ 2α` colors but is
+//! inherently sequential).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sparse_graph::{
+    greedy_by_degeneracy_order, greedy_by_id_order, greedy_by_order, Coloring, CsrGraph, NodeId,
+};
+
+/// Summary of a baseline run, aligned with [`crate::ampc::AmpcColoringResult`]
+/// for table building.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Name of the baseline.
+    pub algorithm: &'static str,
+    /// The coloring produced.
+    pub coloring: Coloring,
+    /// Number of distinct colors used.
+    pub colors_used: usize,
+}
+
+impl BaselineResult {
+    fn new(algorithm: &'static str, coloring: Coloring) -> Self {
+        let colors_used = coloring.num_colors();
+        BaselineResult {
+            algorithm,
+            coloring,
+            colors_used,
+        }
+    }
+}
+
+/// Greedy coloring in node-id order — the "arbitrary order" baseline; uses
+/// at most `∆ + 1` colors but typically far more than `O(α)` on sparse
+/// graphs with high-degree nodes.
+pub fn id_order_greedy(graph: &CsrGraph) -> BaselineResult {
+    BaselineResult::new("greedy (id order)", greedy_by_id_order(graph))
+}
+
+/// Greedy coloring in reverse degeneracy order — the strongest sequential
+/// baseline, achieving at most `degeneracy + 1 ≤ 2α` colors.
+pub fn degeneracy_order_greedy(graph: &CsrGraph) -> BaselineResult {
+    BaselineResult::new("greedy (degeneracy order)", greedy_by_degeneracy_order(graph))
+}
+
+/// Greedy coloring in a uniformly random order (averaged behavior of the
+/// `∆ + 1` approaches).
+pub fn random_order_greedy<R: Rng + ?Sized>(graph: &CsrGraph, rng: &mut R) -> BaselineResult {
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.shuffle(rng);
+    BaselineResult::new("greedy (random order)", greedy_by_order(graph, &order))
+}
+
+/// Greedy coloring in decreasing-degree order (the Welsh–Powell heuristic).
+pub fn welsh_powell(graph: &CsrGraph) -> BaselineResult {
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    BaselineResult::new("greedy (Welsh-Powell)", greedy_by_order(graph, &order))
+}
+
+/// Runs every baseline (the random one with the given RNG).
+pub fn all_baselines<R: Rng + ?Sized>(graph: &CsrGraph, rng: &mut R) -> Vec<BaselineResult> {
+    vec![
+        id_order_greedy(graph),
+        degeneracy_order_greedy(graph),
+        random_order_greedy(graph, rng),
+        welsh_powell(graph),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn all_baselines_are_proper() {
+        let mut rng = ChaCha8Rng::seed_from_u64(301);
+        let graph = generators::preferential_attachment(400, 3, &mut rng);
+        for baseline in all_baselines(&graph, &mut rng) {
+            assert!(
+                baseline.coloring.is_proper(&graph),
+                "{} produced an improper coloring",
+                baseline.algorithm
+            );
+            assert!(baseline.colors_used <= graph.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn degeneracy_greedy_beats_the_degree_bound_on_sparse_graphs() {
+        let graph = generators::hub_and_spoke(20, 40);
+        let degeneracy_colors = degeneracy_order_greedy(&graph).colors_used;
+        assert!(degeneracy_colors <= 3);
+        assert!(graph.max_degree() + 1 > 10 * degeneracy_colors);
+    }
+
+    #[test]
+    fn random_order_is_seed_deterministic() {
+        let graph = generators::grid(10, 10);
+        let a = random_order_greedy(&graph, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = random_order_greedy(&graph, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a.coloring, b.coloring);
+    }
+
+    #[test]
+    fn welsh_powell_on_a_star_uses_two_colors() {
+        let graph = generators::star(50);
+        let result = welsh_powell(&graph);
+        assert_eq!(result.colors_used, 2);
+        assert_eq!(result.coloring.color(0), 0);
+    }
+}

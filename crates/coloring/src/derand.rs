@@ -1,0 +1,457 @@
+//! The deterministic low-space MPC coloring of Theorem 1.5.
+//!
+//! One *phase* colors the currently uncolored nodes `U` with a palette of
+//! `2x∆` colors (rounded up to a power of two) so that at most a `1/(2x)`
+//! fraction of the edges incident to `U` is monochromatic:
+//!
+//! * The random trial assigns node `v` the color `M·v̂` where `M` is a random
+//!   0/1 matrix over GF(2) and `v̂` is the binary encoding of `v` with an
+//!   appended 1. For any two distinct nodes (and for a node against a fixed
+//!   color) the collision probability is exactly `2^{-bits}`, so the expected
+//!   number of monochromatic edges incident to `U` is at most `|U|/(2x)`.
+//! * The seed (the matrix `M`, `O(log² n)` bits) is fixed deterministically
+//!   with the method of conditional expectations: the exact conditional
+//!   expectation of the number of monochromatic edges is computable edge by
+//!   edge and aggregated over a broadcast tree, and each batch of seed bits
+//!   is fixed to the assignment minimizing it.
+//! * Nodes with no incident monochromatic edge keep their color; the rest
+//!   stay uncolored and the next phase repeats the process on them.
+//!
+//! The number of uncolored nodes drops by a factor `x` per phase, so
+//! `O(log_x n)` phases suffice — each phase costs `O(1/δ²)` MPC rounds of
+//! aggregation, matching the `O(log_x n)` rounds (for constant `δ`) of the
+//! theorem.
+
+use ampc_model::mpc::{MpcConfig, MpcCostTracker};
+use sparse_graph::{Coloring, CsrGraph, NodeId, PartialColoring};
+
+/// Parameters of the derandomized coloring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerandParams {
+    /// The trade-off parameter `x > 1`: the palette has `~2x∆` colors and the
+    /// number of phases is `O(log_x n)`.
+    pub x: usize,
+    /// Local-space exponent `δ` used for MPC round accounting.
+    pub delta: f64,
+    /// Number of seed bits fixed per conditional-expectation batch
+    /// (`⌊δ/3 · log₂ n⌋` in the paper; any positive value preserves
+    /// correctness, smaller values only change the round accounting).
+    pub batch_bits: usize,
+    /// Safety cap on the number of phases.
+    pub max_phases: usize,
+}
+
+impl Default for DerandParams {
+    fn default() -> Self {
+        DerandParams {
+            x: 2,
+            delta: 0.5,
+            batch_bits: 4,
+            max_phases: 64,
+        }
+    }
+}
+
+impl DerandParams {
+    /// Parameters with a given `x` and defaults elsewhere.
+    pub fn with_x(x: usize) -> Self {
+        DerandParams {
+            x: x.max(2),
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of the derandomized MPC coloring.
+#[derive(Debug, Clone)]
+pub struct DerandColoringResult {
+    /// The final proper coloring (palette `{0, …, 2x∆ − 1}` rounded to a
+    /// power of two).
+    pub coloring: Coloring,
+    /// The palette size used.
+    pub palette: usize,
+    /// Number of phases executed.
+    pub phases: usize,
+    /// Number of uncolored nodes after each phase.
+    pub uncolored_history: Vec<usize>,
+    /// Simulated MPC rounds charged (aggregations for every batch of every
+    /// phase).
+    pub mpc_rounds: usize,
+}
+
+/// The seed: a 0/1 matrix over GF(2) with `rows = color bits` and
+/// `cols = node-id bits + 1`. Row-major bit order; entry `(r, c)` is bit
+/// `r * cols + c`.
+#[derive(Debug, Clone)]
+struct Seed {
+    rows: usize,
+    cols: usize,
+    /// `None` = still random, `Some(b)` = fixed to `b`.
+    bits: Vec<Option<bool>>,
+}
+
+impl Seed {
+    fn new(rows: usize, cols: usize) -> Self {
+        Seed {
+            rows,
+            cols,
+            bits: vec![None; rows * cols],
+        }
+    }
+
+    fn bit(&self, row: usize, col: usize) -> Option<bool> {
+        self.bits[row * self.cols + col]
+    }
+
+    /// The color of node `v` once every bit is fixed.
+    fn color_of(&self, v: NodeId) -> usize {
+        let encoded = encode(v, self.cols);
+        let mut color = 0usize;
+        for row in 0..self.rows {
+            let mut parity = false;
+            for (col, &bit_set) in encoded.iter().enumerate() {
+                if bit_set && self.bit(row, col).expect("seed fully fixed") {
+                    parity ^= true;
+                }
+            }
+            if parity {
+                color |= 1 << row;
+            }
+        }
+        color
+    }
+
+    /// Probability (over the still-random bits) that row `row` of `M·d`
+    /// equals `target_bit`, where `d` is a non-zero GF(2) vector.
+    fn row_probability(&self, row: usize, d: &[bool], target_bit: bool) -> f64 {
+        let mut fixed_parity = false;
+        let mut has_free_bit = false;
+        for (col, &d_set) in d.iter().enumerate() {
+            if !d_set {
+                continue;
+            }
+            match self.bit(row, col) {
+                Some(true) => fixed_parity ^= true,
+                Some(false) => {}
+                None => has_free_bit = true,
+            }
+        }
+        if has_free_bit {
+            0.5
+        } else if fixed_parity == target_bit {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Probability that `M·d` equals the bit pattern `target` (given the
+    /// currently fixed bits), for a non-zero `d`.
+    fn collision_probability(&self, d: &[bool], target: usize) -> f64 {
+        let mut probability = 1.0;
+        for row in 0..self.rows {
+            let target_bit = (target >> row) & 1 == 1;
+            probability *= self.row_probability(row, d, target_bit);
+            if probability == 0.0 {
+                break;
+            }
+        }
+        probability
+    }
+}
+
+/// Binary encoding of a node id with an appended constant-1 coordinate (so
+/// that the encoding is never the zero vector and distinct nodes differ).
+fn encode(v: NodeId, cols: usize) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(cols);
+    for i in 0..cols - 1 {
+        bits.push((v >> i) & 1 == 1);
+    }
+    bits.push(true);
+    bits
+}
+
+/// XOR of two encodings.
+fn xor(a: &[bool], b: &[bool]) -> Vec<bool> {
+    a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
+}
+
+/// Runs the deterministic `2x∆`-coloring of Theorem 1.5.
+///
+/// The returned palette is `2x∆` rounded up to the next power of two (and at
+/// least 2); the number of phases is `O(log_x n)`.
+///
+/// # Panics
+///
+/// Panics if `params.x < 2` was constructed manually (use
+/// [`DerandParams::with_x`], which clamps).
+///
+/// # Examples
+///
+/// ```
+/// use arbo_coloring::{derandomized_coloring, DerandParams};
+/// use sparse_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+/// let graph = generators::gnm(120, 300, &mut rng);
+/// let result = derandomized_coloring(&graph, &DerandParams::with_x(2));
+/// assert!(result.coloring.is_proper(&graph));
+/// assert!(result.palette <= 4 * graph.max_degree().next_power_of_two().max(2));
+/// ```
+pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandColoringResult {
+    assert!(params.x >= 2, "x must be at least 2");
+    let n = graph.num_nodes();
+    let max_degree = graph.max_degree();
+
+    // Palette 2x∆ rounded up to a power of two (at least 2 colors so the
+    // seed has at least one row).
+    let palette = (2 * params.x * max_degree.max(1)).next_power_of_two().max(2);
+    let color_bits = palette.trailing_zeros() as usize;
+    let id_bits = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let cols = id_bits + 1;
+
+    let mpc = MpcConfig::new(n + graph.num_edges(), params.delta);
+    let mut tracker = MpcCostTracker::new();
+
+    let mut partial = PartialColoring::uncolored(n);
+    let mut uncolored: Vec<NodeId> = graph.nodes().collect();
+    let mut uncolored_history = Vec::new();
+    let mut phases = 0usize;
+
+    while !uncolored.is_empty() && phases < params.max_phases {
+        phases += 1;
+        let in_u: Vec<bool> = {
+            let mut membership = vec![false; n];
+            for &v in &uncolored {
+                membership[v] = true;
+            }
+            membership
+        };
+
+        // Edges whose monochromatic status depends on the seed: both
+        // endpoints in U (difference vector), or one endpoint in U against a
+        // fixed color.
+        let mut seed = Seed::new(color_bits, cols);
+        let relevant_edges: Vec<(NodeId, NodeId)> = graph
+            .edges()
+            .filter(|&(u, v)| in_u[u] || in_u[v])
+            .collect();
+
+        // Conditional expectation of the number of monochromatic relevant
+        // edges under the (partially fixed) seed.
+        let expectation = |seed: &Seed| -> f64 {
+            relevant_edges
+                .iter()
+                .map(|&(u, v)| match (in_u[u], in_u[v]) {
+                    (true, true) => {
+                        let d = xor(&encode(u, cols), &encode(v, cols));
+                        seed.collision_probability(&d, 0)
+                    }
+                    (true, false) => {
+                        let target = partial.color(v).expect("colored node has a color");
+                        seed.collision_probability(&encode(u, cols), target)
+                    }
+                    (false, true) => {
+                        let target = partial.color(u).expect("colored node has a color");
+                        seed.collision_probability(&encode(v, cols), target)
+                    }
+                    (false, false) => unreachable!("edge filtered to touch U"),
+                })
+                .sum()
+        };
+
+        // Method of conditional expectations, one batch of seed bits at a
+        // time. Every batch costs one broadcast-tree aggregation per
+        // candidate assignment; candidates are evaluated "in parallel" in
+        // the model, so we charge a single aggregation per batch.
+        let total_bits = color_bits * cols;
+        let batch = params.batch_bits.max(1);
+        let mut next_bit = 0usize;
+        while next_bit < total_bits {
+            let upper = (next_bit + batch).min(total_bits);
+            let width = upper - next_bit;
+            let mut best_assignment = 0usize;
+            let mut best_value = f64::INFINITY;
+            for assignment in 0..(1usize << width) {
+                let mut candidate = seed.clone();
+                for (offset, bit_index) in (next_bit..upper).enumerate() {
+                    candidate.bits[bit_index] = Some((assignment >> offset) & 1 == 1);
+                }
+                let value = expectation(&candidate);
+                if value < best_value {
+                    best_value = value;
+                    best_assignment = assignment;
+                }
+            }
+            for (offset, bit_index) in (next_bit..upper).enumerate() {
+                seed.bits[bit_index] = Some((best_assignment >> offset) & 1 == 1);
+            }
+            tracker.charge_aggregation(&mpc, relevant_edges.len().max(1));
+            next_bit = upper;
+        }
+
+        // Apply the fully fixed seed to U and freeze conflict-free nodes.
+        let tentative: Vec<(NodeId, usize)> = uncolored
+            .iter()
+            .map(|&v| (v, seed.color_of(v)))
+            .collect();
+        let mut tentative_colors: Vec<Option<usize>> = vec![None; n];
+        for &(v, c) in &tentative {
+            tentative_colors[v] = Some(c);
+        }
+        let conflicts: Vec<bool> = tentative
+            .iter()
+            .map(|&(v, color)| {
+                graph.neighbors(v).iter().any(|&w| {
+                    let other = if in_u[w] {
+                        tentative_colors[w]
+                    } else {
+                        partial.color(w)
+                    };
+                    other == Some(color)
+                })
+            })
+            .collect();
+        let mut still_uncolored = Vec::new();
+        for (&(v, color), &conflicted) in tentative.iter().zip(&conflicts) {
+            if conflicted {
+                still_uncolored.push(v);
+            } else {
+                partial.set_color(v, color);
+            }
+        }
+        tracker.charge_rounds(1); // broadcasting the fixed seed / colors
+        uncolored_history.push(still_uncolored.len());
+        uncolored = still_uncolored;
+    }
+
+    // Safety fallback: if the phase cap was hit (it should not be for sane
+    // parameters), finish greedily — the palette of size 2x∆ ≥ ∆ + 1 always
+    // has a free color.
+    if !uncolored.is_empty() {
+        for &v in &uncolored {
+            let used: Vec<usize> = graph
+                .neighbors(v)
+                .iter()
+                .filter_map(|&w| partial.color(w))
+                .collect();
+            let free = (0..palette)
+                .find(|c| !used.contains(c))
+                .expect("palette exceeds the maximum degree");
+            partial.set_color(v, free);
+        }
+    }
+
+    let coloring = partial.into_coloring();
+    debug_assert!(coloring.is_proper(graph));
+    DerandColoringResult {
+        coloring,
+        palette,
+        phases,
+        uncolored_history,
+        mpc_rounds: tracker.rounds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn produces_a_proper_coloring_within_the_palette() {
+        let mut rng = ChaCha8Rng::seed_from_u64(101);
+        let graph = generators::gnm(150, 350, &mut rng);
+        let result = derandomized_coloring(&graph, &DerandParams::with_x(2));
+        assert!(result.coloring.is_proper(&graph));
+        assert!(result.coloring.palette_size() <= result.palette);
+        assert_eq!(
+            result.palette,
+            (4 * graph.max_degree()).next_power_of_two()
+        );
+    }
+
+    #[test]
+    fn uncolored_set_decays_geometrically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(103);
+        let graph = generators::gnm(256, 640, &mut rng);
+        let x = 4;
+        let result = derandomized_coloring(&graph, &DerandParams::with_x(x));
+        // Theorem 1.5: after phase i at most n / x^i nodes stay uncolored.
+        let mut bound = graph.num_nodes() as f64;
+        for &remaining in &result.uncolored_history {
+            bound /= x as f64;
+            assert!(
+                remaining as f64 <= bound.max(1.0) + 1e-9,
+                "remaining {remaining} exceeds bound {bound}"
+            );
+        }
+        assert!(result.phases <= 10);
+    }
+
+    #[test]
+    fn larger_x_means_fewer_phases_but_more_colors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(107);
+        let graph = generators::gnm(180, 450, &mut rng);
+        let small_x = derandomized_coloring(&graph, &DerandParams::with_x(2));
+        let large_x = derandomized_coloring(&graph, &DerandParams::with_x(8));
+        assert!(large_x.phases <= small_x.phases);
+        assert!(large_x.palette >= small_x.palette);
+        assert!(small_x.coloring.is_proper(&graph));
+        assert!(large_x.coloring.is_proper(&graph));
+    }
+
+    #[test]
+    fn works_on_high_degree_stars_and_cliques() {
+        let star = generators::star(150);
+        let result = derandomized_coloring(&star, &DerandParams::with_x(2));
+        assert!(result.coloring.is_proper(&star));
+
+        let clique = generators::complete(12);
+        let result = derandomized_coloring(&clique, &DerandParams::with_x(2));
+        assert!(result.coloring.is_proper(&clique));
+        assert!(result.coloring.num_colors() >= 12);
+    }
+
+    #[test]
+    fn mpc_round_accounting_scales_with_phases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(109);
+        let graph = generators::gnm(150, 300, &mut rng);
+        let result = derandomized_coloring(&graph, &DerandParams::with_x(2));
+        assert!(result.mpc_rounds > 0);
+        assert!(result.phases >= 1);
+        // At least one aggregation per batch per phase.
+        assert!(result.mpc_rounds >= result.phases);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = sparse_graph::CsrGraph::empty(0);
+        let result = derandomized_coloring(&empty, &DerandParams::default());
+        assert_eq!(result.coloring.num_nodes(), 0);
+
+        let isolated = sparse_graph::CsrGraph::empty(5);
+        let result = derandomized_coloring(&isolated, &DerandParams::default());
+        assert!(result.coloring.is_proper(&isolated));
+        assert_eq!(result.phases, 1);
+    }
+
+    #[test]
+    fn seed_collision_probabilities_are_consistent() {
+        let mut seed = Seed::new(3, 5);
+        let d = vec![true, false, true, false, true];
+        // Fully random: probability 1/8 for any target.
+        assert!((seed.collision_probability(&d, 0) - 0.125).abs() < 1e-12);
+        assert!((seed.collision_probability(&d, 5) - 0.125).abs() < 1e-12);
+        // Fix row 0 so that its parity over d is 1: targets with bit0 = 0
+        // become impossible at row 0.
+        seed.bits[0] = Some(true); // (row 0, col 0)
+        seed.bits[2] = Some(false); // (row 0, col 2)
+        seed.bits[4] = Some(false); // (row 0, col 4)
+        assert_eq!(seed.collision_probability(&d, 0), 0.0);
+        assert!((seed.collision_probability(&d, 1) - 0.25).abs() < 1e-12);
+    }
+}

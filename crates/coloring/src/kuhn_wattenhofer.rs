@@ -1,0 +1,244 @@
+//! The Kuhn–Wattenhofer iterative color reduction (Section 6.3).
+//!
+//! Given a proper `m`-coloring of a graph with maximum degree `∆`, the color
+//! space is split into blocks of `2(∆ + 1)` consecutive colors. Within every
+//! block (in parallel across blocks), the colors above the block's first
+//! `∆ + 1` are eliminated one at a time: each such color class is an
+//! independent set, so all its nodes can simultaneously pick a free color
+//! among the block's first `∆ + 1` colors. One such sweep halves the number
+//! of colors in `∆ + 1` rounds; repeating until only `∆ + 1` colors remain
+//! costs `O(∆ log(m / ∆))` rounds — the complexity quoted by the paper.
+
+use sparse_graph::{Coloring, CsrGraph};
+
+/// Result of the Kuhn–Wattenhofer reduction.
+#[derive(Debug, Clone)]
+pub struct KwReductionResult {
+    /// The final proper coloring with palette `{0, …, degree_bound}`.
+    pub coloring: Coloring,
+    /// Number of simulated LOCAL rounds (one per eliminated color class per
+    /// halving sweep).
+    pub rounds: usize,
+    /// Palette size after every halving sweep.
+    pub palette_trajectory: Vec<usize>,
+}
+
+/// Reduces a proper coloring to a `(degree_bound + 1)`-coloring.
+///
+/// `degree_bound` must be at least the maximum degree of `graph` (the
+/// algorithm is typically applied to the subgraph induced by one layer of a
+/// β-partition, whose maximum degree is at most `β`).
+///
+/// # Errors
+///
+/// Returns an error if `initial` is not proper, does not cover the graph, or
+/// if `degree_bound` is below the maximum degree.
+///
+/// # Examples
+///
+/// ```
+/// use arbo_coloring::kw_color_reduction;
+/// use sparse_graph::{generators, greedy_by_id_order, Coloring};
+///
+/// let graph = generators::cycle(30);
+/// // Start from the trivial coloring by node id.
+/// let initial = Coloring::new((0..30).collect());
+/// let result = kw_color_reduction(&graph, &initial, 2)?;
+/// assert!(result.coloring.is_proper(&graph));
+/// assert!(result.coloring.palette_size() <= 3);
+/// # Ok::<(), String>(())
+/// ```
+pub fn kw_color_reduction(
+    graph: &CsrGraph,
+    initial: &Coloring,
+    degree_bound: usize,
+) -> Result<KwReductionResult, String> {
+    if initial.num_nodes() != graph.num_nodes() {
+        return Err("coloring does not cover the graph".to_string());
+    }
+    if !initial.is_proper(graph) {
+        return Err("initial coloring is not proper".to_string());
+    }
+    if degree_bound < graph.max_degree() {
+        return Err(format!(
+            "degree bound {degree_bound} is below the maximum degree {}",
+            graph.max_degree()
+        ));
+    }
+
+    let target = degree_bound + 1;
+    let mut colors: Vec<usize> = initial.colors().to_vec();
+    let mut palette = initial.palette_size().max(1);
+    let mut rounds = 0usize;
+    let mut trajectory = vec![palette];
+
+    while palette > target {
+        let block = 2 * target;
+        // Number of blocks covering the palette {0, ..., palette - 1}.
+        let num_blocks = palette.div_ceil(block);
+        // Eliminate, in parallel over blocks, the colors block_start + target
+        // .. block_start + block - 1, one offset at a time (each offset is
+        // one LOCAL round since the affected nodes form an independent set).
+        for offset in target..block {
+            rounds += 1;
+            let recolor: Vec<usize> = graph
+                .nodes()
+                .filter(|&v| {
+                    let c = colors[v];
+                    c % block == offset && c < palette
+                })
+                .collect();
+            for &v in &recolor {
+                let block_start = (colors[v] / block) * block;
+                let mut used = vec![false; target];
+                for &w in graph.neighbors(v) {
+                    let cw = colors[w];
+                    if cw >= block_start && cw < block_start + target {
+                        used[cw - block_start] = true;
+                    }
+                }
+                let free = (0..target)
+                    .find(|&c| !used[c])
+                    .expect("a free color exists because the degree is at most degree_bound");
+                colors[v] = block_start + free;
+            }
+        }
+        // Compact the palette: block b now only uses colors
+        // [b * block, b * block + target); renumber to b * target + offset.
+        for color in &mut colors {
+            let b = *color / block;
+            let within = *color % block;
+            debug_assert!(within < target);
+            *color = b * target + within;
+        }
+        palette = num_blocks * target;
+        trajectory.push(palette);
+        if num_blocks == 1 {
+            break;
+        }
+    }
+
+    let coloring = Coloring::new(colors);
+    debug_assert!(coloring.is_proper(graph));
+    Ok(KwReductionResult {
+        coloring,
+        rounds,
+        palette_trajectory: trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn reduces_trivial_coloring_to_delta_plus_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(81);
+        let graph = generators::gnm(300, 600, &mut rng);
+        let delta = graph.max_degree();
+        let initial = Coloring::new((0..300).collect());
+        let result = kw_color_reduction(&graph, &initial, delta).unwrap();
+        assert!(result.coloring.is_proper(&graph));
+        assert!(result.coloring.palette_size() <= delta + 1);
+        assert!(result.coloring.num_colors() <= delta + 1);
+    }
+
+    #[test]
+    fn round_count_matches_the_kw_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(83);
+        let graph = generators::forest_union(400, 2, &mut rng);
+        let delta = graph.max_degree();
+        let initial = Coloring::new((0..400).collect());
+        let result = kw_color_reduction(&graph, &initial, delta).unwrap();
+        // O(delta * log(m / delta)): each halving sweep costs delta + 1
+        // rounds and the number of sweeps is log2(m / (delta + 1)) + 1.
+        let sweeps = ((400f64 / (delta + 1) as f64).log2().ceil() as usize).max(1) + 1;
+        assert!(
+            result.rounds <= (delta + 1) * sweeps,
+            "{} rounds exceeds bound {}",
+            result.rounds,
+            (delta + 1) * sweeps
+        );
+        // The palette halves (up to rounding) every sweep.
+        for window in result.palette_trajectory.windows(2) {
+            assert!(window[1] <= window[0] / 2 + (delta + 1));
+        }
+    }
+
+    #[test]
+    fn already_small_palettes_are_untouched() {
+        let graph = generators::cycle(10);
+        let greedy = sparse_graph::greedy_by_id_order(&graph);
+        let result = kw_color_reduction(&graph, &greedy, 2).unwrap();
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.coloring, greedy);
+        assert_eq!(result.palette_trajectory, vec![greedy.palette_size()]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let graph = generators::cycle(6);
+        let improper = Coloring::new(vec![0; 6]);
+        assert!(kw_color_reduction(&graph, &improper, 2).is_err());
+
+        let wrong_size = Coloring::new(vec![0, 1]);
+        assert!(kw_color_reduction(&graph, &wrong_size, 2).is_err());
+
+        let proper = Coloring::new((0..6).collect());
+        assert!(kw_color_reduction(&graph, &proper, 1).is_err());
+    }
+
+    #[test]
+    fn works_on_per_layer_subgraphs() {
+        // The paper applies KW to the subgraph induced by a single layer of a
+        // beta-partition, whose max degree is at most beta.
+        let mut rng = ChaCha8Rng::seed_from_u64(89);
+        let graph = generators::preferential_attachment(500, 3, &mut rng);
+        let beta = 7;
+        let partition = beta_partition_for_test(&graph, beta);
+        let layer0: Vec<usize> = graph
+            .nodes()
+            .filter(|&v| partition[v] == 0)
+            .collect();
+        let sub = sparse_graph::InducedSubgraph::new(&graph, &layer0);
+        assert!(sub.graph().max_degree() <= beta);
+        let initial = Coloring::new((0..sub.num_nodes()).collect());
+        let result = kw_color_reduction(sub.graph(), &initial, beta).unwrap();
+        assert!(result.coloring.is_proper(sub.graph()));
+        assert!(result.coloring.palette_size() <= beta + 1);
+    }
+
+    /// Tiny helper computing natural-partition layers without depending on
+    /// the beta-partition crate (avoids a dev-dependency cycle).
+    fn beta_partition_for_test(graph: &CsrGraph, beta: usize) -> Vec<usize> {
+        let n = graph.num_nodes();
+        let mut layer = vec![usize::MAX; n];
+        let mut remaining_degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+        let mut peeled = vec![false; n];
+        let mut current_layer = 0;
+        loop {
+            let batch: Vec<usize> = (0..n)
+                .filter(|&v| !peeled[v] && remaining_degree[v] <= beta)
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            for &v in &batch {
+                layer[v] = current_layer;
+                peeled[v] = true;
+            }
+            for &v in &batch {
+                for &w in graph.neighbors(v) {
+                    if !peeled[w] {
+                        remaining_degree[w] -= 1;
+                    }
+                }
+            }
+            current_layer += 1;
+        }
+        layer
+    }
+}

@@ -1,0 +1,78 @@
+//! Small prime utilities used by the polynomial cover-free families of the
+//! Arb-Linial coloring.
+
+/// Deterministic primality test by trial division (sufficient for the
+/// palette-sized primes used here, which are at most a few million).
+///
+/// ```
+/// assert!(arbo_coloring::is_prime(2));
+/// assert!(arbo_coloring::is_prime(97));
+/// assert!(!arbo_coloring::is_prime(1));
+/// assert!(!arbo_coloring::is_prime(91));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n < 4 {
+        return true;
+    }
+    if n % 2 == 0 || n % 3 == 0 {
+        return false;
+    }
+    let mut candidate = 5u64;
+    while candidate * candidate <= n {
+        if n % candidate == 0 || n % (candidate + 2) == 0 {
+            return false;
+        }
+        candidate += 6;
+    }
+    true
+}
+
+/// The smallest prime `≥ n` (Bertrand's postulate guarantees it is below
+/// `2n` for `n ≥ 1`).
+///
+/// ```
+/// assert_eq!(arbo_coloring::next_prime(10), 11);
+/// assert_eq!(arbo_coloring::next_prime(11), 11);
+/// assert_eq!(arbo_coloring::next_prime(0), 2);
+/// ```
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.max(2);
+    while !is_prime(candidate) {
+        candidate += 1;
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn next_prime_monotone_and_within_bertrand() {
+        for n in 1u64..2_000 {
+            let p = next_prime(n);
+            assert!(p >= n);
+            assert!(is_prime(p));
+            assert!(p < 2 * n.max(2), "Bertrand violated at {n} -> {p}");
+        }
+    }
+
+    #[test]
+    fn handles_larger_inputs() {
+        assert!(is_prime(104_729)); // the 10000th prime
+        assert!(!is_prime(104_730));
+        assert_eq!(next_prime(104_730), 104_743);
+    }
+}

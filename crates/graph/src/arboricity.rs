@@ -1,0 +1,167 @@
+//! Arboricity estimates: density lower bounds and degeneracy upper bounds.
+
+use crate::csr::CsrGraph;
+use crate::degeneracy::degeneracy;
+
+/// Lower and upper bounds on the arboricity of a graph.
+///
+/// Computing the exact arboricity requires matroid-union machinery that the
+/// paper never needs: all its algorithms only require an *upper bound*
+/// parameter `α ≥ α(G)` (and Lemma 5.1 removes even that assumption through
+/// guessing). The bounds below bracket the true value within a factor of two:
+///
+/// * `lower` is the Nash–Williams density bound `⌈m / (n − 1)⌉` of
+///   Definition 3.1 evaluated on the whole graph and on every core of the
+///   degeneracy decomposition,
+/// * `upper` is the degeneracy `d`, which satisfies `α ≤ d ≤ 2α − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArboricityEstimate {
+    /// A certified lower bound on the arboricity.
+    pub lower: usize,
+    /// A certified upper bound on the arboricity (the degeneracy).
+    pub upper: usize,
+}
+
+impl ArboricityEstimate {
+    /// Computes both bounds for `graph`.
+    ///
+    /// ```
+    /// use sparse_graph::{ArboricityEstimate, CsrGraph};
+    ///
+    /// let k4 = CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    /// let est = ArboricityEstimate::of(&k4);
+    /// assert_eq!(est.lower, 2); // ceil(6 / 3)
+    /// assert_eq!(est.upper, 3); // degeneracy of K4
+    /// assert!(est.lower <= est.upper);
+    /// ```
+    pub fn of(graph: &CsrGraph) -> Self {
+        ArboricityEstimate {
+            lower: arboricity_density_lower_bound(graph),
+            upper: arboricity_upper_bound(graph),
+        }
+    }
+}
+
+/// The density lower bound `max_{G' ⊆ G, |V(G')| ≥ 2} ⌈|E(G')| / (|V(G')| − 1)⌉`
+/// of Definition 3.1, evaluated on the whole graph and on the subgraphs
+/// induced by every suffix of the degeneracy ordering (which contains the
+/// densest cores).
+///
+/// This is a true lower bound on `α(G)` (every evaluated subgraph witnesses
+/// the bound) though not necessarily tight on adversarial instances.
+pub fn arboricity_density_lower_bound(graph: &CsrGraph) -> usize {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return 0;
+    }
+
+    let density = |edges: usize, nodes: usize| -> usize {
+        if nodes < 2 {
+            0
+        } else {
+            edges.div_ceil(nodes - 1)
+        }
+    };
+
+    let mut best = density(graph.num_edges(), n);
+
+    // Evaluate the density of every suffix of the degeneracy ordering.
+    // Peeling nodes in degeneracy order keeps the densest part of the graph
+    // for last, so the best suffix is a good witness subgraph.
+    let ordering = crate::degeneracy::degeneracy_ordering(graph).ordering;
+    let mut removed = vec![false; n];
+    let mut remaining_edges = graph.num_edges();
+    let mut remaining_nodes = n;
+    for &v in &ordering {
+        let live_degree = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| !removed[w])
+            .count();
+        removed[v] = true;
+        remaining_edges -= live_degree;
+        remaining_nodes -= 1;
+        if remaining_nodes >= 2 {
+            best = best.max(density(remaining_edges, remaining_nodes));
+        }
+    }
+    best
+}
+
+/// The degeneracy of the graph, which upper-bounds the arboricity
+/// (`α ≤ degeneracy ≤ 2α − 1`).
+///
+/// ```
+/// let path = sparse_graph::CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(sparse_graph::arboricity_upper_bound(&path), 1);
+/// ```
+pub fn arboricity_upper_bound(graph: &CsrGraph) -> usize {
+    degeneracy(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_on_trivial_graphs() {
+        let empty = CsrGraph::empty(0);
+        assert_eq!(ArboricityEstimate::of(&empty), ArboricityEstimate { lower: 0, upper: 0 });
+
+        let isolated = CsrGraph::empty(5);
+        let est = ArboricityEstimate::of(&isolated);
+        assert_eq!(est.lower, 0);
+        assert_eq!(est.upper, 0);
+    }
+
+    #[test]
+    fn tree_has_arboricity_one() {
+        let path = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let est = ArboricityEstimate::of(&path);
+        assert_eq!(est.lower, 1);
+        assert_eq!(est.upper, 1);
+    }
+
+    #[test]
+    fn clique_bounds() {
+        // K5: arboricity = ceil(10 / 4) = 3, degeneracy = 4.
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let k5 = CsrGraph::from_edges(5, edges);
+        let est = ArboricityEstimate::of(&k5);
+        assert_eq!(est.lower, 3);
+        assert_eq!(est.upper, 4);
+        assert!(est.lower <= est.upper);
+    }
+
+    #[test]
+    fn dense_core_hidden_in_sparse_graph() {
+        // A K5 attached to a long path: global density is low but the core
+        // witnesses arboricity >= 3.
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        for i in 5..100 {
+            edges.push((i - 1, i));
+        }
+        let g = CsrGraph::from_edges(100, edges);
+        let est = ArboricityEstimate::of(&g);
+        assert!(est.lower >= 3, "suffix density should expose the K5 core");
+        assert!(est.upper >= est.lower);
+    }
+
+    #[test]
+    fn degeneracy_within_factor_two_of_density() {
+        let cycle = CsrGraph::from_edges(8, (0..8).map(|i| (i, (i + 1) % 8)));
+        let est = ArboricityEstimate::of(&cycle);
+        assert_eq!(est.lower, 2); // ceil(8/7) = 2
+        assert_eq!(est.upper, 2);
+    }
+}

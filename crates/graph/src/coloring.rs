@@ -1,0 +1,410 @@
+//! Proper vertex colorings: representation, validation and greedy reference
+//! algorithms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrGraph;
+use crate::degeneracy::degeneracy_ordering;
+use crate::orientation::Orientation;
+use crate::types::NodeId;
+
+/// A total assignment of colors (non-negative integers) to nodes.
+///
+/// Colors are arbitrary `usize` values; [`Coloring::num_colors`] reports the
+/// number of *distinct* colors used, which is the quantity the paper's
+/// theorems bound.
+///
+/// # Examples
+///
+/// ```
+/// use sparse_graph::{Coloring, CsrGraph};
+///
+/// let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// let coloring = Coloring::new(vec![0, 1, 0]);
+/// assert!(coloring.is_proper(&g));
+/// assert_eq!(coloring.num_colors(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coloring {
+    colors: Vec<usize>,
+}
+
+impl Coloring {
+    /// Wraps a vector of per-node colors.
+    pub fn new(colors: Vec<usize>) -> Self {
+        Coloring { colors }
+    }
+
+    /// Number of nodes covered by the coloring.
+    pub fn num_nodes(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// The color of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn color(&self, v: NodeId) -> usize {
+        self.colors[v]
+    }
+
+    /// The underlying per-node color slice.
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Consumes the coloring and returns the per-node color vector.
+    pub fn into_colors(self) -> Vec<usize> {
+        self.colors
+    }
+
+    /// Number of distinct colors used.
+    pub fn num_colors(&self) -> usize {
+        let mut sorted = self.colors.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Largest color value used plus one (the size of the palette
+    /// `{0, …, max}` the coloring fits into). Zero for an empty coloring.
+    pub fn palette_size(&self) -> usize {
+        self.colors.iter().max().map_or(0, |&c| c + 1)
+    }
+
+    /// Number of monochromatic (conflicting) edges under this coloring.
+    pub fn num_conflicts(&self, graph: &CsrGraph) -> usize {
+        graph
+            .edges()
+            .filter(|&(u, v)| self.colors[u] == self.colors[v])
+            .count()
+    }
+
+    /// Returns `true` if no edge of `graph` is monochromatic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring does not cover all nodes of `graph`.
+    pub fn is_proper(&self, graph: &CsrGraph) -> bool {
+        assert_eq!(
+            self.colors.len(),
+            graph.num_nodes(),
+            "coloring covers {} nodes but the graph has {}",
+            self.colors.len(),
+            graph.num_nodes()
+        );
+        self.num_conflicts(graph) == 0
+    }
+
+    /// Renumbers the colors to the dense range `0..num_colors()`, preserving
+    /// properness. Returns the renumbered coloring.
+    pub fn normalized(&self) -> Coloring {
+        let mut distinct: Vec<usize> = self.colors.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let colors = self
+            .colors
+            .iter()
+            .map(|c| distinct.binary_search(c).expect("color present"))
+            .collect();
+        Coloring { colors }
+    }
+}
+
+/// A partial assignment of colors: uncolored nodes hold `None`.
+///
+/// Used by the derandomized MPC coloring of Theorem 1.5, which colors the
+/// graph in waves and re-runs the trial on the still-uncolored set.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PartialColoring {
+    colors: Vec<Option<usize>>,
+}
+
+impl PartialColoring {
+    /// Creates an all-uncolored partial coloring on `n` nodes.
+    pub fn uncolored(n: usize) -> Self {
+        PartialColoring {
+            colors: vec![None; n],
+        }
+    }
+
+    /// Number of nodes (colored or not).
+    pub fn num_nodes(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// The color of node `v`, if assigned.
+    pub fn color(&self, v: NodeId) -> Option<usize> {
+        self.colors[v]
+    }
+
+    /// Assigns color `c` to node `v` (overwriting any previous color).
+    pub fn set_color(&mut self, v: NodeId, c: usize) {
+        self.colors[v] = Some(c);
+    }
+
+    /// Removes the color of node `v`.
+    pub fn clear_color(&mut self, v: NodeId) {
+        self.colors[v] = None;
+    }
+
+    /// Nodes that do not have a color yet.
+    pub fn uncolored_nodes(&self) -> Vec<NodeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter_map(|(v, c)| if c.is_none() { Some(v) } else { None })
+            .collect()
+    }
+
+    /// Number of colored nodes.
+    pub fn num_colored(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Returns `true` if every node has a color.
+    pub fn is_complete(&self) -> bool {
+        self.colors.iter().all(Option::is_some)
+    }
+
+    /// Number of edges whose two endpoints are both colored with the same
+    /// color.
+    pub fn num_conflicts(&self, graph: &CsrGraph) -> usize {
+        graph
+            .edges()
+            .filter(|&(u, v)| {
+                matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b)
+            })
+            .count()
+    }
+
+    /// Converts into a total [`Coloring`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node is still uncolored.
+    pub fn into_coloring(self) -> Coloring {
+        Coloring::new(
+            self.colors
+                .into_iter()
+                .map(|c| c.expect("partial coloring is not complete"))
+                .collect(),
+        )
+    }
+}
+
+/// Greedy coloring that processes nodes in the given order and assigns each
+/// node the smallest color unused among its already-colored neighbors.
+///
+/// Uses at most `max_back_degree + 1` colors where `max_back_degree` is the
+/// maximum number of neighbors a node has *earlier* in the order.
+pub fn greedy_by_order(graph: &CsrGraph, order: &[NodeId]) -> Coloring {
+    let n = graph.num_nodes();
+    assert_eq!(order.len(), n, "order must cover every node exactly once");
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut forbidden: Vec<usize> = Vec::new();
+    for &v in order {
+        forbidden.clear();
+        for &w in graph.neighbors(v) {
+            if let Some(c) = colors[w] {
+                forbidden.push(c);
+            }
+        }
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut candidate = 0usize;
+        for &c in &forbidden {
+            if c == candidate {
+                candidate += 1;
+            } else if c > candidate {
+                break;
+            }
+        }
+        colors[v] = Some(candidate);
+    }
+    Coloring::new(colors.into_iter().map(|c| c.unwrap()).collect())
+}
+
+/// Greedy coloring in increasing node-id order (the weakest baseline).
+pub fn greedy_by_id_order(graph: &CsrGraph) -> Coloring {
+    let order: Vec<NodeId> = graph.nodes().collect();
+    greedy_by_order(graph, &order)
+}
+
+/// Greedy coloring in *reverse* degeneracy order, which uses at most
+/// `degeneracy + 1 ≤ 2α` colors — the classic sequential baseline the paper's
+/// parallel algorithms are measured against.
+///
+/// ```
+/// use sparse_graph::{greedy_by_degeneracy_order, CsrGraph};
+///
+/// let cycle = CsrGraph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+/// let coloring = greedy_by_degeneracy_order(&cycle);
+/// assert!(coloring.is_proper(&cycle));
+/// assert!(coloring.num_colors() <= 3);
+/// ```
+pub fn greedy_by_degeneracy_order(graph: &CsrGraph) -> Coloring {
+    let decomposition = degeneracy_ordering(graph);
+    // The peeling order removes low-degree nodes first; coloring must process
+    // the *reverse* order so every node sees at most `degeneracy` colored
+    // neighbors when its turn comes.
+    let order: Vec<NodeId> = decomposition.ordering.iter().rev().copied().collect();
+    greedy_by_order(graph, &order)
+}
+
+/// Greedy coloring along a *reverse topological order* of an acyclic
+/// orientation: every node is colored after all of its out-neighbors, so at
+/// most `max_out_degree` colors are forbidden and
+/// `max_out_degree + 1` colors suffice.
+///
+/// This is the "color from the sinks" routine the paper's introduction
+/// describes for turning low out-degree orientations into colorings.
+///
+/// # Errors
+///
+/// Returns an error if the orientation is cyclic or does not cover `graph`.
+pub fn greedy_from_orientation(
+    graph: &CsrGraph,
+    orientation: &Orientation,
+) -> Result<Coloring, String> {
+    if !orientation.covers_graph(graph) {
+        return Err("orientation does not cover the graph's edge set exactly once".to_string());
+    }
+    let order = orientation
+        .reverse_topological_order()
+        .ok_or_else(|| "orientation contains a directed cycle".to_string())?;
+    let n = graph.num_nodes();
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut forbidden: Vec<usize> = Vec::new();
+    for &v in &order {
+        forbidden.clear();
+        for &w in orientation.out_neighbors(v) {
+            if let Some(c) = colors[w] {
+                forbidden.push(c);
+            }
+        }
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut candidate = 0usize;
+        for &c in &forbidden {
+            if c == candidate {
+                candidate += 1;
+            } else if c > candidate {
+                break;
+            }
+        }
+        colors[v] = Some(candidate);
+    }
+    Ok(Coloring::new(
+        colors.into_iter().map(|c| c.unwrap()).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn petersen_like() -> CsrGraph {
+        // Outer 5-cycle, inner 5-cycle (pentagram), spokes.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            edges.push((i, (i + 1) % 5));
+            edges.push((5 + i, 5 + ((i + 2) % 5)));
+            edges.push((i, 5 + i));
+        }
+        CsrGraph::from_edges(10, edges)
+    }
+
+    #[test]
+    fn proper_and_improper_colorings() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(Coloring::new(vec![0, 1, 0]).is_proper(&g));
+        let bad = Coloring::new(vec![0, 0, 1]);
+        assert!(!bad.is_proper(&g));
+        assert_eq!(bad.num_conflicts(&g), 1);
+    }
+
+    #[test]
+    fn num_colors_and_palette() {
+        let c = Coloring::new(vec![7, 3, 7, 9]);
+        assert_eq!(c.num_colors(), 3);
+        assert_eq!(c.palette_size(), 10);
+        let normalized = c.normalized();
+        assert_eq!(normalized.num_colors(), 3);
+        assert_eq!(normalized.palette_size(), 3);
+        // Same color classes after renumbering.
+        assert_eq!(normalized.color(0), normalized.color(2));
+        assert_ne!(normalized.color(0), normalized.color(1));
+    }
+
+    #[test]
+    fn greedy_orders_produce_proper_colorings() {
+        let g = petersen_like();
+        for coloring in [greedy_by_id_order(&g), greedy_by_degeneracy_order(&g)] {
+            assert!(coloring.is_proper(&g));
+            assert!(coloring.num_colors() <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn degeneracy_greedy_respects_degeneracy_bound() {
+        let g = petersen_like();
+        let decomposition = degeneracy_ordering(&g);
+        let coloring = greedy_by_degeneracy_order(&g);
+        assert!(coloring.num_colors() <= decomposition.degeneracy + 1);
+    }
+
+    #[test]
+    fn orientation_greedy_uses_out_degree_plus_one_colors() {
+        let g = petersen_like();
+        let o = Orientation::from_total_order(&g, |v| v);
+        let coloring = greedy_from_orientation(&g, &o).unwrap();
+        assert!(coloring.is_proper(&g));
+        assert!(coloring.num_colors() <= o.max_out_degree() + 1);
+    }
+
+    #[test]
+    fn orientation_greedy_rejects_bad_orientations() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let cyclic = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![0]]);
+        assert!(greedy_from_orientation(&g, &cyclic).is_err());
+        let incomplete = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![]]);
+        assert!(greedy_from_orientation(&g, &incomplete).is_err());
+    }
+
+    #[test]
+    fn partial_coloring_workflow() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut pc = PartialColoring::uncolored(4);
+        assert_eq!(pc.uncolored_nodes(), vec![0, 1, 2, 3]);
+        pc.set_color(0, 0);
+        pc.set_color(1, 0);
+        assert_eq!(pc.num_conflicts(&g), 1);
+        pc.set_color(1, 1);
+        pc.set_color(2, 0);
+        pc.set_color(3, 1);
+        assert_eq!(pc.num_conflicts(&g), 0);
+        assert!(pc.is_complete());
+        let total = pc.into_coloring();
+        assert!(total.is_proper(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "not complete")]
+    fn incomplete_partial_coloring_cannot_be_finalized() {
+        let mut pc = PartialColoring::uncolored(2);
+        pc.set_color(0, 1);
+        let _ = pc.into_coloring();
+    }
+
+    #[test]
+    fn greedy_by_order_uses_smallest_available_color() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let coloring = greedy_by_order(&g, &[1, 2, 3, 0]);
+        // Leaves get color 0, the hub gets color 1.
+        assert_eq!(coloring.color(1), 0);
+        assert_eq!(coloring.color(0), 1);
+        assert_eq!(coloring.num_colors(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Degeneracy (core number) computation via bucket peeling.
+
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+
+/// Result of a degeneracy (k-core) decomposition.
+///
+/// The *degeneracy* `d` of a graph is the smallest value such that every
+/// subgraph has a node of degree at most `d`. It satisfies
+/// `α ≤ d ≤ 2α − 1` where `α` is the arboricity (Definition 3.1), so it is a
+/// convenient 2-approximation used by the tests and the arboricity guessing
+/// scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegeneracyDecomposition {
+    /// The degeneracy of the graph.
+    pub degeneracy: usize,
+    /// A degeneracy ordering: peeling order such that every node has at most
+    /// `degeneracy` neighbors *later* in the ordering.
+    pub ordering: Vec<NodeId>,
+    /// Core number of every node.
+    pub core_numbers: Vec<usize>,
+}
+
+/// Computes the full degeneracy decomposition with the classic linear-time
+/// bucket peeling algorithm (Matula–Beck).
+///
+/// # Examples
+///
+/// ```
+/// use sparse_graph::{CsrGraph, degeneracy_ordering};
+///
+/// // A triangle has degeneracy 2, a path has degeneracy 1.
+/// let triangle = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(degeneracy_ordering(&triangle).degeneracy, 2);
+/// let path = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// assert_eq!(degeneracy_ordering(&path).degeneracy, 1);
+/// ```
+pub fn degeneracy_ordering(graph: &CsrGraph) -> DegeneracyDecomposition {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return DegeneracyDecomposition {
+            degeneracy: 0,
+            ordering: Vec::new(),
+            core_numbers: Vec::new(),
+        };
+    }
+
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let max_degree = graph.max_degree();
+    // buckets[d] holds nodes of current degree d.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_degree + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v);
+    }
+
+    let mut removed = vec![false; n];
+    let mut ordering = Vec::with_capacity(n);
+    let mut core_numbers = vec![0usize; n];
+    let mut degeneracy = 0usize;
+    let mut current = 0usize;
+
+    for _ in 0..n {
+        // Find the smallest non-empty bucket; `current` may have to move down
+        // by at most one per removed edge, so the total work stays linear.
+        while current > 0 && !buckets[current - 1].is_empty() {
+            current -= 1;
+        }
+        while buckets[current].is_empty() {
+            current += 1;
+        }
+        // Pop a node of minimum current degree, skipping stale entries.
+        let v = loop {
+            match buckets[current].pop() {
+                Some(v) if !removed[v] && degree[v] == current => break v,
+                Some(_) => continue,
+                None => {
+                    current += 1;
+                    while buckets[current].is_empty() {
+                        current += 1;
+                    }
+                }
+            }
+        };
+
+        removed[v] = true;
+        degeneracy = degeneracy.max(current);
+        core_numbers[v] = degeneracy;
+        ordering.push(v);
+
+        for &w in graph.neighbors(v) {
+            if !removed[w] {
+                degree[w] -= 1;
+                buckets[degree[w]].push(w);
+            }
+        }
+    }
+
+    DegeneracyDecomposition {
+        degeneracy,
+        ordering,
+        core_numbers,
+    }
+}
+
+/// Convenience wrapper returning only the degeneracy value.
+///
+/// ```
+/// let g = sparse_graph::CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(sparse_graph::degeneracy(&g), 1);
+/// ```
+pub fn degeneracy(graph: &CsrGraph) -> usize {
+    degeneracy_ordering(graph).degeneracy
+}
+
+/// Convenience wrapper returning the per-node core numbers.
+pub fn core_numbers(graph: &CsrGraph) -> Vec<usize> {
+    degeneracy_ordering(graph).core_numbers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        assert_eq!(degeneracy(&CsrGraph::empty(0)), 0);
+        assert_eq!(degeneracy(&CsrGraph::empty(10)), 0);
+    }
+
+    #[test]
+    fn known_degeneracies() {
+        let star = CsrGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(degeneracy(&star), 1);
+
+        let cycle = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(degeneracy(&cycle), 2);
+
+        let k4 = CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(degeneracy(&k4), 3);
+    }
+
+    #[test]
+    fn ordering_has_bounded_forward_degree() {
+        // In a degeneracy ordering every node has at most `degeneracy`
+        // neighbors that appear later in the ordering.
+        let g = CsrGraph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+            ],
+        );
+        let decomposition = degeneracy_ordering(&g);
+        let position: Vec<usize> = {
+            let mut pos = vec![0; g.num_nodes()];
+            for (i, &v) in decomposition.ordering.iter().enumerate() {
+                pos[v] = i;
+            }
+            pos
+        };
+        for v in g.nodes() {
+            let forward = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| position[w] > position[v])
+                .count();
+            assert!(forward <= decomposition.degeneracy);
+        }
+    }
+
+    #[test]
+    fn core_numbers_are_monotone_under_max() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
+        let cores = core_numbers(&g);
+        // Triangle nodes are in the 2-core, the tail is in the 1-core.
+        assert_eq!(cores[0], 2);
+        assert_eq!(cores[1], 2);
+        assert_eq!(cores[2], 2);
+        assert!(cores[4] <= 2);
+        assert_eq!(*cores.iter().max().unwrap(), degeneracy(&g));
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut ordering = degeneracy_ordering(&g).ordering;
+        ordering.sort_unstable();
+        assert_eq!(ordering, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Nash–Williams-style forest decompositions derived from acyclic
+//! low out-degree orientations.
+
+use crate::csr::CsrGraph;
+use crate::orientation::Orientation;
+use crate::types::{Edge, NodeId};
+
+/// A partition of the edge set into forests.
+///
+/// By Nash–Williams [NW64] a graph of arboricity `α` can be partitioned into
+/// exactly `α` forests. This implementation takes the constructive route the
+/// paper relies on: given an **acyclic** orientation with maximum out-degree
+/// `k`, assigning the `i`-th out-edge of every node to forest `i` partitions
+/// the edges into at most `k` forests (each class has out-degree ≤ 1 and
+/// inherits acyclicity, hence is a forest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestDecomposition {
+    /// `forests[i]` is the edge set of the `i`-th forest, in canonical
+    /// `(from, to)` orientation order.
+    forests: Vec<Vec<Edge>>,
+    num_nodes: usize,
+}
+
+impl ForestDecomposition {
+    /// Number of forests in the decomposition.
+    pub fn num_forests(&self) -> usize {
+        self.forests.len()
+    }
+
+    /// The edges assigned to forest `i` (as oriented `(from, to)` pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_forests()`.
+    pub fn forest_edges(&self, i: usize) -> &[Edge] {
+        &self.forests[i]
+    }
+
+    /// Total number of edges across all forests.
+    pub fn num_edges(&self) -> usize {
+        self.forests.iter().map(Vec::len).sum()
+    }
+
+    /// Materializes forest `i` as a standalone [`CsrGraph`] on the original
+    /// node set.
+    pub fn forest_graph(&self, i: usize) -> CsrGraph {
+        CsrGraph::from_edges(self.num_nodes, self.forests[i].iter().copied())
+    }
+
+    /// Checks that every class is indeed a forest (contains no cycle).
+    pub fn all_classes_are_forests(&self) -> bool {
+        (0..self.num_forests()).all(|i| self.forest_graph(i).is_forest())
+    }
+}
+
+/// Decomposes the edges of `graph` into at most `orientation.max_out_degree()`
+/// forests using the out-slot construction described on
+/// [`ForestDecomposition`].
+///
+/// # Errors
+///
+/// Returns an error message if the orientation is not acyclic or does not
+/// cover the graph's edge set exactly.
+///
+/// # Examples
+///
+/// ```
+/// use sparse_graph::{forest_decomposition, CsrGraph, Orientation};
+///
+/// let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+/// let orientation = Orientation::from_total_order(&g, |v| v);
+/// let decomposition = forest_decomposition(&g, &orientation).unwrap();
+/// assert!(decomposition.num_forests() <= orientation.max_out_degree());
+/// assert!(decomposition.all_classes_are_forests());
+/// assert_eq!(decomposition.num_edges(), g.num_edges());
+/// ```
+pub fn forest_decomposition(
+    graph: &CsrGraph,
+    orientation: &Orientation,
+) -> Result<ForestDecomposition, String> {
+    if !orientation.covers_graph(graph) {
+        return Err("orientation does not cover the graph's edge set exactly once".to_string());
+    }
+    if !orientation.is_acyclic() {
+        return Err("orientation contains a directed cycle".to_string());
+    }
+
+    let k = orientation.max_out_degree();
+    let mut forests: Vec<Vec<Edge>> = vec![Vec::new(); k];
+    for v in 0..orientation.num_nodes() as NodeId {
+        for (slot, &w) in orientation.out_neighbors(v).iter().enumerate() {
+            forests[slot].push((v, w));
+        }
+    }
+    Ok(ForestDecomposition {
+        forests,
+        num_nodes: graph.num_nodes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposes_cycle_into_two_forests() {
+        let g = CsrGraph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+        let o = Orientation::from_total_order(&g, |v| v);
+        let d = forest_decomposition(&g, &o).unwrap();
+        assert!(d.num_forests() <= 2);
+        assert!(d.all_classes_are_forests());
+        assert_eq!(d.num_edges(), 5);
+    }
+
+    #[test]
+    fn tree_decomposes_into_one_forest() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]);
+        // Orient from children to parents (towards node 0) using BFS depth as key.
+        let depth = |v: usize| match v {
+            0 => 0,
+            1 | 2 => 1,
+            _ => 2,
+        };
+        let o = Orientation::from_total_order(&g, |v| usize::MAX - depth(v));
+        assert_eq!(o.max_out_degree(), 1);
+        let d = forest_decomposition(&g, &o).unwrap();
+        assert_eq!(d.num_forests(), 1);
+        assert!(d.all_classes_are_forests());
+    }
+
+    #[test]
+    fn rejects_cyclic_orientation() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let cyclic = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![0]]);
+        assert!(forest_decomposition(&g, &cyclic).is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_orientation() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let partial = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![]]);
+        assert!(forest_decomposition(&g, &partial).is_err());
+    }
+
+    #[test]
+    fn forest_graph_reconstruction() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let o = Orientation::from_total_order(&g, |v| v);
+        let d = forest_decomposition(&g, &o).unwrap();
+        let total: usize = (0..d.num_forests()).map(|i| d.forest_graph(i).num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+}

@@ -1,0 +1,443 @@
+//! Seeded random and deterministic generators for the sparse graph families
+//! used throughout the paper's motivation and this reproduction's benchmarks.
+//!
+//! All random generators take an explicit `&mut impl Rng`; experiments use a
+//! seeded `rand_chacha::ChaCha8Rng` so every table is reproducible bit for
+//! bit.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+
+/// A uniformly random labelled tree on `n` nodes (via a random Prüfer-like
+/// attachment process: node `i` attaches to a uniformly random node `< i`
+/// after a random relabelling).
+///
+/// The result is connected, has `n − 1` edges and arboricity exactly 1
+/// (for `n ≥ 2`).
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    if n <= 1 {
+        return builder.build();
+    }
+    let mut labels: Vec<NodeId> = (0..n).collect();
+    labels.shuffle(rng);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        builder.add_edge(labels[i], labels[parent]);
+    }
+    builder.build()
+}
+
+/// A random forest on `n` nodes: a random tree with every edge independently
+/// kept with probability `keep_probability`.
+///
+/// The result has arboricity at most 1.
+pub fn random_forest<R: Rng + ?Sized>(n: usize, keep_probability: f64, rng: &mut R) -> CsrGraph {
+    let tree = random_tree(n, rng);
+    let edges: Vec<_> = tree
+        .edges()
+        .filter(|_| rng.gen_bool(keep_probability.clamp(0.0, 1.0)))
+        .collect();
+    CsrGraph::from_edges(n, edges)
+}
+
+/// The union of `k` independent random trees on the same node set.
+///
+/// Since the edge set is a union of `k` forests the arboricity is at most `k`
+/// (and typically very close to `k` for `n ≫ k`), making this the canonical
+/// bounded-arboricity workload for the paper's algorithms: `α ≤ k` while the
+/// maximum degree grows like `Θ(k log n / log log n)` — much larger than `α`.
+pub fn forest_union<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..k {
+        let tree = random_tree(n, rng);
+        builder.extend_edges(tree.edges());
+    }
+    builder.build()
+}
+
+/// An Erdős–Rényi `G(n, m)` graph: `m` distinct uniformly random edges.
+///
+/// If `m` exceeds the number of possible edges the complete graph is
+/// returned.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    if n < 2 {
+        return builder.build();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    // Rejection sampling is fine in the sparse regime the benchmarks use
+    // (m = O(n polylog n) ≪ n²); fall back to dense enumeration otherwise.
+    if target * 3 >= max_edges {
+        let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_edges);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                all.push((u, v));
+            }
+        }
+        all.shuffle(rng);
+        builder.extend_edges(all.into_iter().take(target));
+        return builder.build();
+    }
+    while builder.num_edges() < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// A Barabási–Albert style preferential-attachment graph: every new node
+/// attaches to `edges_per_node` existing nodes chosen proportionally to their
+/// current degree.
+///
+/// The construction adds at most `edges_per_node` edges per node, so the
+/// graph decomposes into `edges_per_node` forests and has arboricity at most
+/// `edges_per_node`, while the degree distribution is heavy-tailed with
+/// `∆ ≫ α` — exactly the "sparse graphs with high maximum degree" regime the
+/// paper motivates.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    n: usize,
+    edges_per_node: usize,
+    rng: &mut R,
+) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    if n == 0 {
+        return builder.build();
+    }
+    // Repeated-endpoint list for degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for v in 1..n {
+        let attachments = edges_per_node.min(v);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(attachments);
+        for _ in 0..attachments {
+            let target = if endpoints.is_empty() || rng.gen_bool(0.2) {
+                // Mix in uniform choices so early nodes are not the only hubs
+                // and to guarantee progress when the endpoint list is empty.
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+/// A 2-dimensional grid graph with `rows × cols` nodes.
+///
+/// Grid graphs are planar, hence have arboricity at most 3 (in fact at most
+/// 2), while being large and structured — a good "road network" stand-in.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut builder = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                builder.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A triangulated grid: the grid of [`grid`] plus one diagonal per cell.
+/// Still planar (arboricity ≤ 3) but with denser local structure.
+pub fn triangulated_grid(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut builder = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                builder.add_edge(id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                builder.add_edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`; smaller `n` yields a path).
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    if n >= 2 {
+        for i in 0..n.saturating_sub(1) {
+            builder.add_edge(i, i + 1);
+        }
+        if n >= 3 {
+            builder.add_edge(n - 1, 0);
+        }
+    }
+    builder.build()
+}
+
+/// The path `P_n`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    for i in 1..n {
+        builder.add_edge(i - 1, i);
+    }
+    builder.build()
+}
+
+/// The star `K_{1,n−1}` centered at node 0.
+pub fn star(n: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::new(n);
+    for v in 1..n {
+        builder.add_edge(0, v);
+    }
+    builder.build()
+}
+
+/// The adversarial "skewed dependency graph" of Figure 2b: a spine path of
+/// `spine_len` nodes where every spine node additionally has
+/// `leaves_per_spine` private leaves.
+///
+/// The instance defeats naive volume-based exploration (Section 2.1): a
+/// querying node on the spine burns its budget on leaves unless the
+/// forwarding rules adaptively prioritize the spine. Arboricity is 1.
+pub fn skewed_caterpillar(spine_len: usize, leaves_per_spine: usize) -> CsrGraph {
+    let n = spine_len * (1 + leaves_per_spine);
+    let mut builder = GraphBuilder::new(n);
+    for i in 1..spine_len {
+        builder.add_edge(i - 1, i);
+    }
+    let mut next = spine_len;
+    for spine in 0..spine_len {
+        for _ in 0..leaves_per_spine {
+            builder.add_edge(spine, next);
+            next += 1;
+        }
+    }
+    builder.build()
+}
+
+/// A complete `arity`-ary tree of the given `depth` (a root at depth 0,
+/// `arity^depth` leaves). Node 0 is the root; children of node `v` are
+/// assigned consecutive ids in breadth-first order.
+///
+/// With `arity = β + 1` the natural β-partition of this tree has exactly
+/// `depth + 1` layers and the root's dependency graph is the whole tree —
+/// the canonical "deep dependency" instance behind Figure 2 of the paper.
+pub fn complete_kary_tree(arity: usize, depth: usize) -> CsrGraph {
+    assert!(arity >= 1, "arity must be at least 1");
+    // Total nodes: 1 + arity + arity^2 + ... + arity^depth.
+    let mut level_sizes = Vec::with_capacity(depth + 1);
+    let mut size = 1usize;
+    for _ in 0..=depth {
+        level_sizes.push(size);
+        size = size.saturating_mul(arity);
+    }
+    let n: usize = level_sizes.iter().sum();
+    let mut builder = GraphBuilder::new(n);
+    let mut next_child = 1usize;
+    let mut frontier = vec![0usize];
+    for _ in 0..depth {
+        let mut next_frontier = Vec::with_capacity(frontier.len() * arity);
+        for &parent in &frontier {
+            for _ in 0..arity {
+                builder.add_edge(parent, next_child);
+                next_frontier.push(next_child);
+                next_child += 1;
+            }
+        }
+        frontier = next_frontier;
+    }
+    builder.build()
+}
+
+/// A complete bipartite graph `K_{a,b}` (left part `0..a`, right part
+/// `a..a+b`). Its arboricity is `⌈ab / (a + b − 1)⌉`, useful for exercising
+/// the large-α code paths with a graph whose maximum degree equals one side.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(u, a + v);
+        }
+    }
+    builder.build()
+}
+
+/// A "hub-and-spoke community" graph: `communities` disjoint stars of size
+/// `community_size` whose hubs form a cycle. Arboricity 2, maximum degree
+/// `community_size + 1` — another `∆ ≫ α` workload.
+pub fn hub_and_spoke(communities: usize, community_size: usize) -> CsrGraph {
+    let n = communities * community_size;
+    let mut builder = GraphBuilder::new(n.max(communities));
+    let hub = |c: usize| c * community_size;
+    for c in 0..communities {
+        for i in 1..community_size {
+            builder.add_edge(hub(c), hub(c) + i);
+        }
+        if communities >= 2 {
+            builder.add_edge(hub(c), hub((c + 1) % communities));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arboricity::ArboricityEstimate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_tree_is_a_spanning_tree() {
+        let g = random_tree(100, &mut rng(1));
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 99);
+        assert_eq!(g.num_connected_components(), 1);
+        assert!(g.is_forest());
+    }
+
+    #[test]
+    fn random_forest_is_a_forest() {
+        let g = random_forest(200, 0.7, &mut rng(2));
+        assert!(g.is_forest());
+        assert!(g.num_edges() <= 199);
+    }
+
+    #[test]
+    fn forest_union_has_bounded_arboricity() {
+        for k in [1usize, 2, 4, 8] {
+            let g = forest_union(300, k, &mut rng(3 + k as u64));
+            let est = ArboricityEstimate::of(&g);
+            // Union of k forests: arboricity at most k; degeneracy at most 2k - 1.
+            assert!(
+                est.upper <= 2 * k,
+                "degeneracy {} too large for k = {k}",
+                est.upper
+            );
+            assert!(g.num_edges() <= k * 299);
+        }
+    }
+
+    #[test]
+    fn gnm_has_requested_edge_count() {
+        let g = gnm(100, 250, &mut rng(4));
+        assert_eq!(g.num_edges(), 250);
+        // Requesting more edges than possible yields the complete graph.
+        let g = gnm(5, 1000, &mut rng(5));
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn preferential_attachment_is_sparse_with_high_degree() {
+        let g = preferential_attachment(2_000, 3, &mut rng(6));
+        assert!(g.num_edges() <= 3 * 2_000);
+        let est = ArboricityEstimate::of(&g);
+        assert!(est.upper <= 6, "degeneracy {} exceeds 2 * m0", est.upper);
+        // Heavy tail: the max degree should comfortably exceed the degeneracy.
+        assert!(g.max_degree() > 2 * est.upper);
+    }
+
+    #[test]
+    fn grid_graphs_are_planar_sparse() {
+        let g = grid(20, 30);
+        assert_eq!(g.num_nodes(), 600);
+        assert_eq!(g.num_edges(), 20 * 29 + 30 * 19);
+        assert!(ArboricityEstimate::of(&g).upper <= 2);
+
+        let t = triangulated_grid(10, 10);
+        assert!(ArboricityEstimate::of(&t).upper <= 3);
+        // The triangulated grid adds one diagonal per interior cell.
+        assert_eq!(t.num_edges(), grid(10, 10).num_edges() + 9 * 9);
+    }
+
+    #[test]
+    fn deterministic_families_have_expected_shape() {
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(cycle(7).num_edges(), 7);
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(path(9).num_edges(), 8);
+        assert_eq!(star(11).num_edges(), 10);
+        assert_eq!(star(11).max_degree(), 10);
+        assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
+    }
+
+    #[test]
+    fn skewed_caterpillar_shape() {
+        let g = skewed_caterpillar(10, 5);
+        assert_eq!(g.num_nodes(), 60);
+        assert_eq!(g.num_edges(), 9 + 50);
+        assert!(g.is_forest());
+        // Interior spine nodes have degree 2 (spine) + 5 (leaves).
+        assert_eq!(g.degree(5), 7);
+    }
+
+    #[test]
+    fn complete_kary_tree_shape() {
+        let g = complete_kary_tree(3, 3);
+        assert_eq!(g.num_nodes(), 1 + 3 + 9 + 27);
+        assert_eq!(g.num_edges(), g.num_nodes() - 1);
+        assert!(g.is_forest());
+        assert_eq!(g.degree(0), 3);
+        // Interior nodes have degree arity + 1.
+        assert_eq!(g.degree(1), 4);
+        // A single-level "tree" is a star.
+        let star_like = complete_kary_tree(5, 1);
+        assert_eq!(star_like.num_nodes(), 6);
+        assert_eq!(star_like.max_degree(), 5);
+    }
+
+    #[test]
+    fn hub_and_spoke_shape() {
+        let g = hub_and_spoke(4, 10);
+        assert_eq!(g.num_nodes(), 40);
+        // Each hub: 9 spokes; hub cycle: 4 edges.
+        assert_eq!(g.num_edges(), 4 * 9 + 4);
+        assert!(g.max_degree() >= 11);
+        assert!(ArboricityEstimate::of(&g).upper <= 2);
+    }
+
+    #[test]
+    fn generators_are_deterministic_for_fixed_seed() {
+        let a = forest_union(150, 3, &mut rng(42));
+        let b = forest_union(150, 3, &mut rng(42));
+        assert_eq!(a, b);
+        let c = forest_union(150, 3, &mut rng(43));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text edge-list parsing and writing.
+
+use std::fmt;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Error returned by [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEdgeListError {
+    /// 1-based line number where parsing failed.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge list parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseEdgeListError {}
+
+/// Parses a whitespace-separated edge list.
+///
+/// * Empty lines and lines starting with `#` or `%` are ignored.
+/// * Each remaining line must contain two node ids.
+/// * The node count is `max id + 1` unless a larger `min_nodes` is given.
+///
+/// # Errors
+///
+/// Returns a [`ParseEdgeListError`] pointing at the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// let text = "# a triangle\n0 1\n1 2\n2 0\n";
+/// let graph = sparse_graph::parse_edge_list(text, 0)?;
+/// assert_eq!(graph.num_nodes(), 3);
+/// assert_eq!(graph.num_edges(), 3);
+/// # Ok::<(), sparse_graph::ParseEdgeListError>(())
+/// ```
+pub fn parse_edge_list(text: &str, min_nodes: usize) -> Result<CsrGraph, ParseEdgeListError> {
+    let mut edges = Vec::new();
+    let mut max_node = 0usize;
+    let mut has_nodes = false;
+    for (index, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |token: Option<&str>, index: usize| -> Result<usize, ParseEdgeListError> {
+            let token = token.ok_or_else(|| ParseEdgeListError {
+                line: index + 1,
+                message: "expected two node ids".to_string(),
+            })?;
+            token.parse::<usize>().map_err(|_| ParseEdgeListError {
+                line: index + 1,
+                message: format!("invalid node id `{token}`"),
+            })
+        };
+        let u = parse(parts.next(), index)?;
+        let v = parse(parts.next(), index)?;
+        if parts.next().is_some() {
+            return Err(ParseEdgeListError {
+                line: index + 1,
+                message: "expected exactly two node ids".to_string(),
+            });
+        }
+        max_node = max_node.max(u).max(v);
+        has_nodes = true;
+        edges.push((u, v));
+    }
+    let n = if has_nodes { max_node + 1 } else { 0 }.max(min_nodes);
+    let mut builder = GraphBuilder::new(n);
+    builder.extend_edges(edges);
+    Ok(builder.build())
+}
+
+/// Writes the graph as a canonical edge list (one `u v` pair per line, with a
+/// leading comment recording `n` and `m`).
+pub fn write_edge_list(graph: &CsrGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# nodes: {} edges: {}\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    ));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# comment\n\n% another\n0 1\n 1 2 \n";
+        let g = parse_edge_list(text, 0).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn respects_min_nodes() {
+        let g = parse_edge_list("0 1\n", 10).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        let empty = parse_edge_list("", 4).unwrap();
+        assert_eq!(empty.num_nodes(), 4);
+        assert_eq!(empty.num_edges(), 0);
+    }
+
+    #[test]
+    fn reports_malformed_lines() {
+        let err = parse_edge_list("0 1\nbroken\n", 0).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_edge_list("0\n", 0).unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = parse_edge_list("0 1 2\n", 0).unwrap_err();
+        assert!(err.message.contains("exactly two"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let text = write_edge_list(&g);
+        let parsed = parse_edge_list(&text, 0).unwrap();
+        assert_eq!(parsed, g);
+    }
+}

@@ -1,0 +1,256 @@
+//! Edge orientations: acyclicity, out-degrees and construction helpers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, NodeId};
+
+/// An orientation of (a subset of) the edges of an undirected graph.
+///
+/// Orientations are the bridge between β-partitions and colorings (paper
+/// Contribution 2): orienting every edge from lower to higher layer of a
+/// β-partition, and arbitrarily inside a layer, yields an acyclic orientation
+/// of out-degree at most β, and coloring then proceeds "from the sinks".
+///
+/// The orientation stores, for every node, the list of its *out*-neighbors.
+///
+/// # Examples
+///
+/// ```
+/// use sparse_graph::{CsrGraph, Orientation};
+///
+/// let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// // Orient the triangle acyclically by node id.
+/// let orientation = Orientation::from_total_order(&g, |v| v);
+/// assert!(orientation.is_acyclic());
+/// assert_eq!(orientation.max_out_degree(), 2);
+/// assert!(orientation.covers_graph(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Orientation {
+    out_neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Orientation {
+    /// Creates an orientation with no oriented edges on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Orientation {
+            out_neighbors: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds an orientation from explicit per-node out-neighbor lists.
+    pub fn from_out_neighbors(out_neighbors: Vec<Vec<NodeId>>) -> Self {
+        Orientation { out_neighbors }
+    }
+
+    /// Orients every edge of `graph` from the endpoint with the smaller key
+    /// to the endpoint with the larger key, breaking ties towards the larger
+    /// node id. The resulting orientation is always acyclic.
+    ///
+    /// With `key = degeneracy position` this produces the classic
+    /// `out-degree ≤ degeneracy` orientation; with `key = β-partition layer`
+    /// it produces the orientation of paper Contribution 2.
+    pub fn from_total_order<F>(graph: &CsrGraph, key: F) -> Self
+    where
+        F: Fn(NodeId) -> usize,
+    {
+        let n = graph.num_nodes();
+        let mut out_neighbors = vec![Vec::new(); n];
+        for (u, v) in graph.edges() {
+            let (from, to) = orient_edge(u, v, key(u), key(v));
+            out_neighbors[from].push(to);
+        }
+        for list in &mut out_neighbors {
+            list.sort_unstable();
+        }
+        Orientation { out_neighbors }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.out_neighbors.len()
+    }
+
+    /// Number of oriented edges.
+    pub fn num_oriented_edges(&self) -> usize {
+        self.out_neighbors.iter().map(Vec::len).sum()
+    }
+
+    /// Out-neighbors of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out_neighbors[v]
+    }
+
+    /// Out-degree of node `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors[v].len()
+    }
+
+    /// Maximum out-degree over all nodes.
+    pub fn max_out_degree(&self) -> usize {
+        self.out_neighbors.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over the oriented edges as `(from, to)` pairs.
+    pub fn oriented_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out_neighbors
+            .iter()
+            .enumerate()
+            .flat_map(|(u, outs)| outs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Checks that every undirected edge of `graph` is oriented exactly once
+    /// (in exactly one direction) and that no oriented edge is absent from
+    /// `graph`.
+    pub fn covers_graph(&self, graph: &CsrGraph) -> bool {
+        if self.num_nodes() != graph.num_nodes() {
+            return false;
+        }
+        if self.num_oriented_edges() != graph.num_edges() {
+            return false;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (u, v) in self.oriented_edges() {
+            if !graph.has_edge(u, v) {
+                return false;
+            }
+            if !seen.insert(crate::types::canonical_edge(u, v)) {
+                // Edge oriented twice (in both or the same direction).
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the oriented graph contains no directed cycle
+    /// (Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// A topological order of the oriented graph (sources first), or `None`
+    /// if the orientation contains a directed cycle.
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.num_nodes();
+        let mut in_degree = vec![0usize; n];
+        for (_, v) in self.oriented_edges() {
+            in_degree[v] += 1;
+        }
+        let mut queue: Vec<NodeId> = (0..n).filter(|&v| in_degree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &w in self.out_neighbors(v) {
+                in_degree[w] -= 1;
+                if in_degree[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// A *reverse* topological order (sinks first), convenient for coloring
+    /// "starting from sinks" as described in the paper's introduction.
+    pub fn reverse_topological_order(&self) -> Option<Vec<NodeId>> {
+        self.topological_order().map(|mut order| {
+            order.reverse();
+            order
+        })
+    }
+}
+
+/// Orients the edge `{u, v}` from smaller key to larger key, breaking ties by
+/// node id (smaller id → larger id) so the orientation stays acyclic.
+fn orient_edge(u: NodeId, v: NodeId, key_u: usize, key_v: usize) -> (NodeId, NodeId) {
+    if (key_u, u) < (key_v, v) {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn order_based_orientation_is_acyclic_and_covers() {
+        let g = cycle(6);
+        let o = Orientation::from_total_order(&g, |v| v);
+        assert!(o.is_acyclic());
+        assert!(o.covers_graph(&g));
+        assert_eq!(o.num_oriented_edges(), 6);
+    }
+
+    #[test]
+    fn cyclic_orientation_is_detected() {
+        let o = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![0]]);
+        assert!(!o.is_acyclic());
+        assert!(o.topological_order().is_none());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (0, 3), (3, 4), (1, 4)]);
+        let o = Orientation::from_total_order(&g, |v| v);
+        let order = o.topological_order().expect("acyclic");
+        let mut position = vec![0; 5];
+        for (i, &v) in order.iter().enumerate() {
+            position[v] = i;
+        }
+        for (u, v) in o.oriented_edges() {
+            assert!(position[u] < position[v], "edge ({u},{v}) violates topo order");
+        }
+    }
+
+    #[test]
+    fn covers_graph_detects_missing_and_foreign_edges() {
+        let g = cycle(4);
+        // Missing one edge.
+        let o = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![3], vec![]]);
+        assert!(!o.covers_graph(&g));
+        // Edge not present in the graph.
+        let o = Orientation::from_out_neighbors(vec![vec![1, 2], vec![2], vec![3], vec![0]]);
+        assert!(!o.covers_graph(&g));
+        // Edge oriented in both directions.
+        let o = Orientation::from_out_neighbors(vec![vec![1], vec![0, 2], vec![3], vec![0]]);
+        assert!(!o.covers_graph(&g));
+    }
+
+    #[test]
+    fn out_degree_statistics() {
+        let star = CsrGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        // Orient towards the center: leaves have key 0, the center key 1.
+        let o = Orientation::from_total_order(&star, |v| if v == 0 { 1 } else { 0 });
+        assert_eq!(o.out_degree(1), 1);
+        assert_eq!(o.out_degree(0), 0);
+        assert_eq!(o.max_out_degree(), 1);
+        // Orient away from the center.
+        let o = Orientation::from_total_order(&star, |v| if v == 0 { 0 } else { 1 });
+        assert_eq!(o.out_degree(0), 4);
+        assert_eq!(o.max_out_degree(), 4);
+    }
+
+    #[test]
+    fn reverse_topological_order_sinks_first() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let o = Orientation::from_total_order(&g, |v| v);
+        let rev = o.reverse_topological_order().unwrap();
+        assert_eq!(*rev.first().unwrap(), 2);
+        assert_eq!(*rev.last().unwrap(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fundamental identifier and edge types shared across the workspace.
+
+/// Identifier of a node in a graph.
+///
+/// Nodes of an `n`-node graph are always the integers `0..n`. Algorithm
+/// crates treat node ids as machine identifiers in the AMPC model ("machine
+/// `M_v` is responsible for node `v`"), so the identity mapping keeps the
+/// simulation simple and deterministic.
+pub type NodeId = usize;
+
+/// An undirected edge given by its two endpoints.
+///
+/// Edges are stored in canonical form `(min, max)` by [`crate::GraphBuilder`]
+/// so that the same undirected edge always compares equal.
+pub type Edge = (NodeId, NodeId);
+
+/// Returns the canonical form `(min(u, v), max(u, v))` of an undirected edge.
+///
+/// ```
+/// assert_eq!(sparse_graph::canonical_edge(5, 2), (2, 5));
+/// assert_eq!(sparse_graph::canonical_edge(2, 5), (2, 5));
+/// ```
+pub fn canonical_edge(u: NodeId, v: NodeId) -> Edge {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_edge_orders_endpoints() {
+        assert_eq!(canonical_edge(3, 1), (1, 3));
+        assert_eq!(canonical_edge(1, 3), (1, 3));
+        assert_eq!(canonical_edge(4, 4), (4, 4));
+    }
+}

@@ -1,0 +1,529 @@
+//! The `(x, β, F)`-coin dropping game (Section 4.1, Algorithm 1).
+//!
+//! The game is played from the perspective of a single node `v` issuing LCA
+//! queries. It maintains a growing explored set `S_v` and, in every
+//! *super-iteration*,
+//!
+//! 1. recomputes the `S_v`-induced β-partition `σ_{S_v,β}` and the
+//!    forwarding sets `F(σ_{S_v,β}, u)` (Definition 4.1) from the explored
+//!    knowledge,
+//! 2. gives `x` coins to `v`,
+//! 3. repeatedly lets every explored node holding at least `|F|` coins
+//!    forward an equal share of all its coins to its forwarding set,
+//! 4. adds every unexplored node that received a coin to `S_v`.
+//!
+//! The forwarding sets prefer neighbors with the *highest* `σ` values, which
+//! is the adaptive rule that makes the exploration provably reach new parts
+//! of the dependency graph (Lemmas 4.2 and 4.3).
+
+use std::collections::HashMap;
+
+use ampc_model::{LcaOracle, ModelError};
+use sparse_graph::NodeId;
+
+use crate::layer::Layer;
+
+/// Parameters of the `(x, β, F)`-coin dropping game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoinGameConfig {
+    /// The coin budget `x`; the game runs `x²` super-iterations (unless
+    /// overridden) and explores at most `O(x³)` nodes.
+    pub x: usize,
+    /// The out-degree parameter `β`.
+    pub beta: usize,
+    /// Number of super-iterations; defaults to `x²` (the paper's value) when
+    /// `None`. Lowering it trades progress speed for simulation time without
+    /// affecting the validity of the output (only how many nodes get a
+    /// finite layer).
+    pub super_iterations: Option<usize>,
+    /// Number of coin-forwarding iterations inside one super-iteration;
+    /// defaults to `⌈log_{β+1} x⌉ + 2`, which is enough for coins to reach
+    /// the end of any decreasing-layer path the analysis of Lemma 4.2 uses.
+    pub flow_iterations: Option<usize>,
+    /// Cap on the layers the LCA reports: layers above the cap are treated
+    /// as `∞`. Defaults to `max(1, ⌊log_{β+1} x⌋)` as in Lemma 4.7.
+    pub layer_cap: Option<usize>,
+}
+
+impl CoinGameConfig {
+    /// Creates a configuration with the paper's default derived parameters.
+    pub fn new(x: usize, beta: usize) -> Self {
+        CoinGameConfig {
+            x: x.max(2),
+            beta,
+            super_iterations: None,
+            flow_iterations: None,
+            layer_cap: None,
+        }
+    }
+
+    /// Overrides the number of super-iterations.
+    pub fn with_super_iterations(mut self, super_iterations: usize) -> Self {
+        self.super_iterations = Some(super_iterations);
+        self
+    }
+
+    /// Overrides the number of flow iterations per super-iteration.
+    pub fn with_flow_iterations(mut self, flow_iterations: usize) -> Self {
+        self.flow_iterations = Some(flow_iterations);
+        self
+    }
+
+    /// Overrides the reported-layer cap.
+    pub fn with_layer_cap(mut self, layer_cap: usize) -> Self {
+        self.layer_cap = Some(layer_cap);
+        self
+    }
+
+    /// Effective number of super-iterations (`x²` by default).
+    pub fn effective_super_iterations(&self) -> usize {
+        self.super_iterations.unwrap_or(self.x * self.x)
+    }
+
+    /// Effective number of flow iterations (`⌈log_{β+1} x⌉ + 2` by default).
+    pub fn effective_flow_iterations(&self) -> usize {
+        self.flow_iterations
+            .unwrap_or_else(|| log_base_ceil(self.x, self.beta + 1) + 2)
+    }
+
+    /// Effective layer cap (`max(1, ⌊log_{β+1} x⌋)` by default).
+    pub fn effective_layer_cap(&self) -> usize {
+        self.layer_cap
+            .unwrap_or_else(|| log_base_floor(self.x, self.beta + 1).max(1))
+    }
+}
+
+/// `⌈log_base(value)⌉` for integers (at least 1).
+fn log_base_ceil(value: usize, base: usize) -> usize {
+    let base = base.max(2);
+    let mut power = base;
+    let mut result = 1;
+    while power < value {
+        power = power.saturating_mul(base);
+        result += 1;
+    }
+    result
+}
+
+/// `⌊log_base(value)⌋` for integers (0 when `value < base`).
+fn log_base_floor(value: usize, base: usize) -> usize {
+    let base = base.max(2);
+    let mut power = base;
+    let mut result = 0;
+    while power <= value {
+        power = power.saturating_mul(base);
+        result += 1;
+    }
+    result
+}
+
+/// Everything the game knows about an explored node.
+#[derive(Debug, Clone)]
+struct MemberInfo {
+    /// Degree in the (sub)graph the oracle exposes.
+    degree: usize,
+    /// Full adjacency list (queried when the node joined `S_v`).
+    neighbors: Vec<NodeId>,
+}
+
+/// Outcome of one full run of the coin dropping game for a root node.
+#[derive(Debug, Clone)]
+pub struct CoinGameResult {
+    /// The node the game was played for.
+    pub root: NodeId,
+    /// The explored set `S_v`, sorted by node id.
+    pub explored: Vec<NodeId>,
+    /// The final `S_v`-induced β-partition restricted to its finite layers.
+    pub sigma: HashMap<NodeId, usize>,
+    /// `σ_{S_v,β}(root)` (uncapped).
+    pub sigma_root: Layer,
+    /// Number of LCA queries issued.
+    pub queries: usize,
+    /// Number of super-iterations actually executed (early exit stops the
+    /// game as soon as a super-iteration adds no new node).
+    pub super_iterations_run: usize,
+    /// Number of edges of `G[S_v]` discovered.
+    pub discovered_edges: usize,
+}
+
+/// The `(x, β, F)`-coin dropping game bound to an LCA oracle.
+///
+/// # Examples
+///
+/// ```
+/// use ampc_model::LcaOracle;
+/// use beta_partition::{CoinGame, CoinGameConfig, Layer};
+/// use sparse_graph::generators;
+///
+/// let graph = generators::star(50); // hub 0, leaves 1..50
+/// let oracle = LcaOracle::new(&graph);
+/// let config = CoinGameConfig::new(4, 3);
+/// let result = CoinGame::new(&oracle, config).run(0)?;
+/// // The hub's layer in the natural 3-partition is 1, and the game finds it.
+/// assert_eq!(result.sigma_root, Layer::Finite(1));
+/// # Ok::<(), ampc_model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoinGame<'o, 'g> {
+    oracle: &'o LcaOracle<'g>,
+    config: CoinGameConfig,
+    members: HashMap<NodeId, MemberInfo>,
+    insertion_order: Vec<NodeId>,
+}
+
+impl<'o, 'g> CoinGame<'o, 'g> {
+    /// Binds the game to an oracle and a configuration.
+    pub fn new(oracle: &'o LcaOracle<'g>, config: CoinGameConfig) -> Self {
+        CoinGame {
+            oracle,
+            config,
+            members: HashMap::new(),
+            insertion_order: Vec::new(),
+        }
+    }
+
+    /// Plays the game for `root` and returns the resulting exploration and
+    /// induced partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::QueryBudgetExceeded`] if the oracle has a
+    /// budget and the game exhausts it.
+    pub fn run(mut self, root: NodeId) -> Result<CoinGameResult, ModelError> {
+        let queries_before = self.oracle.queries_used();
+        self.add_member(root)?;
+
+        let max_super_iterations = self.config.effective_super_iterations();
+        let flow_iterations = self.config.effective_flow_iterations();
+        let mut super_iterations_run = 0usize;
+
+        for _ in 0..max_super_iterations {
+            super_iterations_run += 1;
+            let sigma = self.local_induced_partition();
+            let forwarding: HashMap<NodeId, Vec<NodeId>> = self
+                .members
+                .keys()
+                .map(|&u| (u, self.forwarding_set(u, &sigma)))
+                .collect();
+
+            // Coin flow: fractional coins, root starts with x. A BTreeMap
+            // keeps the iteration (and therefore floating-point summation)
+            // order deterministic.
+            let mut coins: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
+            coins.insert(root, self.config.x as f64);
+            for _ in 0..flow_iterations {
+                let mut next: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
+                let mut moved = false;
+                for (&holder, &amount) in &coins {
+                    let forwarded = match forwarding.get(&holder) {
+                        Some(targets) if !targets.is_empty() && amount >= targets.len() as f64 => {
+                            let share = amount / targets.len() as f64;
+                            for &target in targets {
+                                *next.entry(target).or_insert(0.0) += share;
+                            }
+                            moved = true;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if !forwarded {
+                        *next.entry(holder).or_insert(0.0) += amount;
+                    }
+                }
+                coins = next;
+                if !moved {
+                    break;
+                }
+            }
+
+            // Step 4: recruit every unexplored node holding coins.
+            let mut recruits: Vec<NodeId> = coins
+                .iter()
+                .filter(|&(node, &amount)| amount > 0.0 && !self.members.contains_key(node))
+                .map(|(&node, _)| node)
+                .collect();
+            recruits.sort_unstable();
+            if recruits.is_empty() {
+                // The next super-iteration would be identical: stop early.
+                break;
+            }
+            for node in recruits {
+                self.add_member(node)?;
+            }
+        }
+
+        let sigma = self.local_induced_partition();
+        let sigma_root = sigma
+            .get(&root)
+            .copied()
+            .map(Layer::Finite)
+            .unwrap_or(Layer::Infinite);
+        let mut explored = self.insertion_order.clone();
+        explored.sort_unstable();
+        let discovered_edges = self.discovered_edges();
+
+        Ok(CoinGameResult {
+            root,
+            explored,
+            sigma,
+            sigma_root,
+            queries: self.oracle.queries_used() - queries_before,
+            super_iterations_run,
+            discovered_edges,
+        })
+    }
+
+    /// Adds `node` to `S_v`, querying its degree and full adjacency list.
+    fn add_member(&mut self, node: NodeId) -> Result<(), ModelError> {
+        if self.members.contains_key(&node) {
+            return Ok(());
+        }
+        let neighbors = self.oracle.neighbors(node)?;
+        self.members.insert(
+            node,
+            MemberInfo {
+                degree: neighbors.len(),
+                neighbors,
+            },
+        );
+        self.insertion_order.push(node);
+        Ok(())
+    }
+
+    /// Computes the `S_v`-induced β-partition over the explored knowledge
+    /// (Definition 3.6 restricted to `S = S_v`): level-synchronous peeling
+    /// on the count of `∞` neighbors (neighbors outside `S_v` always count).
+    fn local_induced_partition(&self) -> HashMap<NodeId, usize> {
+        let beta = self.config.beta;
+        let mut infinite_neighbors: HashMap<NodeId, usize> = self
+            .members
+            .iter()
+            .map(|(&u, info)| (u, info.degree))
+            .collect();
+        let mut assigned: HashMap<NodeId, usize> = HashMap::new();
+
+        let mut current: Vec<NodeId> = self
+            .members
+            .keys()
+            .copied()
+            .filter(|u| infinite_neighbors[u] <= beta)
+            .collect();
+        current.sort_unstable();
+
+        let mut level = 0usize;
+        while !current.is_empty() {
+            for &u in &current {
+                assigned.insert(u, level);
+            }
+            let mut next = Vec::new();
+            for &u in &current {
+                for &w in &self.members[&u].neighbors {
+                    if let Some(count) = infinite_neighbors.get_mut(&w) {
+                        *count -= 1;
+                        if !assigned.contains_key(&w) && *count == beta {
+                            next.push(w);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+            level += 1;
+        }
+        assigned
+    }
+
+    /// The forwarding set `F(σ_{S_v}, u)` of Definition 4.1: the
+    /// `min(deg(u), β + 1)` neighbors with the highest `σ` values.
+    ///
+    /// Neighbors outside `S_v` have `σ = ∞`; ties among `∞`-valued neighbors
+    /// are broken in favor of *unexplored* nodes (driving the exploration
+    /// towards new parts of the graph), then by node id, which keeps the
+    /// algorithm deterministic. Any tie-break satisfies Definition 4.1.
+    fn forwarding_set(&self, u: NodeId, sigma: &HashMap<NodeId, usize>) -> Vec<NodeId> {
+        let info = &self.members[&u];
+        let needed = info.degree.min(self.config.beta + 1);
+        if needed == 0 {
+            return Vec::new();
+        }
+        // Sort key (lexicographic, smaller is better):
+        //   rank 0: sigma = ∞ and unexplored (fresh target)
+        //   rank 1: sigma = ∞ and explored
+        //   rank 2: finite sigma, larger sigma preferred (secondary key).
+        let mut ranked: Vec<(u8, usize, NodeId)> = info
+            .neighbors
+            .iter()
+            .map(|&w| {
+                let (rank, secondary) = if !self.members.contains_key(&w) {
+                    (0u8, 0usize)
+                } else {
+                    match sigma.get(&w) {
+                        None => (1u8, 0usize),
+                        Some(&layer) => (2u8, usize::MAX - layer),
+                    }
+                };
+                (rank, secondary, w)
+            })
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(needed);
+        ranked.into_iter().map(|(_, _, w)| w).collect()
+    }
+
+    /// Number of edges of `G[S_v]` present in the explored knowledge.
+    fn discovered_edges(&self) -> usize {
+        self.members
+            .iter()
+            .map(|(_, info)| {
+                info.neighbors
+                    .iter()
+                    .filter(|w| self.members.contains_key(w))
+                    .count()
+            })
+            .sum::<usize>()
+            / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induced::natural_partition;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::{generators, CsrGraph};
+
+    fn play(graph: &CsrGraph, root: NodeId, config: CoinGameConfig) -> CoinGameResult {
+        let oracle = LcaOracle::new(graph);
+        CoinGame::new(&oracle, config).run(root).unwrap()
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(log_base_floor(1, 4), 0);
+        assert_eq!(log_base_floor(4, 4), 1);
+        assert_eq!(log_base_floor(63, 4), 2);
+        assert_eq!(log_base_floor(64, 4), 3);
+        assert_eq!(log_base_ceil(4, 4), 1);
+        assert_eq!(log_base_ceil(5, 4), 2);
+        assert_eq!(log_base_ceil(2, 2), 1);
+    }
+
+    #[test]
+    fn config_defaults_follow_the_paper() {
+        let config = CoinGameConfig::new(16, 3);
+        assert_eq!(config.effective_super_iterations(), 256);
+        assert_eq!(config.effective_flow_iterations(), 2 + 2);
+        assert_eq!(config.effective_layer_cap(), 2);
+        let overridden = config
+            .with_super_iterations(10)
+            .with_flow_iterations(5)
+            .with_layer_cap(7);
+        assert_eq!(overridden.effective_super_iterations(), 10);
+        assert_eq!(overridden.effective_flow_iterations(), 5);
+        assert_eq!(overridden.effective_layer_cap(), 7);
+    }
+
+    #[test]
+    fn leaf_of_a_star_terminates_quickly() {
+        let graph = generators::star(100);
+        let result = play(&graph, 5, CoinGameConfig::new(4, 3));
+        // The leaf has degree 1 <= beta, so sigma(leaf) = 0 immediately.
+        assert_eq!(result.sigma_root, Layer::Finite(0));
+        // Exploration stays bounded by the coin budget: at most x new nodes
+        // per super-iteration over at most x^2 super-iterations.
+        assert!(result.explored.len() <= 4 * 16 + 2);
+        assert!(result.queries < 400);
+    }
+
+    #[test]
+    fn hub_of_a_star_learns_its_natural_layer() {
+        let graph = generators::star(40);
+        let result = play(&graph, 0, CoinGameConfig::new(8, 3));
+        let natural = natural_partition(&graph, 3);
+        assert_eq!(result.sigma_root, natural.layer(0));
+    }
+
+    #[test]
+    fn kary_tree_root_converges_to_natural_layer() {
+        // beta = 3, arity 4, depth 2: the root's natural layer is 2 and its
+        // dependency graph is the whole 21-node tree. Lemma 4.4 requires
+        // x >= (beta + 1)^layer = 16 for the game to certify layer 2.
+        let graph = generators::complete_kary_tree(4, 2);
+        let natural = natural_partition(&graph, 3);
+        assert_eq!(natural.layer(0), Layer::Finite(2));
+        let result = play(&graph, 0, CoinGameConfig::new(16, 3));
+        assert_eq!(result.sigma_root, Layer::Finite(2));
+        // Lemma 4.4 precondition holds, so the game must have found the
+        // dependency graph's layers exactly.
+        assert!(result.explored.len() >= graph.num_nodes() / 2);
+    }
+
+    #[test]
+    fn sigma_never_underestimates_the_natural_layer() {
+        // Lemma 3.13: sigma_{S_v}(v) >= natural layer of v, for every run.
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let graph = generators::forest_union(150, 2, &mut rng);
+        let beta = 5;
+        let natural = natural_partition(&graph, beta);
+        for root in (0..graph.num_nodes()).step_by(11) {
+            let result = play(&graph, root, CoinGameConfig::new(4, beta));
+            assert!(
+                result.sigma_root >= natural.layer(root),
+                "root {root}: game layer {:?} below natural {:?}",
+                result.sigma_root,
+                natural.layer(root)
+            );
+        }
+    }
+
+    #[test]
+    fn reported_sigma_is_a_valid_partial_partition() {
+        // The sparse sigma map returned by the game, read as a partial
+        // beta-partition of the whole graph, must satisfy Definition 3.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let graph = generators::preferential_attachment(200, 2, &mut rng);
+        let beta = 5;
+        for root in (0..graph.num_nodes()).step_by(17) {
+            let result = play(&graph, root, CoinGameConfig::new(4, beta));
+            let merged = crate::merge::merge_min(graph.num_nodes(), beta, [&result.sigma]);
+            assert!(merged.validate(&graph).is_ok(), "root {root}");
+        }
+    }
+
+    #[test]
+    fn query_count_tracks_exploration() {
+        let graph = generators::complete_kary_tree(4, 3);
+        let result = play(&graph, 0, CoinGameConfig::new(6, 3));
+        // Queries = sum over explored nodes of (degree + 1).
+        let expected: usize = result
+            .explored
+            .iter()
+            .map(|&v| graph.degree(v) + 1)
+            .sum();
+        assert_eq!(result.queries, expected);
+        assert!(result.discovered_edges <= graph.num_edges());
+        assert!(result.super_iterations_run <= 36);
+    }
+
+    #[test]
+    fn query_budget_violations_surface_as_errors() {
+        let graph = generators::complete_kary_tree(4, 4);
+        let oracle = LcaOracle::with_budget(&graph, 30);
+        let outcome = CoinGame::new(&oracle, CoinGameConfig::new(16, 3)).run(0);
+        assert!(matches!(
+            outcome,
+            Err(ModelError::QueryBudgetExceeded { budget: 30 })
+        ));
+    }
+
+    #[test]
+    fn isolated_node_is_its_own_partition() {
+        let graph = CsrGraph::empty(3);
+        let result = play(&graph, 1, CoinGameConfig::new(4, 2));
+        assert_eq!(result.sigma_root, Layer::Finite(0));
+        assert_eq!(result.explored, vec![1]);
+        assert_eq!(result.discovered_edges, 0);
+    }
+}

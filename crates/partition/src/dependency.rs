@@ -1,0 +1,143 @@
+//! Dependency graphs `D(σ, v)` (Definition 3.9).
+
+use std::collections::BTreeSet;
+
+use sparse_graph::{CsrGraph, NodeId};
+
+use crate::beta::BetaPartition;
+use crate::layer::Layer;
+
+/// Computes the node set `D(σ, v)` of the dependency graph of `v` with
+/// respect to the (partial) β-partition `σ` (Definition 3.9):
+///
+/// * `σ(v) = ∞`  → the empty set,
+/// * `σ(v) = 0`  → `{v}`,
+/// * otherwise   → `{v}` together with the dependency sets of all neighbors
+///   on a strictly smaller layer.
+///
+/// Equivalently, `D(σ, v)` contains exactly the nodes reachable from `v` by
+/// paths of strictly decreasing layers. The returned set is sorted.
+///
+/// # Examples
+///
+/// ```
+/// use beta_partition::{dependency_set, natural_partition};
+/// use sparse_graph::generators;
+///
+/// let star = generators::star(5);
+/// let sigma = natural_partition(&star, 1);
+/// // The hub (layer 1) depends on all its leaves (layer 0).
+/// assert_eq!(dependency_set(&star, &sigma, 0), vec![0, 1, 2, 3, 4]);
+/// // A leaf depends only on itself.
+/// assert_eq!(dependency_set(&star, &sigma, 3), vec![3]);
+/// ```
+pub fn dependency_set(graph: &CsrGraph, sigma: &BetaPartition, v: NodeId) -> Vec<NodeId> {
+    if sigma.layer(v).is_infinite() {
+        return Vec::new();
+    }
+    let mut result: BTreeSet<NodeId> = BTreeSet::new();
+    let mut stack = vec![v];
+    result.insert(v);
+    while let Some(u) = stack.pop() {
+        let Layer::Finite(layer_u) = sigma.layer(u) else {
+            continue;
+        };
+        if layer_u == 0 {
+            continue;
+        }
+        for &w in graph.neighbors(u) {
+            if let Layer::Finite(layer_w) = sigma.layer(w) {
+                if layer_w < layer_u && result.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    result.into_iter().collect()
+}
+
+/// The size `|D(σ, v)|` of the dependency graph of `v`.
+pub fn dependency_size(graph: &CsrGraph, sigma: &BetaPartition, v: NodeId) -> usize {
+    dependency_set(graph, sigma, v).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induced::natural_partition;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn infinite_nodes_have_empty_dependency() {
+        let g = generators::complete(5);
+        let sigma = natural_partition(&g, 2); // stalls: everything ∞
+        for v in g.nodes() {
+            assert!(dependency_set(&g, &sigma, v).is_empty());
+        }
+    }
+
+    #[test]
+    fn layer_zero_nodes_depend_on_themselves_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::forest_union(150, 2, &mut rng);
+        let sigma = natural_partition(&g, 5);
+        for v in g.nodes() {
+            if sigma.layer(v) == Layer::Finite(0) {
+                assert_eq!(dependency_set(&g, &sigma, v), vec![v]);
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_sets_are_nested() {
+        // Observation 3.10: w ∈ D(v) implies D(w) ⊆ D(v).
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::forest_union(120, 2, &mut rng);
+        let sigma = natural_partition(&g, 5);
+        for v in (0..g.num_nodes()).step_by(7) {
+            let dv: std::collections::BTreeSet<_> =
+                dependency_set(&g, &sigma, v).into_iter().collect();
+            for &w in dv.iter().take(10) {
+                let dw: std::collections::BTreeSet<_> =
+                    dependency_set(&g, &sigma, w).into_iter().collect();
+                assert!(dw.is_subset(&dv), "D({w}) not nested in D({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn few_neighbors_outside_dependency_graph() {
+        // Lemma 3.11: for sigma(v) finite, |N(v) \ D(sigma, v)| <= beta.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::preferential_attachment(300, 3, &mut rng);
+        let beta = 7;
+        let sigma = natural_partition(&g, beta);
+        for v in g.nodes() {
+            if sigma.layer(v).is_finite() {
+                let dv: std::collections::BTreeSet<_> =
+                    dependency_set(&g, &sigma, v).into_iter().collect();
+                let outside = g.neighbors(v).iter().filter(|w| !dv.contains(w)).count();
+                assert!(outside <= beta, "node {v} has {outside} neighbors outside D(v)");
+            }
+        }
+    }
+
+    #[test]
+    fn kary_tree_root_depends_on_everything() {
+        // The canonical deep-dependency instance (Figure 2 of the paper): in
+        // a complete (beta + 1)-ary tree the root's dependency graph is the
+        // whole tree and the natural partition has depth + 1 layers.
+        let beta = 3;
+        let g = generators::complete_kary_tree(beta + 1, 4);
+        let sigma = natural_partition(&g, beta);
+        assert!(!sigma.is_partial());
+        assert_eq!(sigma.size(), 5);
+        assert_eq!(sigma.layer(0), Layer::Finite(4));
+        assert_eq!(dependency_size(&g, &sigma, 0), g.num_nodes());
+        // Leaves depend only on themselves.
+        let leaf = g.num_nodes() - 1;
+        assert_eq!(dependency_set(&g, &sigma, leaf), vec![leaf]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Arboricity guessing (Lemma 5.1): β-partitioning without knowing `α`.
+//!
+//! Theorem 1.2 assumes the arboricity `α` is known. Lemma 5.1 removes the
+//! assumption with a two-phase guessing scheme:
+//!
+//! 1. **Sequential doubly-exponential phase.** Run the partitioner with the
+//!    guesses `α_i = 2^{2^i}` until one succeeds; because the guesses grow
+//!    doubly exponentially, the total round cost is dominated by the last
+//!    (successful) run and the successful guess `a_k` satisfies `a_k < α²`.
+//! 2. **Parallel refinement phase.** Run the partitioner *in parallel* with
+//!    the guesses `√a_k · (1 + ε)^j`; some guess is within a `(1 + ε)`
+//!    factor of the true arboricity, and the smallest successful instance is
+//!    returned. In AMPC the parallel instances share rounds, so the phase
+//!    costs only the maximum round count of any instance (at the price of an
+//!    `O(log n)` factor in total space).
+
+use sparse_graph::CsrGraph;
+
+use crate::ampc_partition::{ampc_beta_partition, AmpcPartitionResult, PartitionError, PartitionParams};
+
+/// Result of the arboricity-oblivious partitioner.
+#[derive(Debug, Clone)]
+pub struct GuessingResult {
+    /// The partition produced by the best (smallest successful) guess.
+    pub result: AmpcPartitionResult,
+    /// The arboricity guess that produced [`GuessingResult::result`].
+    pub chosen_alpha: usize,
+    /// The `β` value used by the chosen instance.
+    pub chosen_beta: usize,
+    /// Rounds spent in the sequential doubly-exponential phase (summed, as
+    /// the instances run one after the other).
+    pub sequential_rounds: usize,
+    /// Rounds of the parallel refinement phase (the maximum over instances,
+    /// as they run concurrently).
+    pub parallel_rounds: usize,
+    /// Every guess tried, with its β, whether it succeeded and how many
+    /// rounds it used.
+    pub attempts: Vec<GuessAttempt>,
+}
+
+/// One attempted arboricity guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuessAttempt {
+    /// The guessed arboricity.
+    pub alpha: usize,
+    /// The β derived from the guess.
+    pub beta: usize,
+    /// Whether the partitioner completed with this guess.
+    pub success: bool,
+    /// Rounds used (until completion or failure).
+    pub rounds: usize,
+    /// `true` for the sequential phase, `false` for the parallel phase.
+    pub sequential: bool,
+}
+
+impl GuessingResult {
+    /// Total AMPC rounds charged by the scheme: the sequential phase is paid
+    /// in full, the parallel phase costs its maximum instance.
+    pub fn total_rounds(&self) -> usize {
+        self.sequential_rounds + self.parallel_rounds
+    }
+}
+
+fn beta_for_guess(alpha: usize, epsilon: f64) -> usize {
+    (((2.0 + epsilon) * alpha as f64).ceil() as usize).max(1)
+}
+
+fn run_guess(
+    graph: &CsrGraph,
+    alpha: usize,
+    epsilon: f64,
+    template: &PartitionParams,
+) -> (usize, Result<AmpcPartitionResult, PartitionError>) {
+    let beta = beta_for_guess(alpha, epsilon);
+    let mut params = *template;
+    params.beta = beta;
+    let outcome = ampc_beta_partition(graph, &params);
+    (beta, outcome)
+}
+
+/// Computes a β-partition without knowing the arboricity (Lemma 5.1).
+///
+/// `epsilon` is the slack in `β = (2 + ε)·guess`; `template` carries every
+/// other parameter (coin budget, round limits, …) and its `beta` field is
+/// ignored.
+///
+/// # Errors
+///
+/// Returns the last failure if even the guess `α = n` does not succeed,
+/// which only happens if the template's round limit is too small.
+///
+/// # Examples
+///
+/// ```
+/// use beta_partition::{ampc_beta_partition_unknown_arboricity, PartitionParams};
+/// use sparse_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let graph = generators::forest_union(300, 3, &mut rng); // true alpha <= 3
+/// let template = PartitionParams::new(0).with_x(4);
+/// let result = ampc_beta_partition_unknown_arboricity(&graph, 0.5, &template).unwrap();
+/// assert!(result.result.partition.validate(&graph).is_ok());
+/// // The refinement phase gets within a constant factor of the truth.
+/// assert!(result.chosen_alpha <= 9);
+/// ```
+pub fn ampc_beta_partition_unknown_arboricity(
+    graph: &CsrGraph,
+    epsilon: f64,
+    template: &PartitionParams,
+) -> Result<GuessingResult, PartitionError> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = graph.num_nodes().max(2);
+    let mut attempts = Vec::new();
+    let mut sequential_rounds = 0usize;
+
+    // Phase 1: doubly exponential guesses 2, 4, 16, 256, ...
+    let mut exponent = 1u32;
+    let mut first_success: Option<(usize, AmpcPartitionResult)> = None;
+    let mut last_error = PartitionError::Stalled {
+        remaining: graph.num_nodes(),
+    };
+    loop {
+        let alpha = 2usize.saturating_pow(exponent).min(n);
+        let (beta, outcome) = run_guess(graph, alpha, epsilon, template);
+        match outcome {
+            Ok(result) => {
+                sequential_rounds += result.rounds;
+                attempts.push(GuessAttempt {
+                    alpha,
+                    beta,
+                    success: true,
+                    rounds: result.rounds,
+                    sequential: true,
+                });
+                first_success = Some((alpha, result));
+                break;
+            }
+            Err(err) => {
+                let rounds = match &err {
+                    PartitionError::RoundLimitExceeded { limit, .. } => *limit,
+                    _ => 1,
+                };
+                sequential_rounds += rounds;
+                attempts.push(GuessAttempt {
+                    alpha,
+                    beta,
+                    success: false,
+                    rounds,
+                    sequential: true,
+                });
+                last_error = err;
+            }
+        }
+        if alpha >= n {
+            break;
+        }
+        exponent = exponent.saturating_mul(2);
+    }
+
+    let Some((coarse_alpha, coarse_result)) = first_success else {
+        return Err(last_error);
+    };
+
+    // Phase 2: parallel refinement with guesses sqrt(a_k) * (1 + eps)^j.
+    let mut best: (usize, usize, AmpcPartitionResult) =
+        (coarse_alpha, beta_for_guess(coarse_alpha, epsilon), coarse_result);
+    let mut parallel_rounds = 0usize;
+    let mut guess = (coarse_alpha as f64).sqrt();
+    let mut tried = std::collections::BTreeSet::new();
+    while guess < coarse_alpha as f64 + 1.0 {
+        let alpha = (guess.ceil() as usize).clamp(1, coarse_alpha);
+        guess *= 1.0 + epsilon;
+        if !tried.insert(alpha) {
+            continue;
+        }
+        let (beta, outcome) = run_guess(graph, alpha, epsilon, template);
+        match outcome {
+            Ok(result) => {
+                parallel_rounds = parallel_rounds.max(result.rounds);
+                attempts.push(GuessAttempt {
+                    alpha,
+                    beta,
+                    success: true,
+                    rounds: result.rounds,
+                    sequential: false,
+                });
+                // Prefer the smallest successful guess (fewest colors later).
+                if alpha < best.0 {
+                    best = (alpha, beta, result);
+                }
+            }
+            Err(err) => {
+                let rounds = match &err {
+                    PartitionError::RoundLimitExceeded { limit, .. } => *limit,
+                    _ => 1,
+                };
+                parallel_rounds = parallel_rounds.max(rounds);
+                attempts.push(GuessAttempt {
+                    alpha,
+                    beta,
+                    success: false,
+                    rounds,
+                    sequential: false,
+                });
+            }
+        }
+    }
+
+    Ok(GuessingResult {
+        chosen_alpha: best.0,
+        chosen_beta: best.1,
+        result: best.2,
+        sequential_rounds,
+        parallel_rounds,
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn finds_a_partition_on_forests_without_knowing_alpha() {
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let graph = generators::forest_union(250, 1, &mut rng);
+        let template = PartitionParams::new(0).with_x(4);
+        let result = ampc_beta_partition_unknown_arboricity(&graph, 1.0, &template).unwrap();
+        assert!(!result.result.partition.is_partial());
+        assert!(result.result.partition.validate(&graph).is_ok());
+        // True arboricity is 1; the refinement must not settle far above it.
+        assert!(result.chosen_alpha <= 4, "chose alpha = {}", result.chosen_alpha);
+        assert!(result.total_rounds() >= result.result.rounds);
+        assert!(result.attempts.iter().any(|a| a.success));
+    }
+
+    #[test]
+    fn refinement_improves_on_the_coarse_guess() {
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        // Arboricity <= 4 graph: the doubly exponential phase first succeeds
+        // at the guess 4 (or 16 if 2/4 fail), refinement should go lower than
+        // the coarse guess when possible.
+        let graph = generators::forest_union(300, 4, &mut rng);
+        let template = PartitionParams::new(0).with_x(4);
+        let result = ampc_beta_partition_unknown_arboricity(&graph, 0.5, &template).unwrap();
+        let coarse_success = result
+            .attempts
+            .iter()
+            .find(|a| a.sequential && a.success)
+            .expect("sequential phase succeeded");
+        assert!(result.chosen_alpha <= coarse_success.alpha);
+        assert!(result.result.partition.validate(&graph).is_ok());
+    }
+
+    #[test]
+    fn sequential_phase_records_failures() {
+        // K9 has arboricity 5 > 4, so the guesses 2 and 4 (with eps small
+        // enough) may fail before 16 succeeds; either way every attempt is
+        // recorded and the final result is valid.
+        let graph = generators::complete(9);
+        let template = PartitionParams::new(0).with_x(4);
+        let result = ampc_beta_partition_unknown_arboricity(&graph, 0.1, &template).unwrap();
+        assert!(result.result.partition.validate(&graph).is_ok());
+        assert!(!result.attempts.is_empty());
+        let sequential: Vec<_> = result.attempts.iter().filter(|a| a.sequential).collect();
+        assert!(sequential.last().unwrap().success);
+        assert!(sequential.iter().all(|a| a.beta >= 2 * a.alpha));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_non_positive_epsilon() {
+        let graph = generators::path(4);
+        let template = PartitionParams::new(0);
+        let _ = ampc_beta_partition_unknown_arboricity(&graph, 0.0, &template);
+    }
+}

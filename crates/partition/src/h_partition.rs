@@ -1,0 +1,154 @@
+//! The Barenboim–Elkin H-partition peeling algorithm.
+//!
+//! Iteratively place every node of (remaining) degree at most `β` into the
+//! current layer and delete it. For `β ≥ (2 + ε)α` Lemma 3.4 guarantees that
+//! a constant fraction of nodes is peeled per round, so the partition has
+//! `O(log_{β/(2α)} n)` layers.
+//!
+//! The paper uses this routine twice: as the large-arboricity fallback inside
+//! Theorem 1.2 (where each peeling round is one AMPC round) and implicitly as
+//! the definition of the natural β-partition. It also serves as the baseline
+//! "non-adaptive" partitioner in the experiment tables.
+
+use sparse_graph::{CsrGraph, NodeId};
+
+use crate::beta::BetaPartition;
+use crate::layer::Layer;
+
+/// Result of the peeling algorithm.
+#[derive(Debug, Clone)]
+pub struct HPartitionResult {
+    /// The computed β-partition (complete iff the peeling never stalled).
+    pub partition: BetaPartition,
+    /// Number of peeling rounds executed (one AMPC/LOCAL round each).
+    pub rounds: usize,
+    /// Number of nodes peeled per round.
+    pub peeled_per_round: Vec<usize>,
+}
+
+/// Runs the Barenboim–Elkin peeling until no node can be peeled any more.
+///
+/// Returns a *partial* partition if the remaining graph has minimum degree
+/// above `β` at some point (which cannot happen when `β ≥ 2α`, by
+/// Lemma 3.4); callers that require completeness should check
+/// [`BetaPartition::is_partial`].
+///
+/// # Examples
+///
+/// ```
+/// use beta_partition::h_partition;
+/// use sparse_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let graph = generators::forest_union(500, 3, &mut rng); // alpha <= 3
+/// let result = h_partition(&graph, 7); // beta = 7 >= (2 + eps) * 3
+/// assert!(!result.partition.is_partial());
+/// assert!(result.partition.validate(&graph).is_ok());
+/// ```
+pub fn h_partition(graph: &CsrGraph, beta: usize) -> HPartitionResult {
+    let n = graph.num_nodes();
+    let mut partition = BetaPartition::all_infinite(n, beta);
+    let mut remaining_degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let mut peeled = vec![false; n];
+    let mut remaining = n;
+
+    let mut rounds = 0usize;
+    let mut peeled_per_round = Vec::new();
+
+    while remaining > 0 {
+        let layer: Vec<NodeId> = (0..n)
+            .filter(|&v| !peeled[v] && remaining_degree[v] <= beta)
+            .collect();
+        if layer.is_empty() {
+            break;
+        }
+        for &v in &layer {
+            partition.set_layer(v, Layer::Finite(rounds));
+            peeled[v] = true;
+        }
+        for &v in &layer {
+            for &w in graph.neighbors(v) {
+                if !peeled[w] {
+                    remaining_degree[w] -= 1;
+                }
+            }
+        }
+        remaining -= layer.len();
+        peeled_per_round.push(layer.len());
+        rounds += 1;
+    }
+
+    HPartitionResult {
+        partition,
+        rounds,
+        peeled_per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induced::natural_partition;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn peeling_equals_natural_partition() {
+        // The peeling algorithm *is* the construction of the natural
+        // beta-partition, so the two must agree layer by layer.
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let graph = generators::preferential_attachment(400, 3, &mut rng);
+        let beta = 7;
+        let peeled = h_partition(&graph, beta);
+        let natural = natural_partition(&graph, beta);
+        assert_eq!(peeled.partition.layers(), natural.layers());
+        assert_eq!(peeled.rounds, peeled.partition.size());
+    }
+
+    #[test]
+    fn logarithmic_number_of_rounds_on_bounded_arboricity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        for k in [1usize, 2, 4] {
+            let graph = generators::forest_union(1_000, k, &mut rng);
+            let beta = 2 * k + k.max(1); // roughly (2 + 1) * alpha (i.e. 3k) > 2 alpha
+            let result = h_partition(&graph, beta);
+            assert!(!result.partition.is_partial());
+            assert!(result.partition.validate(&graph).is_ok());
+            // Lemma 3.4: each round peels at least a 1 - 2k/beta >= 1/3
+            // fraction, so the number of rounds is at most log_{3/2}(n) + 1.
+            let bound = (1_000f64.ln() / (1.5f64).ln()).ceil() as usize + 1;
+            assert!(
+                result.rounds <= bound,
+                "k = {k}: {} rounds exceeds bound {bound}",
+                result.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn peeling_stalls_below_the_degeneracy() {
+        let graph = generators::complete(6); // degeneracy 5
+        let result = h_partition(&graph, 3);
+        assert!(result.partition.is_partial());
+        assert_eq!(result.rounds, 0);
+        assert!(result.peeled_per_round.is_empty());
+    }
+
+    #[test]
+    fn peeled_counts_sum_to_n_when_complete() {
+        let graph = generators::grid(15, 15);
+        let result = h_partition(&graph, 4);
+        assert!(!result.partition.is_partial());
+        assert_eq!(result.peeled_per_round.iter().sum::<usize>(), 225);
+    }
+
+    #[test]
+    fn empty_graph_needs_no_rounds() {
+        let graph = sparse_graph::CsrGraph::empty(0);
+        let result = h_partition(&graph, 3);
+        assert_eq!(result.rounds, 0);
+        assert!(!result.partition.is_partial());
+    }
+}

@@ -1,0 +1,195 @@
+//! The `S`-induced and natural β-partitions (Definitions 3.6 and 3.12).
+
+use sparse_graph::{CsrGraph, NodeId};
+
+use crate::beta::BetaPartition;
+use crate::layer::Layer;
+
+/// Computes the `S`-induced β-partition `σ_{S,β}` of Definition 3.6.
+///
+/// Starting with every node at layer `∞`, round `i` simultaneously assigns
+/// layer `i` to every still-unassigned node of `S` that has at most `β`
+/// neighbors (in the *whole* graph `G`) whose current layer is `∞`. Nodes
+/// outside `S` keep layer `∞` forever, so they permanently count towards
+/// their neighbors' budgets.
+///
+/// The implementation is the standard linear-time peeling: it maintains, for
+/// every node, the number of `∞` neighbors and processes layers level by
+/// level, so the total work is `O(n + m)`.
+///
+/// # Panics
+///
+/// Panics if `in_s.len() != graph.num_nodes()`.
+///
+/// # Examples
+///
+/// ```
+/// use beta_partition::{induced_partition, Layer};
+/// use sparse_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// // Restrict to S = {0, 1, 2}: node 3 stays ∞ and burdens node 2.
+/// let sigma = induced_partition(&g, &[true, true, true, false], 1);
+/// assert_eq!(sigma.layer(0), Layer::Finite(0));
+/// assert_eq!(sigma.layer(1), Layer::Finite(1));
+/// assert_eq!(sigma.layer(2), Layer::Finite(2));
+/// assert_eq!(sigma.layer(3), Layer::Infinite);
+/// ```
+pub fn induced_partition(graph: &CsrGraph, in_s: &[bool], beta: usize) -> BetaPartition {
+    let n = graph.num_nodes();
+    assert_eq!(in_s.len(), n, "membership vector must cover every node");
+
+    let mut partition = BetaPartition::all_infinite(n, beta);
+    // Number of neighbors currently at layer ∞ (everything, initially).
+    let mut infinite_neighbors: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let mut assigned = vec![false; n];
+
+    // Level 0 candidates: nodes of S with at most beta neighbors overall.
+    let mut current: Vec<NodeId> = (0..n)
+        .filter(|&v| in_s[v] && infinite_neighbors[v] <= beta)
+        .collect();
+
+    let mut level = 0usize;
+    while !current.is_empty() {
+        // Assign the whole level simultaneously (the definition evaluates the
+        // condition against sigma at the beginning of the iteration).
+        for &v in &current {
+            partition.set_layer(v, Layer::Finite(level));
+            assigned[v] = true;
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        for &v in &current {
+            for &w in graph.neighbors(v) {
+                infinite_neighbors[w] -= 1;
+                if in_s[w] && !assigned[w] && infinite_neighbors[w] == beta {
+                    // w just dropped to exactly beta ∞-neighbors: it becomes
+                    // a candidate for the next level (it was not one before,
+                    // because its count was > beta).
+                    next.push(w);
+                }
+            }
+        }
+        current = next;
+        level += 1;
+    }
+
+    partition
+}
+
+/// Computes the natural β-partition `ℓ_β = σ_{V,β}` (Definition 3.12): the
+/// `S`-induced partition with `S = V`, which assigns the lowest possible
+/// layer to every node among all induced β-partitions (Lemma 3.13).
+///
+/// For `β ≥ (2 + ε)α` this is exactly the H-partition of Barenboim–Elkin and
+/// has `O(log n)` layers.
+pub fn natural_partition(graph: &CsrGraph, beta: usize) -> BetaPartition {
+    let in_s = vec![true; graph.num_nodes()];
+    induced_partition(graph, &in_s, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sparse_graph::generators;
+
+    #[test]
+    fn natural_partition_on_a_star() {
+        // Star: leaves have degree 1 -> layer 0; the hub then has no ∞
+        // neighbors left -> layer 1 (for beta >= 1).
+        let g = generators::star(6);
+        let p = natural_partition(&g, 1);
+        assert_eq!(p.layer(0), Layer::Finite(1));
+        for leaf in 1..6 {
+            assert_eq!(p.layer(leaf), Layer::Finite(0));
+        }
+        assert!(p.validate(&g).is_ok());
+        assert!(!p.is_partial());
+    }
+
+    #[test]
+    fn natural_partition_is_a_valid_beta_partition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for k in [1usize, 2, 4] {
+            let g = generators::forest_union(300, k, &mut rng);
+            let beta = 2 * k + 1; // (2 + eps) * alpha with eps ~ 1/k... >= 2k+1 > 2 alpha
+            let p = natural_partition(&g, beta);
+            assert!(p.validate(&g).is_ok(), "k = {k}");
+            assert!(!p.is_partial(), "k = {k}: natural partition must be complete");
+            // Size bound O(log n): loose explicit check.
+            assert!(
+                p.size() <= 4 * (300f64.log2() as usize + 1),
+                "k = {k}, size = {}",
+                p.size()
+            );
+        }
+    }
+
+    #[test]
+    fn partition_stalls_when_beta_below_degeneracy() {
+        // K5 with beta = 2: every node always has 4 > 2 ∞-neighbors, so the
+        // natural 2-partition of K5 leaves everything at ∞.
+        let g = generators::complete(5);
+        let p = natural_partition(&g, 2);
+        assert!(p.is_partial());
+        assert_eq!(p.infinite_nodes().len(), 5);
+        // beta = 4 peels everything in one level.
+        let p = natural_partition(&g, 4);
+        assert!(!p.is_partial());
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn induced_partition_is_monotone_in_s() {
+        // Lemma 3.8: sigma_{S} >= sigma_{T} pointwise when S ⊆ T.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::forest_union(120, 2, &mut rng);
+        let beta = 5;
+        let mut in_s = vec![false; 120];
+        for v in 0..60 {
+            in_s[v] = true;
+        }
+        let small = induced_partition(&g, &in_s, beta);
+        let large = natural_partition(&g, beta);
+        for v in 0..120 {
+            assert!(
+                small.layer(v) >= large.layer(v),
+                "node {v}: sigma_S = {:?} < sigma_V = {:?}",
+                small.layer(v),
+                large.layer(v)
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_outside_s_stay_infinite() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let sigma = induced_partition(&g, &[true, false, true], 2);
+        assert_eq!(sigma.layer(1), Layer::Infinite);
+        assert!(sigma.layer(0).is_finite());
+        assert!(sigma.layer(2).is_finite());
+        assert!(sigma.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn degree_bounded_nodes_form_layer_zero() {
+        // Lemma 3.14 base case: deg(v) <= beta  =>  natural layer 0.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = generators::forest_union(200, 3, &mut rng);
+        let beta = 7;
+        let p = natural_partition(&g, beta);
+        for v in g.nodes() {
+            if g.degree(v) <= beta {
+                assert_eq!(p.layer(v), Layer::Finite(0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "membership vector")]
+    fn membership_vector_must_match() {
+        let g = CsrGraph::empty(3);
+        induced_partition(&g, &[true, true], 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! The layer values `N ∪ {∞}` used by (partial) β-partitions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A layer of a (partial) β-partition: a natural number or `∞`.
+///
+/// The derived ordering places every finite layer below [`Layer::Infinite`],
+/// matching the paper's convention that nodes with layer `∞` sit "above"
+/// everything (they count towards every node's higher-or-equal neighbor
+/// budget).
+///
+/// # Examples
+///
+/// ```
+/// use beta_partition::Layer;
+///
+/// assert!(Layer::Finite(3) < Layer::Finite(7));
+/// assert!(Layer::Finite(1_000_000) < Layer::Infinite);
+/// assert_eq!(Layer::Finite(2).finite(), Some(2));
+/// assert_eq!(Layer::Infinite.finite(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// A finite layer index.
+    Finite(usize),
+    /// The infinity layer (unassigned / undecided nodes).
+    Infinite,
+}
+
+impl Layer {
+    /// Returns the finite layer index, or `None` for [`Layer::Infinite`].
+    pub fn finite(self) -> Option<usize> {
+        match self {
+            Layer::Finite(i) => Some(i),
+            Layer::Infinite => None,
+        }
+    }
+
+    /// Returns `true` if the layer is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Layer::Finite(_))
+    }
+
+    /// Returns `true` if the layer is `∞`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Layer::Infinite)
+    }
+
+    /// Adds a finite offset to a finite layer; `∞` stays `∞`.
+    pub fn shifted(self, offset: usize) -> Layer {
+        match self {
+            Layer::Finite(i) => Layer::Finite(i + offset),
+            Layer::Infinite => Layer::Infinite,
+        }
+    }
+
+    /// The minimum of two layers (the merge operation of Lemma 4.10).
+    pub fn min(self, other: Layer) -> Layer {
+        std::cmp::min(self, other)
+    }
+}
+
+impl From<usize> for Layer {
+    fn from(value: usize) -> Self {
+        Layer::Finite(value)
+    }
+}
+
+impl From<Option<usize>> for Layer {
+    fn from(value: Option<usize>) -> Self {
+        match value {
+            Some(i) => Layer::Finite(i),
+            None => Layer::Infinite,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Finite(i) => write!(f, "{i}"),
+            Layer::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_places_infinite_on_top() {
+        assert!(Layer::Finite(0) < Layer::Finite(1));
+        assert!(Layer::Finite(usize::MAX) < Layer::Infinite);
+        assert_eq!(Layer::Infinite, Layer::Infinite);
+        assert_eq!(Layer::Finite(3).min(Layer::Infinite), Layer::Finite(3));
+        assert_eq!(Layer::Infinite.min(Layer::Finite(9)), Layer::Finite(9));
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Layer::from(4), Layer::Finite(4));
+        assert_eq!(Layer::from(Some(4)), Layer::Finite(4));
+        assert_eq!(Layer::from(None), Layer::Infinite);
+        assert!(Layer::Finite(0).is_finite());
+        assert!(Layer::Infinite.is_infinite());
+        assert_eq!(Layer::Finite(2).shifted(3), Layer::Finite(5));
+        assert_eq!(Layer::Infinite.shifted(3), Layer::Infinite);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Layer::Finite(12).to_string(), "12");
+        assert_eq!(Layer::Infinite.to_string(), "∞");
+    }
+}

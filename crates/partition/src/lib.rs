@@ -1,0 +1,70 @@
+//! # beta-partition
+//!
+//! β-partitions and the algorithms that compute them, reproducing Sections
+//! 3–5 of *Adaptive Massively Parallel Coloring in Sparse Graphs*
+//! (PODC 2024).
+//!
+//! A **β-partition** (Definition 3.5) splits the vertex set into layers such
+//! that every node has at most `β` neighbors in its own or a higher layer.
+//! Orienting edges from lower to higher layers yields an acyclic orientation
+//! of out-degree ≤ β, which the coloring algorithms of the companion crate
+//! `arbo-coloring` consume.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`Layer`] and [`BetaPartition`] — the partition structures with
+//!   validation (Definition 3.5),
+//! * [`induced_partition`] / [`natural_partition`] — the `S`-induced and
+//!   natural β-partitions of Definitions 3.6 and 3.12,
+//! * [`dependency_set`] — dependency graphs `D(σ, v)` of Definition 3.9,
+//! * [`CoinGame`] — the `(x, β, F)`-coin dropping game of Section 4.1
+//!   (Algorithm 1) driven through the LCA adjacency oracle,
+//! * [`partial_partition_lca`] — the sublinear deterministic LCA of
+//!   Lemma 4.7 / Remark 4.8 producing a partial β-partition with per-node
+//!   proofs,
+//! * [`h_partition`] — the Barenboim–Elkin peeling baseline (and large-α
+//!   fallback),
+//! * [`ampc_beta_partition`] — the AMPC algorithm of Theorem 1.2 assembling
+//!   a complete β-partition from recursive LCA invocations,
+//! * [`ampc_beta_partition_unknown_arboricity`] — the arboricity guessing
+//!   scheme of Lemma 5.1.
+//!
+//! ```
+//! use beta_partition::{ampc_beta_partition, PartitionParams};
+//! use sparse_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let graph = generators::forest_union(400, 2, &mut rng); // arboricity <= 2
+//! let params = PartitionParams::new(6).with_x(4); // beta = 6 >= (2 + eps) * 2
+//! let result = ampc_beta_partition(&graph, &params).unwrap();
+//! assert!(result.partition.validate(&graph).is_ok());
+//! assert!(!result.partition.is_partial());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ampc_partition;
+mod beta;
+mod coin_game;
+mod dependency;
+mod guessing;
+mod h_partition;
+mod induced;
+mod layer;
+mod lca;
+mod merge;
+
+pub use ampc_partition::{
+    ampc_beta_partition, AmpcPartitionResult, PartitionError, PartitionParams,
+};
+pub use beta::BetaPartition;
+pub use coin_game::{CoinGame, CoinGameConfig, CoinGameResult};
+pub use dependency::{dependency_set, dependency_size};
+pub use guessing::{ampc_beta_partition_unknown_arboricity, GuessingResult};
+pub use h_partition::{h_partition, HPartitionResult};
+pub use induced::{induced_partition, natural_partition};
+pub use layer::Layer;
+pub use lca::{lca_for_all_nodes, partial_partition_lca, LcaPartitionOutput};
+pub use merge::merge_min;

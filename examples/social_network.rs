@@ -1,0 +1,86 @@
+//! Social-network scenario: a heavy-tailed (power-law-like) graph where the
+//! maximum degree is orders of magnitude larger than the arboricity.
+//!
+//! Degree-based coloring algorithms budget `∆ + 1` colors; the paper's
+//! algorithms budget `O(α)` colors. This example quantifies the gap and
+//! shows the round/color trade-off across the three Theorem 1.3 variants.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use ampc_coloring_repro::{Algorithm, SparseColoring, Workload};
+use sparse_graph::ArboricityEstimate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::PowerLaw {
+        n: 5_000,
+        edges_per_node: 3,
+    };
+    let graph = workload.build(7);
+    let estimate = ArboricityEstimate::of(&graph);
+
+    println!("== synthetic social network ==");
+    println!("nodes / edges    : {} / {}", graph.num_nodes(), graph.num_edges());
+    println!("max degree (Δ)   : {}", graph.max_degree());
+    println!(
+        "arboricity (α)   : between {} and {} (density / degeneracy bounds)",
+        estimate.lower, estimate.upper
+    );
+    println!();
+    println!(
+        "{:<42} {:>8} {:>8} {:>8} {:>8}",
+        "algorithm", "colors", "beta", "rounds", "layers"
+    );
+
+    let variants = [
+        Algorithm::AlphaPower,
+        Algorithm::AlphaSquared,
+        Algorithm::TwoAlphaPlusOne,
+    ];
+    for algorithm in variants {
+        let outcome = SparseColoring::new()
+            .algorithm(algorithm)
+            .alpha(workload.alpha_bound())
+            .epsilon(0.5)
+            .color(&graph)?;
+        assert!(outcome.coloring.is_proper(&graph));
+        println!(
+            "{:<42} {:>8} {:>8} {:>8} {:>8}",
+            outcome.algorithm,
+            outcome.colors_used,
+            outcome.beta,
+            outcome.total_rounds,
+            outcome.partition_size
+        );
+    }
+
+    // Baselines.
+    let id_greedy = sparse_graph::greedy_by_id_order(&graph);
+    let degeneracy_greedy = sparse_graph::greedy_by_degeneracy_order(&graph);
+    println!(
+        "{:<42} {:>8} {:>8} {:>8} {:>8}",
+        "greedy by id (sequential baseline)",
+        id_greedy.num_colors(),
+        "-",
+        "-",
+        "-"
+    );
+    println!(
+        "{:<42} {:>8} {:>8} {:>8} {:>8}",
+        "greedy by degeneracy order (sequential)",
+        degeneracy_greedy.num_colors(),
+        "-",
+        "-",
+        "-"
+    );
+    println!();
+    println!(
+        "Δ + 1 = {} colors would be budgeted by degree-based algorithms; the arboricity-aware \
+         AMPC algorithms stay at O(α) – O(α²) colors.",
+        graph.max_degree() + 1
+    );
+    Ok(())
+}

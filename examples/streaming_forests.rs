@@ -1,0 +1,58 @@
+//! Unknown-arboricity scenario: the graph arrives from an external pipeline
+//! and nobody knows its arboricity. Lemma 5.1's guessing scheme finds a
+//! β-partition anyway, and the builder can also fall back to the degeneracy
+//! estimate.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example streaming_forests
+//! ```
+
+use ampc_coloring_repro::{SparseColoring, Workload};
+use sparse_graph::ArboricityEstimate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pretend we do not know k: the workload mixes several forest unions.
+    for (seed, k) in [(11u64, 1usize), (12, 3), (13, 6)] {
+        let workload = Workload::ForestUnion { n: 1_500, k };
+        let graph = workload.build(seed);
+        let estimate = ArboricityEstimate::of(&graph);
+
+        println!("== hidden arboricity workload (true k = {k}) ==");
+        println!(
+            "density lower bound = {}, degeneracy upper bound = {}",
+            estimate.lower, estimate.upper
+        );
+
+        let colorer = SparseColoring::new().epsilon(0.5);
+        let guess = colorer.beta_partition_unknown_alpha(&graph)?;
+        println!(
+            "guessing scheme chose alpha = {} (beta = {}), {} sequential + {} parallel rounds",
+            guess.chosen_alpha,
+            guess.chosen_beta,
+            guess.sequential_rounds,
+            guess.parallel_rounds
+        );
+        for attempt in &guess.attempts {
+            println!(
+                "   guess alpha = {:>4} (beta = {:>4}) -> {} in {} rounds [{}]",
+                attempt.alpha,
+                attempt.beta,
+                if attempt.success { "ok " } else { "fail" },
+                attempt.rounds,
+                if attempt.sequential { "sequential" } else { "parallel" },
+            );
+        }
+        assert!(guess.result.partition.validate(&graph).is_ok());
+
+        // And color using the estimated arboricity (degeneracy).
+        let outcome = colorer.color(&graph)?;
+        assert!(outcome.coloring.is_proper(&graph));
+        println!(
+            "coloring with estimated alpha = {}: {} colors in {} AMPC rounds\n",
+            outcome.alpha, outcome.colors_used, outcome.total_rounds
+        );
+    }
+    Ok(())
+}

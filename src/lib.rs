@@ -1,0 +1,109 @@
+//! Workspace-level facade used by the repository's examples and integration
+//! tests.
+//!
+//! The actual library lives in the workspace crates; this shim re-exports
+//! them under one roof and hosts a few shared workload helpers so that the
+//! examples and the integration tests do not repeat themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ampc_coloring::{coloring, graph, model, partition};
+pub use ampc_coloring::{Algorithm, ColoringOutcome, Error, SparseColoring};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sparse_graph::{generators, CsrGraph};
+
+/// The synthetic workloads used across examples, integration tests and the
+/// benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Union of `k` random spanning forests on `n` nodes (arboricity ≤ `k`).
+    ForestUnion {
+        /// Number of nodes.
+        n: usize,
+        /// Number of forests (arboricity bound).
+        k: usize,
+    },
+    /// Preferential-attachment graph (heavy-tailed degrees, arboricity ≤
+    /// `edges_per_node`).
+    PowerLaw {
+        /// Number of nodes.
+        n: usize,
+        /// Edges added per new node.
+        edges_per_node: usize,
+    },
+    /// Triangulated grid (planar, arboricity ≤ 3).
+    PlanarGrid {
+        /// Grid side length (the graph has `side²` nodes).
+        side: usize,
+    },
+    /// Complete `(β+1)`-ary tree of the given depth — the deep-dependency
+    /// instance behind Figure 2 of the paper.
+    DeepTree {
+        /// Tree arity.
+        arity: usize,
+        /// Tree depth.
+        depth: usize,
+    },
+}
+
+impl Workload {
+    /// Instantiates the workload deterministically from a seed.
+    pub fn build(self, seed: u64) -> CsrGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match self {
+            Workload::ForestUnion { n, k } => generators::forest_union(n, k, &mut rng),
+            Workload::PowerLaw { n, edges_per_node } => {
+                generators::preferential_attachment(n, edges_per_node, &mut rng)
+            }
+            Workload::PlanarGrid { side } => generators::triangulated_grid(side, side),
+            Workload::DeepTree { arity, depth } => generators::complete_kary_tree(arity, depth),
+        }
+    }
+
+    /// A human-readable label for tables.
+    pub fn label(self) -> String {
+        match self {
+            Workload::ForestUnion { n, k } => format!("forest-union(n={n}, k={k})"),
+            Workload::PowerLaw { n, edges_per_node } => {
+                format!("power-law(n={n}, m0={edges_per_node})")
+            }
+            Workload::PlanarGrid { side } => format!("planar-grid({side}x{side})"),
+            Workload::DeepTree { arity, depth } => format!("deep-tree(arity={arity}, depth={depth})"),
+        }
+    }
+
+    /// The a-priori arboricity bound of the workload (used as the `α` input
+    /// to the algorithms).
+    pub fn alpha_bound(self) -> usize {
+        match self {
+            Workload::ForestUnion { k, .. } => k.max(1),
+            Workload::PowerLaw { edges_per_node, .. } => edges_per_node.max(1),
+            Workload::PlanarGrid { .. } => 3,
+            Workload::DeepTree { .. } => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_deterministically() {
+        let w = Workload::ForestUnion { n: 200, k: 2 };
+        assert_eq!(w.build(9), w.build(9));
+        assert!(w.label().contains("forest-union"));
+        assert_eq!(w.alpha_bound(), 2);
+
+        let grid = Workload::PlanarGrid { side: 8 }.build(0);
+        assert_eq!(grid.num_nodes(), 64);
+        assert_eq!(Workload::PlanarGrid { side: 8 }.alpha_bound(), 3);
+
+        let tree = Workload::DeepTree { arity: 3, depth: 2 }.build(0);
+        assert!(tree.is_forest());
+        assert_eq!(Workload::PowerLaw { n: 10, edges_per_node: 2 }.alpha_bound(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests spanning all workspace crates: graph substrate →
+//! β-partition → orientation / forest decomposition → coloring.
+
+use ampc_coloring_repro::{Algorithm, SparseColoring, Workload};
+use beta_partition::{natural_partition, PartitionParams};
+use sparse_graph::{forest_decomposition, greedy_from_orientation, ArboricityEstimate};
+
+#[test]
+fn partition_orientation_forest_coloring_pipeline() {
+    let workload = Workload::ForestUnion { n: 600, k: 3 };
+    let graph = workload.build(1001);
+    let alpha = workload.alpha_bound();
+    let beta = 2 * alpha + 2;
+
+    // Theorem 1.2: complete beta-partition.
+    let partition =
+        beta_partition::ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4))
+            .expect("partition succeeds for beta >= 2 alpha + 1");
+    assert!(partition.partition.validate(&graph).is_ok());
+    assert!(!partition.partition.is_partial());
+
+    // Contribution 2: the orientation has out-degree <= beta and is acyclic.
+    let orientation = partition.partition.orientation(&graph).unwrap();
+    assert!(orientation.is_acyclic());
+    assert!(orientation.max_out_degree() <= beta);
+    assert!(orientation.covers_graph(&graph));
+
+    // Nash-Williams: the orientation decomposes the edges into <= beta forests.
+    let forests = forest_decomposition(&graph, &orientation).unwrap();
+    assert!(forests.num_forests() <= beta);
+    assert!(forests.all_classes_are_forests());
+    assert_eq!(forests.num_edges(), graph.num_edges());
+
+    // "Color from the sinks": out-degree + 1 colors via the orientation.
+    let coloring = greedy_from_orientation(&graph, &orientation).unwrap();
+    assert!(coloring.is_proper(&graph));
+    assert!(coloring.num_colors() <= orientation.max_out_degree() + 1);
+}
+
+#[test]
+fn all_theorem_13_variants_agree_on_properness_and_tradeoffs() {
+    let workload = Workload::PowerLaw {
+        n: 800,
+        edges_per_node: 2,
+    };
+    let graph = workload.build(1002);
+    let alpha = workload.alpha_bound();
+
+    let two_alpha = SparseColoring::new()
+        .algorithm(Algorithm::TwoAlphaPlusOne)
+        .alpha(alpha)
+        .color(&graph)
+        .unwrap();
+    let alpha_squared = SparseColoring::new()
+        .algorithm(Algorithm::AlphaSquared)
+        .alpha(alpha)
+        .color(&graph)
+        .unwrap();
+
+    assert!(two_alpha.coloring.is_proper(&graph));
+    assert!(alpha_squared.coloring.is_proper(&graph));
+    // The trade-off of Theorem 1.3: the (2+eps)alpha variant uses fewer
+    // colors, the alpha^2 variant never uses more rounds than colors would
+    // suggest. At the very least, the palettes are ordered.
+    assert!(two_alpha.colors_used <= alpha_squared.colors_used);
+    // Both stay far below the degree-based budget on this heavy-tailed graph.
+    assert!(two_alpha.colors_used < graph.max_degree() + 1);
+}
+
+#[test]
+fn natural_partition_matches_ampc_partition_quality() {
+    // The AMPC partition may use more layers than the natural partition
+    // (because each round caps its reported layers) but it must stay within
+    // the per-round-cap times round-count budget, and both must be valid.
+    let workload = Workload::ForestUnion { n: 500, k: 2 };
+    let graph = workload.build(1003);
+    let beta = 6;
+
+    let natural = natural_partition(&graph, beta);
+    let ampc = beta_partition::ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4))
+        .unwrap();
+
+    assert!(natural.validate(&graph).is_ok());
+    assert!(ampc.partition.validate(&graph).is_ok());
+    assert!(natural.size() <= ampc.partition.size().max(natural.size()));
+    assert!(ampc.rounds >= 1);
+}
+
+#[test]
+fn planar_graphs_get_constant_colors_across_sizes() {
+    let mut colors_per_size = Vec::new();
+    for side in [10usize, 20, 30] {
+        let graph = Workload::PlanarGrid { side }.build(0);
+        let outcome = SparseColoring::new()
+            .algorithm(Algorithm::TwoAlphaPlusOne)
+            .alpha(3)
+            .epsilon(0.5)
+            .color(&graph)
+            .unwrap();
+        assert!(outcome.coloring.is_proper(&graph));
+        colors_per_size.push(outcome.colors_used);
+    }
+    // Corollary 1.4: the number of colors does not grow with n.
+    assert!(colors_per_size.iter().all(|&c| c <= 9));
+}
+
+#[test]
+fn deep_tree_exercises_multi_round_partitioning() {
+    let workload = Workload::DeepTree { arity: 4, depth: 5 };
+    let graph = workload.build(0);
+    let estimate = ArboricityEstimate::of(&graph);
+    assert_eq!(estimate.upper, 1); // it is a tree
+
+    let outcome = SparseColoring::new()
+        .algorithm(Algorithm::TwoAlphaPlusOne)
+        .alpha(1)
+        .epsilon(1.0)
+        .color(&graph)
+        .unwrap();
+    assert!(outcome.coloring.is_proper(&graph));
+    assert!(outcome.colors_used <= 4); // (2 + 1) * 1 + 1
+    // The deep natural partition forces several AMPC rounds.
+    assert!(outcome.partition_rounds >= 2);
+}
+
+#[test]
+fn derandomized_mpc_coloring_composes_with_partitions() {
+    let workload = Workload::ForestUnion { n: 300, k: 4 };
+    let graph = workload.build(1004);
+    let outcome = SparseColoring::new()
+        .algorithm(Algorithm::LargeArboricity)
+        .alpha(4)
+        .epsilon(0.5)
+        .color(&graph)
+        .unwrap();
+    assert!(outcome.coloring.is_proper(&graph));
+    assert!(outcome.colors_used >= 2);
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the model-resource accounting: the AMPC executor,
+//! the graph store layout, the LCA query budgets and the round metrics
+//! reported by the partition/coloring drivers.
+
+use ampc_coloring_repro::Workload;
+use ampc_model::{
+    AmpcConfig, AmpcExecutor, ConflictPolicy, GraphStore, Key, LcaOracle, ModelError, Value,
+};
+use beta_partition::{partial_partition_lca, ampc_beta_partition, CoinGameConfig, PartitionParams};
+
+/// Tag used by this test for layer values written into the DDS.
+const TAG_LAYER: u64 = 0xA0;
+
+#[test]
+fn ampc_round_protocol_for_peeling_one_layer() {
+    // Implement one Barenboim-Elkin peeling round *through the executor*:
+    // machine v reads its degree, and if it is at most beta it writes its
+    // layer. This exercises the D_{i-1} -> D_i protocol of Section 3.1 with
+    // real budgets.
+    let graph = Workload::ForestUnion { n: 64, k: 1 }.build(77);
+    let beta = 3usize;
+    let config = AmpcConfig::for_input_size(graph.num_nodes() + graph.num_edges(), 0.9);
+    let mut executor = AmpcExecutor::new(config, GraphStore::store_of(&graph));
+
+    executor
+        .round_carrying_forward(graph.num_nodes(), ConflictPolicy::Error, |machine, ctx| {
+            let degree = GraphStore::degree(ctx, machine)?;
+            if degree <= beta {
+                ctx.write(Key::pair(TAG_LAYER, machine as u64), Value::single(0))?;
+            }
+            Ok(())
+        })
+        .expect("round fits the budgets");
+
+    // Every low-degree node now has a layer entry in the new store.
+    let low_degree: Vec<usize> = graph.nodes().filter(|&v| graph.degree(v) <= beta).collect();
+    assert!(!low_degree.is_empty());
+    for &v in &low_degree {
+        assert_eq!(
+            executor.store().get(Key::pair(TAG_LAYER, v as u64)),
+            Some(Value::single(0))
+        );
+    }
+    let report = &executor.metrics().rounds()[0];
+    assert_eq!(report.machines, graph.num_nodes());
+    assert!(report.max_reads <= executor.config().read_budget());
+    assert!(report.total_writes >= low_degree.len());
+}
+
+#[test]
+fn tight_budgets_reject_heavy_rounds() {
+    let graph = Workload::ForestUnion { n: 64, k: 2 }.build(78);
+    // delta = 0.1 over a small input gives a tiny read budget.
+    let config = AmpcConfig::for_input_size(16, 0.1);
+    assert!(config.read_budget() <= 2);
+    let mut executor = AmpcExecutor::new(config, GraphStore::store_of(&graph));
+    let outcome = executor.round(graph.num_nodes(), ConflictPolicy::Error, |machine, ctx| {
+        // Reading the degree and two neighbors exceeds the budget.
+        let _ = GraphStore::degree(ctx, machine)?;
+        let _ = GraphStore::neighbor(ctx, machine, 0)?;
+        let _ = GraphStore::neighbor(ctx, machine, 1)?;
+        Ok(())
+    });
+    assert!(matches!(outcome, Err(ModelError::ReadBudgetExceeded { .. })));
+}
+
+#[test]
+fn lca_query_budget_enforced_through_the_coin_game() {
+    let graph = Workload::DeepTree { arity: 4, depth: 4 }.build(0);
+    // The root's exploration needs far more than 10 queries.
+    let oracle = LcaOracle::with_budget(&graph, 10);
+    let outcome = partial_partition_lca(&oracle, 0, &CoinGameConfig::new(16, 3));
+    assert!(matches!(
+        outcome,
+        Err(ModelError::QueryBudgetExceeded { budget: 10 })
+    ));
+
+    // A generous budget succeeds and reports its usage.
+    let oracle = LcaOracle::new(&graph);
+    let output = partial_partition_lca(&oracle, 0, &CoinGameConfig::new(16, 3)).unwrap();
+    assert!(output.queries > 10);
+    assert_eq!(output.queries, oracle.queries_used());
+}
+
+#[test]
+fn partition_metrics_reflect_lca_work() {
+    let graph = Workload::ForestUnion { n: 300, k: 2 }.build(79);
+    let result = ampc_beta_partition(&graph, &PartitionParams::new(6).with_x(4)).unwrap();
+
+    assert_eq!(result.metrics.num_rounds(), result.rounds);
+    // Reads per machine (LCA queries of a single node) must stay sublinear —
+    // with x = 4 the exploration is at most 65 nodes, far below n.
+    assert!(result.max_queries_per_node < graph.num_nodes());
+    assert!(result.metrics.max_reads_per_machine() >= result.max_queries_per_node);
+    // Total communication is positive and the store never exceeds the
+    // residual graph plus one entry per node.
+    assert!(result.metrics.total_communication() > 0);
+    assert!(result.metrics.max_store_words() <= 2 * graph.num_edges() + graph.num_nodes());
+}
+
+#[test]
+fn coloring_rounds_compose_partition_and_simulation_costs() {
+    use arbo_coloring::ampc::{color_alpha_squared, AmpcColoringParams};
+    let graph = Workload::ForestUnion { n: 300, k: 2 }.build(80);
+    let result = color_alpha_squared(&graph, 2, &AmpcColoringParams::default()).unwrap();
+    assert_eq!(result.total_rounds, result.partition_rounds + result.coloring_rounds);
+    assert!(result.partition_rounds >= 1);
+    assert!(result.coloring_rounds >= 1);
+}
