@@ -84,6 +84,24 @@ macro_rules! impl_word_tuple {
 impl_word_tuple!(Key);
 impl_word_tuple!(Value);
 
+/// Read access to a keyed store.
+///
+/// Abstracts over the plain [`DataStore`] and partitioned implementations
+/// (such as the sharded store of the `ampc-runtime` crate) so that a
+/// [`crate::MachineContext`] can serve reads from either. Implementations
+/// must be safe to read from many machines concurrently (`Sync`), which is
+/// what makes lock-free parallel round execution possible.
+pub trait StoreRead: Sync {
+    /// Looks up a key; `None` is the model's "empty response".
+    fn read(&self, key: Key) -> Option<Value>;
+}
+
+impl StoreRead for DataStore {
+    fn read(&self, key: Key) -> Option<Value> {
+        self.get(key)
+    }
+}
+
 /// A distributed key-value data store (`D_i` in the paper).
 ///
 /// The store itself is a plain hash map; the *access restrictions* (which
@@ -138,10 +156,7 @@ impl DataStore {
 
     /// Total space used, in words (keys plus values), for space accounting.
     pub fn space_in_words(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(k, v)| k.len() + v.len())
-            .sum()
+        self.entries.iter().map(|(k, v)| k.len() + v.len()).sum()
     }
 }
 

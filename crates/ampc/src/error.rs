@@ -50,13 +50,22 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::ReadBudgetExceeded { machine, budget } => {
-                write!(f, "machine {machine} exceeded its read budget of {budget} queries")
+                write!(
+                    f,
+                    "machine {machine} exceeded its read budget of {budget} queries"
+                )
             }
             ModelError::WriteBudgetExceeded { machine, budget } => {
-                write!(f, "machine {machine} exceeded its write budget of {budget} writes")
+                write!(
+                    f,
+                    "machine {machine} exceeded its write budget of {budget} writes"
+                )
             }
             ModelError::LocalSpaceExceeded { machine, space } => {
-                write!(f, "machine {machine} exceeded its local space of {space} words")
+                write!(
+                    f,
+                    "machine {machine} exceeded its local space of {space} words"
+                )
             }
             ModelError::QueryBudgetExceeded { budget } => {
                 write!(f, "LCA exceeded its query budget of {budget} queries")
@@ -77,7 +86,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let err = ModelError::ReadBudgetExceeded { machine: 3, budget: 10 };
+        let err = ModelError::ReadBudgetExceeded {
+            machine: 3,
+            budget: 10,
+        };
         assert!(err.to_string().contains("machine 3"));
         assert!(err.to_string().contains("10"));
 

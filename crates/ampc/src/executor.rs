@@ -1,9 +1,11 @@
 //! The AMPC round executor and per-machine access contexts.
 
+use std::time::Instant;
+
 use crate::config::AmpcConfig;
-use crate::dds::{DataStore, Key, Value};
+use crate::dds::{DataStore, Key, StoreRead, Value};
 use crate::error::ModelError;
-use crate::metrics::{AmpcMetrics, RoundReport};
+use crate::metrics::{AmpcMetrics, RoundReport, RoundRuntimeStats};
 
 /// How the executor resolves two machines writing to the same key in the
 /// same round.
@@ -27,6 +29,37 @@ pub enum ConflictPolicy {
     Error,
 }
 
+impl ConflictPolicy {
+    /// Resolves two writes to the same key within one round.
+    ///
+    /// `existing` must be the value written by the earlier machine (in
+    /// increasing machine-id / write order), which is what makes
+    /// [`ConflictPolicy::KeepFirst`] deterministic. Backend implementations
+    /// (the sequential executor here and the parallel runtime) share this
+    /// single merge rule, so their stores stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::WriteConflict`] under [`ConflictPolicy::Error`] when the
+    /// values differ.
+    pub fn resolve(self, key: &Key, existing: Value, incoming: Value) -> Result<Value, ModelError> {
+        Ok(match self {
+            ConflictPolicy::KeepMin => existing.min(incoming),
+            ConflictPolicy::KeepMax => existing.max(incoming),
+            ConflictPolicy::KeepFirst => existing,
+            ConflictPolicy::Error => {
+                if existing == incoming {
+                    existing
+                } else {
+                    return Err(ModelError::WriteConflict {
+                        key: format!("{:?}", key.words()),
+                    });
+                }
+            }
+        })
+    }
+}
+
 /// The access context handed to a machine for one AMPC round.
 ///
 /// Reads go against the *previous* round's data store; writes are buffered
@@ -34,18 +67,40 @@ pub enum ConflictPolicy {
 /// semantics of Section 3.1. Reads within the round may depend on values
 /// read earlier in the same round (adaptivity), which is the defining AMPC
 /// capability.
-#[derive(Debug)]
 pub struct MachineContext<'a> {
     machine: usize,
-    input: &'a DataStore,
+    input: &'a dyn StoreRead,
     writes: Vec<(Key, Value)>,
     reads_used: usize,
     read_budget: usize,
     write_budget: usize,
 }
 
+impl std::fmt::Debug for MachineContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineContext")
+            .field("machine", &self.machine)
+            .field("reads_used", &self.reads_used)
+            .field("writes", &self.writes.len())
+            .field("read_budget", &self.read_budget)
+            .field("write_budget", &self.write_budget)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> MachineContext<'a> {
-    fn new(machine: usize, input: &'a DataStore, read_budget: usize, write_budget: usize) -> Self {
+    /// Creates the access context one machine gets for one round.
+    ///
+    /// Public so that alternative [`crate::AmpcExecutor`]-like backends (the
+    /// parallel runtime crate) can drive machines with exactly the same
+    /// budget enforcement as the sequential executor; algorithm code should
+    /// never construct contexts itself.
+    pub fn for_round(
+        machine: usize,
+        input: &'a dyn StoreRead,
+        read_budget: usize,
+        write_budget: usize,
+    ) -> Self {
         MachineContext {
             machine,
             input,
@@ -77,7 +132,16 @@ impl<'a> MachineContext<'a> {
             });
         }
         self.reads_used += 1;
-        Ok(self.input.get(key))
+        Ok(self.input.read(key))
+    }
+
+    /// Records `reads` queries issued through a side channel (e.g. an
+    /// [`crate::LcaOracle`] exploring the input graph) so they appear in the
+    /// round metrics, without enforcing the budget — mirroring the
+    /// accounting-only role of [`RoundReport::from_measurements`] that
+    /// algorithm drivers used before the backend abstraction existed.
+    pub fn note_reads(&mut self, reads: usize) {
+        self.reads_used += reads;
     }
 
     /// Buffers a write into the next round's store, counting one write.
@@ -107,9 +171,18 @@ impl<'a> MachineContext<'a> {
         self.writes.len()
     }
 
-    /// Remaining read budget.
+    /// Remaining read budget (zero when side-channel accounting via
+    /// [`MachineContext::note_reads`] exceeded it).
     pub fn reads_remaining(&self) -> usize {
-        self.read_budget - self.reads_used
+        self.read_budget.saturating_sub(self.reads_used)
+    }
+
+    /// Consumes the context and returns its buffered writes, in write order.
+    ///
+    /// For backend implementations merging machine outputs into the next
+    /// round's store.
+    pub fn into_writes(self) -> Vec<(Key, Value)> {
+        self.writes
     }
 }
 
@@ -219,6 +292,7 @@ impl AmpcExecutor {
         carry_forward: bool,
         body: &mut dyn FnMut(usize, &mut MachineContext<'_>) -> Result<(), ModelError>,
     ) -> Result<RoundReport, ModelError> {
+        let started = Instant::now();
         let read_budget = self.config.read_budget();
         let write_budget = self.config.write_budget();
 
@@ -229,11 +303,13 @@ impl AmpcExecutor {
         };
         let mut written_this_round: std::collections::HashMap<Key, Value> =
             std::collections::HashMap::new();
+        let mut conflict_merges = 0usize;
 
         let mut report = RoundReport::new(self.metrics.num_rounds(), machines);
 
         for machine in 0..machines {
-            let mut ctx = MachineContext::new(machine, &self.store, read_budget, write_budget);
+            let mut ctx =
+                MachineContext::for_round(machine, &self.store, read_budget, write_budget);
             body(machine, &mut ctx)?;
             report.record_machine(ctx.reads_used, ctx.writes.len());
 
@@ -243,21 +319,8 @@ impl AmpcExecutor {
                         entry.insert(value);
                     }
                     std::collections::hash_map::Entry::Occupied(mut entry) => {
-                        let existing = *entry.get();
-                        let resolved = match policy {
-                            ConflictPolicy::KeepMin => existing.min(value),
-                            ConflictPolicy::KeepMax => existing.max(value),
-                            ConflictPolicy::KeepFirst => existing,
-                            ConflictPolicy::Error => {
-                                if existing == value {
-                                    existing
-                                } else {
-                                    return Err(ModelError::WriteConflict {
-                                        key: format!("{:?}", key.words()),
-                                    });
-                                }
-                            }
-                        };
+                        conflict_merges += 1;
+                        let resolved = policy.resolve(&key, *entry.get(), value)?;
                         entry.insert(resolved);
                     }
                 }
@@ -270,6 +333,12 @@ impl AmpcExecutor {
 
         report.finish(next.space_in_words());
         self.metrics.push_round(report.clone());
+        self.metrics.record_runtime(RoundRuntimeStats {
+            wall_clock_nanos: started.elapsed().as_nanos() as u64,
+            conflict_merges,
+            shard_reads: Vec::new(),
+            shard_writes: Vec::new(),
+        });
         self.store = next;
         Ok(report)
     }
@@ -296,7 +365,10 @@ mod tests {
         let mut exec = AmpcExecutor::new(small_config(), store_with(&[(0, 5), (1, 6)]));
         exec.round(2, ConflictPolicy::Error, |machine, ctx| {
             let value = ctx.read(Key::single(machine as u64))?.unwrap();
-            ctx.write(Key::single(machine as u64), Value::single(value.words()[0] + 1))
+            ctx.write(
+                Key::single(machine as u64),
+                Value::single(value.words()[0] + 1),
+            )
         })
         .unwrap();
         assert_eq!(exec.store().get(Key::single(0)), Some(Value::single(6)));
@@ -349,7 +421,13 @@ mod tests {
                 Ok(())
             })
             .unwrap_err();
-        assert_eq!(err, ModelError::ReadBudgetExceeded { machine: 0, budget: 4 });
+        assert_eq!(
+            err,
+            ModelError::ReadBudgetExceeded {
+                machine: 0,
+                budget: 4
+            }
+        );
     }
 
     #[test]
@@ -363,7 +441,13 @@ mod tests {
                 Ok(())
             })
             .unwrap_err();
-        assert_eq!(err, ModelError::WriteBudgetExceeded { machine: 0, budget: 4 });
+        assert_eq!(
+            err,
+            ModelError::WriteBudgetExceeded {
+                machine: 0,
+                budget: 4
+            }
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ impl<'g> LcaOracle<'g> {
     fn charge_many(&self, amount: usize) -> Result<(), ModelError> {
         let used = self.queries.get();
         if used + amount > self.budget {
-            return Err(ModelError::QueryBudgetExceeded { budget: self.budget });
+            return Err(ModelError::QueryBudgetExceeded {
+                budget: self.budget,
+            });
         }
         self.queries.set(used + amount);
         Ok(())

@@ -63,9 +63,9 @@ pub mod local;
 pub mod mpc;
 
 pub use config::AmpcConfig;
-pub use dds::{DataStore, Key, Value};
+pub use dds::{DataStore, Key, StoreRead, Value};
 pub use error::ModelError;
 pub use executor::{AmpcExecutor, ConflictPolicy, MachineContext};
 pub use graph_store::GraphStore;
 pub use lca::{LcaOracle, LcaStats};
-pub use metrics::{AmpcMetrics, RoundReport};
+pub use metrics::{AmpcMetrics, RoundReport, RoundRuntimeStats};

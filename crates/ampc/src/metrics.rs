@@ -73,11 +73,69 @@ impl RoundReport {
     }
 }
 
-/// Aggregated metrics over a full AMPC execution.
+/// Wall-clock and sharding measurements for one executed round.
+///
+/// Unlike [`RoundReport`] these are *measurements of the simulation itself*
+/// (how long the round took on the host, how reads and writes spread over
+/// store shards, how many conflicting writes were merged), not model-level
+/// complexity quantities — so they are excluded from [`AmpcMetrics`]
+/// equality: two backends that produce bit-identical stores report equal
+/// metrics even though their wall clocks differ.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRuntimeStats {
+    /// Host wall-clock time of the round, in nanoseconds.
+    pub wall_clock_nanos: u64,
+    /// Number of duplicate-key writes merged by the `ConflictPolicy`.
+    pub conflict_merges: usize,
+    /// Reads served per store shard during the round (empty for the
+    /// unsharded sequential executor).
+    pub shard_reads: Vec<u64>,
+    /// Writes routed to each store shard during the round (empty for the
+    /// unsharded sequential executor).
+    pub shard_writes: Vec<u64>,
+}
+
+impl RoundRuntimeStats {
+    /// Element-wise combination of two rounds' stats (used when an algorithm
+    /// driver folds several backend rounds into one logical round).
+    pub fn combine(&self, other: &RoundRuntimeStats) -> RoundRuntimeStats {
+        fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+            let mut out = vec![0u64; a.len().max(b.len())];
+            for (i, &v) in a.iter().enumerate() {
+                out[i] += v;
+            }
+            for (i, &v) in b.iter().enumerate() {
+                out[i] += v;
+            }
+            out
+        }
+        RoundRuntimeStats {
+            wall_clock_nanos: self.wall_clock_nanos + other.wall_clock_nanos,
+            conflict_merges: self.conflict_merges + other.conflict_merges,
+            shard_reads: add(&self.shard_reads, &other.shard_reads),
+            shard_writes: add(&self.shard_writes, &other.shard_writes),
+        }
+    }
+}
+
+/// Aggregated metrics over a full AMPC execution.
+///
+/// Equality compares the model-level [`RoundReport`]s only; the
+/// [`RoundRuntimeStats`] are measurement data (wall clock, shard load) that
+/// legitimately differ between two otherwise identical executions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AmpcMetrics {
     rounds: Vec<RoundReport>,
+    runtime: Vec<RoundRuntimeStats>,
 }
+
+impl PartialEq for AmpcMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+    }
+}
+
+impl Eq for AmpcMetrics {}
 
 impl AmpcMetrics {
     /// Number of rounds executed.
@@ -114,6 +172,30 @@ impl AmpcMetrics {
         self.rounds.iter().map(|r| r.store_words).max().unwrap_or(0)
     }
 
+    /// Per-round runtime measurements, in recording order.
+    ///
+    /// May be shorter than [`AmpcMetrics::rounds`] when some rounds were
+    /// recorded from external measurements without runtime data.
+    pub fn runtime_stats(&self) -> &[RoundRuntimeStats] {
+        &self.runtime
+    }
+
+    /// Total host wall-clock time across all rounds with runtime data, in
+    /// nanoseconds.
+    pub fn total_wall_clock_nanos(&self) -> u64 {
+        self.runtime.iter().map(|s| s.wall_clock_nanos).sum()
+    }
+
+    /// Total conflict merges across all rounds with runtime data.
+    pub fn total_conflict_merges(&self) -> usize {
+        self.runtime.iter().map(|s| s.conflict_merges).sum()
+    }
+
+    /// Appends a round's runtime measurements.
+    pub fn record_runtime(&mut self, stats: RoundRuntimeStats) {
+        self.runtime.push(stats);
+    }
+
     /// Appends another execution's metrics (used when an algorithm chains
     /// several executors, e.g. the guessing scheme of Lemma 5.1).
     pub fn absorb(&mut self, other: &AmpcMetrics) {
@@ -122,6 +204,7 @@ impl AmpcMetrics {
             renumbered.round = self.rounds.len();
             self.rounds.push(renumbered);
         }
+        self.runtime.extend(other.runtime.iter().cloned());
     }
 
     /// Appends an externally constructed round report (renumbering it to the

@@ -112,7 +112,10 @@ where
             .collect();
         rounds += 1;
     }
-    Some((level.into_iter().next().expect("single root"), rounds.max(1)))
+    Some((
+        level.into_iter().next().expect("single root"),
+        rounds.max(1),
+    ))
 }
 
 /// Accumulates the MPC round cost of a simulated algorithm.
@@ -224,7 +227,10 @@ mod tests {
         let mut other = MpcCostTracker::new();
         other.charge_rounds(5);
         tracker.absorb(&other);
-        assert_eq!(tracker.rounds(), config.aggregation_rounds(10_000) + 2 + 3 + 5);
+        assert_eq!(
+            tracker.rounds(),
+            config.aggregation_rounds(10_000) + 2 + 3 + 5
+        );
     }
 
     #[test]

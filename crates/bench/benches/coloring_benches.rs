@@ -2,9 +2,7 @@
 //! the three Theorem 1.3 variants and the sequential baselines.
 
 use ampc_coloring_bench::Workload;
-use arbo_coloring::ampc::{
-    color_alpha_squared, color_two_alpha_plus_one, AmpcColoringParams,
-};
+use arbo_coloring::ampc::{color_alpha_squared, color_two_alpha_plus_one, AmpcColoringParams};
 use arbo_coloring::{arb_linial_coloring, kw_color_reduction};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparse_graph::{greedy_by_degeneracy_order, Coloring, Orientation};
@@ -48,7 +46,11 @@ fn bench_theorem_13_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorem_1_3");
     group.sample_size(10);
     let params = AmpcColoringParams::default().with_x(4);
-    let graph = Workload::PowerLaw { n: 800, edges_per_node: 3 }.build(13);
+    let graph = Workload::PowerLaw {
+        n: 800,
+        edges_per_node: 3,
+    }
+    .build(13);
     group.bench_function("alpha_squared", |b| {
         b.iter(|| black_box(color_alpha_squared(&graph, 3, &params).unwrap()));
     });
@@ -62,10 +64,18 @@ fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
     group.sample_size(30);
     for n in [2_000usize, 8_000] {
-        let graph = Workload::PowerLaw { n, edges_per_node: 3 }.build(14);
-        group.bench_with_input(BenchmarkId::new("degeneracy_greedy", n), &graph, |b, graph| {
-            b.iter(|| black_box(greedy_by_degeneracy_order(graph)));
-        });
+        let graph = Workload::PowerLaw {
+            n,
+            edges_per_node: 3,
+        }
+        .build(14);
+        group.bench_with_input(
+            BenchmarkId::new("degeneracy_greedy", n),
+            &graph,
+            |b, graph| {
+                b.iter(|| black_box(greedy_by_degeneracy_order(graph)));
+            },
+        );
     }
     group.finish();
 }

@@ -9,7 +9,11 @@ use std::hint::black_box;
 fn bench_derand_by_x(c: &mut Criterion) {
     let mut group = c.benchmark_group("derandomized_coloring");
     group.sample_size(10);
-    let graph = Workload::Gnm { n: 400, average_degree: 6 }.build(31);
+    let graph = Workload::Gnm {
+        n: 400,
+        average_degree: 6,
+    }
+    .build(31);
     for x in [2usize, 4, 8] {
         let params = DerandParams::with_x(x);
         group.bench_with_input(BenchmarkId::new("x", x), &graph, |b, graph| {
@@ -23,7 +27,11 @@ fn bench_derand_by_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("derandomized_coloring_scaling");
     group.sample_size(10);
     for n in [200usize, 400, 800] {
-        let graph = Workload::Gnm { n, average_degree: 6 }.build(32);
+        let graph = Workload::Gnm {
+            n,
+            average_degree: 6,
+        }
+        .build(32);
         let params = DerandParams::with_x(4);
         group.bench_with_input(BenchmarkId::new("n", n), &graph, |b, graph| {
             b.iter(|| black_box(derandomized_coloring(graph, &params)));

@@ -21,6 +21,7 @@ use sparse_graph::{CsrGraph, GraphBuilder, NodeId};
 
 use crate::table::Table;
 use crate::workloads::Workload;
+use ampc_runtime::RuntimeConfig;
 
 /// An experiment: an id, a description and a generator producing its table.
 pub struct Experiment {
@@ -28,8 +29,9 @@ pub struct Experiment {
     pub id: &'static str,
     /// One-line description.
     pub description: &'static str,
-    /// Runs the experiment and produces its table.
-    pub run: fn() -> Table,
+    /// Runs the experiment on the given backend and produces its table.
+    /// Tables are bit-identical across backends; only wall clock differs.
+    pub run: fn(RuntimeConfig) -> Table,
 }
 
 /// All experiments in index order.
@@ -95,27 +97,42 @@ pub fn experiment_by_id(id: &str) -> Option<Experiment> {
         .find(|e| e.id.eq_ignore_ascii_case(id))
 }
 
+/// Partition parameters shared by the experiments.
+fn partition_params(beta: usize, runtime: RuntimeConfig) -> PartitionParams {
+    PartitionParams::new(beta).with_x(4).with_runtime(runtime)
+}
+
 fn ceil_log2(n: usize) -> usize {
     (usize::BITS - n.max(2).leading_zeros()) as usize
 }
 
 /// E1 — fraction of nodes the sublinear LCA layers, and its query cost, as a
 /// function of the coin budget `x`.
-fn e1_lca_fraction() -> Table {
+fn e1_lca_fraction(_runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E1",
         "Sublinear LCA for partial beta-partitions",
         "A 1 - 1/n^{O(delta)} fraction of nodes is layered with sublinear queries per node; \
          both the fraction and the per-node query cost grow with the budget x (Lemma 4.7).",
         &[
-            "workload", "beta", "x", "layer cap", "sampled", "layered frac", "avg queries",
-            "max queries", "n",
+            "workload",
+            "beta",
+            "x",
+            "layer cap",
+            "sampled",
+            "layered frac",
+            "avg queries",
+            "max queries",
+            "n",
         ],
     );
 
     let workloads = [
         Workload::ForestUnion { n: 2_000, k: 2 },
-        Workload::PowerLaw { n: 2_000, edges_per_node: 3 },
+        Workload::PowerLaw {
+            n: 2_000,
+            edges_per_node: 3,
+        },
     ];
     for workload in workloads {
         let graph = workload.build(42);
@@ -152,14 +169,20 @@ fn e1_lca_fraction() -> Table {
 }
 
 /// E2 — Theorem 1.2 with `beta = O(alpha)`.
-fn e2_partition_rounds() -> Table {
+fn e2_partition_rounds(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E2",
         "AMPC beta-partition, beta = ceil(2.5 * alpha)",
         "The partition is complete and valid, its size is O(log n), the number of AMPC rounds \
          grows with alpha but not with n, and per-machine queries stay sublinear (Theorem 1.2).",
         &[
-            "workload", "alpha<=", "beta", "rounds", "layers", "log2 n", "max queries",
+            "workload",
+            "alpha<=",
+            "beta",
+            "rounds",
+            "layers",
+            "log2 n",
+            "max queries",
             "peel rounds",
         ],
     );
@@ -179,7 +202,7 @@ fn e2_partition_rounds() -> Table {
         let graph = workload.build(7 + k as u64);
         let n = graph.num_nodes();
         let beta = ((2.5 * k as f64).ceil() as usize).max(3);
-        let result = ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4))
+        let result = ampc_beta_partition(&graph, &partition_params(beta, runtime))
             .expect("beta >= 2.5 alpha always succeeds");
         assert!(result.partition.validate(&graph).is_ok());
         table.push_row(vec![
@@ -197,13 +220,21 @@ fn e2_partition_rounds() -> Table {
 }
 
 /// E3 — Theorem 1.2 with `beta = alpha^(1+eps)`.
-fn e3_partition_constant_rounds() -> Table {
+fn e3_partition_constant_rounds(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E3",
         "AMPC beta-partition, beta = alpha^(1+eps)",
         "With the looser beta the number of rounds becomes (nearly) independent of alpha and n \
          — the O(1/eps)-round regime of Theorem 1.2.",
-        &["n", "alpha<=", "eps", "beta", "rounds", "layers", "max queries"],
+        &[
+            "n",
+            "alpha<=",
+            "eps",
+            "beta",
+            "rounds",
+            "layers",
+            "max queries",
+        ],
     );
     for k in [2usize, 4, 8] {
         for eps in [0.5f64, 1.0] {
@@ -211,7 +242,7 @@ fn e3_partition_constant_rounds() -> Table {
             let workload = Workload::ForestUnion { n, k };
             let graph = workload.build(11 + k as u64);
             let beta = ((k as f64).powf(1.0 + eps).ceil() as usize).max(2 * k + 1);
-            let result = ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4))
+            let result = ampc_beta_partition(&graph, &partition_params(beta, runtime))
                 .expect("loose beta always succeeds");
             table.push_row(vec![
                 n.to_string(),
@@ -227,27 +258,34 @@ fn e3_partition_constant_rounds() -> Table {
     table
 }
 
-fn coloring_params() -> AmpcColoringParams {
-    AmpcColoringParams::default().with_x(4)
+fn coloring_params(runtime: RuntimeConfig) -> AmpcColoringParams {
+    AmpcColoringParams::default()
+        .with_x(4)
+        .with_runtime(runtime)
 }
 
 /// E4 — Theorem 1.3 (1).
-fn e4_coloring_alpha_power() -> Table {
+fn e4_coloring_alpha_power(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E4",
         "O(alpha^(2+eps))-coloring in O(1/eps) rounds",
         "Colors grow roughly like alpha^2 (up to the eps slack) while the total number of AMPC \
          rounds stays small and flat in n (Theorem 1.3(1)).",
-        &["workload", "alpha<=", "beta", "colors", "alpha^2", "rounds", "Delta+1"],
+        &[
+            "workload", "alpha<=", "beta", "colors", "alpha^2", "rounds", "Delta+1",
+        ],
     );
     for workload in [
         Workload::ForestUnion { n: 1_500, k: 2 },
         Workload::ForestUnion { n: 1_500, k: 4 },
-        Workload::PowerLaw { n: 1_500, edges_per_node: 3 },
+        Workload::PowerLaw {
+            n: 1_500,
+            edges_per_node: 3,
+        },
     ] {
         let graph = workload.build(21);
         let alpha = workload.alpha_bound();
-        let result = color_alpha_power(&graph, alpha, &coloring_params().with_epsilon(0.5))
+        let result = color_alpha_power(&graph, alpha, &coloring_params(runtime).with_epsilon(0.5))
             .expect("coloring succeeds");
         assert!(result.coloring.is_proper(&graph));
         table.push_row(vec![
@@ -264,18 +302,26 @@ fn e4_coloring_alpha_power() -> Table {
 }
 
 /// E5 — Theorem 1.3 (2).
-fn e5_coloring_alpha_squared() -> Table {
+fn e5_coloring_alpha_squared(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E5",
         "O(alpha^2)-coloring in O(log alpha) rounds",
         "Colors stay within a constant factor of alpha^2 and the rounds scale with log(alpha), \
          not with n (Theorem 1.3(2)).",
-        &["workload", "alpha<=", "beta", "colors", "alpha^2", "rounds", "log2 alpha + 1"],
+        &[
+            "workload",
+            "alpha<=",
+            "beta",
+            "colors",
+            "alpha^2",
+            "rounds",
+            "log2 alpha + 1",
+        ],
     );
     for (n, k) in [(1_000usize, 1usize), (1_000, 2), (1_000, 4), (2_000, 4)] {
         let workload = Workload::ForestUnion { n, k };
         let graph = workload.build(23);
-        let result = color_alpha_squared(&graph, k, &coloring_params()).expect("succeeds");
+        let result = color_alpha_squared(&graph, k, &coloring_params(runtime)).expect("succeeds");
         assert!(result.coloring.is_proper(&graph));
         table.push_row(vec![
             workload.label(),
@@ -291,13 +337,21 @@ fn e5_coloring_alpha_squared() -> Table {
 }
 
 /// E6 — Theorem 1.3 (3) / Corollary 1.4.
-fn e6_coloring_two_alpha() -> Table {
+fn e6_coloring_two_alpha(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E6",
         "((2+eps)alpha + 1)-coloring",
         "The number of colors is linear in alpha (and independent of n and Delta); for constant \
          alpha both colors and rounds stay constant as the graph grows (Corollary 1.4).",
-        &["workload", "alpha<=", "beta", "colors", "(2+eps)a+1", "rounds", "Delta+1"],
+        &[
+            "workload",
+            "alpha<=",
+            "beta",
+            "colors",
+            "(2+eps)a+1",
+            "rounds",
+            "Delta+1",
+        ],
     );
     for workload in [
         Workload::DeepTree { arity: 4, depth: 5 },
@@ -305,12 +359,16 @@ fn e6_coloring_two_alpha() -> Table {
         Workload::ForestUnion { n: 2_000, k: 2 },
         Workload::PlanarGrid { side: 30 },
         Workload::PlanarGrid { side: 45 },
-        Workload::PowerLaw { n: 2_000, edges_per_node: 4 },
+        Workload::PowerLaw {
+            n: 2_000,
+            edges_per_node: 4,
+        },
     ] {
         let graph = workload.build(29);
         let alpha = workload.alpha_bound();
-        let result = color_two_alpha_plus_one(&graph, alpha, &coloring_params().with_epsilon(0.5))
-            .expect("succeeds");
+        let result =
+            color_two_alpha_plus_one(&graph, alpha, &coloring_params(runtime).with_epsilon(0.5))
+                .expect("succeeds");
         assert!(result.coloring.is_proper(&graph));
         table.push_row(vec![
             workload.label(),
@@ -326,20 +384,30 @@ fn e6_coloring_two_alpha() -> Table {
 }
 
 /// E7 — Theorem 1.5.
-fn e7_derand_mpc() -> Table {
+fn e7_derand_mpc(_runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E7",
         "Deterministic 2x∆-coloring in MPC",
         "The uncolored set shrinks at least by a factor x per phase, so the number of phases is \
          at most log_x(n) + 1; the palette is 2x∆ rounded to a power of two (Theorem 1.5).",
         &[
-            "n", "m", "Delta", "x", "palette", "phases", "log_x n", "uncolored history",
+            "n",
+            "m",
+            "Delta",
+            "x",
+            "palette",
+            "phases",
+            "log_x n",
+            "uncolored history",
             "mpc rounds",
         ],
     );
     for n in [300usize, 800] {
         for x in [2usize, 4, 8] {
-            let workload = Workload::Gnm { n, average_degree: 6 };
+            let workload = Workload::Gnm {
+                n,
+                average_degree: 6,
+            };
             let graph = workload.build(31);
             let result = derandomized_coloring(&graph, &DerandParams::with_x(x));
             assert!(result.coloring.is_proper(&graph));
@@ -367,25 +435,46 @@ fn e7_derand_mpc() -> Table {
 }
 
 /// E8 — the full trade-off table.
-fn e8_tradeoff_table() -> Table {
+fn e8_tradeoff_table(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E8",
         "Color / round trade-off on a heavy-tailed sparse graph",
         "The three Theorem 1.3 variants trade colors for rounds; all of them beat the Delta+1 \
          budget by a wide margin on graphs with Delta >> alpha; sequential baselines shown for \
          reference (no meaningful round count).",
-        &["algorithm", "colors", "beta", "AMPC rounds", "partition layers"],
+        &[
+            "algorithm",
+            "colors",
+            "beta",
+            "AMPC rounds",
+            "partition layers",
+        ],
     );
-    let workload = Workload::PowerLaw { n: 2_000, edges_per_node: 3 };
+    let workload = Workload::PowerLaw {
+        n: 2_000,
+        edges_per_node: 3,
+    };
     let graph = workload.build(37);
     let alpha = workload.alpha_bound();
-    let params = coloring_params();
+    let params = coloring_params(runtime);
 
     let variants: Vec<(&str, Result<arbo_coloring::ampc::AmpcColoringResult, _>)> = vec![
-        ("Thm 1.3(1) alpha^(2+eps)", color_alpha_power(&graph, alpha, &params)),
-        ("Thm 1.3(2) alpha^2", color_alpha_squared(&graph, alpha, &params)),
-        ("Thm 1.3(3) (2+eps)alpha+1", color_two_alpha_plus_one(&graph, alpha, &params)),
-        ("Sec 6.4 alpha^(1+eps) via Thm 1.5", color_large_arboricity(&graph, alpha, &params)),
+        (
+            "Thm 1.3(1) alpha^(2+eps)",
+            color_alpha_power(&graph, alpha, &params),
+        ),
+        (
+            "Thm 1.3(2) alpha^2",
+            color_alpha_squared(&graph, alpha, &params),
+        ),
+        (
+            "Thm 1.3(3) (2+eps)alpha+1",
+            color_two_alpha_plus_one(&graph, alpha, &params),
+        ),
+        (
+            "Sec 6.4 alpha^(1+eps) via Thm 1.5",
+            color_large_arboricity(&graph, alpha, &params),
+        ),
     ];
     for (name, outcome) in variants {
         match outcome {
@@ -400,7 +489,13 @@ fn e8_tradeoff_table() -> Table {
                 ]);
             }
             Err(err) => {
-                table.push_row(vec![name.to_string(), format!("failed: {err}"), "-".into(), "-".into(), "-".into()]);
+                table.push_row(vec![
+                    name.to_string(),
+                    format!("failed: {err}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -426,7 +521,7 @@ fn e8_tradeoff_table() -> Table {
 }
 
 /// E9 — arboricity guessing (Lemma 5.1).
-fn e9_guessing_overhead() -> Table {
+fn e9_guessing_overhead(runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E9",
         "Beta-partitioning without knowing alpha",
@@ -434,19 +529,24 @@ fn e9_guessing_overhead() -> Table {
          and its total round cost stays within a constant factor of the known-alpha run \
          (Lemma 5.1).",
         &[
-            "workload", "true k", "chosen alpha", "chosen beta", "guess rounds (seq+par)",
-            "known-alpha rounds", "attempts",
+            "workload",
+            "true k",
+            "chosen alpha",
+            "chosen beta",
+            "guess rounds (seq+par)",
+            "known-alpha rounds",
+            "attempts",
         ],
     );
     for k in [1usize, 3, 6] {
         let workload = Workload::ForestUnion { n: 800, k };
         let graph = workload.build(43 + k as u64);
-        let template = PartitionParams::new(0).with_x(4);
+        let template = partition_params(0, runtime);
         let guess = ampc_beta_partition_unknown_arboricity(&graph, 0.5, &template)
             .expect("guessing succeeds");
         let known = ampc_beta_partition(
             &graph,
-            &PartitionParams::new(((2.5 * k as f64).ceil()) as usize).with_x(4),
+            &partition_params(((2.5 * k as f64).ceil()) as usize, runtime),
         )
         .expect("known-alpha run succeeds");
         table.push_row(vec![
@@ -533,13 +633,20 @@ fn dfs_layer_estimate(graph: &CsrGraph, root: NodeId, beta: usize, budget: usize
     induced_layer(graph, &visited, root, beta)
 }
 
-fn induced_layer(graph: &CsrGraph, explored: &BTreeSet<NodeId>, root: NodeId, beta: usize) -> Layer {
-    let in_s: Vec<bool> = (0..graph.num_nodes()).map(|v| explored.contains(&v)).collect();
+fn induced_layer(
+    graph: &CsrGraph,
+    explored: &BTreeSet<NodeId>,
+    root: NodeId,
+    beta: usize,
+) -> Layer {
+    let in_s: Vec<bool> = (0..graph.num_nodes())
+        .map(|v| explored.contains(&v))
+        .collect();
     induced_partition(graph, &in_s, beta).layer(root)
 }
 
 /// E10 — adaptive exploration vs naive BFS/DFS under equal query budgets.
-fn e10_skewed_exploration() -> Table {
+fn e10_skewed_exploration(_runtime: RuntimeConfig) -> Table {
     let mut table = Table::new(
         "E10",
         "Exploration cost on clutter-padded deep instances (Section 2.1)",
@@ -550,8 +657,14 @@ fn e10_skewed_exploration() -> Table {
          without any tuning; DFS degrades sharply with the layer depth, and BFS only competes \
          because its budget is chosen per node with hindsight — no a-priori rule provides it.",
         &[
-            "instance", "n", "layer", "count", "avg |D(v)|", "coin-game avg q",
-            "BFS min budget", "DFS min budget",
+            "instance",
+            "n",
+            "layer",
+            "count",
+            "avg |D(v)|",
+            "coin-game avg q",
+            "BFS min budget",
+            "DFS min budget",
         ],
     );
     let beta = 3usize;
@@ -673,9 +786,11 @@ mod tests {
         // layer right (depth 2).
         assert_eq!(bfs_layer_estimate(&g, 0, 3, budget), Layer::Finite(2));
         assert_eq!(dfs_layer_estimate(&g, 0, 3, budget), Layer::Finite(2));
-        assert!(minimal_budget(&g, 0, 3, Layer::Finite(2), |g, r, b, q| {
-            bfs_layer_estimate(g, r, b, q)
-        }) <= budget);
+        assert!(
+            minimal_budget(&g, 0, 3, Layer::Finite(2), |g, r, b, q| {
+                bfs_layer_estimate(g, r, b, q)
+            }) <= budget
+        );
     }
 
     #[test]

@@ -82,8 +82,47 @@ impl Table {
     }
 
     /// Renders the table as a JSON object (for machine consumption).
+    ///
+    /// Hand-rolled (rather than via serde) so the workspace builds without
+    /// registry access; the schema is a flat object of strings and string
+    /// arrays, so escaping strings is all that is needed.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+
+        fn string_array(items: &[String], indent: &str) -> String {
+            let cells: Vec<String> = items.iter().map(|s| escape(s)).collect();
+            format!("{indent}[{}]", cells.join(", "))
+        }
+
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| string_array(row, "    "))
+            .collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"claim\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}",
+            escape(&self.id),
+            escape(&self.title),
+            escape(&self.claim),
+            string_array(&self.headers, "").trim_start(),
+            rows.join(",\n")
+        )
     }
 }
 

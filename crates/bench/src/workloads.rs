@@ -55,7 +55,9 @@ impl Workload {
             }
             Workload::PlanarGrid { side } => generators::triangulated_grid(side, side),
             Workload::DeepTree { arity, depth } => generators::complete_kary_tree(arity, depth),
-            Workload::Gnm { n, average_degree } => generators::gnm(n, n * average_degree / 2, &mut rng),
+            Workload::Gnm { n, average_degree } => {
+                generators::gnm(n, n * average_degree / 2, &mut rng)
+            }
         }
     }
 
@@ -63,7 +65,9 @@ impl Workload {
     pub fn label(self) -> String {
         match self {
             Workload::ForestUnion { n, k } => format!("forest-union(n={n},k={k})"),
-            Workload::PowerLaw { n, edges_per_node } => format!("power-law(n={n},m0={edges_per_node})"),
+            Workload::PowerLaw { n, edges_per_node } => {
+                format!("power-law(n={n},m0={edges_per_node})")
+            }
             Workload::PlanarGrid { side } => format!("grid({side}x{side})"),
             Workload::DeepTree { arity, depth } => format!("tree(arity={arity},depth={depth})"),
             Workload::Gnm { n, average_degree } => format!("gnm(n={n},avg={average_degree})"),
@@ -91,7 +95,15 @@ mod tests {
         let w = Workload::ForestUnion { n: 100, k: 2 };
         assert_eq!(w.build(3), w.build(3));
         assert!(w.label().contains("forest-union"));
-        assert_eq!(Workload::Gnm { n: 50, average_degree: 4 }.build(1).num_edges(), 100);
+        assert_eq!(
+            Workload::Gnm {
+                n: 50,
+                average_degree: 4
+            }
+            .build(1)
+            .num_edges(),
+            100
+        );
         assert_eq!(Workload::PlanarGrid { side: 5 }.alpha_bound(), 3);
     }
 }

@@ -8,9 +8,9 @@
 
 use std::fmt;
 
+use ampc_runtime::{parallel_map, RuntimeConfig};
 use beta_partition::{
-    ampc_beta_partition, AmpcPartitionResult, BetaPartition, Layer, PartitionError,
-    PartitionParams,
+    ampc_beta_partition, AmpcPartitionResult, BetaPartition, Layer, PartitionError, PartitionParams,
 };
 use sparse_graph::{Coloring, CsrGraph, InducedSubgraph, NodeId, Orientation};
 
@@ -66,6 +66,10 @@ pub struct AmpcColoringParams {
     pub partition_super_iterations: Option<usize>,
     /// Round limit for the partition phase.
     pub max_partition_rounds: usize,
+    /// Which executor backend runs the AMPC rounds (and how many worker
+    /// threads the per-layer coloring phase may use). Does not affect the
+    /// result: backends are bit-identical for a fixed input.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for AmpcColoringParams {
@@ -76,6 +80,7 @@ impl Default for AmpcColoringParams {
             x: Some(4),
             partition_super_iterations: None,
             max_partition_rounds: 256,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -93,10 +98,17 @@ impl AmpcColoringParams {
         self
     }
 
+    /// Selects the executor backend for the AMPC rounds.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     fn partition_params(&self, beta: usize) -> PartitionParams {
         let mut params = PartitionParams::new(beta)
             .with_delta(self.delta)
-            .with_max_rounds(self.max_partition_rounds);
+            .with_max_rounds(self.max_partition_rounds)
+            .with_runtime(self.runtime);
         if let Some(x) = self.x {
             params = params.with_x(x);
         }
@@ -265,27 +277,51 @@ pub fn color_two_alpha_plus_one(
     let partition = ampc_beta_partition(graph, &params.partition_params(beta))?;
     let n = graph.num_nodes();
 
-    // Phase 2: color every layer independently with beta + 1 colors.
+    // Phase 2: color every layer independently with beta + 1 colors. The
+    // layers are disjoint induced subgraphs, so they are colored in
+    // parallel (the model runs them on separate machine groups anyway) and
+    // the per-layer results are folded back in layer order — deterministic
+    // for any thread count.
+    struct LayerColors {
+        colors: Vec<(NodeId, usize)>,
+        linial_rounds: usize,
+        kw_rounds: usize,
+    }
+    let layers = layer_members(graph, &partition.partition);
+    let outcomes = parallel_map(
+        &layers,
+        params.runtime.effective_threads(),
+        |_, members| -> Result<LayerColors, ColoringError> {
+            let sub = InducedSubgraph::new(graph, members);
+            let local_graph = sub.graph();
+            // Any orientation of a subgraph with max degree <= beta has
+            // out-degree <= beta; node order works fine.
+            let orientation = Orientation::from_total_order(local_graph, |v| v);
+            let linial = arb_linial_coloring(local_graph, &orientation, None)?;
+            let reduced = kw_color_reduction(local_graph, &linial.coloring, beta)?;
+            let colors = sub
+                .original_nodes()
+                .iter()
+                .enumerate()
+                .map(|(local, &original)| (original, reduced.coloring.color(local)))
+                .collect();
+            Ok(LayerColors {
+                colors,
+                linial_rounds: linial.rounds,
+                kw_rounds: reduced.rounds,
+            })
+        },
+    )?;
     let mut initial = vec![0usize; n];
     let mut kw_rounds_max = 0usize;
     let mut linial_rounds_max = 0usize;
-    for_each_layer(graph, &partition.partition, |sub| {
-        let local_graph = sub.graph();
-        if local_graph.num_nodes() == 0 {
-            return Ok(());
+    for outcome in &outcomes {
+        linial_rounds_max = linial_rounds_max.max(outcome.linial_rounds);
+        kw_rounds_max = kw_rounds_max.max(outcome.kw_rounds);
+        for &(original, color) in &outcome.colors {
+            initial[original] = color;
         }
-        // Any orientation of a subgraph with max degree <= beta has
-        // out-degree <= beta; node order works fine.
-        let orientation = Orientation::from_total_order(local_graph, |v| v);
-        let linial = arb_linial_coloring(local_graph, &orientation, None)?;
-        linial_rounds_max = linial_rounds_max.max(linial.rounds);
-        let reduced = kw_color_reduction(local_graph, &linial.coloring, beta)?;
-        kw_rounds_max = kw_rounds_max.max(reduced.rounds);
-        for (local, &original) in sub.original_nodes().iter().enumerate() {
-            initial[original] = reduced.coloring.color(local);
-        }
-        Ok(())
-    })?;
+    }
 
     // Phase 3: fix cross-layer conflicts.
     let initial = Coloring::new(initial);
@@ -302,10 +338,7 @@ pub fn color_two_alpha_plus_one(
     // AMPC round.
     let linial_sim = simulation_rounds(n, beta, linial_rounds_max, params.delta);
     let batch_size = recolor_batch_size(n, beta, params.delta);
-    let recolor_rounds = partition
-        .partition_size()
-        .div_ceil(batch_size)
-        .max(1);
+    let recolor_rounds = partition.partition_size().div_ceil(batch_size).max(1);
     let coloring_rounds = linial_sim + kw_rounds_max + recolor_rounds;
 
     Ok(AmpcColoringResult::new(
@@ -341,22 +374,45 @@ pub fn color_large_arboricity(
         ..Default::default()
     };
 
+    // Every layer is colored independently (in parallel, see
+    // `color_two_alpha_plus_one`); the disjoint palette offsets are applied
+    // in layer order afterwards, so the result is identical for any thread
+    // count.
+    struct LayerPalette {
+        colors: Vec<(NodeId, usize)>,
+        palette: usize,
+        mpc_rounds: usize,
+    }
+    let layers = layer_members(graph, &partition.partition);
+    let outcomes = parallel_map(
+        &layers,
+        params.runtime.effective_threads(),
+        |_, members| -> Result<LayerPalette, ColoringError> {
+            let sub = InducedSubgraph::new(graph, members);
+            let result = derandomized_coloring(sub.graph(), &derand_params);
+            let colors = sub
+                .original_nodes()
+                .iter()
+                .enumerate()
+                .map(|(local, &original)| (original, result.coloring.color(local)))
+                .collect();
+            Ok(LayerPalette {
+                colors,
+                palette: result.palette,
+                mpc_rounds: result.mpc_rounds,
+            })
+        },
+    )?;
     let mut colors = vec![0usize; n];
     let mut palette_offset = 0usize;
     let mut mpc_rounds_max = 0usize;
-    for_each_layer(graph, &partition.partition, |sub| {
-        let local_graph = sub.graph();
-        if local_graph.num_nodes() == 0 {
-            return Ok(());
+    for outcome in &outcomes {
+        mpc_rounds_max = mpc_rounds_max.max(outcome.mpc_rounds);
+        for &(original, color) in &outcome.colors {
+            colors[original] = palette_offset + color;
         }
-        let result = derandomized_coloring(local_graph, &derand_params);
-        mpc_rounds_max = mpc_rounds_max.max(result.mpc_rounds);
-        for (local, &original) in sub.original_nodes().iter().enumerate() {
-            colors[original] = palette_offset + result.coloring.color(local);
-        }
-        palette_offset += result.palette;
-        Ok(())
-    })?;
+        palette_offset += outcome.palette;
+    }
 
     let coloring = Coloring::new(colors);
     if !coloring.is_proper(graph) {
@@ -384,30 +440,19 @@ fn recolor_batch_size(n: usize, beta: usize, delta: f64) -> usize {
     ((delta / beta.max(1) as f64) * log_beta_n).floor().max(1.0) as usize
 }
 
-/// Applies `body` to the induced subgraph of every non-empty layer.
-fn for_each_layer<F>(
-    graph: &CsrGraph,
-    partition: &BetaPartition,
-    mut body: F,
-) -> Result<(), ColoringError>
-where
-    F: FnMut(&InducedSubgraph) -> Result<(), ColoringError>,
-{
+/// The member lists of all non-empty layers, in increasing layer order.
+fn layer_members(graph: &CsrGraph, partition: &BetaPartition) -> Vec<Vec<NodeId>> {
     let Some(max_layer) = partition.max_finite_layer() else {
-        return Ok(());
+        return Vec::new();
     };
-    for layer in 0..=max_layer {
-        let members: Vec<NodeId> = graph
-            .nodes()
-            .filter(|&v| partition.layer(v) == Layer::Finite(layer))
-            .collect();
-        if members.is_empty() {
-            continue;
+    let mut layers: Vec<Vec<NodeId>> = vec![Vec::new(); max_layer + 1];
+    for v in graph.nodes() {
+        if let Layer::Finite(layer) = partition.layer(v) {
+            layers[layer].push(v);
         }
-        let sub = InducedSubgraph::new(graph, &members);
-        body(&sub)?;
     }
-    Ok(())
+    layers.retain(|members| !members.is_empty());
+    layers
 }
 
 /// Runs all applicable Theorem 1.3 variants and the baselines on one graph —
@@ -455,7 +500,10 @@ mod tests {
                 "alpha = {alpha}: {} colors",
                 result.colors_used
             );
-            assert_eq!(result.total_rounds, result.partition_rounds + result.coloring_rounds);
+            assert_eq!(
+                result.total_rounds,
+                result.partition_rounds + result.coloring_rounds
+            );
         }
     }
 

@@ -244,7 +244,11 @@ mod tests {
         let result = arb_linial_coloring(&graph, &orientation, None).unwrap();
         assert!(result.coloring.is_proper(&graph));
         // beta = 1: the fixed point is at most (2 * 2)^2 = 16, in practice <= 9.
-        assert!(result.final_palette() <= 16, "palette {}", result.final_palette());
+        assert!(
+            result.final_palette() <= 16,
+            "palette {}",
+            result.final_palette()
+        );
         assert!(result.rounds <= 10);
     }
 
@@ -314,8 +318,7 @@ mod tests {
         let graph = generators::star(200);
         let orientation = Orientation::from_total_order(&graph, |v| if v == 0 { 1 } else { 0 });
         let colors: Vec<usize> = (0..200).collect();
-        let (new_colors, new_palette) =
-            reduction_round(&graph, &orientation, &colors, 200, 1, 2);
+        let (new_colors, new_palette) = reduction_round(&graph, &orientation, &colors, 200, 1, 2);
         assert!(new_palette < 200);
         let coloring = Coloring::new(new_colors);
         assert!(coloring.is_proper(&graph));

@@ -46,7 +46,10 @@ pub fn id_order_greedy(graph: &CsrGraph) -> BaselineResult {
 /// Greedy coloring in reverse degeneracy order — the strongest sequential
 /// baseline, achieving at most `degeneracy + 1 ≤ 2α` colors.
 pub fn degeneracy_order_greedy(graph: &CsrGraph) -> BaselineResult {
-    BaselineResult::new("greedy (degeneracy order)", greedy_by_degeneracy_order(graph))
+    BaselineResult::new(
+        "greedy (degeneracy order)",
+        greedy_by_degeneracy_order(graph),
+    )
 }
 
 /// Greedy coloring in a uniformly random order (averaged behavior of the

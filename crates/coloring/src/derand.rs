@@ -206,7 +206,9 @@ pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandC
 
     // Palette 2x∆ rounded up to a power of two (at least 2 colors so the
     // seed has at least one row).
-    let palette = (2 * params.x * max_degree.max(1)).next_power_of_two().max(2);
+    let palette = (2 * params.x * max_degree.max(1))
+        .next_power_of_two()
+        .max(2);
     let color_bits = palette.trailing_zeros() as usize;
     let id_bits = (usize::BITS - n.max(2).leading_zeros()) as usize;
     let cols = id_bits + 1;
@@ -233,10 +235,8 @@ pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandC
         // endpoints in U (difference vector), or one endpoint in U against a
         // fixed color.
         let mut seed = Seed::new(color_bits, cols);
-        let relevant_edges: Vec<(NodeId, NodeId)> = graph
-            .edges()
-            .filter(|&(u, v)| in_u[u] || in_u[v])
-            .collect();
+        let relevant_edges: Vec<(NodeId, NodeId)> =
+            graph.edges().filter(|&(u, v)| in_u[u] || in_u[v]).collect();
 
         // Conditional expectation of the number of monochromatic relevant
         // edges under the (partially fixed) seed.
@@ -292,10 +292,8 @@ pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandC
         }
 
         // Apply the fully fixed seed to U and freeze conflict-free nodes.
-        let tentative: Vec<(NodeId, usize)> = uncolored
-            .iter()
-            .map(|&v| (v, seed.color_of(v)))
-            .collect();
+        let tentative: Vec<(NodeId, usize)> =
+            uncolored.iter().map(|&v| (v, seed.color_of(v))).collect();
         let mut tentative_colors: Vec<Option<usize>> = vec![None; n];
         for &(v, c) in &tentative {
             tentative_colors[v] = Some(c);
@@ -368,10 +366,7 @@ mod tests {
         let result = derandomized_coloring(&graph, &DerandParams::with_x(2));
         assert!(result.coloring.is_proper(&graph));
         assert!(result.coloring.palette_size() <= result.palette);
-        assert_eq!(
-            result.palette,
-            (4 * graph.max_degree()).next_power_of_two()
-        );
+        assert_eq!(result.palette, (4 * graph.max_degree()).next_power_of_two());
     }
 
     #[test]

@@ -199,10 +199,7 @@ mod tests {
         let graph = generators::preferential_attachment(500, 3, &mut rng);
         let beta = 7;
         let partition = beta_partition_for_test(&graph, beta);
-        let layer0: Vec<usize> = graph
-            .nodes()
-            .filter(|&v| partition[v] == 0)
-            .collect();
+        let layer0: Vec<usize> = graph.nodes().filter(|&v| partition[v] == 0).collect();
         let sub = sparse_graph::InducedSubgraph::new(&graph, &layer0);
         assert!(sub.graph().max_degree() <= beta);
         let initial = Coloring::new((0..sub.num_nodes()).collect());

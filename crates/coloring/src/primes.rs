@@ -17,12 +17,12 @@ pub fn is_prime(n: u64) -> bool {
     if n < 4 {
         return true;
     }
-    if n % 2 == 0 || n % 3 == 0 {
+    if n.is_multiple_of(2) || n.is_multiple_of(3) {
         return false;
     }
     let mut candidate = 5u64;
     while candidate * candidate <= n {
-        if n % candidate == 0 || n % (candidate + 2) == 0 {
+        if n.is_multiple_of(candidate) || n.is_multiple_of(candidate + 2) {
             return false;
         }
         candidate += 6;

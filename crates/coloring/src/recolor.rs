@@ -214,7 +214,10 @@ mod tests {
         let beta = 7;
         let partition = natural_partition(&graph, beta);
         let initial = per_layer_coloring(&graph, &partition);
-        for order in [RecolorOrder::HighestAvailable, RecolorOrder::SmallestAvailable] {
+        for order in [
+            RecolorOrder::HighestAvailable,
+            RecolorOrder::SmallestAvailable,
+        ] {
             let result = recolor_layers(&graph, &partition, &initial, order).unwrap();
             assert!(result.coloring.is_proper(&graph));
             assert!(result.coloring.palette_size() <= beta + 1);

@@ -61,6 +61,11 @@ pub use beta_partition as partition;
 /// Coloring-algorithm re-export (crate `arbo-coloring`).
 pub use arbo_coloring as coloring;
 
+/// Parallel-runtime re-export (crate `ampc-runtime`).
+pub use ampc_runtime as runtime;
+
+pub use ampc_runtime::RuntimeConfig;
+
 use arbo_coloring::ampc::{
     color_alpha_power, color_alpha_squared, color_large_arboricity, color_two_alpha_plus_one,
     AmpcColoringParams, AmpcColoringResult, ColoringError,
@@ -190,6 +195,7 @@ pub struct SparseColoring {
     delta: f64,
     x: Option<usize>,
     max_partition_rounds: usize,
+    runtime: RuntimeConfig,
 }
 
 impl Default for SparseColoring {
@@ -201,6 +207,7 @@ impl Default for SparseColoring {
             delta: 0.5,
             x: Some(4),
             max_partition_rounds: 256,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -251,12 +258,25 @@ impl SparseColoring {
         self
     }
 
+    /// Selects the executor backend for the AMPC rounds — the sequential
+    /// reference simulator (default) or the sharded parallel runtime
+    /// ([`RuntimeConfig::parallel`]). Backends are bit-identical for a
+    /// fixed input, so this only affects wall-clock time.
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     fn validate(&self) -> Result<(), Error> {
         if self.epsilon <= 0.0 {
-            return Err(Error::InvalidRequest("epsilon must be positive".to_string()));
+            return Err(Error::InvalidRequest(
+                "epsilon must be positive".to_string(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.delta) || self.delta == 0.0 {
-            return Err(Error::InvalidRequest("delta must lie in (0, 1]".to_string()));
+            return Err(Error::InvalidRequest(
+                "delta must lie in (0, 1]".to_string(),
+            ));
         }
         Ok(())
     }
@@ -268,6 +288,7 @@ impl SparseColoring {
             x: self.x,
             partition_super_iterations: None,
             max_partition_rounds: self.max_partition_rounds,
+            runtime: self.runtime,
         }
     }
 
@@ -296,8 +317,8 @@ impl SparseColoring {
             Algorithm::Auto => {
                 // The LOCAL simulations need beta <= n^{delta/(1+eps)}; fall
                 // back to the Theorem 1.5 route above that threshold.
-                let threshold = (graph.num_nodes().max(2) as f64)
-                    .powf(self.delta / (1.0 + self.epsilon));
+                let threshold =
+                    (graph.num_nodes().max(2) as f64).powf(self.delta / (1.0 + self.epsilon));
                 if (alpha as f64) <= threshold {
                     Algorithm::TwoAlphaPlusOne
                 } else {
@@ -328,7 +349,8 @@ impl SparseColoring {
         let beta = (((2.0 + self.epsilon) * alpha as f64).ceil() as usize).max(1);
         let mut params = PartitionParams::new(beta)
             .with_delta(self.delta)
-            .with_max_rounds(self.max_partition_rounds);
+            .with_max_rounds(self.max_partition_rounds)
+            .with_runtime(self.runtime);
         if let Some(x) = self.x {
             params = params.with_x(x);
         }
@@ -348,7 +370,8 @@ impl SparseColoring {
         self.validate()?;
         let mut template = PartitionParams::new(0)
             .with_delta(self.delta)
-            .with_max_rounds(self.max_partition_rounds);
+            .with_max_rounds(self.max_partition_rounds)
+            .with_runtime(self.runtime);
         if let Some(x) = self.x {
             template = template.with_x(x);
         }
@@ -421,7 +444,10 @@ mod tests {
     #[test]
     fn beta_partition_entry_point() {
         let graph = two_forest(400, 4);
-        let result = SparseColoring::new().alpha(2).beta_partition(&graph).unwrap();
+        let result = SparseColoring::new()
+            .alpha(2)
+            .beta_partition(&graph)
+            .unwrap();
         assert!(!result.partition.is_partial());
         assert!(result.partition.validate(&graph).is_ok());
     }
@@ -439,7 +465,10 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         let graph = two_forest(50, 6);
-        let err = SparseColoring::new().epsilon(0.0).color(&graph).unwrap_err();
+        let err = SparseColoring::new()
+            .epsilon(0.0)
+            .color(&graph)
+            .unwrap_err();
         assert!(matches!(err, Error::InvalidRequest(_)));
         let err = SparseColoring::new().delta(0.0).color(&graph).unwrap_err();
         assert!(matches!(err, Error::InvalidRequest(_)));

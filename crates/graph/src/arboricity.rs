@@ -73,11 +73,7 @@ pub fn arboricity_density_lower_bound(graph: &CsrGraph) -> usize {
     let mut remaining_edges = graph.num_edges();
     let mut remaining_nodes = n;
     for &v in &ordering {
-        let live_degree = graph
-            .neighbors(v)
-            .iter()
-            .filter(|&&w| !removed[w])
-            .count();
+        let live_degree = graph.neighbors(v).iter().filter(|&&w| !removed[w]).count();
         removed[v] = true;
         remaining_edges -= live_degree;
         remaining_nodes -= 1;
@@ -106,7 +102,10 @@ mod tests {
     #[test]
     fn bounds_on_trivial_graphs() {
         let empty = CsrGraph::empty(0);
-        assert_eq!(ArboricityEstimate::of(&empty), ArboricityEstimate { lower: 0, upper: 0 });
+        assert_eq!(
+            ArboricityEstimate::of(&empty),
+            ArboricityEstimate { lower: 0, upper: 0 }
+        );
 
         let isolated = CsrGraph::empty(5);
         let est = ArboricityEstimate::of(&isolated);

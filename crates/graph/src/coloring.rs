@@ -173,9 +173,9 @@ impl PartialColoring {
     pub fn num_conflicts(&self, graph: &CsrGraph) -> usize {
         graph
             .edges()
-            .filter(|&(u, v)| {
-                matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b)
-            })
+            .filter(
+                |&(u, v)| matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b),
+            )
             .count()
     }
 

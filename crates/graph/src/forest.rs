@@ -147,7 +147,9 @@ mod tests {
         let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
         let o = Orientation::from_total_order(&g, |v| v);
         let d = forest_decomposition(&g, &o).unwrap();
-        let total: usize = (0..d.num_forests()).map(|i| d.forest_graph(i).num_edges()).sum();
+        let total: usize = (0..d.num_forests())
+            .map(|i| d.forest_graph(i).num_edges())
+            .sum();
         assert_eq!(total, g.num_edges());
     }
 }

@@ -16,7 +16,11 @@ pub struct ParseEdgeListError {
 
 impl fmt::Display for ParseEdgeListError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "edge list parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "edge list parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -208,12 +208,15 @@ mod tests {
         let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (0, 3), (3, 4), (1, 4)]);
         let o = Orientation::from_total_order(&g, |v| v);
         let order = o.topological_order().expect("acyclic");
-        let mut position = vec![0; 5];
+        let mut position = [0; 5];
         for (i, &v) in order.iter().enumerate() {
             position[v] = i;
         }
         for (u, v) in o.oriented_edges() {
-            assert!(position[u] < position[v], "edge ({u},{v}) violates topo order");
+            assert!(
+                position[u] < position[v],
+                "edge ({u},{v}) violates topo order"
+            );
         }
     }
 

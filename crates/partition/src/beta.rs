@@ -246,7 +246,9 @@ mod tests {
         let g = CsrGraph::from_edges(3, [(0, 1), (0, 2)]);
         // Node 0 on layer 0 with two ∞ neighbors: needs beta >= 2.
         let layers = vec![Layer::Finite(0), Layer::Infinite, Layer::Infinite];
-        assert!(BetaPartition::from_layers(2, layers.clone()).validate(&g).is_ok());
+        assert!(BetaPartition::from_layers(2, layers.clone())
+            .validate(&g)
+            .is_ok());
         assert!(BetaPartition::from_layers(1, layers).validate(&g).is_err());
     }
 
@@ -254,7 +256,12 @@ mod tests {
     fn size_counts_distinct_finite_layers() {
         let p = BetaPartition::from_layers(
             3,
-            vec![Layer::Finite(0), Layer::Finite(5), Layer::Finite(5), Layer::Infinite],
+            vec![
+                Layer::Finite(0),
+                Layer::Finite(5),
+                Layer::Finite(5),
+                Layer::Infinite,
+            ],
         );
         assert_eq!(p.size(), 2);
         assert_eq!(p.max_finite_layer(), Some(5));

@@ -209,10 +209,12 @@ impl<'o, 'g> CoinGame<'o, 'g> {
             // Coin flow: fractional coins, root starts with x. A BTreeMap
             // keeps the iteration (and therefore floating-point summation)
             // order deterministic.
-            let mut coins: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
+            let mut coins: std::collections::BTreeMap<NodeId, f64> =
+                std::collections::BTreeMap::new();
             coins.insert(root, self.config.x as f64);
             for _ in 0..flow_iterations {
-                let mut next: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
+                let mut next: std::collections::BTreeMap<NodeId, f64> =
+                    std::collections::BTreeMap::new();
                 let mut moved = false;
                 for (&holder, &amount) in &coins {
                     let forwarded = match forwarding.get(&holder) {
@@ -374,8 +376,8 @@ impl<'o, 'g> CoinGame<'o, 'g> {
     /// Number of edges of `G[S_v]` present in the explored knowledge.
     fn discovered_edges(&self) -> usize {
         self.members
-            .iter()
-            .map(|(_, info)| {
+            .values()
+            .map(|info| {
                 info.neighbors
                     .iter()
                     .filter(|w| self.members.contains_key(w))
@@ -497,11 +499,7 @@ mod tests {
         let graph = generators::complete_kary_tree(4, 3);
         let result = play(&graph, 0, CoinGameConfig::new(6, 3));
         // Queries = sum over explored nodes of (degree + 1).
-        let expected: usize = result
-            .explored
-            .iter()
-            .map(|&v| graph.degree(v) + 1)
-            .sum();
+        let expected: usize = result.explored.iter().map(|&v| graph.degree(v) + 1).sum();
         assert_eq!(result.queries, expected);
         assert!(result.discovered_edges <= graph.num_edges());
         assert!(result.super_iterations_run <= 36);

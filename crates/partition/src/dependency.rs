@@ -119,7 +119,10 @@ mod tests {
                 let dv: std::collections::BTreeSet<_> =
                     dependency_set(&g, &sigma, v).into_iter().collect();
                 let outside = g.neighbors(v).iter().filter(|w| !dv.contains(w)).count();
-                assert!(outside <= beta, "node {v} has {outside} neighbors outside D(v)");
+                assert!(
+                    outside <= beta,
+                    "node {v} has {outside} neighbors outside D(v)"
+                );
             }
         }
     }

@@ -16,7 +16,9 @@
 
 use sparse_graph::CsrGraph;
 
-use crate::ampc_partition::{ampc_beta_partition, AmpcPartitionResult, PartitionError, PartitionParams};
+use crate::ampc_partition::{
+    ampc_beta_partition, AmpcPartitionResult, PartitionError, PartitionParams,
+};
 
 /// Result of the arboricity-oblivious partitioner.
 #[derive(Debug, Clone)]
@@ -163,8 +165,11 @@ pub fn ampc_beta_partition_unknown_arboricity(
     };
 
     // Phase 2: parallel refinement with guesses sqrt(a_k) * (1 + eps)^j.
-    let mut best: (usize, usize, AmpcPartitionResult) =
-        (coarse_alpha, beta_for_guess(coarse_alpha, epsilon), coarse_result);
+    let mut best: (usize, usize, AmpcPartitionResult) = (
+        coarse_alpha,
+        beta_for_guess(coarse_alpha, epsilon),
+        coarse_result,
+    );
     let mut parallel_rounds = 0usize;
     let mut guess = (coarse_alpha as f64).sqrt();
     let mut tried = std::collections::BTreeSet::new();
@@ -233,7 +238,11 @@ mod tests {
         assert!(!result.result.partition.is_partial());
         assert!(result.result.partition.validate(&graph).is_ok());
         // True arboricity is 1; the refinement must not settle far above it.
-        assert!(result.chosen_alpha <= 4, "chose alpha = {}", result.chosen_alpha);
+        assert!(
+            result.chosen_alpha <= 4,
+            "chose alpha = {}",
+            result.chosen_alpha
+        );
         assert!(result.total_rounds() >= result.result.rounds);
         assert!(result.attempts.iter().any(|a| a.success));
     }

@@ -116,7 +116,10 @@ mod tests {
             let beta = 2 * k + 1; // (2 + eps) * alpha with eps ~ 1/k... >= 2k+1 > 2 alpha
             let p = natural_partition(&g, beta);
             assert!(p.validate(&g).is_ok(), "k = {k}");
-            assert!(!p.is_partial(), "k = {k}: natural partition must be complete");
+            assert!(
+                !p.is_partial(),
+                "k = {k}: natural partition must be complete"
+            );
             // Size bound O(log n): loose explicit check.
             assert!(
                 p.size() <= 4 * (300f64.log2() as usize + 1),
@@ -147,9 +150,7 @@ mod tests {
         let g = generators::forest_union(120, 2, &mut rng);
         let beta = 5;
         let mut in_s = vec![false; 120];
-        for v in 0..60 {
-            in_s[v] = true;
-        }
+        in_s[..60].fill(true);
         let small = induced_partition(&g, &in_s, beta);
         let large = natural_partition(&g, beta);
         for v in 0..120 {

@@ -1,0 +1,208 @@
+//! The executor abstraction and the sequential reference backend.
+
+use ampc_model::{
+    AmpcConfig, AmpcExecutor, AmpcMetrics, ConflictPolicy, DataStore, Key, MachineContext,
+    ModelError, RoundReport, Value,
+};
+
+/// A machine closure executed once per machine in a round.
+///
+/// Backends may run machines on many threads, so bodies must be `Fn + Sync`:
+/// all cross-machine communication goes through the data store (reads of the
+/// previous round, buffered writes into the next), exactly as the AMPC model
+/// prescribes.
+pub type RoundBody<'b> =
+    dyn Fn(usize, &mut MachineContext<'_>) -> Result<(), ModelError> + Sync + 'b;
+
+/// An AMPC round executor.
+///
+/// Extracted from the original sequential `AmpcExecutor` so the simulator
+/// (kept as the reference/verification backend, see [`SequentialBackend`])
+/// and the sharded parallel backend ([`crate::ParallelBackend`]) are
+/// interchangeable behind a [`crate::RuntimeConfig`] switch.
+///
+/// The convenience wrappers [`round`](#method.round) and
+/// [`round_carrying_forward`](#method.round_carrying_forward) on
+/// `dyn AmpcBackend` accept ordinary closures.
+pub trait AmpcBackend: Send {
+    /// The resource configuration in force.
+    fn config(&self) -> &AmpcConfig;
+
+    /// Metrics accumulated so far (round reports plus runtime stats).
+    fn metrics(&self) -> &AmpcMetrics;
+
+    /// Uncounted lookup in the current (most recently produced) store, for
+    /// algorithm drivers reading results between rounds.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Number of entries in the current store.
+    fn store_len(&self) -> usize;
+
+    /// Materializes the current store as a flat [`DataStore`].
+    fn snapshot_store(&self) -> DataStore;
+
+    /// Loads additional input entries into the current store (before the
+    /// first round).
+    fn load_store(&mut self, entries: Vec<(Key, Value)>);
+
+    /// Runs one AMPC round; see [`AmpcExecutor::round`] for the semantics of
+    /// `policy` and `carry_forward`.
+    ///
+    /// # Errors
+    ///
+    /// Budget violations and [`ConflictPolicy::Error`] conflicts, exactly as
+    /// the sequential executor reports them (lowest machine id first).
+    fn run_round(
+        &mut self,
+        machines: usize,
+        policy: ConflictPolicy,
+        carry_forward: bool,
+        body: &RoundBody<'_>,
+    ) -> Result<RoundReport, ModelError>;
+
+    /// Consumes the backend and returns the final store and metrics.
+    fn into_parts(self: Box<Self>) -> (DataStore, AmpcMetrics);
+
+    /// Short backend name for logs and benches.
+    fn name(&self) -> &'static str;
+}
+
+impl dyn AmpcBackend + '_ {
+    /// Runs one round whose writes fully replace the store (keys not written
+    /// this round are dropped).
+    ///
+    /// # Errors
+    ///
+    /// See [`AmpcBackend::run_round`].
+    pub fn round<F>(
+        &mut self,
+        machines: usize,
+        policy: ConflictPolicy,
+        body: F,
+    ) -> Result<RoundReport, ModelError>
+    where
+        F: Fn(usize, &mut MachineContext<'_>) -> Result<(), ModelError> + Sync,
+    {
+        self.run_round(machines, policy, false, &body)
+    }
+
+    /// Runs one round carrying unwritten keys of the previous store forward.
+    ///
+    /// # Errors
+    ///
+    /// See [`AmpcBackend::run_round`].
+    pub fn round_carrying_forward<F>(
+        &mut self,
+        machines: usize,
+        policy: ConflictPolicy,
+        body: F,
+    ) -> Result<RoundReport, ModelError>
+    where
+        F: Fn(usize, &mut MachineContext<'_>) -> Result<(), ModelError> + Sync,
+    {
+        self.run_round(machines, policy, true, &body)
+    }
+}
+
+/// The original single-threaded simulator behind the [`AmpcBackend`] trait —
+/// the reference implementation the parallel backend is verified against.
+#[derive(Debug)]
+pub struct SequentialBackend {
+    executor: AmpcExecutor,
+}
+
+impl SequentialBackend {
+    /// Creates a sequential backend whose round 0 input store is `initial`.
+    pub fn new(config: AmpcConfig, initial: DataStore) -> Self {
+        SequentialBackend {
+            executor: AmpcExecutor::new(config, initial),
+        }
+    }
+
+    /// Access to the wrapped executor.
+    pub fn executor(&self) -> &AmpcExecutor {
+        &self.executor
+    }
+}
+
+impl AmpcBackend for SequentialBackend {
+    fn config(&self) -> &AmpcConfig {
+        self.executor.config()
+    }
+
+    fn metrics(&self) -> &AmpcMetrics {
+        self.executor.metrics()
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.executor.store().get(key)
+    }
+
+    fn store_len(&self) -> usize {
+        self.executor.store().len()
+    }
+
+    fn snapshot_store(&self) -> DataStore {
+        self.executor.store().clone()
+    }
+
+    fn load_store(&mut self, entries: Vec<(Key, Value)>) {
+        self.executor.store_mut().extend(entries);
+    }
+
+    fn run_round(
+        &mut self,
+        machines: usize,
+        policy: ConflictPolicy,
+        carry_forward: bool,
+        body: &RoundBody<'_>,
+    ) -> Result<RoundReport, ModelError> {
+        if carry_forward {
+            self.executor
+                .round_carrying_forward(machines, policy, |machine, ctx| body(machine, ctx))
+        } else {
+            self.executor
+                .round(machines, policy, |machine, ctx| body(machine, ctx))
+        }
+    }
+
+    fn into_parts(self: Box<Self>) -> (DataStore, AmpcMetrics) {
+        self.executor.into_parts()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_backend_matches_raw_executor() {
+        let config = AmpcConfig::for_input_size(16, 0.5);
+        let mut store = DataStore::new();
+        store.insert(Key::single(0), Value::single(5));
+
+        let mut backend: Box<dyn AmpcBackend> = Box::new(SequentialBackend::new(config, store));
+        backend.load_store(vec![(Key::single(1), Value::single(6))]);
+        assert_eq!(backend.store_len(), 2);
+        backend
+            .round(2, ConflictPolicy::Error, |machine, ctx| {
+                let value = ctx.read(Key::single(machine as u64))?.unwrap();
+                ctx.write(
+                    Key::single(machine as u64),
+                    Value::single(value.words()[0] + 1),
+                )
+            })
+            .unwrap();
+        assert_eq!(backend.get(Key::single(0)), Some(Value::single(6)));
+        assert_eq!(backend.get(Key::single(1)), Some(Value::single(7)));
+        assert_eq!(backend.metrics().num_rounds(), 1);
+        assert_eq!(backend.metrics().runtime_stats().len(), 1);
+        let (store, metrics) = backend.into_parts();
+        assert_eq!(store.len(), 2);
+        assert_eq!(metrics.num_rounds(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! # ampc-runtime
+//!
+//! Sharded, multi-threaded execution subsystem for AMPC rounds.
+//!
+//! The `ampc-model` crate defines *what* an AMPC round is (machines with
+//! `O(S)` read/write budgets communicating through distributed data stores)
+//! and ships a sequential reference simulator. This crate makes the model's
+//! defining feature — **many machines running in parallel against a
+//! distributed store** — real:
+//!
+//! * [`ShardedStore`] — the DDS hash-partitioned into `N` shards with
+//!   lock-free concurrent reads (shared immutably during a round, with
+//!   per-shard atomic read counters) and per-shard write buffers merged by
+//!   the existing [`ConflictPolicy`] rules.
+//! * [`ParallelBackend`] — a round scheduler that fans machine closures out
+//!   across a thread pool (contiguous machine ranges per worker), preserving
+//!   the per-machine read/write budget enforcement of the sequential
+//!   executor.
+//! * [`AmpcBackend`] — the executor abstraction both backends implement, so
+//!   every algorithm in the workspace runs on either through a
+//!   [`RuntimeConfig`] switch.
+//! * Extended metrics — wall-clock per round, per-shard read/write counts
+//!   and conflict-merge counts, surfaced through
+//!   [`ampc_model::AmpcMetrics::runtime_stats`].
+//!
+//! ## Determinism contract
+//!
+//! For a fixed seed and [`ConflictPolicy`], the parallel backend produces
+//! **bit-identical** final stores (and therefore colorings) to the
+//! sequential backend, for any thread and shard count:
+//!
+//! * machine bodies only see the previous round's store, so execution order
+//!   within a round cannot leak;
+//! * writes are buffered per machine and merged in `(machine id, write
+//!   index)` order, exactly the order the sequential executor applies them
+//!   in — [`ConflictPolicy::KeepFirst`] and error reporting stay
+//!   deterministic;
+//! * errors follow the sequential executor's event order (machine `m`'s
+//!   body runs, then its writes merge, then machine `m + 1` starts): the
+//!   lowest failing machine's body error is returned unless a write
+//!   conflict among strictly earlier machines precedes it.
+//!
+//! ```
+//! use ampc_model::{AmpcConfig, ConflictPolicy, DataStore, Key, Value};
+//! use ampc_runtime::RuntimeConfig;
+//!
+//! let mut input = DataStore::new();
+//! for i in 0..64u64 {
+//!     input.insert(Key::single(i), Value::single(i));
+//! }
+//! let config = AmpcConfig::for_input_size(64, 0.5);
+//!
+//! // Same program, both backends.
+//! let mut results = Vec::new();
+//! for runtime in [RuntimeConfig::Sequential, RuntimeConfig::parallel().with_threads(4)] {
+//!     let mut backend = runtime.backend(config, input.clone());
+//!     backend
+//!         .round(64, ConflictPolicy::Error, |machine, ctx| {
+//!             let key = Key::single(machine as u64);
+//!             if let Some(value) = ctx.read(key)? {
+//!                 ctx.write(key, Value::single(value.words()[0] * 2))?;
+//!             }
+//!             Ok(())
+//!         })
+//!         .unwrap();
+//!     results.push(backend.snapshot_store());
+//! }
+//! assert_eq!(results[0], results[1]);
+//! assert_eq!(results[0].get(Key::single(21)), Some(Value::single(42)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod config;
+mod parallel;
+mod pool;
+mod shard;
+
+pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
+pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
+pub use config::RuntimeConfig;
+pub use parallel::ParallelBackend;
+pub use pool::parallel_map;
+pub use shard::ShardedStore;

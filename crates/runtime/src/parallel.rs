@@ -1,0 +1,565 @@
+//! The sharded multi-threaded round scheduler.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::thread;
+use std::time::Instant;
+
+use ampc_model::{
+    AmpcConfig, AmpcMetrics, ConflictPolicy, DataStore, Key, MachineContext, ModelError,
+    RoundReport, RoundRuntimeStats, Value,
+};
+
+use crate::backend::{AmpcBackend, RoundBody};
+use crate::pool::chunk_ranges;
+use crate::shard::ShardedStore;
+
+/// A write buffered by one machine: `(machine id, index within the
+/// machine's write sequence, key, value)`. The `(machine, index)` pair is
+/// the global sequential-application order, which the merge preserves so
+/// [`ConflictPolicy::KeepFirst`] and conflict errors stay deterministic.
+type BufferedWrite = (usize, usize, Key, Value);
+
+/// Per-worker result of executing a contiguous machine range.
+struct ChunkOutcome {
+    max_reads: usize,
+    total_reads: usize,
+    max_writes: usize,
+    total_writes: usize,
+    /// Writes bucketed by destination shard, in `(machine, index)` order.
+    per_shard: Vec<Vec<BufferedWrite>>,
+    /// First failing machine of the chunk, if any.
+    error: Option<(usize, ModelError)>,
+}
+
+impl ChunkOutcome {
+    fn new(num_shards: usize) -> Self {
+        ChunkOutcome {
+            max_reads: 0,
+            total_reads: 0,
+            max_writes: 0,
+            total_writes: 0,
+            per_shard: (0..num_shards).map(|_| Vec::new()).collect(),
+            error: None,
+        }
+    }
+}
+
+/// Result of the merge phase: the next generation of shard maps, the
+/// per-shard routed-write counts, and the total conflict merges.
+type MergedShards = (Vec<HashMap<Key, Value>>, Vec<u64>, usize);
+
+/// Per-shard result of the merge phase.
+struct ShardMerge {
+    shard: usize,
+    merged: HashMap<Key, Value>,
+    writes_routed: u64,
+    conflict_merges: usize,
+    /// First conflicting write under [`ConflictPolicy::Error`], as
+    /// `(machine, index, error)`.
+    conflict: Option<(usize, usize, ModelError)>,
+}
+
+/// The sharded parallel implementation of [`AmpcBackend`].
+///
+/// Machines are split into contiguous id ranges, one per worker thread;
+/// every worker drives its machines through [`MachineContext`]s with the
+/// exact budget enforcement of the sequential executor, reading the
+/// previous round's [`ShardedStore`] lock-free. Buffered writes are merged
+/// shard-by-shard (also in parallel) in global `(machine, write index)`
+/// order, so the resulting store is bit-identical to the sequential
+/// backend's for every [`ConflictPolicy`].
+pub struct ParallelBackend {
+    config: AmpcConfig,
+    store: ShardedStore,
+    metrics: AmpcMetrics,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ParallelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelBackend")
+            .field("threads", &self.threads)
+            .field("shards", &self.store.num_shards())
+            .field("store_len", &self.store.len())
+            .field("rounds", &self.metrics.num_rounds())
+            .finish()
+    }
+}
+
+impl ParallelBackend {
+    /// Creates a parallel backend over `initial`, partitioned into `shards`
+    /// shards and executing rounds on `threads` worker threads (both clamped
+    /// to at least 1).
+    pub fn new(config: AmpcConfig, initial: DataStore, threads: usize, shards: usize) -> Self {
+        ParallelBackend {
+            config,
+            store: ShardedStore::from_store(initial, shards.max(1)),
+            metrics: AmpcMetrics::default(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads used per round.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The sharded store backing the current round.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Executes the machine bodies for one round, returning per-chunk
+    /// outcomes in chunk (= ascending machine) order.
+    fn execute_machines(
+        &self,
+        machines: usize,
+        body: &RoundBody<'_>,
+        read_budget: usize,
+        write_budget: usize,
+    ) -> Vec<ChunkOutcome> {
+        let num_shards = self.store.num_shards();
+        let chunks = chunk_ranges(machines, self.threads);
+        let store = &self.store;
+
+        thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut outcome = ChunkOutcome::new(num_shards);
+                        for machine in range {
+                            let mut ctx = MachineContext::for_round(
+                                machine,
+                                store,
+                                read_budget,
+                                write_budget,
+                            );
+                            if let Err(error) = body(machine, &mut ctx) {
+                                outcome.error = Some((machine, error));
+                                break;
+                            }
+                            let reads = ctx.reads_used();
+                            let writes = ctx.writes_used();
+                            outcome.max_reads = outcome.max_reads.max(reads);
+                            outcome.total_reads += reads;
+                            outcome.max_writes = outcome.max_writes.max(writes);
+                            outcome.total_writes += writes;
+                            for (index, (key, value)) in ctx.into_writes().into_iter().enumerate() {
+                                let shard = store.shard_of(&key);
+                                outcome.per_shard[shard].push((machine, index, key, value));
+                            }
+                        }
+                        outcome
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("runtime worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Merges the buffered writes of all chunks, shard-by-shard in parallel.
+    fn merge_shards(
+        &self,
+        outcomes: &[ChunkOutcome],
+        policy: ConflictPolicy,
+        carry_forward: bool,
+    ) -> Result<MergedShards, ModelError> {
+        let num_shards = self.store.num_shards();
+        let base: Vec<HashMap<Key, Value>> = if carry_forward {
+            self.store.clone_shards()
+        } else {
+            vec![HashMap::new(); num_shards]
+        };
+
+        let shard_chunks = chunk_ranges(num_shards, self.threads);
+        let merges: Vec<ShardMerge> = thread::scope(|scope| {
+            let handles: Vec<_> = shard_chunks
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut results = Vec::with_capacity(range.len());
+                        for shard in range {
+                            let mut staged: HashMap<Key, Value> = HashMap::new();
+                            let mut writes_routed = 0u64;
+                            let mut conflict_merges = 0usize;
+                            let mut conflict: Option<(usize, usize, ModelError)> = None;
+                            // Chunks are ascending machine ranges and each
+                            // bucket is in (machine, index) order, so this
+                            // fold replays the sequential write order.
+                            'outer: for outcome in outcomes {
+                                for &(machine, index, key, value) in &outcome.per_shard[shard] {
+                                    writes_routed += 1;
+                                    match staged.entry(key) {
+                                        Entry::Vacant(entry) => {
+                                            entry.insert(value);
+                                        }
+                                        Entry::Occupied(mut entry) => {
+                                            conflict_merges += 1;
+                                            match policy.resolve(&key, *entry.get(), value) {
+                                                Ok(resolved) => {
+                                                    entry.insert(resolved);
+                                                }
+                                                Err(error) => {
+                                                    conflict = Some((machine, index, error));
+                                                    break 'outer;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            results.push(ShardMerge {
+                                shard,
+                                merged: staged,
+                                writes_routed,
+                                conflict_merges,
+                                conflict,
+                            });
+                        }
+                        results
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("runtime merge worker panicked"))
+                .collect()
+        });
+
+        // Deterministic conflict reporting: the first conflict in global
+        // (machine, write index) order is the one the sequential executor
+        // would have raised.
+        if let Some((_, _, error)) = merges
+            .iter()
+            .filter_map(|m| m.conflict.clone())
+            .min_by_key(|&(machine, index, _)| (machine, index))
+        {
+            return Err(error);
+        }
+
+        let mut next = base;
+        let mut shard_writes = vec![0u64; num_shards];
+        let mut conflict_merges = 0usize;
+        for merge in merges {
+            shard_writes[merge.shard] = merge.writes_routed;
+            conflict_merges += merge.conflict_merges;
+            let target = &mut next[merge.shard];
+            for (key, value) in merge.merged {
+                target.insert(key, value);
+            }
+        }
+        Ok((next, shard_writes, conflict_merges))
+    }
+}
+
+impl AmpcBackend for ParallelBackend {
+    fn config(&self) -> &AmpcConfig {
+        &self.config
+    }
+
+    fn metrics(&self) -> &AmpcMetrics {
+        &self.metrics
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.store.peek(key)
+    }
+
+    fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn snapshot_store(&self) -> DataStore {
+        self.store.to_data_store()
+    }
+
+    fn load_store(&mut self, entries: Vec<(Key, Value)>) {
+        for (key, value) in entries {
+            self.store.insert(key, value);
+        }
+    }
+
+    fn run_round(
+        &mut self,
+        machines: usize,
+        policy: ConflictPolicy,
+        carry_forward: bool,
+        body: &RoundBody<'_>,
+    ) -> Result<RoundReport, ModelError> {
+        let started = Instant::now();
+        let read_budget = self.config.read_budget();
+        let write_budget = self.config.write_budget();
+        self.store.reset_read_counts();
+
+        let mut outcomes = self.execute_machines(machines, body, read_budget, write_budget);
+
+        // Error precedence replays the sequential executor's event order:
+        // it runs machine m's body and then merges m's writes before
+        // touching machine m + 1, so a merge conflict among machines below
+        // the lowest failing body still fires first. Restrict the merge to
+        // writes of machines below the lowest body failure; a conflict
+        // found there wins, otherwise the body error does.
+        let body_error = outcomes
+            .iter()
+            .filter_map(|o| o.error.clone())
+            .min_by_key(|&(machine, _)| machine);
+        if let Some((failing_machine, error)) = body_error {
+            for outcome in &mut outcomes {
+                for bucket in &mut outcome.per_shard {
+                    bucket.retain(|&(machine, ..)| machine < failing_machine);
+                }
+            }
+            self.merge_shards(&outcomes, policy, carry_forward)?;
+            return Err(error);
+        }
+
+        let (next_shards, shard_writes, conflict_merges) =
+            self.merge_shards(&outcomes, policy, carry_forward)?;
+        let shard_reads = self.store.read_counts();
+        self.store.replace_shards(next_shards);
+
+        let mut report = RoundReport::from_measurements(
+            self.metrics.num_rounds(),
+            machines,
+            outcomes.iter().map(|o| o.max_reads).max().unwrap_or(0),
+            outcomes.iter().map(|o| o.max_writes).max().unwrap_or(0),
+            outcomes.iter().map(|o| o.total_reads).sum(),
+            outcomes.iter().map(|o| o.total_writes).sum(),
+            0,
+        );
+        report.store_words = self.store.space_in_words();
+        self.metrics.record(report.clone());
+        self.metrics.record_runtime(RoundRuntimeStats {
+            wall_clock_nanos: started.elapsed().as_nanos() as u64,
+            conflict_merges,
+            shard_reads,
+            shard_writes,
+        });
+        Ok(report)
+    }
+
+    fn into_parts(self: Box<Self>) -> (DataStore, AmpcMetrics) {
+        (self.store.to_data_store(), self.metrics)
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SequentialBackend;
+
+    fn config() -> AmpcConfig {
+        AmpcConfig::for_input_size(256, 0.5)
+    }
+
+    fn seeded_store(n: u64) -> DataStore {
+        (0..n)
+            .map(|i| (Key::single(i), Value::single(i * 7 % 13)))
+            .collect()
+    }
+
+    /// Two adaptive rounds with duplicate writes, run on both backends.
+    fn run_program(
+        backend: &mut dyn AmpcBackend,
+        machines: usize,
+        policy: ConflictPolicy,
+    ) -> Result<DataStore, ModelError> {
+        backend.round(machines, policy, |machine, ctx| {
+            // Adaptive chain: read own key, then the key it points at.
+            let own = ctx.read(Key::single(machine as u64))?.unwrap();
+            let other = ctx.read(Key::single(own.words()[0]))?;
+            let derived = other.map_or(1, |v| v.words()[0] + 1);
+            // Duplicate-key writes: machines collide modulo 5.
+            ctx.write(Key::single((machine % 5) as u64), Value::single(derived))?;
+            ctx.write(Key::pair(1, machine as u64), Value::single(machine as u64))
+        })?;
+        backend.round_carrying_forward(machines, policy, |machine, ctx| {
+            if let Some(v) = ctx.read(Key::pair(1, machine as u64))? {
+                ctx.write(
+                    Key::pair(2, machine as u64),
+                    Value::single(v.words()[0] * 2),
+                )?;
+            }
+            Ok(())
+        })?;
+        Ok(backend.snapshot_store())
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_policy() {
+        for policy in [
+            ConflictPolicy::KeepMin,
+            ConflictPolicy::KeepMax,
+            ConflictPolicy::KeepFirst,
+        ] {
+            let mut seq: Box<dyn AmpcBackend> =
+                Box::new(SequentialBackend::new(config(), seeded_store(64)));
+            let sequential = run_program(seq.as_mut(), 64, policy).unwrap();
+            for threads in [1usize, 3, 4] {
+                for shards in [1usize, 2, 8] {
+                    let mut par: Box<dyn AmpcBackend> = Box::new(ParallelBackend::new(
+                        config(),
+                        seeded_store(64),
+                        threads,
+                        shards,
+                    ));
+                    let parallel = run_program(par.as_mut(), 64, policy).unwrap();
+                    assert_eq!(
+                        sequential, parallel,
+                        "policy {policy:?}, threads {threads}, shards {shards}"
+                    );
+                    assert_eq!(par.metrics().num_rounds(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_agree_with_sequential() {
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(config(), seeded_store(32)));
+        let mut par: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(config(), seeded_store(32), 4, 4));
+        run_program(seq.as_mut(), 32, ConflictPolicy::KeepMin).unwrap();
+        run_program(par.as_mut(), 32, ConflictPolicy::KeepMin).unwrap();
+        // AmpcMetrics equality compares the model-level reports only.
+        assert_eq!(seq.metrics(), par.metrics());
+        let stats = &par.metrics().runtime_stats()[0];
+        assert_eq!(stats.shard_reads.len(), 4);
+        assert_eq!(stats.shard_writes.len(), 4);
+        assert!(stats.shard_reads.iter().sum::<u64>() > 0);
+        assert!(stats.conflict_merges > 0, "machines collide modulo 5");
+        assert_eq!(
+            stats.conflict_merges,
+            seq.metrics().runtime_stats()[0].conflict_merges
+        );
+    }
+
+    #[test]
+    fn error_policy_reports_the_first_conflict() {
+        let run = |backend: &mut dyn AmpcBackend| {
+            backend.round(16, ConflictPolicy::Error, |machine, ctx| {
+                // All machines write a different value to the same key.
+                ctx.write(Key::single(9), Value::single(machine as u64))
+            })
+        };
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(config(), DataStore::new()));
+        let mut par: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(config(), DataStore::new(), 4, 4));
+        let a = run(seq.as_mut()).unwrap_err();
+        let b = run(par.as_mut()).unwrap_err();
+        assert_eq!(a, b);
+        assert!(matches!(a, ModelError::WriteConflict { .. }));
+    }
+
+    #[test]
+    fn budget_violations_report_the_lowest_machine() {
+        let tight = AmpcConfig::for_input_size(16, 0.5); // budget 4
+        let run = |backend: &mut dyn AmpcBackend| {
+            backend.round(12, ConflictPolicy::KeepMin, |machine, ctx| {
+                // Machines 3, 7, 11 over-read; 3 must win on both backends.
+                let reads = if machine % 4 == 3 { 100 } else { 1 };
+                for i in 0..reads {
+                    ctx.read(Key::single(i))?;
+                }
+                Ok(())
+            })
+        };
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(tight, DataStore::new()));
+        let mut par: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(tight, DataStore::new(), 4, 2));
+        let a = run(seq.as_mut()).unwrap_err();
+        let b = run(par.as_mut()).unwrap_err();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            ModelError::ReadBudgetExceeded {
+                machine: 3,
+                budget: 4
+            }
+        );
+    }
+
+    #[test]
+    fn early_write_conflict_outranks_later_body_error() {
+        // Sequential event order: machine 3's conflicting write merges
+        // before machine 5's body ever runs, so WriteConflict must win on
+        // both backends even though a body error exists at machine 5.
+        let tight = AmpcConfig::for_input_size(16, 0.5); // budget 4
+        let run = |backend: &mut dyn AmpcBackend| {
+            backend.round(8, ConflictPolicy::Error, |machine, ctx| {
+                if machine == 2 || machine == 3 {
+                    ctx.write(Key::single(9), Value::single(machine as u64))?;
+                }
+                if machine == 5 {
+                    for i in 0..100 {
+                        ctx.read(Key::single(i))?;
+                    }
+                }
+                Ok(())
+            })
+        };
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(tight, DataStore::new()));
+        let mut par: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(tight, DataStore::new(), 4, 4));
+        let a = run(seq.as_mut()).unwrap_err();
+        let b = run(par.as_mut()).unwrap_err();
+        assert_eq!(a, b);
+        assert!(matches!(a, ModelError::WriteConflict { .. }));
+
+        // Mirror case: the body error strikes at machine 1, before the
+        // conflicting writes of machines 2/3 — now it must win.
+        let run = |backend: &mut dyn AmpcBackend| {
+            backend.round(8, ConflictPolicy::Error, |machine, ctx| {
+                if machine == 2 || machine == 3 {
+                    ctx.write(Key::single(9), Value::single(machine as u64))?;
+                }
+                if machine == 1 {
+                    for i in 0..100 {
+                        ctx.read(Key::single(i))?;
+                    }
+                }
+                Ok(())
+            })
+        };
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(tight, DataStore::new()));
+        let mut par: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(tight, DataStore::new(), 4, 4));
+        let a = run(seq.as_mut()).unwrap_err();
+        let b = run(par.as_mut()).unwrap_err();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            ModelError::ReadBudgetExceeded {
+                machine: 1,
+                budget: 4
+            }
+        );
+    }
+
+    #[test]
+    fn failed_rounds_leave_no_trace() {
+        let mut par: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(config(), seeded_store(8), 2, 2));
+        let before = par.snapshot_store();
+        let err = par.round(8, ConflictPolicy::Error, |machine, ctx| {
+            ctx.write(Key::single(0), Value::single(machine as u64))
+        });
+        assert!(err.is_err());
+        assert_eq!(par.snapshot_store(), before);
+        assert_eq!(par.metrics().num_rounds(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic work partitioning and a parallel map helper.
+
+use std::ops::Range;
+use std::thread;
+
+/// Splits `0..items` into at most `workers` contiguous, near-equal ranges
+/// (ascending, non-empty).
+pub(crate) fn chunk_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1).min(items.max(1));
+    let base = items / workers;
+    let remainder = items % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for worker in 0..workers {
+        let len = base + usize::from(worker < remainder);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    if ranges.is_empty() {
+        ranges.push(0..0);
+    }
+    ranges
+}
+
+/// Applies `f` to every item on up to `threads` worker threads, returning
+/// the results **in item order**.
+///
+/// Used by algorithm drivers for deterministic data-parallel phases outside
+/// the round protocol (e.g. coloring the layers of a β-partition
+/// independently). Determinism contract: `f` must be a pure function of
+/// `(index, item)`; when several items fail, the error of the lowest index
+/// is returned — the same error a sequential left-to-right loop would
+/// surface.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item.
+pub fn parallel_map<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(index, item))
+            .collect();
+    }
+
+    /// A worker's indexed results, or its first failure as `(index, error)`.
+    type ChunkResult<U, E> = Result<Vec<(usize, U)>, (usize, E)>;
+
+    let chunks = chunk_ranges(items.len(), threads);
+    let f = &f;
+    let outcomes: Vec<ChunkResult<U, E>> = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut produced = Vec::with_capacity(range.len());
+                    for index in range {
+                        match f(index, &items[index]) {
+                            Ok(value) => produced.push((index, value)),
+                            Err(error) => return Err((index, error)),
+                        }
+                    }
+                    Ok(produced)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+
+    let mut first_error: Option<(usize, E)> = None;
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for outcome in outcomes {
+        match outcome {
+            Ok(produced) => {
+                for (index, value) in produced {
+                    slots[index] = Some(value);
+                }
+            }
+            Err((index, error)) => {
+                if first_error.as_ref().is_none_or(|(best, _)| index < *best) {
+                    first_error = Some((index, error));
+                }
+            }
+        }
+    }
+    if let Some((_, error)) = first_error {
+        return Err(error);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced or an error returned"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for items in [0usize, 1, 5, 16, 97] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(items, workers);
+                let mut covered = Vec::new();
+                let mut last_end = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, last_end, "contiguous ascending");
+                    last_end = range.end;
+                    covered.extend(range.clone());
+                }
+                assert_eq!(covered, (0..items).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled =
+            parallel_map(&items, 4, |i, &x| Ok::<_, ()>(2 * x + i - i)).expect("no errors");
+        assert_eq!(doubled, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+        let sequential = parallel_map(&items, 1, |_, &x| Ok::<_, ()>(2 * x)).expect("no errors");
+        assert_eq!(doubled, sequential);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = parallel_map(&items, 4, |i, _| if i % 10 == 7 { Err(i) } else { Ok(i) });
+        assert_eq!(result, Err(7));
+    }
+}

@@ -1,0 +1,207 @@
+//! The hash-partitioned distributed data store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ampc_model::{DataStore, Key, StoreRead, Value};
+
+/// A [`DataStore`] hash-partitioned into `N` shards.
+///
+/// During a round the store is shared immutably across all worker threads:
+/// reads are plain hash-map lookups (lock-free; the only shared-mutable
+/// state is one relaxed atomic read counter per shard, kept for the
+/// per-shard load metrics). Writes never touch the store mid-round — they
+/// are buffered per machine and merged shard-by-shard between rounds by
+/// [`crate::ParallelBackend`].
+///
+/// The shard of a key is a deterministic (FNV-1a) hash of its words, so a
+/// store's partitioning is reproducible across runs and machine counts.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<HashMap<Key, Value>>,
+    read_counts: Vec<AtomicU64>,
+}
+
+/// Deterministic FNV-1a hash over the key's words and length.
+fn shard_hash(key: &Key) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &word in key.words() {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash ^= key.len() as u64;
+    hash.wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+impl ShardedStore {
+    /// Creates an empty store with `num_shards` shards (at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        ShardedStore {
+            shards: vec![HashMap::new(); num_shards],
+            read_counts: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Partitions an existing flat store.
+    pub fn from_store(store: DataStore, num_shards: usize) -> Self {
+        let mut sharded = ShardedStore::new(num_shards);
+        for (&key, &value) in store.iter() {
+            sharded.insert(key, value);
+        }
+        sharded
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a key belongs to.
+    pub fn shard_of(&self, key: &Key) -> usize {
+        (shard_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Total number of key-value pairs across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Returns `true` if no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Total space in words (keys plus values), as in
+    /// [`DataStore::space_in_words`].
+    pub fn space_in_words(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .map(|(k, v)| k.len() + v.len())
+            .sum()
+    }
+
+    /// Counted lookup: serves a machine's read and bumps the shard's read
+    /// counter (relaxed; the counters are statistics, not synchronization).
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let shard = self.shard_of(&key);
+        self.read_counts[shard].fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].get(&key).copied()
+    }
+
+    /// Uncounted lookup, for algorithm drivers inspecting the store between
+    /// rounds (keeps the per-round shard-read metrics meaningful).
+    pub fn peek(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(&key)].get(&key).copied()
+    }
+
+    /// Direct insert (used when loading input before the first round).
+    pub fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        let shard = self.shard_of(&key);
+        self.shards[shard].insert(key, value)
+    }
+
+    /// Per-shard read counts since the last reset.
+    pub fn read_counts(&self) -> Vec<u64> {
+        self.read_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zeroes the per-shard read counters (called at round start).
+    pub fn reset_read_counts(&self) {
+        for counter in &self.read_counts {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Materializes the store as a flat [`DataStore`].
+    pub fn to_data_store(&self) -> DataStore {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Replaces the shard maps with a freshly merged generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count changes.
+    pub(crate) fn replace_shards(&mut self, shards: Vec<HashMap<Key, Value>>) {
+        assert_eq!(shards.len(), self.shards.len(), "shard count is fixed");
+        self.shards = shards;
+    }
+
+    /// Clones the raw shard maps (for carry-forward rounds).
+    pub(crate) fn clone_shards(&self) -> Vec<HashMap<Key, Value>> {
+        self.shards.clone()
+    }
+}
+
+impl StoreRead for ShardedStore {
+    fn read(&self, key: Key) -> Option<Value> {
+        self.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_round_trips() {
+        let mut flat = DataStore::new();
+        for i in 0..100u64 {
+            flat.insert(Key::pair(i, i * 3), Value::single(i));
+        }
+        let sharded = ShardedStore::from_store(flat.clone(), 8);
+        assert_eq!(sharded.num_shards(), 8);
+        assert_eq!(sharded.len(), 100);
+        assert_eq!(sharded.space_in_words(), flat.space_in_words());
+        assert_eq!(sharded.to_data_store(), flat);
+        // Every key lands in a stable shard and resolves.
+        for i in 0..100u64 {
+            let key = Key::pair(i, i * 3);
+            assert_eq!(sharded.peek(key), Some(Value::single(i)));
+            assert_eq!(sharded.shard_of(&key), sharded.shard_of(&key));
+        }
+    }
+
+    #[test]
+    fn reads_are_counted_per_shard() {
+        let mut store = ShardedStore::new(4);
+        store.insert(Key::single(7), Value::single(1));
+        store.reset_read_counts();
+        for _ in 0..5 {
+            store.get(Key::single(7));
+        }
+        store.peek(Key::single(7)); // uncounted
+        let counts = store.read_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        assert_eq!(counts[store.shard_of(&Key::single(7))], 5);
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let mut store = ShardedStore::new(8);
+        for i in 0..1000u64 {
+            store.insert(Key::single(i), Value::single(i));
+        }
+        let populated = (0..1000u64)
+            .map(|i| store.shard_of(&Key::single(i)))
+            .collect::<std::collections::HashSet<_>>();
+        assert_eq!(populated.len(), 8, "all shards receive keys");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let store = ShardedStore::new(0);
+        assert_eq!(store.num_shards(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations; nothing serializes through serde at runtime (the experiment
+//! tables hand-roll their JSON). Building without registry access, the
+//! derives are provided as no-ops that accept the same syntax.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

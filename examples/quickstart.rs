@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::ForestUnion { n: 2_000, k: 3 };
     let graph = workload.build(42);
     println!("workload        : {}", workload.label());
-    println!("nodes / edges   : {} / {}", graph.num_nodes(), graph.num_edges());
+    println!(
+        "nodes / edges   : {} / {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     println!("max degree      : {}", graph.max_degree());
 
     // The headline algorithm: ((2 + eps) * alpha + 1) colors.

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimate = ArboricityEstimate::of(&graph);
 
     println!("== synthetic social network ==");
-    println!("nodes / edges    : {} / {}", graph.num_nodes(), graph.num_edges());
+    println!(
+        "nodes / edges    : {} / {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     println!("max degree (Δ)   : {}", graph.max_degree());
     println!(
         "arboricity (α)   : between {} and {} (density / degeneracy bounds)",

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let guess = colorer.beta_partition_unknown_alpha(&graph)?;
         println!(
             "guessing scheme chose alpha = {} (beta = {}), {} sequential + {} parallel rounds",
-            guess.chosen_alpha,
-            guess.chosen_beta,
-            guess.sequential_rounds,
-            guess.parallel_rounds
+            guess.chosen_alpha, guess.chosen_beta, guess.sequential_rounds, guess.parallel_rounds
         );
         for attempt in &guess.attempts {
             println!(
@@ -41,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 attempt.beta,
                 if attempt.success { "ok " } else { "fail" },
                 attempt.rounds,
-                if attempt.sequential { "sequential" } else { "parallel" },
+                if attempt.sequential {
+                    "sequential"
+                } else {
+                    "parallel"
+                },
             );
         }
         assert!(guess.result.partition.validate(&graph).is_ok());

@@ -8,8 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use ampc_coloring::{coloring, graph, model, partition};
-pub use ampc_coloring::{Algorithm, ColoringOutcome, Error, SparseColoring};
+pub use ampc_coloring::{coloring, graph, model, partition, runtime};
+pub use ampc_coloring::{Algorithm, ColoringOutcome, Error, RuntimeConfig, SparseColoring};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -71,7 +71,9 @@ impl Workload {
                 format!("power-law(n={n}, m0={edges_per_node})")
             }
             Workload::PlanarGrid { side } => format!("planar-grid({side}x{side})"),
-            Workload::DeepTree { arity, depth } => format!("deep-tree(arity={arity}, depth={depth})"),
+            Workload::DeepTree { arity, depth } => {
+                format!("deep-tree(arity={arity}, depth={depth})")
+            }
         }
     }
 
@@ -104,6 +106,13 @@ mod tests {
 
         let tree = Workload::DeepTree { arity: 3, depth: 2 }.build(0);
         assert!(tree.is_forest());
-        assert_eq!(Workload::PowerLaw { n: 10, edges_per_node: 2 }.alpha_bound(), 2);
+        assert_eq!(
+            Workload::PowerLaw {
+                n: 10,
+                edges_per_node: 2
+            }
+            .alpha_bound(),
+            2
+        );
     }
 }

@@ -1,0 +1,288 @@
+//! The determinism contract of the `ampc-runtime` subsystem: for a fixed
+//! seed and `ConflictPolicy`, the sharded parallel backend produces
+//! bit-identical stores, partitions and colorings to the sequential
+//! reference simulator — across every `Workload`, every policy, and a
+//! matrix of thread/shard counts — and budget violations surface as the
+//! same errors.
+
+use ampc_coloring_repro::{Algorithm, RuntimeConfig, SparseColoring, Workload};
+use ampc_model::{AmpcConfig, ConflictPolicy, DataStore, Key, ModelError, Value};
+use ampc_runtime::AmpcBackend;
+use beta_partition::{ampc_beta_partition, PartitionParams};
+use sparse_graph::CsrGraph;
+
+const ALL_WORKLOADS: [Workload; 4] = [
+    Workload::ForestUnion { n: 400, k: 2 },
+    Workload::PowerLaw {
+        n: 400,
+        edges_per_node: 3,
+    },
+    Workload::PlanarGrid { side: 14 },
+    Workload::DeepTree { arity: 4, depth: 4 },
+];
+
+const ALL_POLICIES: [ConflictPolicy; 4] = [
+    ConflictPolicy::KeepMin,
+    ConflictPolicy::KeepMax,
+    ConflictPolicy::KeepFirst,
+    ConflictPolicy::Error,
+];
+
+fn parallel_matrix() -> Vec<RuntimeConfig> {
+    vec![
+        RuntimeConfig::parallel().with_threads(2).with_shards(1),
+        RuntimeConfig::parallel().with_threads(4).with_shards(8),
+        RuntimeConfig::parallel().with_threads(7).with_shards(3),
+    ]
+}
+
+/// The DDS image of a graph: one degree entry per node.
+fn store_of(graph: &CsrGraph) -> DataStore {
+    graph
+        .nodes()
+        .map(|v| {
+            (
+                Key::pair(0, v as u64),
+                Value::single(graph.degree(v) as u64),
+            )
+        })
+        .collect()
+}
+
+/// A three-round adaptive program exercising reads of the previous store,
+/// carry-forward semantics and colliding writes.
+///
+/// Under `ConflictPolicy::Error` the colliding writes carry identical
+/// values (machines colliding modulo 7 write their shared residue), so the
+/// program succeeds under every policy while still merging duplicates.
+fn run_program(
+    backend: &mut dyn AmpcBackend,
+    machines: usize,
+    policy: ConflictPolicy,
+) -> DataStore {
+    backend
+        .round_carrying_forward(machines, policy, |machine, ctx| {
+            let degree = ctx
+                .read(Key::pair(0, machine as u64))?
+                .map_or(0, |v| v.words()[0]);
+            // Adaptive second read: the target depends on the first answer.
+            let other = ctx
+                .read(Key::pair(0, degree % machines as u64))?
+                .map_or(0, |v| v.words()[0]);
+            ctx.write(
+                Key::pair(1, machine as u64),
+                Value::single(degree.wrapping_add(other)),
+            )?;
+            let residue = (machine % 7) as u64;
+            ctx.write(Key::pair(2, residue), Value::single(residue))
+        })
+        .expect("round 1 fits its budgets");
+    backend
+        .round(machines, policy, |machine, ctx| {
+            if let Some(v) = ctx.read(Key::pair(1, machine as u64))? {
+                ctx.write(
+                    Key::pair(3, machine as u64),
+                    Value::single(v.words()[0] * 2 + 1),
+                )?;
+            }
+            Ok(())
+        })
+        .expect("round 2 fits its budgets");
+    backend
+        .round_carrying_forward(machines, policy, |machine, ctx| {
+            let own = ctx.read(Key::pair(3, machine as u64))?;
+            if let Some(v) = own {
+                // Colliding keys again: merge by policy (identical values
+                // under Error because the written value is key-derived).
+                let bucket = (machine % 13) as u64;
+                let value = if policy == ConflictPolicy::Error {
+                    bucket
+                } else {
+                    v.words()[0]
+                };
+                ctx.write(Key::pair(4, bucket), Value::single(value))?;
+            }
+            Ok(())
+        })
+        .expect("round 3 fits its budgets");
+    backend.snapshot_store()
+}
+
+#[test]
+fn stores_are_bit_identical_across_workloads_and_policies() {
+    for workload in ALL_WORKLOADS {
+        let graph = workload.build(97);
+        let machines = graph.num_nodes();
+        let config = AmpcConfig::for_input_size(graph.num_nodes() + graph.num_edges(), 0.5);
+        for policy in ALL_POLICIES {
+            let mut sequential = RuntimeConfig::Sequential.backend(config, store_of(&graph));
+            let expected = run_program(sequential.as_mut(), machines, policy);
+            for runtime in parallel_matrix() {
+                let mut parallel = runtime.backend(config, store_of(&graph));
+                let actual = run_program(parallel.as_mut(), machines, policy);
+                assert_eq!(
+                    expected,
+                    actual,
+                    "workload {:?}, policy {policy:?}, runtime {}",
+                    workload,
+                    runtime.label()
+                );
+                // Model-level metrics (rounds, reads, writes, store sizes)
+                // agree too; wall clock and shard stats are excluded from
+                // metric equality by design.
+                assert_eq!(
+                    sequential.metrics(),
+                    parallel.metrics(),
+                    "workload {:?}, policy {policy:?}",
+                    workload
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partitions_and_colorings_agree_on_every_workload() {
+    for workload in ALL_WORKLOADS {
+        let graph = workload.build(98);
+        let alpha = workload.alpha_bound();
+        let beta = 2 * alpha + 2;
+
+        let sequential_partition =
+            ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4))
+                .expect("partition succeeds");
+        let parallel_partition = ampc_beta_partition(
+            &graph,
+            &PartitionParams::new(beta)
+                .with_x(4)
+                .with_runtime(RuntimeConfig::parallel().with_threads(4).with_shards(8)),
+        )
+        .expect("partition succeeds");
+        assert_eq!(
+            sequential_partition.partition, parallel_partition.partition,
+            "workload {workload:?}"
+        );
+        assert_eq!(sequential_partition.rounds, parallel_partition.rounds);
+        assert_eq!(sequential_partition.metrics, parallel_partition.metrics);
+        assert_eq!(
+            sequential_partition.remaining_per_round,
+            parallel_partition.remaining_per_round
+        );
+        // The parallel run recorded runtime measurements for its rounds.
+        assert_eq!(
+            parallel_partition.metrics.runtime_stats().len(),
+            parallel_partition.rounds,
+            "workload {workload:?}"
+        );
+
+        let color = |runtime: RuntimeConfig| {
+            SparseColoring::new()
+                .algorithm(Algorithm::TwoAlphaPlusOne)
+                .alpha(alpha)
+                .runtime(runtime)
+                .color(&graph)
+                .expect("coloring succeeds")
+        };
+        let sequential = color(RuntimeConfig::Sequential);
+        let parallel = color(RuntimeConfig::parallel().with_threads(4));
+        assert_eq!(
+            sequential.coloring, parallel.coloring,
+            "workload {workload:?}"
+        );
+        assert_eq!(sequential.colors_used, parallel.colors_used);
+        assert_eq!(sequential.total_rounds, parallel.total_rounds);
+        assert!(sequential.coloring.is_proper(&graph));
+    }
+}
+
+#[test]
+fn large_arboricity_variant_agrees_too() {
+    // The Theorem 1.5 per-layer driver takes a different code path
+    // (parallel per-layer palettes with sequential offset folding).
+    let workload = Workload::ForestUnion { n: 300, k: 4 };
+    let graph = workload.build(99);
+    let color = |runtime: RuntimeConfig| {
+        SparseColoring::new()
+            .algorithm(Algorithm::LargeArboricity)
+            .alpha(4)
+            .runtime(runtime)
+            .color(&graph)
+            .expect("coloring succeeds")
+    };
+    let sequential = color(RuntimeConfig::Sequential);
+    let parallel = color(RuntimeConfig::parallel().with_threads(3));
+    assert_eq!(sequential.coloring, parallel.coloring);
+    assert_eq!(sequential.colors_used, parallel.colors_used);
+}
+
+#[test]
+fn budget_violation_errors_are_identical() {
+    // Tight budgets: input size 16 at delta 0.5 gives 4 reads / 4 writes.
+    let config = AmpcConfig::for_input_size(16, 0.5);
+    let initial = || -> DataStore {
+        (0..32u64)
+            .map(|i| (Key::single(i), Value::single(i)))
+            .collect()
+    };
+
+    let over_read = |backend: &mut dyn AmpcBackend| {
+        backend.round(16, ConflictPolicy::KeepMin, |machine, ctx| {
+            let reads = if machine >= 5 { 64 } else { 1 };
+            for i in 0..reads {
+                ctx.read(Key::single(i))?;
+            }
+            Ok(())
+        })
+    };
+    let over_write = |backend: &mut dyn AmpcBackend| {
+        backend.round(16, ConflictPolicy::KeepMin, |machine, ctx| {
+            let writes = if machine >= 11 { 64 } else { 1 };
+            for i in 0..writes {
+                ctx.write(Key::pair(machine as u64, i), Value::single(i))?;
+            }
+            Ok(())
+        })
+    };
+    let conflict = |backend: &mut dyn AmpcBackend| {
+        backend.round(16, ConflictPolicy::Error, |machine, ctx| {
+            ctx.write(Key::single(5), Value::single(machine as u64))
+        })
+    };
+
+    for runtime in parallel_matrix() {
+        let mut seq = RuntimeConfig::Sequential.backend(config, initial());
+        let mut par = runtime.backend(config, initial());
+        assert_eq!(
+            over_read(seq.as_mut()).unwrap_err(),
+            over_read(par.as_mut()).unwrap_err()
+        );
+        assert_eq!(
+            over_read(seq.as_mut()).unwrap_err(),
+            ModelError::ReadBudgetExceeded {
+                machine: 5,
+                budget: 4
+            }
+        );
+
+        let mut seq = RuntimeConfig::Sequential.backend(config, initial());
+        let mut par = runtime.backend(config, initial());
+        assert_eq!(
+            over_write(seq.as_mut()).unwrap_err(),
+            over_write(par.as_mut()).unwrap_err()
+        );
+        assert_eq!(
+            over_write(seq.as_mut()).unwrap_err(),
+            ModelError::WriteBudgetExceeded {
+                machine: 11,
+                budget: 4
+            }
+        );
+
+        let mut seq = RuntimeConfig::Sequential.backend(config, initial());
+        let mut par = runtime.backend(config, initial());
+        let a = conflict(seq.as_mut()).unwrap_err();
+        let b = conflict(par.as_mut()).unwrap_err();
+        assert_eq!(a, b);
+        assert!(matches!(a, ModelError::WriteConflict { .. }));
+    }
+}

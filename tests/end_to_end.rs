@@ -77,8 +77,8 @@ fn natural_partition_matches_ampc_partition_quality() {
     let beta = 6;
 
     let natural = natural_partition(&graph, beta);
-    let ampc = beta_partition::ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4))
-        .unwrap();
+    let ampc =
+        beta_partition::ampc_beta_partition(&graph, &PartitionParams::new(beta).with_x(4)).unwrap();
 
     assert!(natural.validate(&graph).is_ok());
     assert!(ampc.partition.validate(&graph).is_ok());
@@ -119,7 +119,7 @@ fn deep_tree_exercises_multi_round_partitioning() {
         .unwrap();
     assert!(outcome.coloring.is_proper(&graph));
     assert!(outcome.colors_used <= 4); // (2 + 1) * 1 + 1
-    // The deep natural partition forces several AMPC rounds.
+                                       // The deep natural partition forces several AMPC rounds.
     assert!(outcome.partition_rounds >= 2);
 }
 

@@ -6,7 +6,7 @@ use ampc_coloring_repro::Workload;
 use ampc_model::{
     AmpcConfig, AmpcExecutor, ConflictPolicy, GraphStore, Key, LcaOracle, ModelError, Value,
 };
-use beta_partition::{partial_partition_lca, ampc_beta_partition, CoinGameConfig, PartitionParams};
+use beta_partition::{ampc_beta_partition, partial_partition_lca, CoinGameConfig, PartitionParams};
 
 /// Tag used by this test for layer values written into the DDS.
 const TAG_LAYER: u64 = 0xA0;
@@ -61,7 +61,10 @@ fn tight_budgets_reject_heavy_rounds() {
         let _ = GraphStore::neighbor(ctx, machine, 1)?;
         Ok(())
     });
-    assert!(matches!(outcome, Err(ModelError::ReadBudgetExceeded { .. })));
+    assert!(matches!(
+        outcome,
+        Err(ModelError::ReadBudgetExceeded { .. })
+    ));
 }
 
 #[test]
@@ -103,7 +106,10 @@ fn coloring_rounds_compose_partition_and_simulation_costs() {
     use arbo_coloring::ampc::{color_alpha_squared, AmpcColoringParams};
     let graph = Workload::ForestUnion { n: 300, k: 2 }.build(80);
     let result = color_alpha_squared(&graph, 2, &AmpcColoringParams::default()).unwrap();
-    assert_eq!(result.total_rounds, result.partition_rounds + result.coloring_rounds);
+    assert_eq!(
+        result.total_rounds,
+        result.partition_rounds + result.coloring_rounds
+    );
     assert!(result.partition_rounds >= 1);
     assert!(result.coloring_rounds >= 1);
 }
