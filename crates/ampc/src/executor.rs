@@ -336,8 +336,7 @@ impl AmpcExecutor {
         self.metrics.record_runtime(RoundRuntimeStats {
             wall_clock_nanos: started.elapsed().as_nanos() as u64,
             conflict_merges,
-            shard_reads: Vec::new(),
-            shard_writes: Vec::new(),
+            ..RoundRuntimeStats::default()
         });
         self.store = next;
         Ok(report)

@@ -93,6 +93,14 @@ pub struct RoundRuntimeStats {
     /// Writes routed to each store shard during the round (empty for the
     /// unsharded sequential executor).
     pub shard_writes: Vec<u64>,
+    /// Tasks each persistent pool worker completed while this round ran
+    /// (empty for the sequential executor). When several executions share
+    /// one pool the attribution is approximate — these are measurements of
+    /// pool reuse, not model-level quantities.
+    pub pool_tasks_per_worker: Vec<u64>,
+    /// Estimated nanoseconds the pool's workers spent idle while this round
+    /// ran (0 for the sequential executor).
+    pub pool_idle_nanos: u64,
 }
 
 impl RoundRuntimeStats {
@@ -114,6 +122,8 @@ impl RoundRuntimeStats {
             conflict_merges: self.conflict_merges + other.conflict_merges,
             shard_reads: add(&self.shard_reads, &other.shard_reads),
             shard_writes: add(&self.shard_writes, &other.shard_writes),
+            pool_tasks_per_worker: add(&self.pool_tasks_per_worker, &other.pool_tasks_per_worker),
+            pool_idle_nanos: self.pool_idle_nanos + other.pool_idle_nanos,
         }
     }
 }

@@ -1,0 +1,35 @@
+//! Tiny `--flag=value` argument parsing shared by the workspace's binaries
+//! (`experiments`, `loadgen`, `ampc-serve`); the build has no registry
+//! access, so there is no clap.
+
+/// Last value of `--{name}=value` parsed as `T`, if present and parseable.
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let prefix = format!("--{name}=");
+    args.iter()
+        .filter_map(|arg| arg.strip_prefix(&prefix))
+        .next_back()
+        .and_then(|raw| raw.parse().ok())
+}
+
+/// Whether the bare flag `--{name}` is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|arg| arg == &format!("--{name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_last_value_and_bare_flags() {
+        let args: Vec<String> = ["--jobs=3", "--smoke", "--jobs=7", "--bad=x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_flag::<usize>(&args, "jobs"), Some(7));
+        assert_eq!(parse_flag::<usize>(&args, "bad"), None);
+        assert_eq!(parse_flag::<usize>(&args, "missing"), None);
+        assert!(has_flag(&args, "smoke"));
+        assert!(!has_flag(&args, "jobs"));
+    }
+}

@@ -1,0 +1,240 @@
+//! HTTP load generator for the `ampc-service` coloring server.
+//!
+//! Talks plain HTTP/1.1 over `std::net::TcpStream` (no client library
+//! needed), hammers `POST /v1/color?wait=1` with synthetic workloads and
+//! reports p50/p99 latency and throughput.
+//!
+//! ```text
+//! # smoke: one request, assert HTTP 200 + a valid coloring (CI gate)
+//! cargo run -p ampc-coloring-bench --bin loadgen --release -- --addr=127.0.0.1:8077 --smoke
+//!
+//! # load: 40 jobs over 4 connections, emit BENCH_service.json
+//! cargo run -p ampc-coloring-bench --bin loadgen --release -- \
+//!     --addr=127.0.0.1:8077 --jobs=40 --concurrency=4 --json=BENCH_service.json
+//! ```
+//!
+//! Flags: `--addr=HOST:PORT` (required), `--jobs=N` (default 32),
+//! `--concurrency=C` (default 4), `--workload=forest|grid|powerlaw|tree`
+//! (default forest), `--n=NODES` (default 2000), `--unique` /
+//! `--cached` (vary the seed per job — default — or repeat one graph to
+//! measure the cache path), `--json=PATH`, `--smoke`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ampc_coloring_bench::args::{has_flag, parse_flag};
+use ampc_coloring_bench::{http_client, Table, Workload};
+use sparse_graph::{write_edge_list, Coloring, CsrGraph};
+
+fn workload_for(kind: &str, n: usize) -> Workload {
+    match kind {
+        "grid" => Workload::PlanarGrid {
+            side: (n as f64).sqrt().ceil() as usize,
+        },
+        "powerlaw" => Workload::PowerLaw {
+            n,
+            edges_per_node: 2,
+        },
+        "tree" => Workload::DeepTree { arity: 3, depth: 7 },
+        _ => Workload::ForestUnion { n, k: 2 },
+    }
+}
+
+/// The `/v1/color` target for a prepared workload instance.
+fn color_target(workload: Workload, graph: &CsrGraph) -> String {
+    format!(
+        "/v1/color?algorithm=two-alpha-plus-one&alpha={}&runtime=parallel&wait=1&min_nodes={}",
+        workload.alpha_bound(),
+        graph.num_nodes()
+    )
+}
+
+/// One synchronous `POST /v1/color?wait=1` with a pre-serialized body;
+/// returns `(status, body)`. Serialization stays outside so measured
+/// latency is service time, not local CPU.
+fn post_color(addr: &str, target: &str, body: &str) -> Result<(u16, String), String> {
+    http_client::request(addr, "POST", target, body, Some(Duration::from_secs(300)))
+}
+
+/// Extracts the `"coloring":[...]` array from a job response.
+fn parse_coloring(body: &str) -> Option<Vec<usize>> {
+    let rest = &body[body.find("\"coloring\":[")? + "\"coloring\":[".len()..];
+    let inner = &rest[..rest.find(']')?];
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|cell| cell.trim().parse::<usize>().ok())
+        .collect()
+}
+
+/// Validates a served coloring against the locally rebuilt graph.
+fn check_coloring(graph: &CsrGraph, body: &str) -> Result<usize, String> {
+    let colors = parse_coloring(body).ok_or("no coloring array in response")?;
+    if colors.len() != graph.num_nodes() {
+        return Err(format!(
+            "coloring covers {} of {} nodes",
+            colors.len(),
+            graph.num_nodes()
+        ));
+    }
+    let coloring = Coloring::new(colors);
+    if !coloring.is_proper(graph) {
+        return Err("served coloring is not proper".to_string());
+    }
+    Ok(coloring.num_colors())
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = parse_flag::<String>(&args, "addr") else {
+        eprintln!("loadgen: --addr=HOST:PORT is required");
+        std::process::exit(2);
+    };
+    let kind: String = parse_flag(&args, "workload").unwrap_or_else(|| "forest".to_string());
+    let n: usize = parse_flag(&args, "n").unwrap_or(2000);
+    let workload = workload_for(&kind, n);
+
+    if has_flag(&args, "smoke") {
+        // One request; exit non-zero unless it is HTTP 200 with a proper
+        // coloring (the CI gate).
+        let graph = workload.build(0);
+        let body = write_edge_list(&graph);
+        match post_color(&addr, &color_target(workload, &graph), &body) {
+            Ok((200, body)) => match check_coloring(&graph, &body) {
+                Ok(colors) => {
+                    println!(
+                        "smoke ok: {} nodes, {} edges, {colors} colors",
+                        graph.num_nodes(),
+                        graph.num_edges()
+                    );
+                }
+                Err(error) => {
+                    eprintln!("smoke FAILED: {error}");
+                    std::process::exit(1);
+                }
+            },
+            Ok((status, body)) => {
+                eprintln!("smoke FAILED: HTTP {status}: {body}");
+                std::process::exit(1);
+            }
+            Err(error) => {
+                eprintln!("smoke FAILED: {error}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let jobs: usize = parse_flag(&args, "jobs").unwrap_or(32);
+    let concurrency: usize = parse_flag(&args, "concurrency").unwrap_or(4).max(1);
+    let cached_mode = has_flag(&args, "cached");
+
+    let next_job = Arc::new(AtomicUsize::new(0));
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::with_capacity(jobs)));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let addr = addr.clone();
+            let next_job = Arc::clone(&next_job);
+            let latencies = Arc::clone(&latencies);
+            let failures = Arc::clone(&failures);
+            thread::spawn(move || loop {
+                let job = next_job.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs {
+                    return;
+                }
+                // Unique seeds exercise the full pipeline; `--cached`
+                // repeats one graph to measure the cache path.
+                let seed = if cached_mode { 0 } else { job as u64 };
+                let graph = workload.build(seed);
+                let body = write_edge_list(&graph);
+                let target = color_target(workload, &graph);
+                let request_started = Instant::now();
+                match post_color(&addr, &target, &body) {
+                    Ok((200, body)) => {
+                        let elapsed = request_started.elapsed();
+                        match check_coloring(&graph, &body) {
+                            Ok(_) => latencies.lock().unwrap().push(elapsed),
+                            Err(error) => {
+                                failures.lock().unwrap().push(format!("job {job}: {error}"))
+                            }
+                        }
+                    }
+                    Ok((status, body)) => failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("job {job}: HTTP {status}: {body}")),
+                    Err(error) => failures.lock().unwrap().push(format!("job {job}: {error}")),
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        let _ = client.join();
+    }
+    let wall = started.elapsed();
+
+    let failures = failures.lock().unwrap();
+    for failure in failures.iter() {
+        eprintln!("loadgen: {failure}");
+    }
+    let mut latencies = latencies.lock().unwrap().clone();
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    let mut table = Table::new(
+        "service-load",
+        "ampc-service loadgen",
+        "synchronous /v1/color latency and throughput under concurrent load",
+        &[
+            "workload",
+            "jobs",
+            "ok",
+            "failed",
+            "concurrency",
+            "wall_s",
+            "throughput_jobs_per_s",
+            "p50_ms",
+            "p99_ms",
+        ],
+    );
+    table.push_row(vec![
+        workload.label(),
+        jobs.to_string(),
+        ok.to_string(),
+        failures.len().to_string(),
+        concurrency.to_string(),
+        format!("{:.3}", wall.as_secs_f64()),
+        format!("{throughput:.2}"),
+        format!("{:.3}", p50.as_secs_f64() * 1e3),
+        format!("{:.3}", p99.as_secs_f64() * 1e3),
+    ]);
+    print!("{}", table.render());
+    if let Some(path) = parse_flag::<String>(&args, "json") {
+        if let Err(error) = std::fs::write(&path, table.to_json()) {
+            eprintln!("loadgen: cannot write {path}: {error}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

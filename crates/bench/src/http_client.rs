@@ -1,0 +1,47 @@
+//! Minimal blocking HTTP/1.1 client used by the load generator and the
+//! service tests (the build has no registry access, so no reqwest/ureq).
+//! One request per connection (`Connection: close`).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Sends one request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// A human-readable description of the first connect/write/read/parse
+/// failure.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    target: &str,
+    body: &str,
+    read_timeout: Option<Duration>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(read_timeout).ok();
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: client\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .ok_or("missing status line")?
+        .parse()
+        .map_err(|_| "bad status line")?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

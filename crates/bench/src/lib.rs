@@ -11,7 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod experiments;
+pub mod http_client;
 pub mod table;
 pub mod workloads;
 

@@ -139,6 +139,10 @@ pub struct AmpcColoringResult {
     pub coloring_rounds: usize,
     /// `partition_rounds + coloring_rounds`.
     pub total_rounds: usize,
+    /// Resource accounting of the partition phase's AMPC rounds (round
+    /// reports plus runtime measurements), for callers that surface
+    /// metrics — e.g. the `ampc-service` job API.
+    pub metrics: ampc_model::AmpcMetrics,
 }
 
 impl AmpcColoringResult {
@@ -159,6 +163,7 @@ impl AmpcColoringResult {
             partition_size: partition.partition_size(),
             coloring_rounds,
             total_rounds: partition.rounds + coloring_rounds,
+            metrics: partition.metrics.clone(),
         }
     }
 }

@@ -166,6 +166,10 @@ pub struct ColoringOutcome {
     pub coloring_rounds: usize,
     /// Total AMPC rounds.
     pub total_rounds: usize,
+    /// Resource accounting of the partition phase (round reports plus
+    /// runtime measurements such as per-round wall clock, shard loads and
+    /// pool-reuse deltas).
+    pub metrics: ampc_model::AmpcMetrics,
 }
 
 impl ColoringOutcome {
@@ -179,7 +183,44 @@ impl ColoringOutcome {
             partition_size: result.partition_size,
             coloring_rounds: result.coloring_rounds,
             total_rounds: result.total_rounds,
+            metrics: result.metrics,
             coloring: result.coloring,
+        }
+    }
+}
+
+/// A fully explicit, validatable coloring request — the wire-facing
+/// counterpart of the [`SparseColoring`] builder, used by the serving
+/// subsystem (`ampc-service`) and anyone constructing runs from untrusted
+/// input. [`SparseColoring::color_request`] validates every field and
+/// returns [`Error::InvalidRequest`] instead of panicking or silently
+/// clamping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColorRequest {
+    /// Algorithm variant to run.
+    pub algorithm: Algorithm,
+    /// Optional a-priori arboricity bound (must be ≥ 1 when given).
+    pub alpha: Option<usize>,
+    /// Trade-off constant `ε` (must be finite and positive).
+    pub epsilon: f64,
+    /// Local-space exponent `δ` (must be finite, in `(0, 1]`).
+    pub delta: f64,
+    /// Round limit for the partition phase (must be ≥ 1).
+    pub max_partition_rounds: usize,
+    /// Executor backend selection.
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for ColorRequest {
+    fn default() -> Self {
+        let defaults = SparseColoring::default();
+        ColorRequest {
+            algorithm: defaults.algorithm,
+            alpha: defaults.alpha,
+            epsilon: defaults.epsilon,
+            delta: defaults.delta,
+            max_partition_rounds: defaults.max_partition_rounds,
+            runtime: defaults.runtime,
         }
     }
 }
@@ -268,14 +309,19 @@ impl SparseColoring {
     }
 
     fn validate(&self) -> Result<(), Error> {
-        if self.epsilon <= 0.0 {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
             return Err(Error::InvalidRequest(
-                "epsilon must be positive".to_string(),
+                "epsilon must be finite and positive".to_string(),
             ));
         }
-        if !(0.0..=1.0).contains(&self.delta) || self.delta == 0.0 {
+        if !self.delta.is_finite() || !(0.0..=1.0).contains(&self.delta) || self.delta == 0.0 {
             return Err(Error::InvalidRequest(
                 "delta must lie in (0, 1]".to_string(),
+            ));
+        }
+        if self.max_partition_rounds == 0 {
+            return Err(Error::InvalidRequest(
+                "max_partition_rounds must be at least 1".to_string(),
             ));
         }
         Ok(())
@@ -290,6 +336,49 @@ impl SparseColoring {
             max_partition_rounds: self.max_partition_rounds,
             runtime: self.runtime,
         }
+    }
+
+    /// Builds a validated builder from a wire-level [`ColorRequest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] for any out-of-domain field
+    /// (non-finite or non-positive `epsilon`, `delta` outside `(0, 1]`,
+    /// `alpha == 0`, `max_partition_rounds == 0`) — the checks that keep
+    /// the downstream drivers panic-free on untrusted input.
+    pub fn from_request(request: &ColorRequest) -> Result<Self, Error> {
+        if request.alpha == Some(0) {
+            return Err(Error::InvalidRequest(
+                "alpha must be at least 1 when given".to_string(),
+            ));
+        }
+        let builder = SparseColoring {
+            algorithm: request.algorithm,
+            alpha: request.alpha,
+            epsilon: request.epsilon,
+            delta: request.delta,
+            x: SparseColoring::default().x,
+            max_partition_rounds: request.max_partition_rounds,
+            runtime: request.runtime,
+        };
+        builder.validate()?;
+        Ok(builder)
+    }
+
+    /// Validates `request` and colors `graph` with it: the panic-free,
+    /// structured-error entry point the serving subsystem calls for every
+    /// job.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidRequest`] for out-of-domain parameters (see
+    /// [`SparseColoring::from_request`]), otherwise the same errors as
+    /// [`SparseColoring::color`].
+    pub fn color_request(
+        graph: &CsrGraph,
+        request: &ColorRequest,
+    ) -> Result<ColoringOutcome, Error> {
+        SparseColoring::from_request(request)?.color(graph)
     }
 
     /// The arboricity bound used for `graph`: the explicit one if given,
@@ -485,6 +574,52 @@ mod tests {
             .color(&graph)
             .unwrap_err();
         assert!(matches!(err, Error::Coloring(_)));
+    }
+
+    #[test]
+    fn color_request_validates_and_colors() {
+        let graph = two_forest(300, 7);
+        let request = ColorRequest {
+            algorithm: Algorithm::TwoAlphaPlusOne,
+            alpha: Some(2),
+            ..ColorRequest::default()
+        };
+        let outcome = SparseColoring::color_request(&graph, &request).unwrap();
+        assert!(outcome.coloring.is_proper(&graph));
+        assert!(outcome.colors_used <= 6);
+        assert!(outcome.metrics.num_rounds() >= 1, "metrics ride along");
+
+        // Every invalid field is a structured error, not a panic.
+        let bad: Vec<ColorRequest> = vec![
+            ColorRequest {
+                epsilon: f64::NAN,
+                ..ColorRequest::default()
+            },
+            ColorRequest {
+                epsilon: -1.0,
+                ..ColorRequest::default()
+            },
+            ColorRequest {
+                delta: f64::INFINITY,
+                ..ColorRequest::default()
+            },
+            ColorRequest {
+                delta: 0.0,
+                ..ColorRequest::default()
+            },
+            ColorRequest {
+                alpha: Some(0),
+                ..ColorRequest::default()
+            },
+            ColorRequest {
+                max_partition_rounds: 0,
+                ..ColorRequest::default()
+            },
+        ];
+        for request in bad {
+            let err = SparseColoring::color_request(&graph, &request).unwrap_err();
+            assert!(matches!(err, Error::InvalidRequest(_)), "{request:?}");
+        }
     }
 
     #[test]

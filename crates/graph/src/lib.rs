@@ -59,7 +59,10 @@ pub use coloring::{
 pub use csr::CsrGraph;
 pub use degeneracy::{core_numbers, degeneracy, degeneracy_ordering, DegeneracyDecomposition};
 pub use forest::{forest_decomposition, ForestDecomposition};
-pub use io::{parse_edge_list, write_edge_list, ParseEdgeListError};
+pub use io::{
+    parse_edge_list, read_edge_list, read_edge_list_bounded, write_edge_list, EdgeListReader,
+    ParseEdgeListError,
+};
 pub use orientation::Orientation;
 pub use subgraph::InducedSubgraph;
 pub use types::{canonical_edge, Edge, NodeId};

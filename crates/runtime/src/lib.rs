@@ -19,9 +19,14 @@
 //! * [`AmpcBackend`] — the executor abstraction both backends implement, so
 //!   every algorithm in the workspace runs on either through a
 //!   [`RuntimeConfig`] switch.
-//! * Extended metrics — wall-clock per round, per-shard read/write counts
-//!   and conflict-merge counts, surfaced through
-//!   [`ampc_model::AmpcMetrics::runtime_stats`].
+//! * [`WorkerPool`] — a **persistent** worker pool: threads are spawned once
+//!   per pool (the process-wide [`WorkerPool::global`] pool by default) and
+//!   reused across rounds, backends and jobs, instead of scoped-spawning
+//!   per round. The serving subsystem (`ampc-service`) shares the same
+//!   pool across its job queue.
+//! * Extended metrics — wall-clock per round, per-shard read/write counts,
+//!   conflict-merge counts and pool-reuse deltas (tasks per worker, idle
+//!   time), surfaced through [`ampc_model::AmpcMetrics::runtime_stats`].
 //!
 //! ## Determinism contract
 //!
@@ -69,7 +74,10 @@
 //! assert_eq!(results[0].get(Key::single(21)), Some(Value::single(42)));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's scoped-batch execution
+// needs one audited lifetime erasure (see `pool.rs`), which opts in with a
+// module-level `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;
@@ -82,5 +90,5 @@ pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
 pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
 pub use config::RuntimeConfig;
 pub use parallel::ParallelBackend;
-pub use pool::parallel_map;
+pub use pool::{parallel_map, PoolStats, ScopedTask, WorkerPool};
 pub use shard::ShardedStore;

@@ -2,7 +2,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::thread;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ampc_model::{
@@ -11,7 +11,7 @@ use ampc_model::{
 };
 
 use crate::backend::{AmpcBackend, RoundBody};
-use crate::pool::chunk_ranges;
+use crate::pool::{chunk_ranges, PoolStats, ScopedTask, WorkerPool};
 use crate::shard::ShardedStore;
 
 /// A write buffered by one machine: `(machine id, index within the
@@ -49,6 +49,16 @@ impl ChunkOutcome {
 /// per-shard routed-write counts, and the total conflict merges.
 type MergedShards = (Vec<HashMap<Key, Value>>, Vec<u64>, usize);
 
+/// Per-worker tasks completed between two pool snapshots.
+fn pool_delta(before: &PoolStats, after: &PoolStats) -> Vec<u64> {
+    after
+        .tasks_per_worker
+        .iter()
+        .zip(&before.tasks_per_worker)
+        .map(|(&now, &then)| now.saturating_sub(then))
+        .collect()
+}
+
 /// Per-shard result of the merge phase.
 struct ShardMerge {
     shard: usize,
@@ -62,18 +72,26 @@ struct ShardMerge {
 
 /// The sharded parallel implementation of [`AmpcBackend`].
 ///
-/// Machines are split into contiguous id ranges, one per worker thread;
-/// every worker drives its machines through [`MachineContext`]s with the
-/// exact budget enforcement of the sequential executor, reading the
-/// previous round's [`ShardedStore`] lock-free. Buffered writes are merged
+/// Machines are split into contiguous id ranges, one per worker; every
+/// worker drives its machines through [`MachineContext`]s with the exact
+/// budget enforcement of the sequential executor, reading the previous
+/// round's [`ShardedStore`] lock-free. Buffered writes are merged
 /// shard-by-shard (also in parallel) in global `(machine, write index)`
 /// order, so the resulting store is bit-identical to the sequential
 /// backend's for every [`ConflictPolicy`].
+///
+/// Rounds run on a persistent [`WorkerPool`] — by default the process-wide
+/// [`WorkerPool::global`] pool, shared across backends and jobs — so no
+/// threads are spawned per round (or even per backend). The pool-reuse
+/// deltas of every round are recorded in
+/// [`RoundRuntimeStats::pool_tasks_per_worker`] and
+/// [`RoundRuntimeStats::pool_idle_nanos`].
 pub struct ParallelBackend {
     config: AmpcConfig,
     store: ShardedStore,
     metrics: AmpcMetrics,
     threads: usize,
+    pool: Arc<WorkerPool>,
 }
 
 impl std::fmt::Debug for ParallelBackend {
@@ -89,20 +107,45 @@ impl std::fmt::Debug for ParallelBackend {
 
 impl ParallelBackend {
     /// Creates a parallel backend over `initial`, partitioned into `shards`
-    /// shards and executing rounds on `threads` worker threads (both clamped
-    /// to at least 1).
+    /// shards and fanning each round out into up to `threads` chunks (both
+    /// clamped to at least 1) on the process-wide [`WorkerPool::global`]
+    /// pool.
     pub fn new(config: AmpcConfig, initial: DataStore, threads: usize, shards: usize) -> Self {
+        ParallelBackend::with_pool(
+            config,
+            initial,
+            threads,
+            shards,
+            Arc::clone(WorkerPool::global()),
+        )
+    }
+
+    /// Like [`ParallelBackend::new`], but executing on a caller-owned
+    /// persistent pool instead of the global one.
+    pub fn with_pool(
+        config: AmpcConfig,
+        initial: DataStore,
+        threads: usize,
+        shards: usize,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
         ParallelBackend {
             config,
             store: ShardedStore::from_store(initial, shards.max(1)),
             metrics: AmpcMetrics::default(),
             threads: threads.max(1),
+            pool,
         }
     }
 
     /// Number of worker threads used per round.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The persistent pool this backend schedules rounds on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// The sharded store backing the current round.
@@ -123,43 +166,40 @@ impl ParallelBackend {
         let chunks = chunk_ranges(machines, self.threads);
         let store = &self.store;
 
-        thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|range| {
-                    scope.spawn(move || {
-                        let mut outcome = ChunkOutcome::new(num_shards);
-                        for machine in range {
-                            let mut ctx = MachineContext::for_round(
-                                machine,
-                                store,
-                                read_budget,
-                                write_budget,
-                            );
-                            if let Err(error) = body(machine, &mut ctx) {
-                                outcome.error = Some((machine, error));
-                                break;
-                            }
-                            let reads = ctx.reads_used();
-                            let writes = ctx.writes_used();
-                            outcome.max_reads = outcome.max_reads.max(reads);
-                            outcome.total_reads += reads;
-                            outcome.max_writes = outcome.max_writes.max(writes);
-                            outcome.total_writes += writes;
-                            for (index, (key, value)) in ctx.into_writes().into_iter().enumerate() {
-                                let shard = store.shard_of(&key);
-                                outcome.per_shard[shard].push((machine, index, key, value));
-                            }
+        let mut outcomes: Vec<Option<ChunkOutcome>> = (0..chunks.len()).map(|_| None).collect();
+        let tasks: Vec<ScopedTask<'_>> = outcomes
+            .iter_mut()
+            .zip(chunks)
+            .map(|(slot, range)| {
+                Box::new(move || {
+                    let mut outcome = ChunkOutcome::new(num_shards);
+                    for machine in range {
+                        let mut ctx =
+                            MachineContext::for_round(machine, store, read_budget, write_budget);
+                        if let Err(error) = body(machine, &mut ctx) {
+                            outcome.error = Some((machine, error));
+                            break;
                         }
-                        outcome
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("runtime worker panicked"))
-                .collect()
-        })
+                        let reads = ctx.reads_used();
+                        let writes = ctx.writes_used();
+                        outcome.max_reads = outcome.max_reads.max(reads);
+                        outcome.total_reads += reads;
+                        outcome.max_writes = outcome.max_writes.max(writes);
+                        outcome.total_writes += writes;
+                        for (index, (key, value)) in ctx.into_writes().into_iter().enumerate() {
+                            let shard = store.shard_of(&key);
+                            outcome.per_shard[shard].push((machine, index, key, value));
+                        }
+                    }
+                    *slot = Some(outcome);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        self.pool.execute(tasks);
+        outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("the pool ran every machine chunk"))
+            .collect()
     }
 
     /// Merges the buffered writes of all chunks, shard-by-shard in parallel.
@@ -177,59 +217,61 @@ impl ParallelBackend {
         };
 
         let shard_chunks = chunk_ranges(num_shards, self.threads);
-        let merges: Vec<ShardMerge> = thread::scope(|scope| {
-            let handles: Vec<_> = shard_chunks
-                .into_iter()
-                .map(|range| {
-                    scope.spawn(move || {
-                        let mut results = Vec::with_capacity(range.len());
-                        for shard in range {
-                            let mut staged: HashMap<Key, Value> = HashMap::new();
-                            let mut writes_routed = 0u64;
-                            let mut conflict_merges = 0usize;
-                            let mut conflict: Option<(usize, usize, ModelError)> = None;
-                            // Chunks are ascending machine ranges and each
-                            // bucket is in (machine, index) order, so this
-                            // fold replays the sequential write order.
-                            'outer: for outcome in outcomes {
-                                for &(machine, index, key, value) in &outcome.per_shard[shard] {
-                                    writes_routed += 1;
-                                    match staged.entry(key) {
-                                        Entry::Vacant(entry) => {
-                                            entry.insert(value);
-                                        }
-                                        Entry::Occupied(mut entry) => {
-                                            conflict_merges += 1;
-                                            match policy.resolve(&key, *entry.get(), value) {
-                                                Ok(resolved) => {
-                                                    entry.insert(resolved);
-                                                }
-                                                Err(error) => {
-                                                    conflict = Some((machine, index, error));
-                                                    break 'outer;
-                                                }
+        let mut chunk_merges: Vec<Option<Vec<ShardMerge>>> =
+            (0..shard_chunks.len()).map(|_| None).collect();
+        let tasks: Vec<ScopedTask<'_>> = chunk_merges
+            .iter_mut()
+            .zip(shard_chunks)
+            .map(|(slot, range)| {
+                Box::new(move || {
+                    let mut results = Vec::with_capacity(range.len());
+                    for shard in range {
+                        let mut staged: HashMap<Key, Value> = HashMap::new();
+                        let mut writes_routed = 0u64;
+                        let mut conflict_merges = 0usize;
+                        let mut conflict: Option<(usize, usize, ModelError)> = None;
+                        // Chunks are ascending machine ranges and each
+                        // bucket is in (machine, index) order, so this
+                        // fold replays the sequential write order.
+                        'outer: for outcome in outcomes {
+                            for &(machine, index, key, value) in &outcome.per_shard[shard] {
+                                writes_routed += 1;
+                                match staged.entry(key) {
+                                    Entry::Vacant(entry) => {
+                                        entry.insert(value);
+                                    }
+                                    Entry::Occupied(mut entry) => {
+                                        conflict_merges += 1;
+                                        match policy.resolve(&key, *entry.get(), value) {
+                                            Ok(resolved) => {
+                                                entry.insert(resolved);
+                                            }
+                                            Err(error) => {
+                                                conflict = Some((machine, index, error));
+                                                break 'outer;
                                             }
                                         }
                                     }
                                 }
                             }
-                            results.push(ShardMerge {
-                                shard,
-                                merged: staged,
-                                writes_routed,
-                                conflict_merges,
-                                conflict,
-                            });
                         }
-                        results
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("runtime merge worker panicked"))
-                .collect()
-        });
+                        results.push(ShardMerge {
+                            shard,
+                            merged: staged,
+                            writes_routed,
+                            conflict_merges,
+                            conflict,
+                        });
+                    }
+                    *slot = Some(results);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        self.pool.execute(tasks);
+        let merges: Vec<ShardMerge> = chunk_merges
+            .into_iter()
+            .flat_map(|chunk| chunk.expect("the pool ran every merge chunk"))
+            .collect();
 
         // Deterministic conflict reporting: the first conflict in global
         // (machine, write index) order is the one the sequential executor
@@ -292,6 +334,7 @@ impl AmpcBackend for ParallelBackend {
         body: &RoundBody<'_>,
     ) -> Result<RoundReport, ModelError> {
         let started = Instant::now();
+        let pool_before = self.pool.stats();
         let read_budget = self.config.read_budget();
         let write_budget = self.config.write_budget();
         self.store.reset_read_counts();
@@ -334,11 +377,16 @@ impl AmpcBackend for ParallelBackend {
         );
         report.store_words = self.store.space_in_words();
         self.metrics.record(report.clone());
+        let pool_after = self.pool.stats();
         self.metrics.record_runtime(RoundRuntimeStats {
             wall_clock_nanos: started.elapsed().as_nanos() as u64,
             conflict_merges,
             shard_reads,
             shard_writes,
+            pool_tasks_per_worker: pool_delta(&pool_before, &pool_after),
+            pool_idle_nanos: pool_after
+                .total_idle_nanos()
+                .saturating_sub(pool_before.total_idle_nanos()),
         });
         Ok(report)
     }
@@ -441,6 +489,54 @@ mod tests {
         assert_eq!(
             stats.conflict_merges,
             seq.metrics().runtime_stats()[0].conflict_merges
+        );
+    }
+
+    #[test]
+    fn pool_reuse_stats_are_recorded_but_excluded_from_equality() {
+        // A dedicated pool so other tests' global-pool traffic cannot leak
+        // into the deltas.
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut par: Box<dyn AmpcBackend> = Box::new(ParallelBackend::with_pool(
+            config(),
+            seeded_store(64),
+            4,
+            4,
+            Arc::clone(&pool),
+        ));
+        run_program(par.as_mut(), 64, ConflictPolicy::KeepMin).unwrap();
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(config(), seeded_store(64)));
+        run_program(seq.as_mut(), 64, ConflictPolicy::KeepMin).unwrap();
+
+        // Every parallel round reports a delta slot per persistent worker;
+        // the sequential reference reports none.
+        for stats in par.metrics().runtime_stats() {
+            assert_eq!(stats.pool_tasks_per_worker.len(), pool.num_workers());
+        }
+        for stats in seq.metrics().runtime_stats() {
+            assert!(stats.pool_tasks_per_worker.is_empty());
+            assert_eq!(stats.pool_idle_nanos, 0);
+        }
+        // Across the whole run, every executed pool task is accounted to a
+        // worker or to the helping submitter, and the recorded per-round
+        // worker deltas never exceed the pool's cumulative totals.
+        let pool_stats = pool.stats();
+        assert!(pool_stats.total_tasks() > 0, "rounds must use the pool");
+        let recorded_worker_tasks: u64 = par
+            .metrics()
+            .runtime_stats()
+            .iter()
+            .map(|s| s.pool_tasks_per_worker.iter().sum::<u64>())
+            .sum();
+        assert!(recorded_worker_tasks <= pool_stats.tasks_per_worker.iter().sum::<u64>());
+        // Reuse stats are measurements: metric equality ignores them.
+        assert_eq!(seq.metrics(), par.metrics());
+        let combined = par.metrics().runtime_stats()[0].combine(&par.metrics().runtime_stats()[1]);
+        assert_eq!(
+            combined.pool_tasks_per_worker.len(),
+            pool.num_workers(),
+            "combine keeps per-worker slots"
         );
     }
 

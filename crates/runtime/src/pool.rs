@@ -1,7 +1,321 @@
-//! Deterministic work partitioning and a parallel map helper.
+//! The persistent worker pool, deterministic work partitioning and a
+//! parallel map helper.
+//!
+//! Before the pool existed the parallel backend spawned scoped threads for
+//! every round, which dominates the wall clock of many-round algorithms
+//! (the β-partition runs hundreds of rounds on small remainders). The
+//! [`WorkerPool`] keeps its worker threads alive across rounds *and* across
+//! jobs: the round scheduler, [`parallel_map`] and the serving subsystem
+//! (`ampc-service`) all share the process-wide [`WorkerPool::global`] pool
+//! unless handed a dedicated one.
+#![allow(unsafe_code)]
 
+use std::any::Any;
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
+use std::time::Instant;
+
+/// Locks a mutex, ignoring poisoning (tasks run outside any pool lock, so a
+/// poisoned lock only means an unrelated thread panicked mid-bookkeeping).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A unit of work submitted to the pool, allowed to borrow from the
+/// submitting scope ([`WorkerPool::execute`] blocks until it has run).
+pub type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+type ErasedTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// One submitted batch of tasks: the not-yet-claimed tasks, the number of
+/// tasks that have not *finished*, and the first panic payload observed.
+struct Batch {
+    queue: Mutex<VecDeque<ErasedTask>>,
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Batch {
+    fn new(tasks: VecDeque<ErasedTask>) -> Self {
+        Batch {
+            pending: Mutex::new(tasks.len()),
+            queue: Mutex::new(tasks),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Runs one claimed task to completion, capturing a panic instead of
+    /// unwinding into the worker loop, then counts it as finished.
+    fn run(&self, task: ErasedTask) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(task));
+        if let Err(payload) = outcome {
+            lock(&self.panic).get_or_insert(payload);
+        }
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Per-worker reuse counters (relaxed atomics; measurement data only).
+struct WorkerStats {
+    tasks: AtomicU64,
+    idle_nanos: AtomicU64,
+}
+
+struct PoolShared {
+    /// Batches with unclaimed tasks, oldest first.
+    injector: Mutex<VecDeque<Arc<Batch>>>,
+    work_available: Condvar,
+    shutdown: AtomicBool,
+    workers: Vec<WorkerStats>,
+    helper_tasks: AtomicU64,
+}
+
+impl PoolShared {
+    /// Claims the next task (oldest batch first), or `None` on shutdown.
+    fn claim(&self, worker: usize) -> Option<(Arc<Batch>, ErasedTask)> {
+        let mut injector = lock(&self.injector);
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            while let Some(batch) = injector.front().map(Arc::clone) {
+                let task = lock(&batch.queue).pop_front();
+                match task {
+                    Some(task) => return Some((batch, task)),
+                    None => {
+                        injector.pop_front();
+                    }
+                }
+            }
+            let waited = Instant::now();
+            injector = self
+                .work_available
+                .wait(injector)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            self.workers[worker]
+                .idle_nanos
+                .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    while let Some((batch, task)) = shared.claim(index) {
+        batch.run(task);
+        shared.workers[index].tasks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Cumulative reuse counters of a [`WorkerPool`], snapshotted by
+/// [`WorkerPool::stats`]. Round schedulers record the per-round *delta* of
+/// these into [`ampc_model::RoundRuntimeStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks completed by each worker since the pool started.
+    pub tasks_per_worker: Vec<u64>,
+    /// Nanoseconds each worker spent parked waiting for work.
+    pub idle_nanos_per_worker: Vec<u64>,
+    /// Tasks run inline by submitting threads while they waited for their
+    /// batch (the pool lets submitters help drain their own batch).
+    pub helper_tasks: u64,
+}
+
+impl PoolStats {
+    /// Total tasks completed (workers plus helping submitters).
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_per_worker.iter().sum::<u64>() + self.helper_tasks
+    }
+
+    /// Total idle nanoseconds across all workers.
+    pub fn total_idle_nanos(&self) -> u64 {
+        self.idle_nanos_per_worker.iter().sum()
+    }
+}
+
+/// A persistent pool of worker threads executing scoped task batches.
+///
+/// Unlike `std::thread::scope`, the workers are spawned **once** — per pool,
+/// not per batch — and survive across rounds, jobs and callers; submitting a
+/// batch is a queue push, not `N` thread spawns. [`WorkerPool::execute`]
+/// blocks until every task of the batch has run, which is what makes
+/// borrowing tasks ([`ScopedTask`]) sound, and the submitting thread helps
+/// drain its own batch while it waits (so a pool is never a parallelism
+/// *loss*, even on a single-core host, and nested submissions cannot
+/// deadlock).
+///
+/// Determinism is unaffected by pooling: tasks write into caller-owned slots
+/// keyed by index, so scheduling order never leaks into results.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` persistent worker threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers: (0..workers)
+                .map(|_| WorkerStats {
+                    tasks: AtomicU64::new(0),
+                    idle_nanos: AtomicU64::new(0),
+                })
+                .collect(),
+            helper_tasks: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ampc-pool-{index}"))
+                    .spawn(move || worker_loop(shared, index))
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            started: Instant::now(),
+        }
+    }
+
+    /// The process-wide shared pool (sized to the host's available
+    /// parallelism, at least 2), used by [`parallel_map`] and every
+    /// [`crate::ParallelBackend`] not constructed with a dedicated pool.
+    /// Spawned lazily on first use and never torn down.
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = thread::available_parallelism()
+                .map_or(2, |p| p.get())
+                .max(2);
+            Arc::new(WorkerPool::new(workers))
+        })
+    }
+
+    /// Number of persistent worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Time the pool has been alive.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Snapshot of the cumulative reuse counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_per_worker: self
+                .shared
+                .workers
+                .iter()
+                .map(|w| w.tasks.load(Ordering::Relaxed))
+                .collect(),
+            idle_nanos_per_worker: self
+                .shared
+                .workers
+                .iter()
+                .map(|w| w.idle_nanos.load(Ordering::Relaxed))
+                .collect(),
+            helper_tasks: self.shared.helper_tasks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a batch of tasks on the pool, blocking until **all** of them
+    /// have finished. The submitting thread helps drain the batch while it
+    /// waits. If any task panicked, the first observed panic is re-raised
+    /// here (after the whole batch has finished).
+    pub fn execute<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if tasks.len() == 1 {
+            // One task gains nothing from a queue round-trip.
+            let mut tasks = tasks;
+            (tasks.pop().expect("len checked"))();
+            return;
+        }
+
+        let erased: VecDeque<ErasedTask> = tasks
+            .into_iter()
+            .map(|task| {
+                // SAFETY: the only lifetime-carrying part of the type is the
+                // closure's borrow set. `execute` does not return — normally
+                // or by unwinding — before `pending == 0`, i.e. before every
+                // erased task has been consumed by `Batch::run` (panics are
+                // caught and re-raised only after the wait below), so no
+                // task can outlive the `'env` borrows it captures.
+                unsafe { std::mem::transmute::<ScopedTask<'env>, ErasedTask>(task) }
+            })
+            .collect();
+        let batch = Arc::new(Batch::new(erased));
+        lock(&self.shared.injector).push_back(Arc::clone(&batch));
+        self.shared.work_available.notify_all();
+
+        // Help with our own batch instead of going idle.
+        loop {
+            let task = lock(&batch.queue).pop_front();
+            match task {
+                Some(task) => {
+                    batch.run(task);
+                    self.shared.helper_tasks.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        let mut pending = lock(&batch.pending);
+        while *pending > 0 {
+            pending = batch
+                .done
+                .wait(pending)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        drop(pending);
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // `execute` holds `&self` for its full duration, so no batch can be
+        // in flight here; workers are parked or about to park.
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _unused = lock(&self.shared.injector);
+        self.shared.work_available.notify_all();
+        drop(_unused);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
 
 /// Splits `0..items` into at most `workers` contiguous, near-equal ranges
 /// (ascending, non-empty).
@@ -25,8 +339,8 @@ pub(crate) fn chunk_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Applies `f` to every item on up to `threads` worker threads, returning
-/// the results **in item order**.
+/// Applies `f` to every item on up to `threads` workers of the global
+/// [`WorkerPool`], returning the results **in item order**.
 ///
 /// Used by algorithm drivers for deterministic data-parallel phases outside
 /// the round protocol (e.g. coloring the layers of a β-partition
@@ -54,37 +368,43 @@ where
             .collect();
     }
 
-    /// A worker's indexed results, or its first failure as `(index, error)`.
+    /// A chunk's indexed results, or its first failure as `(index, error)`.
     type ChunkResult<U, E> = Result<Vec<(usize, U)>, (usize, E)>;
 
     let chunks = chunk_ranges(items.len(), threads);
-    let f = &f;
-    let outcomes: Vec<ChunkResult<U, E>> = thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|range| {
-                scope.spawn(move || {
+    let mut outcomes: Vec<Option<ChunkResult<U, E>>> = (0..chunks.len()).map(|_| None).collect();
+    {
+        let f = &f;
+        let tasks: Vec<ScopedTask<'_>> = outcomes
+            .iter_mut()
+            .zip(chunks)
+            .map(|(slot, range)| {
+                Box::new(move || {
                     let mut produced = Vec::with_capacity(range.len());
+                    let mut failure = None;
                     for index in range {
                         match f(index, &items[index]) {
                             Ok(value) => produced.push((index, value)),
-                            Err(error) => return Err((index, error)),
+                            Err(error) => {
+                                failure = Some((index, error));
+                                break;
+                            }
                         }
                     }
-                    Ok(produced)
-                })
+                    *slot = Some(match failure {
+                        None => Ok(produced),
+                        Some(error) => Err(error),
+                    });
+                }) as ScopedTask<'_>
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("parallel_map worker panicked"))
-            .collect()
-    });
+        WorkerPool::global().execute(tasks);
+    }
 
     let mut first_error: Option<(usize, E)> = None;
     let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
     for outcome in outcomes {
-        match outcome {
+        match outcome.expect("the pool ran every chunk") {
             Ok(produced) => {
                 for (index, value) in produced {
                     slots[index] = Some(value);
@@ -142,5 +462,92 @@ mod tests {
         let items: Vec<usize> = (0..64).collect();
         let result = parallel_map(&items, 4, |i, _| if i % 10 == 7 { Err(i) } else { Ok(i) });
         assert_eq!(result, Err(7));
+    }
+
+    #[test]
+    fn pool_runs_batches_and_counts_every_task() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.num_workers(), 2);
+        let mut slots = vec![0usize; 40];
+        for round in 0..5 {
+            let tasks: Vec<ScopedTask<'_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = i + round;
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            pool.execute(tasks);
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, i + 4);
+        }
+        // Every submitted task is accounted to exactly one runner.
+        let stats = pool.stats();
+        assert_eq!(stats.total_tasks(), 5 * 40);
+        assert_eq!(stats.tasks_per_worker.len(), 2);
+        assert_eq!(stats.idle_nanos_per_worker.len(), 2);
+    }
+
+    #[test]
+    fn pool_threads_persist_across_batches() {
+        let pool = WorkerPool::new(3);
+        let before = pool.num_workers();
+        for _ in 0..50 {
+            let mut sink = [0u64; 8];
+            let tasks: Vec<ScopedTask<'_>> = sink
+                .iter_mut()
+                .map(|slot| Box::new(move || *slot += 1) as ScopedTask<'_>)
+                .collect();
+            pool.execute(tasks);
+            assert!(sink.iter().all(|&v| v == 1));
+        }
+        // The pool never grows or shrinks: same workers serve every batch.
+        assert_eq!(pool.num_workers(), before);
+    }
+
+    #[test]
+    fn pool_propagates_task_panics_after_the_batch_finishes() {
+        let pool = WorkerPool::new(2);
+        let mut finished = [false; 6];
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<ScopedTask<'_>> = finished
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("task 3 exploded");
+                        }
+                        *slot = true;
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            pool.execute(tasks);
+        }));
+        let payload = result.expect_err("the panic must propagate to the submitter");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(message.contains("exploded"), "{message}");
+        // Every non-panicking task still ran to completion.
+        for (i, done) in finished.iter().enumerate() {
+            assert_eq!(*done, i != 3, "task {i}");
+        }
+        // The pool survives the panic and keeps serving.
+        let mut ok = false;
+        pool.execute(vec![Box::new(|| ok = true) as ScopedTask<'_>]);
+        assert!(ok);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_persistent() {
+        let a = Arc::as_ptr(WorkerPool::global());
+        let b = Arc::as_ptr(WorkerPool::global());
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().num_workers() >= 2);
     }
 }

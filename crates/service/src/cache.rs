@@ -1,0 +1,354 @@
+//! The keyed result cache with in-flight request coalescing.
+//!
+//! Jobs are bucketed by a deterministic 64-bit hash of `(graph, config)`,
+//! but every claim verifies the *actual* graph and spec against the stored
+//! entry — a hash collision (accidental or attacker-crafted, FNV is not
+//! collision-resistant) therefore computes separately instead of serving
+//! the wrong coloring. The first submission of an entry claims the
+//! computation; later identical submissions either wait on the in-flight
+//! computation (coalescing — the work runs **once**) or are served the
+//! ready result immediately. Ready results are capped FIFO so a
+//! long-running server's memory stays bounded.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ampc_coloring::ColoringOutcome;
+use sparse_graph::CsrGraph;
+
+use crate::jobs::JobSpec;
+
+/// What a submitter should do with its job, as decided by
+/// [`ResultCache::claim`].
+#[derive(Debug)]
+pub enum Claim {
+    /// This submitter computes; identical later submissions wait.
+    Compute,
+    /// An identical job is already computing; this job was registered as a
+    /// waiter and will be fulfilled with the computing job's result.
+    Coalesced,
+    /// The result is already cached.
+    Hit(Arc<ColoringOutcome>),
+}
+
+impl PartialEq for Claim {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Claim::Compute, Claim::Compute) | (Claim::Coalesced, Claim::Coalesced) => true,
+            (Claim::Hit(a), Claim::Hit(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum CacheState {
+    InFlight { waiters: Vec<u64> },
+    Ready(Arc<ColoringOutcome>),
+}
+
+/// One cached computation: the exact inputs plus its state. The inputs are
+/// kept so claims can verify them (see module docs).
+#[derive(Debug)]
+struct CacheEntry {
+    graph: Arc<CsrGraph>,
+    spec: JobSpec,
+    state: CacheState,
+}
+
+impl CacheEntry {
+    fn matches(&self, graph: &Arc<CsrGraph>, spec: &JobSpec) -> bool {
+        self.spec == *spec && (Arc::ptr_eq(&self.graph, graph) || *self.graph == **graph)
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// One element per `Ready` entry, oldest first (FIFO eviction order).
+    ready_order: VecDeque<u64>,
+    ready_count: usize,
+}
+
+/// Counter snapshot of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Claims served from a ready entry.
+    pub hits: u64,
+    /// Claims that had to compute.
+    pub misses: u64,
+    /// Claims folded into an in-flight computation.
+    pub coalesced: u64,
+    /// Ready entries currently held.
+    pub entries: u64,
+}
+
+/// A single-flight result cache with exact input verification and a FIFO
+/// cap on ready entries.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache retaining at most `capacity` ready results
+    /// (at least 1; in-flight entries are never evicted).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims `(graph, spec)` under bucket `key` for the job `waiter`.
+    pub fn claim(&self, key: u64, graph: &Arc<CsrGraph>, spec: &JobSpec, waiter: u64) -> Claim {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let bucket = inner.buckets.entry(key).or_default();
+        for entry in bucket.iter_mut() {
+            if !entry.matches(graph, spec) {
+                continue;
+            }
+            return match &mut entry.state {
+                CacheState::InFlight { waiters } => {
+                    waiters.push(waiter);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Claim::Coalesced
+                }
+                CacheState::Ready(value) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Claim::Hit(Arc::clone(value))
+                }
+            };
+        }
+        bucket.push(CacheEntry {
+            graph: Arc::clone(graph),
+            spec: *spec,
+            state: CacheState::InFlight {
+                waiters: Vec::new(),
+            },
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Claim::Compute
+    }
+
+    /// Publishes the computed result for `(graph, spec)`, returning the
+    /// coalesced waiters to be fulfilled with it. Evicts the oldest ready
+    /// results beyond the capacity.
+    pub fn fulfill(
+        &self,
+        key: u64,
+        graph: &Arc<CsrGraph>,
+        spec: &JobSpec,
+        value: Arc<ColoringOutcome>,
+    ) -> Vec<u64> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let bucket = inner.buckets.entry(key).or_default();
+        let mut claimed_waiters = Vec::new();
+        let mut found = false;
+        for entry in bucket.iter_mut() {
+            if !entry.matches(graph, spec) {
+                continue;
+            }
+            if let CacheState::InFlight { waiters } = &mut entry.state {
+                claimed_waiters = std::mem::take(waiters);
+            }
+            entry.state = CacheState::Ready(Arc::clone(&value));
+            found = true;
+            break;
+        }
+        if !found {
+            bucket.push(CacheEntry {
+                graph: Arc::clone(graph),
+                spec: *spec,
+                state: CacheState::Ready(value),
+            });
+        }
+        inner.ready_order.push_back(key);
+        inner.ready_count += 1;
+        self.evict_over_capacity(&mut inner);
+        claimed_waiters
+    }
+
+    /// Drops the in-flight entry for `(graph, spec)` after a failed
+    /// computation (identical future submissions recompute), returning the
+    /// waiters to be failed alongside. Ready entries are untouched.
+    pub fn abandon(&self, key: u64, graph: &Arc<CsrGraph>, spec: &JobSpec) -> Vec<u64> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let Some(bucket) = inner.buckets.get_mut(&key) else {
+            return Vec::new();
+        };
+        let mut waiters = Vec::new();
+        bucket.retain_mut(|entry| {
+            if !entry.matches(graph, spec) {
+                return true;
+            }
+            match &mut entry.state {
+                CacheState::InFlight { waiters: pending } => {
+                    waiters.append(pending);
+                    false
+                }
+                CacheState::Ready(_) => true,
+            }
+        });
+        if bucket.is_empty() {
+            inner.buckets.remove(&key);
+        }
+        waiters
+    }
+
+    fn evict_over_capacity(&self, inner: &mut CacheInner) {
+        while inner.ready_count > self.capacity {
+            let Some(key) = inner.ready_order.pop_front() else {
+                break;
+            };
+            if let Some(bucket) = inner.buckets.get_mut(&key) {
+                if let Some(position) = bucket
+                    .iter()
+                    .position(|entry| matches!(entry.state, CacheState::Ready(_)))
+                {
+                    bucket.remove(position);
+                    inner.ready_count -= 1;
+                }
+                if bucket.is_empty() {
+                    inner.buckets.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        let entries = self.inner.lock().expect("cache lock").ready_count as u64;
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::job_key;
+    use ampc_coloring::{ColorRequest, SparseColoring};
+    use sparse_graph::generators;
+
+    fn graph(side: usize) -> Arc<CsrGraph> {
+        Arc::new(generators::triangulated_grid(side, side))
+    }
+
+    fn outcome_for(graph: &Arc<CsrGraph>) -> Arc<ColoringOutcome> {
+        Arc::new(SparseColoring::color_request(graph, &ColorRequest::default()).unwrap())
+    }
+
+    #[test]
+    fn miss_coalesce_hit_lifecycle() {
+        let cache = ResultCache::new(16);
+        let g = graph(4);
+        let spec = JobSpec::default();
+        let key = job_key(&g, &spec);
+        assert_eq!(cache.claim(key, &g, &spec, 1), Claim::Compute);
+        assert_eq!(cache.claim(key, &g, &spec, 2), Claim::Coalesced);
+        assert_eq!(cache.claim(key, &g, &spec, 3), Claim::Coalesced);
+        let value = outcome_for(&g);
+        let waiters = cache.fulfill(key, &g, &spec, Arc::clone(&value));
+        assert_eq!(waiters, vec![2, 3]);
+        match cache.claim(key, &g, &spec, 4) {
+            Claim::Hit(hit) => assert!(Arc::ptr_eq(&hit, &value)),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        let counters = cache.counters();
+        assert_eq!(
+            (
+                counters.misses,
+                counters.coalesced,
+                counters.hits,
+                counters.entries
+            ),
+            (1, 2, 1, 1)
+        );
+    }
+
+    #[test]
+    fn colliding_keys_with_different_inputs_compute_separately() {
+        let cache = ResultCache::new(16);
+        let g1 = graph(4);
+        let g2 = graph(5);
+        let spec = JobSpec::default();
+        // Force both inputs into the same bucket (a simulated hash
+        // collision): each must still get its own computation and result.
+        let key = 7;
+        assert_eq!(cache.claim(key, &g1, &spec, 1), Claim::Compute);
+        assert_eq!(cache.claim(key, &g2, &spec, 2), Claim::Compute);
+        let v1 = outcome_for(&g1);
+        let v2 = outcome_for(&g2);
+        cache.fulfill(key, &g1, &spec, Arc::clone(&v1));
+        cache.fulfill(key, &g2, &spec, Arc::clone(&v2));
+        match cache.claim(key, &g1, &spec, 3) {
+            Claim::Hit(hit) => assert!(Arc::ptr_eq(&hit, &v1), "g1 must get g1's coloring"),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        match cache.claim(key, &g2, &spec, 4) {
+            Claim::Hit(hit) => assert!(Arc::ptr_eq(&hit, &v2), "g2 must get g2's coloring"),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        // Differing specs on the same graph are also kept apart.
+        let other_spec = JobSpec {
+            request: ColorRequest {
+                alpha: Some(7),
+                ..ColorRequest::default()
+            },
+            ..JobSpec::default()
+        };
+        assert_eq!(cache.claim(key, &g1, &other_spec, 5), Claim::Compute);
+    }
+
+    #[test]
+    fn abandon_allows_recompute_and_fails_waiters() {
+        let cache = ResultCache::new(16);
+        let g = graph(4);
+        let spec = JobSpec::default();
+        let key = job_key(&g, &spec);
+        assert_eq!(cache.claim(key, &g, &spec, 1), Claim::Compute);
+        assert_eq!(cache.claim(key, &g, &spec, 2), Claim::Coalesced);
+        assert_eq!(cache.abandon(key, &g, &spec), vec![2]);
+        // The entry is free again: the next identical job recomputes.
+        assert_eq!(cache.claim(key, &g, &spec, 3), Claim::Compute);
+        cache.fulfill(key, &g, &spec, outcome_for(&g));
+        // Abandoning a ready entry is a no-op.
+        assert_eq!(cache.abandon(key, &g, &spec), Vec::<u64>::new());
+        assert!(matches!(cache.claim(key, &g, &spec, 4), Claim::Hit(_)));
+    }
+
+    #[test]
+    fn ready_results_are_capped_fifo() {
+        let cache = ResultCache::new(2);
+        let spec = JobSpec::default();
+        let graphs: Vec<Arc<CsrGraph>> = (3..7).map(graph).collect();
+        for g in &graphs {
+            let key = job_key(g, &spec);
+            assert_eq!(cache.claim(key, g, &spec, 0), Claim::Compute);
+            cache.fulfill(key, g, &spec, outcome_for(g));
+        }
+        assert_eq!(cache.counters().entries, 2);
+        // The two oldest were evicted and recompute; the two newest hit.
+        assert_eq!(
+            cache.claim(job_key(&graphs[0], &spec), &graphs[0], &spec, 9),
+            Claim::Compute
+        );
+        assert!(matches!(
+            cache.claim(job_key(&graphs[3], &spec), &graphs[3], &spec, 9),
+            Claim::Hit(_)
+        ));
+    }
+}

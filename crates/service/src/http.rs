@@ -1,0 +1,359 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing over
+//! `std::net` (the build environment has no crate registry, so there is no
+//! hyper/axum; the grammar implemented here is the small subset the service
+//! needs: request line, headers, `Content-Length` bodies, query strings).
+
+use std::fmt;
+use std::io::{self, BufReader, Cursor, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Errors surfaced while reading a request (mapped to 4xx responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line or headers were not parseable HTTP/1.1.
+    Malformed(String),
+    /// The head or declared body exceeded the configured limits.
+    TooLarge(String),
+    /// The socket failed mid-request.
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::TooLarge(detail) => write!(f, "request too large: {detail}"),
+            HttpError::Io(detail) => write!(f, "request read failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Parsed request line and headers; the body (if any) is read separately
+/// through [`RequestHead::body_reader`] so large edge lists stream straight
+/// from the socket into the graph parser.
+#[derive(Debug)]
+pub struct RequestHead {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/v1/color`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Value of `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// Body bytes already consumed from the socket while buffering the head.
+    leftover: Vec<u8>,
+}
+
+impl RequestHead {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// A buffered reader over exactly the request body (the already-read
+    /// leftover bytes chained with the rest of the socket).
+    pub fn body_reader<'a>(
+        &mut self,
+        stream: &'a mut TcpStream,
+    ) -> BufReader<io::Chain<Cursor<Vec<u8>>, io::Take<&'a mut TcpStream>>> {
+        let mut leftover = std::mem::take(&mut self.leftover);
+        leftover.truncate(self.content_length);
+        let remaining = (self.content_length - leftover.len()) as u64;
+        BufReader::new(Cursor::new(leftover).chain(stream.take(remaining)))
+    }
+
+    /// Reads the whole body into memory (for small bodies / tests).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Io`] if the socket ends before `Content-Length` bytes.
+    pub fn read_body(&mut self, stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
+        let expected = self.content_length;
+        let mut body = Vec::with_capacity(expected.min(1 << 20));
+        self.body_reader(stream)
+            .read_to_end(&mut body)
+            .map_err(|error| HttpError::Io(error.to_string()))?;
+        if body.len() < expected {
+            return Err(HttpError::Io(format!(
+                "body ended after {} of {} bytes",
+                body.len(),
+                expected
+            )));
+        }
+        Ok(body)
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (space) in a query component.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|pair| {
+                    std::str::from_utf8(pair)
+                        .ok()
+                        .and_then(|s| u8::from_str_radix(s, 16).ok())
+                });
+                match hex {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            byte => {
+                out.push(byte);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query_string) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    let query = query_string
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((key, value)) => (percent_decode(key), percent_decode(value)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    (percent_decode(path), query)
+}
+
+/// Reads and parses one request head from the stream.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for grammar violations, [`HttpError::TooLarge`]
+/// when the head exceeds [`MAX_HEAD_BYTES`] or the declared body exceeds
+/// `max_body`, [`HttpError::Io`] for socket failures.
+pub fn read_head(stream: &mut TcpStream, max_body: usize) -> Result<RequestHead, HttpError> {
+    let mut buffer = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let read = stream
+            .read(&mut chunk)
+            .map_err(|error| HttpError::Io(error.to_string()))?;
+        if read == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before end of headers".to_string(),
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..read]);
+    };
+
+    let head_text = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
+    let leftover = buffer[head_end + 4..].to_vec();
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse::<usize>().map_err(|_| {
+                HttpError::Malformed(format!("bad Content-Length `{}`", value.trim()))
+            })?;
+        }
+        // Chunked bodies are not decodable here; rejecting explicitly beats
+        // misreading the body as empty and resetting the connection.
+        if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::Malformed(format!(
+                "Transfer-Encoding `{}` is not supported; send a Content-Length body",
+                value.trim()
+            )));
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "declared body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+
+    let (path, query) = parse_target(target);
+    Ok(RequestHead {
+        method,
+        path,
+        query,
+        content_length,
+        leftover,
+    })
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|window| window == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Standard reason phrase for the status code.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (with `Connection: close`) onto the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_targets_and_query_strings() {
+        let (path, query) = parse_target("/v1/color?alpha=2&runtime=parallel&flag");
+        assert_eq!(path, "/v1/color");
+        assert_eq!(
+            query,
+            vec![
+                ("alpha".to_string(), "2".to_string()),
+                ("runtime".to_string(), "parallel".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        let (path, query) = parse_target("/plain");
+        assert_eq!(path, "/plain");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%2f%3D"), "/=");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,837 @@
+//! The job manager: a bounded submission queue feeding persistent job
+//! workers, with single-flight result caching.
+//!
+//! Submission never blocks on computation: `POST /v1/color` enqueues a
+//! [`JobSpec`] and returns a job id; a fixed set of long-lived worker
+//! threads drains the queue and runs [`SparseColoring::color_request`].
+//! The AMPC rounds themselves execute on the persistent
+//! [`ampc_runtime::WorkerPool`] shared process-wide, so a job costs zero
+//! thread spawns end to end.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, SparseColoring};
+use ampc_model::ConflictPolicy;
+use ampc_runtime::RuntimeConfig;
+use sparse_graph::CsrGraph;
+
+use crate::cache::{CacheCounters, Claim, ResultCache};
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Persistent job-worker threads draining the queue.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue (submissions beyond it are
+    /// rejected with `429`).
+    pub queue_capacity: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Acceptor threads serving HTTP connections.
+    pub acceptors: usize,
+    /// Maximum node count a submitted edge list may declare (node ids and
+    /// `min_nodes` beyond this are rejected with `400` — a tiny request
+    /// must not be able to demand an arbitrarily large allocation).
+    pub max_graph_nodes: usize,
+    /// Ready results retained by the cache (FIFO eviction beyond this).
+    pub cache_capacity: usize,
+    /// Terminal job records retained (oldest evicted beyond this, so a
+    /// long-running server's jobs map stays bounded).
+    pub max_retained_jobs: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_body_bytes: 64 << 20,
+            acceptors: 4,
+            max_graph_nodes: 1 << 26,
+            cache_capacity: 512,
+            max_retained_jobs: 4096,
+        }
+    }
+}
+
+/// Everything that identifies a coloring job (and therefore its cache key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// The validated algorithm request.
+    pub request: ColorRequest,
+    /// The duplicate-write merge policy asserted by the client. The
+    /// coloring pipeline's rounds pin the paper's min-merge
+    /// ([`ConflictPolicy::KeepMin`], Lemma 4.10); the submission path
+    /// rejects any other value rather than silently ignoring it.
+    pub policy: ConflictPolicy,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            request: ColorRequest::default(),
+            policy: ConflictPolicy::KeepMin,
+        }
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the submission queue (or for an identical in-flight job).
+    Queued,
+    /// A worker is computing it.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with an error.
+    Failed,
+}
+
+impl JobStatus {
+    /// Lower-case wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+struct JobRecord {
+    status: JobStatus,
+    cached: bool,
+    graph_nodes: usize,
+    graph_edges: usize,
+    spec: JobSpec,
+    result: Option<Arc<ColoringOutcome>>,
+    error: Option<String>,
+    submitted: Instant,
+    wall_nanos: u64,
+}
+
+/// An immutable snapshot of a job, for rendering and tests.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job id.
+    pub id: u64,
+    /// Current status.
+    pub status: JobStatus,
+    /// Whether the result came from the cache (hit or coalesced) rather
+    /// than a computation owned by this job.
+    pub cached: bool,
+    /// Node count of the submitted graph.
+    pub graph_nodes: usize,
+    /// Edge count of the submitted graph.
+    pub graph_edges: usize,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// The outcome, when `Done`.
+    pub result: Option<Arc<ColoringOutcome>>,
+    /// The error, when `Failed`.
+    pub error: Option<String>,
+    /// Nanoseconds the computation took (0 for pure cache hits).
+    pub wall_nanos: u64,
+    /// Nanoseconds since the job was submitted.
+    pub age_nanos: u64,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry later.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} jobs); retry later")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counter snapshot for `/metrics`.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerCounters {
+    /// Jobs accepted (including cache hits and coalesced jobs).
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Jobs whose coloring was actually computed (cache misses).
+    pub computed: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently computing.
+    pub running: usize,
+    /// Cache counters.
+    pub cache: CacheCounters,
+}
+
+struct QueueItem {
+    id: u64,
+    key: u64,
+    graph: Arc<CsrGraph>,
+    spec: JobSpec,
+}
+
+/// The jobs map plus the FIFO eviction order, guarded by one mutex.
+#[derive(Default)]
+struct JobsState {
+    records: HashMap<u64, JobRecord>,
+    /// Ids that reached a terminal state, oldest first — makes retention
+    /// eviction O(1) per completion instead of a scan of the whole map.
+    terminal_order: VecDeque<u64>,
+}
+
+struct ManagerShared {
+    jobs: Mutex<JobsState>,
+    job_done: Condvar,
+    cache: ResultCache,
+    max_retained_jobs: usize,
+    queue_depth: AtomicUsize,
+    running: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    computed: AtomicU64,
+}
+
+impl ManagerShared {
+    fn finish(&self, id: u64, status: JobStatus, cached: bool, outcome: FinishOutcome) {
+        let mut state = self.jobs.lock().expect("jobs lock");
+        if let Some(record) = state.records.get_mut(&id) {
+            record.status = status;
+            record.cached = cached;
+            match outcome {
+                FinishOutcome::Result { result, wall_nanos } => {
+                    record.result = Some(result);
+                    record.wall_nanos = wall_nanos;
+                }
+                FinishOutcome::Error(message) => record.error = Some(message),
+            }
+            state.terminal_order.push_back(id);
+        }
+        self.evict_old_records(&mut state);
+        match status {
+            JobStatus::Done => self.completed.fetch_add(1, Ordering::Relaxed),
+            _ => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        drop(state);
+        self.job_done.notify_all();
+    }
+
+    /// Drops the oldest terminal records once the map exceeds the retention
+    /// cap, so memory stays bounded under sustained traffic. In-flight jobs
+    /// are never evicted; the FIFO deque makes this O(1) per completion.
+    fn evict_old_records(&self, state: &mut JobsState) {
+        while state.records.len() > self.max_retained_jobs {
+            let Some(id) = state.terminal_order.pop_front() else {
+                break;
+            };
+            if state
+                .records
+                .get(&id)
+                .is_some_and(|record| record.status.is_terminal())
+            {
+                state.records.remove(&id);
+            }
+        }
+    }
+}
+
+enum FinishOutcome {
+    Result {
+        result: Arc<ColoringOutcome>,
+        wall_nanos: u64,
+    },
+    Error(String),
+}
+
+/// The serving subsystem's job orchestrator. Create once, share via `Arc`.
+pub struct JobManager {
+    config: ServiceConfig,
+    shared: Arc<ManagerShared>,
+    next_id: AtomicU64,
+    queue_tx: Option<SyncSender<QueueItem>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobManager")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.config.queue_capacity)
+            .finish()
+    }
+}
+
+impl JobManager {
+    /// Spawns the persistent job workers and returns the manager.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shared = Arc::new(ManagerShared {
+            jobs: Mutex::new(JobsState::default()),
+            job_done: Condvar::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            max_retained_jobs: config.max_retained_jobs.max(1),
+            queue_depth: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+        });
+        let (queue_tx, queue_rx) = sync_channel::<QueueItem>(config.queue_capacity.max(1));
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let queue_rx = Arc::clone(&queue_rx);
+                thread::Builder::new()
+                    .name(format!("ampc-job-{index}"))
+                    .spawn(move || worker_loop(shared, queue_rx))
+                    .expect("spawning a job worker failed")
+            })
+            .collect();
+        JobManager {
+            config,
+            shared,
+            next_id: AtomicU64::new(1),
+            queue_tx: Some(queue_tx),
+            workers,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Submits a job. Identical `(graph, spec)` submissions are served from
+    /// the cache, or coalesced onto an in-flight computation so the work
+    /// runs once.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity.
+    pub fn submit(&self, graph: Arc<CsrGraph>, spec: JobSpec) -> Result<u64, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = job_key(&graph, &spec);
+        {
+            let mut state = self.shared.jobs.lock().expect("jobs lock");
+            state.records.insert(
+                id,
+                JobRecord {
+                    status: JobStatus::Queued,
+                    cached: false,
+                    graph_nodes: graph.num_nodes(),
+                    graph_edges: graph.num_edges(),
+                    spec,
+                    result: None,
+                    error: None,
+                    submitted: Instant::now(),
+                    wall_nanos: 0,
+                },
+            );
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+
+        match self.shared.cache.claim(key, &graph, &spec, id) {
+            Claim::Hit(result) => {
+                self.shared.finish(
+                    id,
+                    JobStatus::Done,
+                    true,
+                    FinishOutcome::Result {
+                        result,
+                        wall_nanos: 0,
+                    },
+                );
+                Ok(id)
+            }
+            Claim::Coalesced => Ok(id),
+            Claim::Compute => {
+                let sender = self
+                    .queue_tx
+                    .as_ref()
+                    .expect("queue alive while manager lives");
+                // Incremented before the send: a worker may pop the item
+                // (and decrement) the instant it lands in the channel.
+                self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                match sender.try_send(QueueItem {
+                    id,
+                    key,
+                    graph,
+                    spec,
+                }) {
+                    Ok(()) => Ok(id),
+                    Err(TrySendError::Full(item)) | Err(TrySendError::Disconnected(item)) => {
+                        self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        // Roll the claim back and fail any job that managed
+                        // to coalesce onto it in the meantime.
+                        let error = SubmitError::QueueFull {
+                            capacity: self.config.queue_capacity,
+                        };
+                        for waiter in self.shared.cache.abandon(key, &item.graph, &item.spec) {
+                            self.shared.finish(
+                                waiter,
+                                JobStatus::Failed,
+                                false,
+                                FinishOutcome::Error(error.to_string()),
+                            );
+                        }
+                        self.shared
+                            .jobs
+                            .lock()
+                            .expect("jobs lock")
+                            .records
+                            .remove(&id);
+                        Err(error)
+                    }
+                }
+            }
+        }
+    }
+
+    /// A snapshot of job `id`, if it exists.
+    pub fn status(&self, id: u64) -> Option<JobView> {
+        let state = self.shared.jobs.lock().expect("jobs lock");
+        state.records.get(&id).map(|record| view_of(id, record))
+    }
+
+    /// Blocks until job `id` reaches a terminal state or `timeout` passes,
+    /// returning the latest snapshot (which may still be non-terminal on
+    /// timeout), or `None` for an unknown id.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobView> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.jobs.lock().expect("jobs lock");
+        loop {
+            let view = state.records.get(&id).map(|record| view_of(id, record))?;
+            if view.status.is_terminal() {
+                return Some(view);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(view);
+            }
+            let (guard, _) = self
+                .shared
+                .job_done
+                .wait_timeout(state, deadline - now)
+                .expect("jobs lock");
+            state = guard;
+        }
+    }
+
+    /// Snapshots of the most recent `limit` jobs, newest first.
+    pub fn recent(&self, limit: usize) -> Vec<JobView> {
+        let state = self.shared.jobs.lock().expect("jobs lock");
+        let mut ids: Vec<u64> = state.records.keys().copied().collect();
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        ids.into_iter()
+            .take(limit)
+            .map(|id| view_of(id, &state.records[&id]))
+            .collect()
+    }
+
+    /// Counter snapshot for `/metrics`.
+    pub fn counters(&self) -> ManagerCounters {
+        ManagerCounters {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            computed: self.shared.computed.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue_depth.load(Ordering::Relaxed),
+            queue_capacity: self.config.queue_capacity,
+            running: self.shared.running.load(Ordering::Relaxed),
+            cache: self.shared.cache.counters(),
+        }
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        // Closing the queue ends the worker loops once it drains.
+        self.queue_tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn view_of(id: u64, record: &JobRecord) -> JobView {
+    JobView {
+        id,
+        status: record.status,
+        cached: record.cached,
+        graph_nodes: record.graph_nodes,
+        graph_edges: record.graph_edges,
+        spec: record.spec,
+        result: record.result.clone(),
+        error: record.error.clone(),
+        wall_nanos: record.wall_nanos,
+        age_nanos: record.submitted.elapsed().as_nanos() as u64,
+    }
+}
+
+fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueItem>>>) {
+    loop {
+        let item = {
+            let receiver = queue_rx.lock().expect("queue lock");
+            receiver.recv()
+        };
+        let Ok(item) = item else {
+            return; // Manager dropped; queue drained.
+        };
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = shared.jobs.lock().expect("jobs lock");
+            if let Some(record) = state.records.get_mut(&item.id) {
+                record.status = JobStatus::Running;
+            }
+        }
+
+        let started = Instant::now();
+        // Panic isolation: a panicking computation must neither kill the
+        // persistent worker nor leave the cache entry in-flight forever —
+        // it becomes a failed job like any other error.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            SparseColoring::color_request(&item.graph, &item.spec.request)
+        }))
+        .unwrap_or_else(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(ampc_coloring::Error::InvalidRequest(format!(
+                "job computation panicked: {detail}"
+            )))
+        });
+        let wall_nanos = started.elapsed().as_nanos() as u64;
+        shared.computed.fetch_add(1, Ordering::Relaxed);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+
+        match outcome {
+            Ok(outcome) => {
+                let result = Arc::new(outcome);
+                let waiters =
+                    shared
+                        .cache
+                        .fulfill(item.key, &item.graph, &item.spec, Arc::clone(&result));
+                shared.finish(
+                    item.id,
+                    JobStatus::Done,
+                    false,
+                    FinishOutcome::Result {
+                        result: Arc::clone(&result),
+                        wall_nanos,
+                    },
+                );
+                for waiter in waiters {
+                    shared.finish(
+                        waiter,
+                        JobStatus::Done,
+                        true,
+                        FinishOutcome::Result {
+                            result: Arc::clone(&result),
+                            wall_nanos: 0,
+                        },
+                    );
+                }
+            }
+            Err(error) => {
+                let message = error.to_string();
+                let waiters = shared.cache.abandon(item.key, &item.graph, &item.spec);
+                shared.finish(
+                    item.id,
+                    JobStatus::Failed,
+                    false,
+                    FinishOutcome::Error(message.clone()),
+                );
+                for waiter in waiters {
+                    shared.finish(
+                        waiter,
+                        JobStatus::Failed,
+                        true,
+                        FinishOutcome::Error(message.clone()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic FNV-1a hash identifying `(graph, spec)` — the cache key.
+pub fn job_key(graph: &CsrGraph, spec: &JobSpec) -> u64 {
+    let mut hash = Fnv::new();
+    hash.write_usize(graph.num_nodes());
+    hash.write_usize(graph.num_edges());
+    for (u, v) in graph.edges() {
+        hash.write_usize(u);
+        hash.write_usize(v);
+    }
+    hash.write_u64(algorithm_tag(spec.request.algorithm));
+    match spec.request.alpha {
+        None => hash.write_u64(0),
+        Some(alpha) => {
+            hash.write_u64(1);
+            hash.write_usize(alpha);
+        }
+    }
+    hash.write_u64(spec.request.epsilon.to_bits());
+    hash.write_u64(spec.request.delta.to_bits());
+    hash.write_usize(spec.request.max_partition_rounds);
+    match spec.request.runtime {
+        RuntimeConfig::Sequential => hash.write_u64(0),
+        RuntimeConfig::Parallel { threads, shards } => {
+            hash.write_u64(1);
+            hash.write_u64(threads.map_or(0, |t| t as u64 + 1));
+            hash.write_u64(shards.map_or(0, |s| s as u64 + 1));
+        }
+    }
+    hash.write_u64(policy_tag(spec.policy));
+    hash.finish()
+}
+
+/// Stable numeric tag of an algorithm variant (cache-key component).
+fn algorithm_tag(algorithm: Algorithm) -> u64 {
+    match algorithm {
+        Algorithm::Auto => 0,
+        Algorithm::AlphaPower => 1,
+        Algorithm::AlphaSquared => 2,
+        Algorithm::TwoAlphaPlusOne => 3,
+        Algorithm::LargeArboricity => 4,
+    }
+}
+
+/// Stable numeric tag of a conflict policy (cache-key component).
+fn policy_tag(policy: ConflictPolicy) -> u64 {
+    match policy {
+        ConflictPolicy::KeepMin => 0,
+        ConflictPolicy::KeepMax => 1,
+        ConflictPolicy::KeepFirst => 2,
+        ConflictPolicy::Error => 3,
+    }
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_graph::generators;
+
+    fn small_graph(side: usize) -> Arc<CsrGraph> {
+        Arc::new(generators::triangulated_grid(side, side))
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            request: ColorRequest {
+                algorithm: Algorithm::TwoAlphaPlusOne,
+                alpha: Some(3),
+                ..ColorRequest::default()
+            },
+            policy: ConflictPolicy::KeepMin,
+        }
+    }
+
+    #[test]
+    fn submit_compute_and_cache_hit() {
+        let manager = JobManager::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let graph = small_graph(8);
+        let first = manager.submit(Arc::clone(&graph), spec()).unwrap();
+        let view = manager.wait(first, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(!view.cached);
+        let result = view.result.expect("done jobs carry a result");
+        assert!(result.coloring.is_proper(&graph));
+
+        // Identical submission: served from cache without recomputation.
+        let second = manager.submit(Arc::clone(&graph), spec()).unwrap();
+        let cached = manager.wait(second, Duration::from_secs(30)).unwrap();
+        assert_eq!(cached.status, JobStatus::Done);
+        assert!(cached.cached);
+        assert_eq!(
+            cached.result.unwrap().coloring.colors(),
+            result.coloring.colors()
+        );
+        assert_eq!(manager.counters().computed, 1);
+
+        // A different spec computes again.
+        let other = manager
+            .submit(
+                Arc::clone(&graph),
+                JobSpec {
+                    request: ColorRequest {
+                        alpha: Some(4),
+                        ..spec().request
+                    },
+                    ..spec()
+                },
+            )
+            .unwrap();
+        let view = manager.wait(other, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(manager.counters().computed, 2);
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_compute_once() {
+        let manager = Arc::new(JobManager::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }));
+        let graph = small_graph(14);
+
+        // Race two identical submissions from separate threads.
+        let ids: Vec<u64> = {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let manager = Arc::clone(&manager);
+                    let graph = Arc::clone(&graph);
+                    thread::spawn(move || manager.submit(graph, spec()).unwrap())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .collect()
+        };
+
+        let views: Vec<JobView> = ids
+            .iter()
+            .map(|&id| manager.wait(id, Duration::from_secs(60)).unwrap())
+            .collect();
+        for view in &views {
+            assert_eq!(view.status, JobStatus::Done, "job {}", view.id);
+        }
+        // The work ran exactly once; both jobs hold bit-identical results.
+        assert_eq!(manager.counters().computed, 1);
+        let colors: Vec<&[usize]> = views
+            .iter()
+            .map(|view| view.result.as_ref().unwrap().coloring.colors())
+            .collect();
+        assert_eq!(colors[0], colors[1]);
+        assert!(
+            views.iter().filter(|view| view.cached).count() >= 1,
+            "one of the two must be served by the other's computation"
+        );
+        let counters = manager.counters();
+        assert_eq!(counters.cache.misses, 1);
+        assert_eq!(counters.cache.hits + counters.cache.coalesced, 1);
+    }
+
+    #[test]
+    fn failed_jobs_report_structured_errors() {
+        let manager = JobManager::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // alpha = 1 grossly underestimates K12's arboricity: partition fails.
+        let graph = Arc::new(generators::complete(12));
+        let bad = JobSpec {
+            request: ColorRequest {
+                algorithm: Algorithm::AlphaSquared,
+                alpha: Some(1),
+                epsilon: 0.1,
+                ..ColorRequest::default()
+            },
+            policy: ConflictPolicy::KeepMin,
+        };
+        let id = manager.submit(graph, bad).unwrap();
+        let view = manager.wait(id, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Failed);
+        let error = view.error.expect("failed jobs carry an error");
+        assert!(error.contains("beta-partition"), "{error}");
+        // A failure is not cached: the same submission computes again.
+        assert_eq!(manager.counters().cache.entries, 0);
+    }
+
+    #[test]
+    fn job_key_separates_graphs_and_configs() {
+        let g1 = small_graph(6);
+        let g2 = small_graph(7);
+        let base = spec();
+        assert_eq!(job_key(&g1, &base), job_key(&g1, &base));
+        assert_ne!(job_key(&g1, &base), job_key(&g2, &base));
+        let other_alpha = JobSpec {
+            request: ColorRequest {
+                alpha: Some(4),
+                ..base.request
+            },
+            ..base
+        };
+        assert_ne!(job_key(&g1, &base), job_key(&g1, &other_alpha));
+        let other_policy = JobSpec {
+            policy: ConflictPolicy::KeepMax,
+            ..base
+        };
+        assert_ne!(job_key(&g1, &base), job_key(&g1, &other_policy));
+        let parallel = JobSpec {
+            request: ColorRequest {
+                runtime: RuntimeConfig::parallel().with_threads(4),
+                ..base.request
+            },
+            ..base
+        };
+        assert_ne!(job_key(&g1, &base), job_key(&g1, &parallel));
+    }
+
+    #[test]
+    fn unknown_job_ids_are_none() {
+        let manager = JobManager::new(ServiceConfig::default());
+        assert!(manager.status(999).is_none());
+        assert!(manager.wait(999, Duration::from_millis(10)).is_none());
+    }
+}

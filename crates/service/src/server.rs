@@ -1,0 +1,841 @@
+//! The HTTP front-end: routing, request parsing and JSON rendering.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, RuntimeConfig};
+use ampc_coloring_bench::Table;
+use ampc_model::ConflictPolicy;
+use ampc_runtime::WorkerPool;
+use sparse_graph::read_edge_list_bounded;
+
+use crate::http::{read_head, HttpError, RequestHead, Response};
+use crate::jobs::{JobManager, JobSpec, JobView, ServiceConfig, SubmitError};
+use crate::json::{array_u64, Object};
+
+/// Per-endpoint request counters (surfaced by `/metrics`).
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    healthz: AtomicU64,
+    metrics: AtomicU64,
+    color: AtomicU64,
+    jobs: AtomicU64,
+    not_found: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+struct ServerState {
+    started: Instant,
+    shutdown: AtomicBool,
+    counters: EndpointCounters,
+}
+
+/// A bound (but not yet serving) coloring service.
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<JobManager>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the service to `addr` (e.g. `127.0.0.1:0` for an ephemeral
+    /// port) and spawns its persistent job workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            manager: Arc::new(JobManager::new(config)),
+            state: Arc::new(ServerState {
+                started: Instant::now(),
+                shutdown: AtomicBool::new(false),
+                counters: EndpointCounters::default(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the fixed set of acceptor threads and returns a handle. No
+    /// further threads are spawned per connection, per job or per round —
+    /// the whole service runs on acceptors + job workers + the persistent
+    /// runtime pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener clone failures.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let acceptors = self.manager.config().acceptors.max(1);
+        let manager = Arc::clone(&self.manager);
+        let state = Arc::clone(&self.state);
+        let mut handles = Vec::with_capacity(acceptors);
+        for index in 0..acceptors {
+            let listener = self.listener.try_clone()?;
+            let manager = Arc::clone(&self.manager);
+            let state = Arc::clone(&self.state);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("ampc-http-{index}"))
+                    .spawn(move || acceptor_loop(listener, manager, state))
+                    .expect("spawning an acceptor failed"),
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            manager,
+            state,
+            handles,
+        })
+    }
+}
+
+/// A running server; dropping the handle leaks the acceptors, call
+/// [`ServerHandle::shutdown`] for an orderly stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    manager: Arc<JobManager>,
+    state: Arc<ServerState>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The job manager behind the router.
+    pub fn manager(&self) -> &Arc<JobManager> {
+        &self.manager
+    }
+
+    /// Stops the acceptors and joins them.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // Wake every acceptor blocked in accept().
+        for _ in 0..self.handles.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, manager: Arc<JobManager>, state: Arc<ServerState>) {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            if state.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Persistent accept errors (e.g. fd exhaustion) must not
+            // busy-spin the acceptor at 100% CPU.
+            thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let response = handle_connection(&mut stream, &manager, &state);
+        let _ = response.write_to(&mut stream);
+    }
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    manager: &Arc<JobManager>,
+    state: &ServerState,
+) -> Response {
+    let mut head = match read_head(stream, manager.config().max_body_bytes) {
+        Ok(head) => head,
+        Err(error) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let status = match &error {
+                HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            return error_response(status, &error.to_string());
+        }
+    };
+
+    let is_color_post = head.method == "POST" && head.path == "/v1/color";
+    let response = match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.counters.healthz.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                Object::new()
+                    .str("status", "ok")
+                    .u64("uptime_nanos", state.started.elapsed().as_nanos() as u64)
+                    .finish(),
+            )
+        }
+        ("GET", "/metrics") => {
+            state.counters.metrics.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, metrics_json(manager, state))
+        }
+        ("POST", "/v1/color") => {
+            state.counters.color.fetch_add(1, Ordering::Relaxed);
+            match handle_color(stream, &mut head, manager) {
+                Ok(response) => response,
+                Err(response) => {
+                    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    *response
+                }
+            }
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            state.counters.jobs.fetch_add(1, Ordering::Relaxed);
+            match path["/v1/jobs/".len()..].parse::<u64>() {
+                Ok(id) => match manager.status(id) {
+                    Some(view) => Response::json(200, job_json(&view)),
+                    None => error_response(404, &format!("unknown job id {id}")),
+                },
+                Err(_) => {
+                    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    error_response(400, "job ids are unsigned integers")
+                }
+            }
+        }
+        _ => {
+            state.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            error_response(404, &format!("no route for {} {}", head.method, head.path))
+        }
+    };
+    // Routes that never touch the body must still consume it: closing the
+    // socket with unread bytes turns the response into a TCP reset before
+    // the client can read it. (`/v1/color` consumes or drains its body
+    // itself.)
+    if !is_color_post {
+        drain_body(stream, &mut head);
+    }
+    response
+}
+
+/// Reads and discards the (untouched) request body.
+fn drain_body(stream: &mut TcpStream, head: &mut RequestHead) {
+    if head.content_length > 0 {
+        let _ = io::copy(&mut head.body_reader(stream), &mut io::sink());
+    }
+}
+
+/// Parses the query string and body of `POST /v1/color`, submits the job
+/// and renders the response. Errors come back as ready-to-send 4xx/5xx
+/// responses.
+fn handle_color(
+    stream: &mut TcpStream,
+    head: &mut RequestHead,
+    manager: &Arc<JobManager>,
+) -> Result<Response, Box<Response>> {
+    // Every early error drains the (partially) unread body first, so the
+    // client receives the 4xx instead of a connection reset.
+    let spec = match parse_spec(head) {
+        Ok(spec) => spec,
+        Err(response) => {
+            drain_body(stream, head);
+            return Err(Box::new(response));
+        }
+    };
+    let max_nodes = manager.config().max_graph_nodes;
+    let min_nodes = match parse_optional(head, "min_nodes") {
+        Ok(value) => value.unwrap_or(0),
+        Err(response) => {
+            drain_body(stream, head);
+            return Err(response);
+        }
+    };
+    if min_nodes > max_nodes {
+        drain_body(stream, head);
+        return Err(Box::new(error_response(
+            400,
+            &format!("min_nodes {min_nodes} exceeds the server's limit of {max_nodes} nodes"),
+        )));
+    }
+    // Parse wait/timeout up front: a malformed value must fail before the
+    // job is accepted, not after the client has already paid for it.
+    // Clamped: a synchronous wait parks an acceptor thread, so the client
+    // must not be able to hold it indefinitely.
+    const MAX_WAIT_MS: usize = 120_000;
+    let wait = matches!(head.query_param("wait"), Some("1") | Some("true"));
+    let timeout_ms = match parse_optional(head, "timeout_ms") {
+        Ok(value) => value.unwrap_or(60_000).min(MAX_WAIT_MS),
+        Err(response) => {
+            drain_body(stream, head);
+            return Err(response);
+        }
+    };
+    if head.content_length == 0 {
+        return Err(Box::new(error_response(
+            400,
+            "empty body; POST a whitespace-separated edge list",
+        )));
+    }
+    // Bounded: a node id in the body must not be able to dictate an
+    // arbitrarily large adjacency allocation.
+    let graph = {
+        let mut body = head.body_reader(stream);
+        match read_edge_list_bounded(&mut body, min_nodes, max_nodes) {
+            Ok(graph) => graph,
+            Err(error) => {
+                let _ = io::copy(&mut body, &mut io::sink());
+                return Err(Box::new(error_response(400, &error.to_string())));
+            }
+        }
+    };
+
+    let job = match manager.submit(Arc::new(graph), spec) {
+        Ok(id) => id,
+        Err(error @ SubmitError::QueueFull { .. }) => {
+            return Err(Box::new(error_response(429, &error.to_string())));
+        }
+    };
+
+    if wait {
+        // The record can already be gone if the retention cap evicted it
+        // (eviction only touches terminal jobs, so it did finish).
+        let response = match manager.wait(job, Duration::from_millis(timeout_ms as u64)) {
+            Some(view) => Response::json(200, job_json(&view)),
+            None => Response::json(
+                200,
+                Object::new()
+                    .u64("job", job)
+                    .str("status", "expired")
+                    .str(
+                        "error",
+                        "job finished but its record was evicted (retention cap)",
+                    )
+                    .finish(),
+            ),
+        };
+        return Ok(response.with_header("X-Job-Id", job.to_string()));
+    }
+    let status_label = manager
+        .status(job)
+        .map_or("expired", |view| view.status.label());
+    Ok(Response::json(
+        202,
+        Object::new()
+            .u64("job", job)
+            .str("status", status_label)
+            .finish(),
+    )
+    .with_header("X-Job-Id", job.to_string()))
+}
+
+/// Builds the validated [`JobSpec`] from the query string.
+fn parse_spec(head: &RequestHead) -> Result<JobSpec, Response> {
+    let mut request = ColorRequest::default();
+    if let Some(raw) = head.query_param("algorithm") {
+        request.algorithm = parse_algorithm(raw)
+            .ok_or_else(|| error_response(400, &format!("unknown algorithm `{raw}`")))?;
+    }
+    if let Some(raw) = head.query_param("alpha") {
+        let alpha = raw
+            .parse::<usize>()
+            .map_err(|_| error_response(400, &format!("bad alpha `{raw}`")))?;
+        request.alpha = Some(alpha);
+    }
+    for (name, slot) in [
+        ("epsilon", &mut request.epsilon as &mut f64),
+        ("delta", &mut request.delta),
+    ] {
+        if let Some(raw) = head.query_param(name) {
+            *slot = raw
+                .parse::<f64>()
+                .map_err(|_| error_response(400, &format!("bad {name} `{raw}`")))?;
+        }
+    }
+    if let Some(raw) = head.query_param("max_rounds") {
+        request.max_partition_rounds = raw
+            .parse::<usize>()
+            .map_err(|_| error_response(400, &format!("bad max_rounds `{raw}`")))?;
+    }
+
+    // Both values size allocations (worker chunks, shard hash maps), so an
+    // untrusted client must not be able to pick them arbitrarily large.
+    const MAX_THREADS: usize = 256;
+    const MAX_SHARDS: usize = 4096;
+    let threads = parse_optional_response(head, "threads")?;
+    let shards = parse_optional_response(head, "shards")?;
+    if let Some(threads) = threads {
+        if threads == 0 || threads > MAX_THREADS {
+            return Err(error_response(
+                400,
+                &format!("threads must lie in 1..={MAX_THREADS}"),
+            ));
+        }
+    }
+    if let Some(shards) = shards {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(error_response(
+                400,
+                &format!("shards must lie in 1..={MAX_SHARDS}"),
+            ));
+        }
+    }
+    let runtime_kind =
+        head.query_param("runtime")
+            .unwrap_or(if threads.is_some() || shards.is_some() {
+                "parallel"
+            } else {
+                "sequential"
+            });
+    request.runtime = match runtime_kind {
+        "sequential" => {
+            if threads.is_some() || shards.is_some() {
+                return Err(error_response(
+                    400,
+                    "threads/shards only apply to runtime=parallel",
+                ));
+            }
+            RuntimeConfig::Sequential
+        }
+        "parallel" => {
+            let mut runtime = RuntimeConfig::parallel();
+            if let Some(threads) = threads {
+                runtime = runtime.with_threads(threads);
+            }
+            if let Some(shards) = shards {
+                runtime = runtime.with_shards(shards);
+            }
+            runtime
+        }
+        other => {
+            return Err(error_response(
+                400,
+                &format!("unknown runtime `{other}` (sequential|parallel)"),
+            ));
+        }
+    };
+
+    let policy = match head.query_param("policy") {
+        None => ConflictPolicy::KeepMin,
+        Some(raw) => {
+            let policy = parse_policy(raw)
+                .ok_or_else(|| error_response(400, &format!("unknown policy `{raw}`")))?;
+            if policy != ConflictPolicy::KeepMin {
+                return Err(error_response(
+                    400,
+                    &format!(
+                        "policy `{raw}` is not usable for coloring jobs: the pipeline's \
+                         rounds require the paper's min-merge (keep-min, Lemma 4.10)"
+                    ),
+                ));
+            }
+            policy
+        }
+    };
+
+    Ok(JobSpec { request, policy })
+}
+
+fn parse_optional(head: &RequestHead, name: &str) -> Result<Option<usize>, Box<Response>> {
+    parse_optional_response(head, name).map_err(Box::new)
+}
+
+fn parse_optional_response(head: &RequestHead, name: &str) -> Result<Option<usize>, Response> {
+    match head.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| error_response(400, &format!("bad {name} `{raw}`"))),
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        Object::new()
+            .str("error", message)
+            .u64("status", status as u64)
+            .finish(),
+    )
+}
+
+/// Wire labels of [`Algorithm`] variants.
+fn parse_algorithm(raw: &str) -> Option<Algorithm> {
+    Some(match raw {
+        "auto" => Algorithm::Auto,
+        "alpha-power" => Algorithm::AlphaPower,
+        "alpha-squared" => Algorithm::AlphaSquared,
+        "two-alpha-plus-one" => Algorithm::TwoAlphaPlusOne,
+        "large-arboricity" => Algorithm::LargeArboricity,
+        _ => return None,
+    })
+}
+
+fn algorithm_label(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Auto => "auto",
+        Algorithm::AlphaPower => "alpha-power",
+        Algorithm::AlphaSquared => "alpha-squared",
+        Algorithm::TwoAlphaPlusOne => "two-alpha-plus-one",
+        Algorithm::LargeArboricity => "large-arboricity",
+    }
+}
+
+/// Wire labels of [`ConflictPolicy`] variants.
+fn parse_policy(raw: &str) -> Option<ConflictPolicy> {
+    Some(match raw {
+        "keep-min" => ConflictPolicy::KeepMin,
+        "keep-max" => ConflictPolicy::KeepMax,
+        "keep-first" => ConflictPolicy::KeepFirst,
+        "error" => ConflictPolicy::Error,
+        _ => return None,
+    })
+}
+
+fn policy_label(policy: ConflictPolicy) -> &'static str {
+    match policy {
+        ConflictPolicy::KeepMin => "keep-min",
+        ConflictPolicy::KeepMax => "keep-max",
+        ConflictPolicy::KeepFirst => "keep-first",
+        ConflictPolicy::Error => "error",
+    }
+}
+
+/// Renders a job snapshot (status, config echo, result, metrics table).
+fn job_json(view: &JobView) -> String {
+    let mut object = Object::new()
+        .u64("job", view.id)
+        .str("status", view.status.label())
+        .bool("cached", view.cached)
+        .raw(
+            "graph",
+            Object::new()
+                .usize("nodes", view.graph_nodes)
+                .usize("edges", view.graph_edges)
+                .finish(),
+        )
+        .raw("config", config_json(&view.spec))
+        .u64("age_nanos", view.age_nanos);
+    if let Some(result) = &view.result {
+        object = object.raw("result", result_json(result, view.wall_nanos));
+    }
+    if let Some(error) = &view.error {
+        object = object.str("error", error);
+    }
+    object.finish()
+}
+
+fn config_json(spec: &JobSpec) -> String {
+    let request = &spec.request;
+    let mut object = Object::new().str("algorithm", algorithm_label(request.algorithm));
+    object = match request.alpha {
+        Some(alpha) => object.usize("alpha", alpha),
+        None => object.raw("alpha", "null"),
+    };
+    object
+        .f64("epsilon", request.epsilon)
+        .f64("delta", request.delta)
+        .usize("max_partition_rounds", request.max_partition_rounds)
+        .str("runtime", &request.runtime.label())
+        .str("policy", policy_label(spec.policy))
+        .finish()
+}
+
+fn result_json(outcome: &ColoringOutcome, wall_nanos: u64) -> String {
+    Object::new()
+        .str("algorithm", &outcome.algorithm)
+        .usize("colors_used", outcome.colors_used)
+        .usize("alpha", outcome.alpha)
+        .usize("beta", outcome.beta)
+        .usize("partition_rounds", outcome.partition_rounds)
+        .usize("partition_size", outcome.partition_size)
+        .usize("coloring_rounds", outcome.coloring_rounds)
+        .usize("total_rounds", outcome.total_rounds)
+        .u64("wall_clock_nanos", wall_nanos)
+        .raw(
+            "coloring",
+            array_u64(outcome.coloring.colors().iter().map(|&c| c as u64)),
+        )
+        .raw("runtime_stats", runtime_stats_table(outcome).to_json())
+        .finish()
+}
+
+/// The per-round runtime measurements rendered through the workspace's
+/// no-serde [`Table`] serializer.
+fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
+    let mut table = Table::new(
+        "runtime",
+        "per-round runtime stats",
+        "wall clock, shard loads and pool reuse of every recorded AMPC round",
+        &[
+            "round",
+            "wall_clock_us",
+            "conflict_merges",
+            "shard_reads",
+            "shard_writes",
+            "pool_tasks",
+            "pool_idle_us",
+        ],
+    );
+    for (round, stats) in outcome.metrics.runtime_stats().iter().enumerate() {
+        table.push_row(vec![
+            round.to_string(),
+            (stats.wall_clock_nanos / 1_000).to_string(),
+            stats.conflict_merges.to_string(),
+            stats.shard_reads.iter().sum::<u64>().to_string(),
+            stats.shard_writes.iter().sum::<u64>().to_string(),
+            stats.pool_tasks_per_worker.iter().sum::<u64>().to_string(),
+            (stats.pool_idle_nanos / 1_000).to_string(),
+        ]);
+    }
+    table
+}
+
+/// The `/metrics` document: endpoint counters, queue depth, job and cache
+/// counters, persistent-pool reuse stats and a recent-jobs table.
+fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
+    let counters = manager.counters();
+    let pool = WorkerPool::global();
+    let pool_stats = pool.stats();
+
+    let mut recent = Table::new(
+        "recent-jobs",
+        "recently submitted jobs",
+        "per-job status, rounds and compute wall clock",
+        &[
+            "job",
+            "status",
+            "cached",
+            "nodes",
+            "edges",
+            "colors",
+            "total_rounds",
+            "wall_clock_us",
+        ],
+    );
+    for view in manager.recent(16) {
+        let (colors, rounds) = view
+            .result
+            .as_ref()
+            .map_or((0, 0), |r| (r.colors_used, r.total_rounds));
+        recent.push_row(vec![
+            view.id.to_string(),
+            view.status.label().to_string(),
+            view.cached.to_string(),
+            view.graph_nodes.to_string(),
+            view.graph_edges.to_string(),
+            colors.to_string(),
+            rounds.to_string(),
+            (view.wall_nanos / 1_000).to_string(),
+        ]);
+    }
+
+    Object::new()
+        .u64("uptime_nanos", state.started.elapsed().as_nanos() as u64)
+        .raw(
+            "endpoints",
+            Object::new()
+                .u64("healthz", state.counters.healthz.load(Ordering::Relaxed))
+                .u64("metrics", state.counters.metrics.load(Ordering::Relaxed))
+                .u64("color", state.counters.color.load(Ordering::Relaxed))
+                .u64("jobs", state.counters.jobs.load(Ordering::Relaxed))
+                .u64(
+                    "not_found",
+                    state.counters.not_found.load(Ordering::Relaxed),
+                )
+                .u64(
+                    "bad_requests",
+                    state.counters.bad_requests.load(Ordering::Relaxed),
+                )
+                .finish(),
+        )
+        .raw(
+            "queue",
+            Object::new()
+                .usize("depth", counters.queue_depth)
+                .usize("capacity", counters.queue_capacity)
+                .finish(),
+        )
+        .raw(
+            "jobs",
+            Object::new()
+                .u64("submitted", counters.submitted)
+                .u64("completed", counters.completed)
+                .u64("failed", counters.failed)
+                .u64("computed", counters.computed)
+                .usize("running", counters.running)
+                .finish(),
+        )
+        .raw(
+            "cache",
+            Object::new()
+                .u64("hits", counters.cache.hits)
+                .u64("misses", counters.cache.misses)
+                .u64("coalesced", counters.cache.coalesced)
+                .u64("entries", counters.cache.entries)
+                .finish(),
+        )
+        .raw(
+            "pool",
+            Object::new()
+                .usize("workers", pool.num_workers())
+                .raw(
+                    "tasks_per_worker",
+                    array_u64(pool_stats.tasks_per_worker.iter().copied()),
+                )
+                .raw(
+                    "idle_nanos_per_worker",
+                    array_u64(pool_stats.idle_nanos_per_worker.iter().copied()),
+                )
+                .u64("helper_tasks", pool_stats.helper_tasks)
+                .finish(),
+        )
+        .raw("recent_jobs", recent.to_json())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> ServerHandle {
+        Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 1,
+                acceptors: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .start()
+        .unwrap()
+    }
+
+    /// Sends one raw HTTP/1.1 request, returns (status, body).
+    fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+        ampc_coloring_bench::http_client::request(
+            addr,
+            method,
+            target,
+            body,
+            Some(Duration::from_secs(60)),
+        )
+        .expect("request")
+    }
+
+    #[test]
+    fn healthz_metrics_and_unknown_routes() {
+        let handle = boot();
+        let addr = handle.addr();
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (status, body) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"endpoints\""), "{body}");
+        assert!(body.contains("\"pool\""), "{body}");
+
+        let (status, _) = request(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/v1/jobs/abc", "");
+        assert_eq!(status, 400);
+        let (status, _) = request(addr, "GET", "/v1/jobs/424242", "");
+        assert_eq!(status, 404);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn color_round_trip_with_wait() {
+        let handle = boot();
+        let addr = handle.addr();
+        // A 4-cycle: 2-colorable, alpha 1.
+        let body = "0 1\n1 2\n2 3\n3 0\n";
+        let (status, response) = request(
+            addr,
+            "POST",
+            "/v1/color?algorithm=two-alpha-plus-one&alpha=1&wait=1",
+            body,
+        );
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"status\":\"done\""), "{response}");
+        assert!(response.contains("\"coloring\":["), "{response}");
+        assert!(response.contains("\"runtime_stats\""), "{response}");
+
+        // Async path: 202 then poll.
+        let (status, response) = request(addr, "POST", "/v1/color?alpha=1", body);
+        assert_eq!(status, 202, "{response}");
+        let id: u64 = response
+            .split("\"job\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            .and_then(|raw| raw.trim().parse().ok())
+            .expect("job id in response");
+        let view = handle
+            .manager()
+            .wait(id, Duration::from_secs(30))
+            .expect("job exists");
+        assert!(view.status.is_terminal());
+        let (status, response) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        assert!(response.contains("\"status\":\"done\""), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn invalid_inputs_are_4xx() {
+        let handle = boot();
+        let addr = handle.addr();
+        let edge_list = "0 1\n";
+        for target in [
+            "/v1/color?algorithm=nope",
+            "/v1/color?alpha=-3",
+            "/v1/color?policy=keep-max",
+            "/v1/color?runtime=warp",
+            "/v1/color?runtime=sequential&threads=4",
+            "/v1/color?epsilon=abc",
+            "/v1/color?shards=1000000000",
+            "/v1/color?threads=0",
+        ] {
+            let (status, body) = request(addr, "POST", target, edge_list);
+            assert_eq!(status, 400, "{target}: {body}");
+            assert!(body.contains("\"error\""), "{target}: {body}");
+        }
+        // A huge node id must be rejected, not allocated.
+        let (status, body) = request(addr, "POST", "/v1/color", "0 999999999999999\n");
+        assert_eq!(status, 400);
+        assert!(body.contains("exceeds the limit"), "{body}");
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/v1/color?min_nodes=999999999999999",
+            edge_list,
+        );
+        assert_eq!(status, 400);
+        // Malformed edge list.
+        let (status, body) = request(addr, "POST", "/v1/color", "0 1\nbroken\n");
+        assert_eq!(status, 400);
+        assert!(body.contains("line 2"), "{body}");
+        // Empty body.
+        let (status, _) = request(addr, "POST", "/v1/color", "");
+        assert_eq!(status, 400);
+        // Invalid parameters caught by ColorRequest validation.
+        let (status, body) = request(addr, "POST", "/v1/color?alpha=0&wait=1", edge_list);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"failed\""), "{body}");
+        assert!(body.contains("alpha"), "{body}");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,56 @@
+//! Launcher for the AMPC coloring service.
+//!
+//! ```text
+//! cargo run --release --bin ampc-serve -- --addr=127.0.0.1:8077 --workers=4 --queue=128
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr=HOST:PORT` — bind address (default `127.0.0.1:8077`; port `0`
+//!   picks an ephemeral port, printed on stdout).
+//! * `--workers=N` — persistent job-worker threads (default 2).
+//! * `--queue=N` — bounded submission-queue capacity (default 64).
+//! * `--acceptors=N` — HTTP acceptor threads (default 4).
+//! * `--max-body-mb=N` — request-body limit in MiB (default 64).
+
+use ampc_coloring_bench::args::parse_flag;
+use ampc_service::{Server, ServiceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: String = parse_flag(&args, "addr").unwrap_or_else(|| "127.0.0.1:8077".to_string());
+    let mut config = ServiceConfig::default();
+    if let Some(workers) = parse_flag(&args, "workers") {
+        config.workers = workers;
+    }
+    if let Some(queue) = parse_flag(&args, "queue") {
+        config.queue_capacity = queue;
+    }
+    if let Some(acceptors) = parse_flag(&args, "acceptors") {
+        config.acceptors = acceptors;
+    }
+    if let Some(megabytes) = parse_flag::<usize>(&args, "max-body-mb") {
+        config.max_body_bytes = megabytes << 20;
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("ampc-serve: cannot bind {addr}: {error}");
+            std::process::exit(1);
+        }
+    };
+    let bound = server.local_addr().expect("bound listener has an address");
+    let _handle = server.start().expect("starting acceptors");
+    println!("ampc-serve listening on http://{bound}");
+    println!(
+        "  POST /v1/color    e.g. curl -sS --data-binary @graph.txt \
+         'http://{bound}/v1/color?algorithm=two-alpha-plus-one&alpha=2&wait=1'"
+    );
+    println!("  GET  /v1/jobs/{{id}}  GET /healthz  GET /metrics");
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub use ampc_coloring::{coloring, graph, model, partition, runtime};
-pub use ampc_coloring::{Algorithm, ColoringOutcome, Error, RuntimeConfig, SparseColoring};
+pub use ampc_coloring::{
+    Algorithm, ColorRequest, ColoringOutcome, Error, RuntimeConfig, SparseColoring,
+};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -1,0 +1,227 @@
+//! End-to-end test of the `ampc-service` subsystem: boots the HTTP server
+//! on an ephemeral port, submits the four standard workloads concurrently
+//! over real sockets, and checks the served colorings are **bit-identical**
+//! to direct `SparseColoring::color_request` calls — plus that the
+//! persistent worker pool keeps the process's thread count constant across
+//! a 10-job sequence (no per-round or per-job thread spawning).
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Serializes the two e2e tests: they run in one process, and the
+/// thread-count assertion below must not observe the other test's
+/// server/client threads coming and going.
+static E2E_LOCK: Mutex<()> = Mutex::new(());
+
+use ampc_coloring_repro::{Algorithm, ColorRequest, RuntimeConfig, SparseColoring, Workload};
+use ampc_service::{Server, ServiceConfig};
+use sparse_graph::write_edge_list;
+
+/// Sends one raw HTTP/1.1 request and returns `(status, body)`.
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    ampc_coloring_bench::http_client::request(
+        addr,
+        method,
+        target,
+        body,
+        Some(Duration::from_secs(120)),
+    )
+    .expect("request")
+}
+
+/// Extracts a `"field":123` number from a flat JSON rendering.
+fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts the `"coloring":[...]` array.
+fn json_coloring(body: &str) -> Option<Vec<usize>> {
+    let needle = "\"coloring\":[";
+    let rest = &body[body.find(needle)? + needle.len()..];
+    let closing = rest.find(']')?;
+    let inner = &rest[..closing];
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|cell| cell.trim().parse::<usize>().ok())
+        .collect()
+}
+
+/// Current thread count of this process (Linux), if observable.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|line| line.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn boot() -> ampc_service::ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            acceptors: 3,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+    .start()
+    .expect("start acceptors")
+}
+
+fn poll_done(addr: SocketAddr, job: u64, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{job}"), "");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"status\":\"done\"") || body.contains("\"status\":\"failed\"") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "job {job} timed out: {body}");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn served_colorings_are_bit_identical_to_direct_calls() {
+    let _guard = E2E_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let handle = boot();
+    let addr = handle.addr();
+
+    let workloads = [
+        Workload::ForestUnion { n: 400, k: 2 },
+        Workload::PowerLaw {
+            n: 300,
+            edges_per_node: 2,
+        },
+        Workload::PlanarGrid { side: 12 },
+        Workload::DeepTree { arity: 3, depth: 5 },
+    ];
+
+    // Submit all four workloads concurrently over real sockets.
+    let submissions: Vec<(Workload, u64, Arc<Vec<usize>>)> = {
+        let clients: Vec<_> = workloads
+            .into_iter()
+            .map(|workload| {
+                thread::spawn(move || {
+                    let graph = workload.build(42);
+                    let alpha = workload.alpha_bound();
+                    // The reference result, computed directly.
+                    let request = ColorRequest {
+                        algorithm: Algorithm::Auto,
+                        alpha: Some(alpha),
+                        runtime: RuntimeConfig::parallel().with_threads(3).with_shards(8),
+                        ..ColorRequest::default()
+                    };
+                    let direct = SparseColoring::color_request(&graph, &request)
+                        .expect("direct coloring succeeds");
+                    let expected = Arc::new(direct.coloring.colors().to_vec());
+
+                    let target = format!(
+                        "/v1/color?algorithm=auto&alpha={alpha}&runtime=parallel&threads=3&shards=8&min_nodes={}",
+                        graph.num_nodes()
+                    );
+                    let (status, body) = http(addr, "POST", &target, &write_edge_list(&graph));
+                    assert_eq!(status, 202, "{body}");
+                    let job = json_u64(&body, "job").expect("job id");
+                    (workload, job, expected)
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .map(|client| client.join().expect("client thread"))
+            .collect()
+    };
+
+    for (workload, job, expected) in submissions {
+        let body = poll_done(addr, job, Duration::from_secs(300));
+        assert!(
+            body.contains("\"status\":\"done\""),
+            "{}: {body}",
+            workload.label()
+        );
+        let served = json_coloring(&body).expect("coloring array");
+        assert_eq!(
+            served,
+            *expected,
+            "{}: served coloring must be bit-identical to the direct call",
+            workload.label()
+        );
+        assert!(body.contains("\"runtime_stats\""), "{body}");
+    }
+
+    // The metrics endpoint saw all of it.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        json_u64(&metrics, "computed").unwrap_or(0) >= 4,
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn ten_job_sequence_spawns_no_per_round_threads() {
+    let _guard = E2E_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let handle = boot();
+    let addr = handle.addr();
+
+    // Ten distinct jobs (different seeds so the cache never hits) on the
+    // parallel runtime; every round runs on the persistent pool.
+    let mut counts = Vec::new();
+    for seed in 0..10u64 {
+        let graph = Workload::ForestUnion { n: 200, k: 2 }.build(seed);
+        let target = format!(
+            "/v1/color?algorithm=two-alpha-plus-one&alpha=2&runtime=parallel&threads=4&shards=8&wait=1&min_nodes={}",
+            graph.num_nodes()
+        );
+        let (status, body) = http(addr, "POST", &target, &write_edge_list(&graph));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"done\""), "{body}");
+        if let Some(count) = thread_count() {
+            counts.push(count);
+        }
+    }
+
+    // After the warm-up job every long-lived thread exists (acceptors, job
+    // workers, the global runtime pool); the remaining nine jobs must not
+    // change the process's thread count.
+    if counts.len() == 10 {
+        let stable = &counts[1..];
+        assert!(
+            stable.iter().all(|&count| count == stable[0]),
+            "thread count must stay constant across the job sequence, got {counts:?}"
+        );
+    }
+
+    // Identical resubmission: served from the cache without recomputation.
+    let graph = Workload::ForestUnion { n: 200, k: 2 }.build(3);
+    let target = format!(
+        "/v1/color?algorithm=two-alpha-plus-one&alpha=2&runtime=parallel&threads=4&shards=8&wait=1&min_nodes={}",
+        graph.num_nodes()
+    );
+    let (_, before) = http(addr, "GET", "/metrics", "");
+    let computed_before = json_u64(&before, "computed").unwrap();
+    let (status, body) = http(addr, "POST", &target, &write_edge_list(&graph));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
+    let (_, after) = http(addr, "GET", "/metrics", "");
+    assert_eq!(json_u64(&after, "computed").unwrap(), computed_before);
+    handle.shutdown();
+}
