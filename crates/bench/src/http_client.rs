@@ -4,7 +4,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sends one request and returns `(status, body)`.
 ///
@@ -44,4 +44,79 @@ pub fn request(
         .map(|(_, body)| body.to_string())
         .unwrap_or_default();
     Ok((status, body))
+}
+
+/// Polls `GET /v1/jobs/{job}` until the job reaches a terminal state
+/// (`done`/`failed`), the server answers non-200, or `timeout` passes —
+/// the shared client side of the service's 202-then-poll protocol.
+///
+/// # Errors
+///
+/// Transport failures from [`request`], or a timeout description if no
+/// terminal state is reached in time.
+pub fn poll_terminal<A: ToSocketAddrs + Clone>(
+    addr: A,
+    job: u64,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = request(
+            addr.clone(),
+            "GET",
+            &format!("/v1/jobs/{job}"),
+            "",
+            Some(timeout),
+        )?;
+        if status != 200
+            || body.contains("\"status\":\"done\"")
+            || body.contains("\"status\":\"failed\"")
+        {
+            return Ok((status, body));
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "job {job} did not reach a terminal state within {timeout:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Extracts a `"field":123` number from a flat JSON rendering — the one
+/// scraper shared by the load generator and the service tests, so the
+/// service's response format is parsed in exactly one place.
+pub fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts the `"coloring":[...]` array from a job response.
+pub fn json_coloring(body: &str) -> Option<Vec<usize>> {
+    let rest = &body[body.find("\"coloring\":[")? + "\"coloring\":[".len()..];
+    let inner = &rest[..rest.find(']')?];
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|cell| cell.trim().parse::<usize>().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scrapers_extract_fields() {
+        let body = r#"{"job":42,"status":"done","result":{"coloring":[0,1, 2]}}"#;
+        assert_eq!(json_u64(body, "job"), Some(42));
+        assert_eq!(json_u64(body, "missing"), None);
+        assert_eq!(json_coloring(body), Some(vec![0, 1, 2]));
+        assert_eq!(json_coloring(r#"{"coloring":[]}"#), Some(Vec::new()));
+        assert_eq!(json_coloring(r#"{"job":1}"#), None);
+    }
 }

@@ -69,6 +69,18 @@ struct CacheInner {
     /// One element per `Ready` entry, oldest first (FIFO eviction order).
     ready_order: VecDeque<u64>,
     ready_count: usize,
+    /// Total [`cache_cost`] across `Ready` entries (the budget eviction
+    /// unit).
+    ready_cost: usize,
+}
+
+/// What a ready entry charges against the cache budget: a `Ready` entry
+/// pins the coloring (one cell per node) *and* the full `Arc<CsrGraph>`
+/// kept for collision verification (adjacency ~ one cell per directed
+/// edge), so both must count — a node-only budget would let a few dense
+/// graphs pin unbounded edge memory.
+fn cache_cost(graph: &CsrGraph) -> usize {
+    graph.num_nodes() + 2 * graph.num_edges()
 }
 
 /// Counter snapshot of a [`ResultCache`].
@@ -85,11 +97,12 @@ pub struct CacheCounters {
 }
 
 /// A single-flight result cache with exact input verification and a FIFO
-/// cap on ready entries.
+/// cap on ready entries — by entry count and by total result nodes.
 #[derive(Debug)]
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    node_budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
@@ -97,11 +110,15 @@ pub struct ResultCache {
 
 impl ResultCache {
     /// Creates an empty cache retaining at most `capacity` ready results
-    /// (at least 1; in-flight entries are never evicted).
-    pub fn new(capacity: usize) -> Self {
+    /// totalling at most `node_budget` in [`cache_cost`] units (nodes plus
+    /// directed edges of the pinned graphs; each at least 1; in-flight
+    /// entries are never evicted). The budget keeps memory bounded when
+    /// few-but-huge entries would stay under the entry cap.
+    pub fn new(capacity: usize, node_budget: usize) -> Self {
         ResultCache {
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
+            node_budget: node_budget.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -173,6 +190,7 @@ impl ResultCache {
         }
         inner.ready_order.push_back(key);
         inner.ready_count += 1;
+        inner.ready_cost += cache_cost(graph);
         self.evict_over_capacity(&mut inner);
         claimed_waiters
     }
@@ -205,7 +223,7 @@ impl ResultCache {
     }
 
     fn evict_over_capacity(&self, inner: &mut CacheInner) {
-        while inner.ready_count > self.capacity {
+        while inner.ready_count > self.capacity || inner.ready_cost > self.node_budget {
             let Some(key) = inner.ready_order.pop_front() else {
                 break;
             };
@@ -214,8 +232,9 @@ impl ResultCache {
                     .iter()
                     .position(|entry| matches!(entry.state, CacheState::Ready(_)))
                 {
-                    bucket.remove(position);
+                    let entry = bucket.remove(position);
                     inner.ready_count -= 1;
+                    inner.ready_cost = inner.ready_cost.saturating_sub(cache_cost(&entry.graph));
                 }
                 if bucket.is_empty() {
                     inner.buckets.remove(&key);
@@ -253,7 +272,7 @@ mod tests {
 
     #[test]
     fn miss_coalesce_hit_lifecycle() {
-        let cache = ResultCache::new(16);
+        let cache = ResultCache::new(16, usize::MAX);
         let g = graph(4);
         let spec = JobSpec::default();
         let key = job_key(&g, &spec);
@@ -281,7 +300,7 @@ mod tests {
 
     #[test]
     fn colliding_keys_with_different_inputs_compute_separately() {
-        let cache = ResultCache::new(16);
+        let cache = ResultCache::new(16, usize::MAX);
         let g1 = graph(4);
         let g2 = graph(5);
         let spec = JobSpec::default();
@@ -315,7 +334,7 @@ mod tests {
 
     #[test]
     fn abandon_allows_recompute_and_fails_waiters() {
-        let cache = ResultCache::new(16);
+        let cache = ResultCache::new(16, usize::MAX);
         let g = graph(4);
         let spec = JobSpec::default();
         let key = job_key(&g, &spec);
@@ -331,8 +350,58 @@ mod tests {
     }
 
     #[test]
+    fn nan_specs_match_themselves_so_abandon_cannot_leak() {
+        // f64::from_str parses "NaN"; before spec equality compared floats
+        // by bit pattern, a NaN epsilon never equaled itself, so abandon()
+        // could not find the in-flight entry and it leaked forever.
+        let cache = ResultCache::new(16, usize::MAX);
+        let g = graph(4);
+        let spec = JobSpec {
+            request: ColorRequest {
+                epsilon: f64::NAN,
+                ..ColorRequest::default()
+            },
+            ..JobSpec::default()
+        };
+        let same = spec;
+        assert_eq!(spec, same, "spec equality must be total");
+        let key = job_key(&g, &spec);
+        assert_eq!(cache.claim(key, &g, &spec, 1), Claim::Compute);
+        assert_eq!(cache.claim(key, &g, &spec, 2), Claim::Coalesced);
+        // The failed computation finds and removes its own entry...
+        assert_eq!(cache.abandon(key, &g, &spec), vec![2]);
+        // ...so the next identical submission computes instead of
+        // coalescing onto a ghost forever.
+        assert_eq!(cache.claim(key, &g, &spec, 3), Claim::Compute);
+        assert_eq!(cache.abandon(key, &g, &spec), Vec::<u64>::new());
+        assert_eq!(cache.counters().entries, 0);
+    }
+
+    #[test]
+    fn ready_results_are_bounded_by_node_budget() {
+        // Entry capacity is ample, but the budget only fits one grid's
+        // cost (nodes + edges — a ready entry pins the whole graph, not
+        // just the coloring) at a time: each fulfill evicts the previous
+        // result.
+        let spec = JobSpec::default();
+        let g1 = graph(4);
+        let g2 = graph(4);
+        let cache = ResultCache::new(16, g1.num_nodes() + 2 * g1.num_edges());
+        let (k1, k2) = (job_key(&g1, &spec), 1 ^ job_key(&g2, &spec));
+        assert_eq!(cache.claim(k1, &g1, &spec, 1), Claim::Compute);
+        cache.fulfill(k1, &g1, &spec, outcome_for(&g1));
+        assert_eq!(cache.counters().entries, 1);
+        assert_eq!(cache.claim(k2, &g2, &spec, 2), Claim::Compute);
+        cache.fulfill(k2, &g2, &spec, outcome_for(&g2));
+        // The older result was evicted to stay under the budget.
+        assert_eq!(cache.counters().entries, 1);
+        assert_eq!(cache.claim(k1, &g1, &spec, 3), Claim::Compute);
+        assert!(matches!(cache.claim(k2, &g2, &spec, 4), Claim::Hit(_)));
+    }
+
+    #[test]
     fn ready_results_are_capped_fifo() {
-        let cache = ResultCache::new(2);
+        let cache = ResultCache::new(2, usize::MAX);
         let spec = JobSpec::default();
         let graphs: Vec<Arc<CsrGraph>> = (3..7).map(graph).collect();
         for g in &graphs {

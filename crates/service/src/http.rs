@@ -6,9 +6,21 @@
 use std::fmt;
 use std::io::{self, BufReader, Cursor, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted size of the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Wall-clock budget for receiving the request head. The socket's
+/// per-read timeout resets on every byte, so without a cumulative
+/// deadline a client dribbling one byte per timeout window could park an
+/// acceptor for days (16 KB head × 30 s/byte ≈ 5 days).
+pub const HEAD_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Wall-clock budget for receiving the request body, measured from the
+/// end of the head. Generous enough for a legitimately slow client to
+/// push the maximum body (64 MB in ~2 minutes is ~0.5 MB/s), but bounded.
+pub const BODY_DEADLINE: Duration = Duration::from_secs(120);
 
 /// Errors surfaced while reading a request (mapped to 4xx responses).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +29,8 @@ pub enum HttpError {
     Malformed(String),
     /// The head or declared body exceeded the configured limits.
     TooLarge(String),
+    /// The request was not received within its wall-clock deadline.
+    Timeout(String),
     /// The socket failed mid-request.
     Io(String),
 }
@@ -26,6 +40,7 @@ impl fmt::Display for HttpError {
         match self {
             HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
             HttpError::TooLarge(detail) => write!(f, "request too large: {detail}"),
+            HttpError::Timeout(detail) => write!(f, "request timed out: {detail}"),
             HttpError::Io(detail) => write!(f, "request read failed: {detail}"),
         }
     }
@@ -46,6 +61,8 @@ pub struct RequestHead {
     pub query: Vec<(String, String)>,
     /// Value of `Content-Length` (0 when absent).
     pub content_length: usize,
+    /// Wall-clock deadline for receiving the rest of the body.
+    body_deadline: Instant,
     /// Body bytes already consumed from the socket while buffering the head.
     leftover: Vec<u8>,
 }
@@ -60,15 +77,18 @@ impl RequestHead {
     }
 
     /// A buffered reader over exactly the request body (the already-read
-    /// leftover bytes chained with the rest of the socket).
-    pub fn body_reader<'a>(
-        &mut self,
-        stream: &'a mut TcpStream,
-    ) -> BufReader<io::Chain<Cursor<Vec<u8>>, io::Take<&'a mut TcpStream>>> {
+    /// leftover bytes chained with the rest of the socket). Reads fail
+    /// once [`BODY_DEADLINE`] has passed since the head was received, so
+    /// a dribbling client cannot hold an acceptor indefinitely.
+    pub fn body_reader<'a>(&mut self, stream: &'a mut TcpStream) -> BodyReader<'a> {
         let mut leftover = std::mem::take(&mut self.leftover);
         leftover.truncate(self.content_length);
         let remaining = (self.content_length - leftover.len()) as u64;
-        BufReader::new(Cursor::new(leftover).chain(stream.take(remaining)))
+        let bounded = DeadlineRead {
+            inner: stream,
+            deadline: self.body_deadline,
+        };
+        BufReader::new(Cursor::new(leftover).chain(bounded.take(remaining)))
     }
 
     /// Reads the whole body into memory (for small bodies / tests).
@@ -90,6 +110,31 @@ impl RequestHead {
             )));
         }
         Ok(body)
+    }
+}
+
+/// The streaming request-body reader: leftover bytes buffered with the
+/// head, chained with the deadline-bounded remainder of the socket.
+pub type BodyReader<'a> =
+    BufReader<io::Chain<Cursor<Vec<u8>>, io::Take<DeadlineRead<&'a mut TcpStream>>>>;
+
+/// A reader that fails with `TimedOut` once a wall-clock deadline passes.
+/// The socket's per-read timeout only bounds a single read and resets on
+/// every byte; this bounds the whole transfer.
+pub struct DeadlineRead<R> {
+    inner: R,
+    deadline: Instant,
+}
+
+impl<R: Read> Read for DeadlineRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "body not received within the request deadline",
+            ));
+        }
+        self.inner.read(buf)
     }
 }
 
@@ -147,14 +192,22 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
     (percent_decode(path), query)
 }
 
-/// Reads and parses one request head from the stream.
+/// Reads and parses one request head from the stream. The head must
+/// arrive before `head_deadline` (callers pass roughly
+/// `Instant::now() + HEAD_DEADLINE`); the body is separately bounded by
+/// [`BODY_DEADLINE`] from the moment the head completes.
 ///
 /// # Errors
 ///
 /// [`HttpError::Malformed`] for grammar violations, [`HttpError::TooLarge`]
 /// when the head exceeds [`MAX_HEAD_BYTES`] or the declared body exceeds
-/// `max_body`, [`HttpError::Io`] for socket failures.
-pub fn read_head(stream: &mut TcpStream, max_body: usize) -> Result<RequestHead, HttpError> {
+/// `max_body`, [`HttpError::Timeout`] when the deadline passes first,
+/// [`HttpError::Io`] for socket failures.
+pub fn read_head(
+    stream: &mut TcpStream,
+    max_body: usize,
+    head_deadline: Instant,
+) -> Result<RequestHead, HttpError> {
     let mut buffer = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
@@ -165,6 +218,13 @@ pub fn read_head(stream: &mut TcpStream, max_body: usize) -> Result<RequestHead,
             return Err(HttpError::TooLarge(format!(
                 "head exceeds {MAX_HEAD_BYTES} bytes"
             )));
+        }
+        // Cumulative deadline: the per-read socket timeout resets on every
+        // byte, so it alone cannot bound a dribbling client.
+        if Instant::now() >= head_deadline {
+            return Err(HttpError::Timeout(
+                "headers not received within the request deadline".to_string(),
+            ));
         }
         let read = stream
             .read(&mut chunk)
@@ -234,6 +294,7 @@ pub fn read_head(stream: &mut TcpStream, max_body: usize) -> Result<RequestHead,
         path,
         query,
         content_length,
+        body_deadline: Instant::now() + BODY_DEADLINE,
         leftover,
     })
 }
@@ -355,5 +416,47 @@ mod tests {
     fn head_end_detection() {
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn deadline_read_cuts_off_slow_transfers() {
+        let mut fast = DeadlineRead {
+            inner: Cursor::new(b"0 1\n".to_vec()),
+            deadline: Instant::now() + Duration::from_secs(60),
+        };
+        let mut out = String::new();
+        fast.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "0 1\n");
+
+        let mut expired = DeadlineRead {
+            inner: Cursor::new(b"0 1\n".to_vec()),
+            deadline: Instant::now() - Duration::from_secs(1),
+        };
+        let error = expired.read_to_string(&mut String::new()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn read_head_enforces_its_deadline() {
+        // A client that sends a partial head and then dribbles must be cut
+        // off by the cumulative deadline, not held by per-read timeouts.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        std::io::Write::write_all(&mut client, b"GET / HT").unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        // The deadline has already passed: the incomplete head times out
+        // instead of waiting for more bytes.
+        let error = read_head(
+            &mut server_side,
+            1024,
+            Instant::now() - Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert!(matches!(error, HttpError::Timeout(_)), "{error}");
+        drop(client);
     }
 }

@@ -37,13 +37,24 @@ pub struct ServiceConfig {
     pub acceptors: usize,
     /// Maximum node count a submitted edge list may declare (node ids and
     /// `min_nodes` beyond this are rejected with `400` — a tiny request
-    /// must not be able to demand an arbitrarily large allocation).
+    /// must not be able to demand an arbitrarily large allocation). The
+    /// HTTP layer additionally caps each request proportionally to its
+    /// body size, so this is the ceiling for the largest bodies only.
     pub max_graph_nodes: usize,
     /// Ready results retained by the cache (FIFO eviction beyond this).
     pub cache_capacity: usize,
+    /// Total size of all cached ready results, measured in nodes plus
+    /// directed edges of the pinned graphs (FIFO eviction beyond this) —
+    /// entry counts alone would let a few huge entries exhaust memory
+    /// while staying under `cache_capacity`.
+    pub cache_node_budget: usize,
     /// Terminal job records retained (oldest evicted beyond this, so a
     /// long-running server's jobs map stays bounded).
     pub max_retained_jobs: usize,
+    /// Total nodes across the results held by retained terminal jobs
+    /// (oldest evicted beyond this) — the record-count cap alone would let
+    /// a few huge colorings pin gigabytes.
+    pub retained_node_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -53,15 +64,17 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_body_bytes: 64 << 20,
             acceptors: 4,
-            max_graph_nodes: 1 << 26,
+            max_graph_nodes: 1 << 22,
             cache_capacity: 512,
+            cache_node_budget: 1 << 23,
             max_retained_jobs: 4096,
+            retained_node_budget: 1 << 23,
         }
     }
 }
 
 /// Everything that identifies a coloring job (and therefore its cache key).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct JobSpec {
     /// The validated algorithm request.
     pub request: ColorRequest,
@@ -80,6 +93,27 @@ impl Default for JobSpec {
         }
     }
 }
+
+/// Total equality: floats compare by bit pattern, so a spec always equals
+/// itself. The derived `PartialEq` over `f64` would make a NaN epsilon or
+/// delta unequal to itself, and a cache entry that never matches its own
+/// spec can neither be fulfilled nor abandoned — a permanent in-flight
+/// leak (submission-time validation rejects NaN anyway; this keeps the
+/// cache's invariants independent of the HTTP layer).
+impl PartialEq for JobSpec {
+    fn eq(&self, other: &Self) -> bool {
+        let (a, b) = (&self.request, &other.request);
+        a.algorithm == b.algorithm
+            && a.alpha == b.alpha
+            && a.epsilon.to_bits() == b.epsilon.to_bits()
+            && a.delta.to_bits() == b.delta.to_bits()
+            && a.max_partition_rounds == b.max_partition_rounds
+            && a.runtime == b.runtime
+            && self.policy == other.policy
+    }
+}
+
+impl Eq for JobSpec {}
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,7 +214,8 @@ pub struct ManagerCounters {
     pub completed: u64,
     /// Jobs finished with an error.
     pub failed: u64,
-    /// Jobs whose coloring was actually computed (cache misses).
+    /// Colorings actually computed to completion (successful cache
+    /// misses; failed and panicked runs count under `failed` instead).
     pub computed: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
@@ -206,6 +241,9 @@ struct JobsState {
     /// Ids that reached a terminal state, oldest first — makes retention
     /// eviction O(1) per completion instead of a scan of the whole map.
     terminal_order: VecDeque<u64>,
+    /// Total nodes across the results held by terminal records (the unit
+    /// the node-budget eviction is measured in).
+    terminal_result_nodes: usize,
 }
 
 struct ManagerShared {
@@ -213,6 +251,7 @@ struct ManagerShared {
     job_done: Condvar,
     cache: ResultCache,
     max_retained_jobs: usize,
+    retained_node_budget: usize,
     queue_depth: AtomicUsize,
     running: AtomicUsize,
     submitted: AtomicU64,
@@ -227,13 +266,16 @@ impl ManagerShared {
         if let Some(record) = state.records.get_mut(&id) {
             record.status = status;
             record.cached = cached;
+            let mut result_nodes = 0;
             match outcome {
                 FinishOutcome::Result { result, wall_nanos } => {
                     record.result = Some(result);
                     record.wall_nanos = wall_nanos;
+                    result_nodes = record.graph_nodes;
                 }
                 FinishOutcome::Error(message) => record.error = Some(message),
             }
+            state.terminal_result_nodes += result_nodes;
             state.terminal_order.push_back(id);
         }
         self.evict_old_records(&mut state);
@@ -246,18 +288,31 @@ impl ManagerShared {
     }
 
     /// Drops the oldest terminal records once the map exceeds the retention
-    /// cap, so memory stays bounded under sustained traffic. In-flight jobs
-    /// are never evicted; the FIFO deque makes this O(1) per completion.
+    /// cap — by record count or by total result nodes (a handful of huge
+    /// colorings must not pin gigabytes while staying under the count cap).
+    /// In-flight jobs are never evicted; the FIFO deque makes this O(1) per
+    /// completion.
     fn evict_old_records(&self, state: &mut JobsState) {
-        while state.records.len() > self.max_retained_jobs {
+        while state.records.len() > self.max_retained_jobs
+            || state.terminal_result_nodes > self.retained_node_budget
+        {
             let Some(id) = state.terminal_order.pop_front() else {
                 break;
             };
-            if state
+            let evictable = state
                 .records
                 .get(&id)
-                .is_some_and(|record| record.status.is_terminal())
-            {
+                .filter(|record| record.status.is_terminal())
+                .map(|record| {
+                    if record.result.is_some() {
+                        record.graph_nodes
+                    } else {
+                        0
+                    }
+                });
+            if let Some(result_nodes) = evictable {
+                state.terminal_result_nodes =
+                    state.terminal_result_nodes.saturating_sub(result_nodes);
                 state.records.remove(&id);
             }
         }
@@ -296,8 +351,9 @@ impl JobManager {
         let shared = Arc::new(ManagerShared {
             jobs: Mutex::new(JobsState::default()),
             job_done: Condvar::new(),
-            cache: ResultCache::new(config.cache_capacity),
+            cache: ResultCache::new(config.cache_capacity, config.cache_node_budget),
             max_retained_jobs: config.max_retained_jobs.max(1),
+            retained_node_budget: config.retained_node_budget.max(1),
             queue_depth: AtomicUsize::new(0),
             running: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
@@ -534,11 +590,11 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
             )))
         });
         let wall_nanos = started.elapsed().as_nanos() as u64;
-        shared.computed.fetch_add(1, Ordering::Relaxed);
         shared.running.fetch_sub(1, Ordering::Relaxed);
 
         match outcome {
             Ok(outcome) => {
+                shared.computed.fetch_add(1, Ordering::Relaxed);
                 let result = Arc::new(outcome);
                 let waiters =
                     shared
@@ -574,11 +630,13 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
                     false,
                     FinishOutcome::Error(message.clone()),
                 );
+                // `cached: false` — a failed waiter never received a cached
+                // result, it merely shared the doomed computation.
                 for waiter in waiters {
                     shared.finish(
                         waiter,
                         JobStatus::Failed,
-                        true,
+                        false,
                         FinishOutcome::Error(message.clone()),
                     );
                 }
@@ -792,10 +850,36 @@ mod tests {
         let id = manager.submit(graph, bad).unwrap();
         let view = manager.wait(id, Duration::from_secs(30)).unwrap();
         assert_eq!(view.status, JobStatus::Failed);
+        assert!(!view.cached, "a failed job never received a cached result");
         let error = view.error.expect("failed jobs carry an error");
         assert!(error.contains("beta-partition"), "{error}");
         // A failure is not cached: the same submission computes again.
         assert_eq!(manager.counters().cache.entries, 0);
+        // And it is not a successful computation either.
+        assert_eq!(manager.counters().computed, 0);
+        assert_eq!(manager.counters().failed, 1);
+    }
+
+    #[test]
+    fn terminal_records_are_bounded_by_node_budget() {
+        // The budget fits one ~196-node result at a time; a second result
+        // evicts the first even though the record-count cap is far away.
+        let manager = JobManager::new(ServiceConfig {
+            workers: 1,
+            retained_node_budget: 200,
+            ..ServiceConfig::default()
+        });
+        let first = manager.submit(small_graph(14), spec()).unwrap();
+        let view = manager.wait(first, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        let second = manager.submit(small_graph(13), spec()).unwrap();
+        let view = manager.wait(second, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(
+            manager.status(first).is_none(),
+            "the oldest result must be evicted to stay under the node budget"
+        );
+        assert!(manager.status(second).is_some());
     }
 
     #[test]

@@ -2,12 +2,12 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, RuntimeConfig};
+use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, RuntimeConfig, SparseColoring};
 use ampc_coloring_bench::Table;
 use ampc_model::ConflictPolicy;
 use ampc_runtime::WorkerPool;
@@ -26,12 +26,56 @@ struct EndpointCounters {
     jobs: AtomicU64,
     not_found: AtomicU64,
     bad_requests: AtomicU64,
+    /// `429` backpressure rejections — kept apart from `bad_requests` so a
+    /// full queue is not mistaken for malformed traffic in `/metrics`.
+    queue_rejected: AtomicU64,
+    /// `408` request-read deadline expiries — also kept apart: a client
+    /// being cut off mid-transfer is not malformed traffic either.
+    timeouts: AtomicU64,
 }
 
 struct ServerState {
     started: Instant,
     shutdown: AtomicBool,
     counters: EndpointCounters,
+    /// Synchronous (`wait=1`) requests currently parking an acceptor.
+    sync_waiters: AtomicUsize,
+    /// Cap on concurrent synchronous waits: one acceptor is always kept
+    /// free for non-waiting endpoints (`/healthz`, `/metrics`), so slow
+    /// jobs cannot make the whole server unresponsive.
+    max_sync_waiters: usize,
+}
+
+/// An RAII reservation of one synchronous-wait slot; dropping it releases
+/// the slot.
+struct WaitSlot<'a> {
+    state: &'a ServerState,
+}
+
+impl<'a> WaitSlot<'a> {
+    fn acquire(state: &'a ServerState) -> Option<Self> {
+        let mut current = state.sync_waiters.load(Ordering::Relaxed);
+        loop {
+            if current >= state.max_sync_waiters {
+                return None;
+            }
+            match state.sync_waiters.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(WaitSlot { state }),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for WaitSlot<'_> {
+    fn drop(&mut self) {
+        self.state.sync_waiters.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A bound (but not yet serving) coloring service.
@@ -57,6 +101,8 @@ impl Server {
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
                 counters: EndpointCounters::default(),
+                sync_waiters: AtomicUsize::new(0),
+                max_sync_waiters: config.acceptors.max(1).saturating_sub(1),
             }),
         })
     }
@@ -163,14 +209,20 @@ fn handle_connection(
     manager: &Arc<JobManager>,
     state: &ServerState,
 ) -> Response {
-    let mut head = match read_head(stream, manager.config().max_body_bytes) {
+    let head_deadline = Instant::now() + crate::http::HEAD_DEADLINE;
+    let mut head = match read_head(stream, manager.config().max_body_bytes, head_deadline) {
         Ok(head) => head,
         Err(error) => {
-            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
             let status = match &error {
                 HttpError::TooLarge(_) => 413,
+                HttpError::Timeout(_) => 408,
                 _ => 400,
             };
+            if status == 408 {
+                state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
             return error_response(status, &error.to_string());
         }
     };
@@ -193,10 +245,17 @@ fn handle_connection(
         }
         ("POST", "/v1/color") => {
             state.counters.color.fetch_add(1, Ordering::Relaxed);
-            match handle_color(stream, &mut head, manager) {
+            match handle_color(stream, &mut head, manager, state) {
                 Ok(response) => response,
                 Err(response) => {
-                    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    if response.status == 429 {
+                        state
+                            .counters
+                            .queue_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    }
                     *response
                 }
             }
@@ -243,6 +302,7 @@ fn handle_color(
     stream: &mut TcpStream,
     head: &mut RequestHead,
     manager: &Arc<JobManager>,
+    state: &ServerState,
 ) -> Result<Response, Box<Response>> {
     // Every early error drains the (partially) unread body first, so the
     // client receives the 4xx instead of a connection reset.
@@ -253,7 +313,10 @@ fn handle_color(
             return Err(Box::new(response));
         }
     };
-    let max_nodes = manager.config().max_graph_nodes;
+    // The per-request node cap scales with the body the client actually
+    // sent: a 30-byte request must not be able to demand the server-wide
+    // maximum allocation via min_nodes or a huge node id.
+    let max_nodes = node_cap_for_body(head.content_length, manager.config().max_graph_nodes);
     let min_nodes = match parse_optional(head, "min_nodes") {
         Ok(value) => value.unwrap_or(0),
         Err(response) => {
@@ -265,14 +328,19 @@ fn handle_color(
         drain_body(stream, head);
         return Err(Box::new(error_response(
             400,
-            &format!("min_nodes {min_nodes} exceeds the server's limit of {max_nodes} nodes"),
+            &format!(
+                "min_nodes {min_nodes} exceeds this request's limit of {max_nodes} nodes \
+                 (proportional to the {}-byte body)",
+                head.content_length
+            ),
         )));
     }
     // Parse wait/timeout up front: a malformed value must fail before the
     // job is accepted, not after the client has already paid for it.
     // Clamped: a synchronous wait parks an acceptor thread, so the client
-    // must not be able to hold it indefinitely.
-    const MAX_WAIT_MS: usize = 120_000;
+    // must not be able to hold it near (or past) typical health-probe
+    // windows.
+    const MAX_WAIT_MS: usize = 30_000;
     let wait = matches!(head.query_param("wait"), Some("1") | Some("true"));
     let timeout_ms = match parse_optional(head, "timeout_ms") {
         Ok(value) => value.unwrap_or(60_000).min(MAX_WAIT_MS),
@@ -308,35 +376,73 @@ fn handle_color(
     };
 
     if wait {
-        // The record can already be gone if the retention cap evicted it
-        // (eviction only touches terminal jobs, so it did finish).
-        let response = match manager.wait(job, Duration::from_millis(timeout_ms as u64)) {
-            Some(view) => Response::json(200, job_json(&view)),
-            None => Response::json(
-                200,
-                Object::new()
-                    .u64("job", job)
-                    .str("status", "expired")
-                    .str(
-                        "error",
-                        "job finished but its record was evicted (retention cap)",
-                    )
-                    .finish(),
-            ),
-        };
-        return Ok(response.with_header("X-Job-Id", job.to_string()));
+        // A synchronous wait parks this acceptor thread; WaitSlot caps how
+        // many may park at once so at least one acceptor stays free for
+        // /healthz and /metrics. Past the cap the request degrades to the
+        // async 202 flow below instead of queueing up more parked threads.
+        if let Some(_slot) = WaitSlot::acquire(state) {
+            // The record can already be gone if the retention cap evicted
+            // it (eviction only touches terminal jobs, so it did finish).
+            let response = match manager.wait(job, Duration::from_millis(timeout_ms as u64)) {
+                // A wait that elapses before the job finishes answers 202
+                // like the slot-exhausted path, so every non-terminal
+                // outcome uniformly tells the client to poll (a 200 with
+                // status "running" would read as a finished-but-wrong
+                // result to naive clients).
+                Some(view) if !view.status.is_terminal() => Response::json(
+                    202,
+                    Object::new()
+                        .u64("job", job)
+                        .str("status", view.status.label())
+                        .str(
+                            "note",
+                            "wait elapsed before the job finished; poll GET /v1/jobs/{id}",
+                        )
+                        .finish(),
+                ),
+                Some(view) => Response::json(200, job_json(&view)),
+                None => Response::json(
+                    200,
+                    Object::new()
+                        .u64("job", job)
+                        .str("status", "expired")
+                        .str(
+                            "error",
+                            "job finished but its record was evicted (retention cap)",
+                        )
+                        .finish(),
+                ),
+            };
+            return Ok(response.with_header("X-Job-Id", job.to_string()));
+        }
     }
-    let status_label = manager
-        .status(job)
-        .map_or("expired", |view| view.status.label());
-    Ok(Response::json(
-        202,
-        Object::new()
-            .u64("job", job)
-            .str("status", status_label)
-            .finish(),
-    )
-    .with_header("X-Job-Id", job.to_string()))
+    let view = manager.status(job);
+    if wait {
+        // No slot was free, but a job that is already terminal (e.g. a
+        // cache hit resolved at submission) needs no wait at all — serve
+        // it outright instead of a contradictory 202 "done".
+        if let Some(view) = view.as_ref().filter(|view| view.status.is_terminal()) {
+            return Ok(Response::json(200, job_json(view)).with_header("X-Job-Id", job.to_string()));
+        }
+    }
+    let status_label = view.map_or("expired", |view| view.status.label());
+    let mut accepted = Object::new().u64("job", job).str("status", status_label);
+    if wait {
+        accepted = accepted.str(
+            "note",
+            "all synchronous wait slots are busy; poll GET /v1/jobs/{id}",
+        );
+    }
+    Ok(Response::json(202, accepted.finish()).with_header("X-Job-Id", job.to_string()))
+}
+
+/// The node cap for a request with a `body_bytes`-sized edge list: the
+/// configured server-wide maximum, tightened to a multiple of the body
+/// size (an edge line is ≥ 4 bytes and introduces ≤ 2 nodes, so 4× the
+/// body is generous even for sparse id spaces), with a small floor so
+/// trivial test bodies still work.
+fn node_cap_for_body(body_bytes: usize, max_graph_nodes: usize) -> usize {
+    max_graph_nodes.min(body_bytes.saturating_mul(4).max(4096))
 }
 
 /// Builds the validated [`JobSpec`] from the query string.
@@ -442,6 +548,13 @@ fn parse_spec(head: &RequestHead) -> Result<JobSpec, Response> {
             policy
         }
     };
+
+    // Reject out-of-domain numerics (NaN/negative epsilon, delta outside
+    // (0, 1], alpha = 0, …) at submission time: a job that can only fail
+    // must not be queued, and — crucially — a NaN spec must never reach
+    // the result cache.
+    SparseColoring::from_request(&request)
+        .map_err(|error| error_response(400, &error.to_string()))?;
 
     Ok(JobSpec { request, policy })
 }
@@ -658,6 +771,11 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                     "bad_requests",
                     state.counters.bad_requests.load(Ordering::Relaxed),
                 )
+                .u64(
+                    "queue_rejected",
+                    state.counters.queue_rejected.load(Ordering::Relaxed),
+                )
+                .u64("timeouts", state.counters.timeouts.load(Ordering::Relaxed))
                 .finish(),
         )
         .raw(
@@ -665,6 +783,13 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
             Object::new()
                 .usize("depth", counters.queue_depth)
                 .usize("capacity", counters.queue_capacity)
+                .finish(),
+        )
+        .raw(
+            "waits",
+            Object::new()
+                .usize("in_flight", state.sync_waiters.load(Ordering::Relaxed))
+                .usize("max_concurrent", state.max_sync_waiters)
                 .finish(),
         )
         .raw(
@@ -777,11 +902,7 @@ mod tests {
         // Async path: 202 then poll.
         let (status, response) = request(addr, "POST", "/v1/color?alpha=1", body);
         assert_eq!(status, 202, "{response}");
-        let id: u64 = response
-            .split("\"job\":")
-            .nth(1)
-            .and_then(|rest| rest.split(&[',', '}'][..]).next())
-            .and_then(|raw| raw.trim().parse().ok())
+        let id = ampc_coloring_bench::http_client::json_u64(&response, "job")
             .expect("job id in response");
         let view = handle
             .manager()
@@ -808,6 +929,15 @@ mod tests {
             "/v1/color?epsilon=abc",
             "/v1/color?shards=1000000000",
             "/v1/color?threads=0",
+            // Out-of-domain numerics are rejected before submission — a
+            // NaN epsilon parses as f64 but must never reach the queue
+            // (or the result cache).
+            "/v1/color?epsilon=NaN",
+            "/v1/color?epsilon=-1.5",
+            "/v1/color?delta=0",
+            "/v1/color?delta=inf",
+            "/v1/color?alpha=0",
+            "/v1/color?max_rounds=0",
         ] {
             let (status, body) = request(addr, "POST", target, edge_list);
             assert_eq!(status, 400, "{target}: {body}");
@@ -831,11 +961,100 @@ mod tests {
         // Empty body.
         let (status, _) = request(addr, "POST", "/v1/color", "");
         assert_eq!(status, 400);
-        // Invalid parameters caught by ColorRequest validation.
+        // Invalid requests are rejected up front, never queued: a job id
+        // is only minted for runnable specs.
         let (status, body) = request(addr, "POST", "/v1/color?alpha=0&wait=1", edge_list);
-        assert_eq!(status, 200, "{body}");
-        assert!(body.contains("\"status\":\"failed\""), "{body}");
+        assert_eq!(status, 400, "{body}");
         assert!(body.contains("alpha"), "{body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wait_degrades_to_async_when_no_slots_are_free() {
+        // One acceptor means zero synchronous-wait slots (one acceptor is
+        // always reserved for non-waiting endpoints), so wait=1 degrades
+        // to the async 202 flow instead of parking the only acceptor.
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 1,
+                acceptors: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .start()
+        .unwrap();
+        let addr = handle.addr();
+        let (status, body) = request(addr, "POST", "/v1/color?alpha=1&wait=1", "0 1\n1 2\n");
+        // A fresh job degrades to 202-with-poll; if the tiny job finished
+        // within the handler itself, the terminal shortcut serves it as
+        // 200 instead — both are correct, neither parks the acceptor.
+        match status {
+            202 => assert!(body.contains("wait slots"), "{body}"),
+            200 => assert!(body.contains("\"status\":\"done\""), "{body}"),
+            other => panic!("unexpected status {other}: {body}"),
+        }
+        let id =
+            ampc_coloring_bench::http_client::json_u64(&body, "job").expect("job id in response");
+        let view = handle
+            .manager()
+            .wait(id, Duration::from_secs(30))
+            .expect("job exists");
+        assert_eq!(view.status.label(), "done");
+        // The health endpoint stayed reachable throughout.
+        let (status, _) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        // An identical resubmission is terminal at submit time (cache
+        // hit): even with zero wait slots it is served outright as 200.
+        let (status, body) = request(addr, "POST", "/v1/color?alpha=1&wait=1", "0 1\n1 2\n");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"done\""), "{body}");
+        assert!(body.contains("\"cached\":true"), "{body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wait_slots_are_capped_and_released() {
+        let state = ServerState {
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            counters: EndpointCounters::default(),
+            sync_waiters: AtomicUsize::new(0),
+            max_sync_waiters: 2,
+        };
+        let first = WaitSlot::acquire(&state).expect("slot 1");
+        let second = WaitSlot::acquire(&state).expect("slot 2");
+        assert!(
+            WaitSlot::acquire(&state).is_none(),
+            "the cap must hold under load"
+        );
+        drop(first);
+        let third = WaitSlot::acquire(&state).expect("released slots are reusable");
+        drop(second);
+        drop(third);
+        assert_eq!(state.sync_waiters.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn node_cap_scales_with_body_size() {
+        // Tiny bodies get the floor, mid-size bodies scale linearly, and
+        // nothing exceeds the configured server-wide maximum.
+        assert_eq!(node_cap_for_body(0, 1 << 22), 4096);
+        assert_eq!(node_cap_for_body(30, 1 << 22), 4096);
+        assert_eq!(node_cap_for_body(100_000, 1 << 22), 400_000);
+        assert_eq!(node_cap_for_body(usize::MAX, 1 << 22), 1 << 22);
+        // A ~30-byte body can no longer demand the server-wide maximum via
+        // min_nodes: the 400 names the body-proportional limit.
+        let handle = boot();
+        let addr = handle.addr();
+        let (status, body) = request(addr, "POST", "/v1/color?min_nodes=1000000", "0 1\n");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("proportional"), "{body}");
+        // Within the request's own limit, min_nodes still pads the graph.
+        let (status, body) = request(addr, "POST", "/v1/color?min_nodes=100&wait=1", "0 1\n");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"nodes\":100"), "{body}");
         handle.shutdown();
     }
 }

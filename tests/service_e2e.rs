@@ -8,13 +8,14 @@
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Serializes the two e2e tests: they run in one process, and the
 /// thread-count assertion below must not observe the other test's
 /// server/client threads coming and going.
 static E2E_LOCK: Mutex<()> = Mutex::new(());
 
+use ampc_coloring_bench::http_client::{json_coloring, json_u64};
 use ampc_coloring_repro::{Algorithm, ColorRequest, RuntimeConfig, SparseColoring, Workload};
 use ampc_service::{Server, ServiceConfig};
 use sparse_graph::write_edge_list;
@@ -29,29 +30,6 @@ fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Strin
         Some(Duration::from_secs(120)),
     )
     .expect("request")
-}
-
-/// Extracts a `"field":123` number from a flat JSON rendering.
-fn json_u64(body: &str, field: &str) -> Option<u64> {
-    let needle = format!("\"{field}\":");
-    let rest = &body[body.find(&needle)? + needle.len()..];
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse().ok()
-}
-
-/// Extracts the `"coloring":[...]` array.
-fn json_coloring(body: &str) -> Option<Vec<usize>> {
-    let needle = "\"coloring\":[";
-    let rest = &body[body.find(needle)? + needle.len()..];
-    let closing = rest.find(']')?;
-    let inner = &rest[..closing];
-    if inner.trim().is_empty() {
-        return Some(Vec::new());
-    }
-    inner
-        .split(',')
-        .map(|cell| cell.trim().parse::<usize>().ok())
-        .collect()
 }
 
 /// Current thread count of this process (Linux), if observable.
@@ -81,16 +59,10 @@ fn boot() -> ampc_service::ServerHandle {
 }
 
 fn poll_done(addr: SocketAddr, job: u64, timeout: Duration) -> String {
-    let deadline = Instant::now() + timeout;
-    loop {
-        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{job}"), "");
-        assert_eq!(status, 200, "{body}");
-        if body.contains("\"status\":\"done\"") || body.contains("\"status\":\"failed\"") {
-            return body;
-        }
-        assert!(Instant::now() < deadline, "job {job} timed out: {body}");
-        thread::sleep(Duration::from_millis(10));
-    }
+    let (status, body) = ampc_coloring_bench::http_client::poll_terminal(addr, job, timeout)
+        .expect("job reaches a terminal state");
+    assert_eq!(status, 200, "{body}");
+    body
 }
 
 #[test]
