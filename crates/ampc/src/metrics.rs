@@ -101,6 +101,16 @@ pub struct RoundRuntimeStats {
     /// Estimated nanoseconds the pool's workers spent idle while this round
     /// ran (0 for the sequential executor).
     pub pool_idle_nanos: u64,
+    /// Data-parallel tasks executed by the intra-layer round primitives
+    /// (`par_node_map` / `par_color_classes` / `par_reduce`) while this
+    /// logical round ran. Like the pool counters these are measurements of
+    /// the simulation host, not model-level quantities.
+    pub intra_tasks: u64,
+    /// Nanoseconds spent inside intra-layer round primitives, summed over
+    /// every primitive call. Calls made from concurrently running layer
+    /// tasks overlap in time, so this can exceed the host wall clock —
+    /// it measures primitive *occupancy*, not elapsed time.
+    pub intra_wall_nanos: u64,
 }
 
 impl RoundRuntimeStats {
@@ -124,6 +134,8 @@ impl RoundRuntimeStats {
             shard_writes: add(&self.shard_writes, &other.shard_writes),
             pool_tasks_per_worker: add(&self.pool_tasks_per_worker, &other.pool_tasks_per_worker),
             pool_idle_nanos: self.pool_idle_nanos + other.pool_idle_nanos,
+            intra_tasks: self.intra_tasks + other.intra_tasks,
+            intra_wall_nanos: self.intra_wall_nanos + other.intra_wall_nanos,
         }
     }
 }

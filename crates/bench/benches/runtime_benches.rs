@@ -8,10 +8,11 @@
 
 use ampc_coloring_bench::Workload;
 use ampc_model::{AmpcConfig, ConflictPolicy, DataStore, Key, Value};
-use ampc_runtime::{AmpcBackend, RuntimeConfig};
+use ampc_runtime::{AmpcBackend, RoundPrimitives, RuntimeConfig};
+use arbo_coloring::{arb_linial_coloring_with_runtime, kw_color_reduction_with_runtime};
 use beta_partition::{ampc_beta_partition, PartitionParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sparse_graph::CsrGraph;
+use sparse_graph::{Coloring, CsrGraph, Orientation};
 use std::hint::black_box;
 
 /// A store with one entry per node plus one per directed edge — the DDS
@@ -129,5 +130,60 @@ fn bench_partition_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_execution, bench_partition_backends);
+/// The intra-layer matrix: the LOCAL simulators themselves (whole graph =
+/// one layer) across thread counts, on 100k-node workloads. Sequential is
+/// `threads = 1` through the same round primitives; results are
+/// bit-identical across the matrix (`tests/backend_equivalence.rs` pins
+/// that), so only the wall clock varies.
+fn bench_intra_layer_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intra_layer_simulators");
+    group.sample_size(10);
+    let workload = Workload::ForestUnion { n: 100_000, k: 2 };
+    let graph = workload.build(53);
+    let decomposition = sparse_graph::degeneracy_ordering(&graph);
+    let mut position = vec![0usize; graph.num_nodes()];
+    for (i, &v) in decomposition.ordering.iter().enumerate() {
+        position[v] = i;
+    }
+    let orientation = Orientation::from_total_order(&graph, |v| position[v]);
+    let trivial = Coloring::new((0..graph.num_nodes()).collect());
+    let degree_bound = graph.max_degree();
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("arb_linial", format!("t{threads}")),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let primitives = RoundPrimitives::new(threads);
+                    black_box(
+                        arb_linial_coloring_with_runtime(graph, &orientation, None, &primitives)
+                            .expect("Arb-Linial succeeds"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kuhn_wattenhofer", format!("t{threads}")),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let primitives = RoundPrimitives::new(threads);
+                    black_box(
+                        kw_color_reduction_with_runtime(graph, &trivial, degree_bound, &primitives)
+                            .expect("KW succeeds"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_execution,
+    bench_partition_backends,
+    bench_intra_layer_simulators
+);
 criterion_main!(benches);

@@ -17,7 +17,10 @@
 //! `--concurrency=C` (default 4), `--workload=forest|grid|powerlaw|tree`
 //! (default forest), `--n=NODES` (default 2000), `--unique` /
 //! `--cached` (vary the seed per job — default — or repeat one graph to
-//! measure the cache path), `--json=PATH`, `--smoke`.
+//! measure the cache path), `--runtime=parallel|sequential` (default
+//! parallel) and `--threads=N` — forwarded as the service's
+//! `runtime`/`threads` query params, which now also drive the intra-layer
+//! round primitives — `--json=PATH`, `--smoke`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -42,13 +45,24 @@ fn workload_for(kind: &str, n: usize) -> Workload {
     }
 }
 
-/// The `/v1/color` target for a prepared workload instance.
-fn color_target(workload: Workload, graph: &CsrGraph) -> String {
-    format!(
-        "/v1/color?algorithm=two-alpha-plus-one&alpha={}&runtime=parallel&wait=1&min_nodes={}",
+/// The `/v1/color` target for a prepared workload instance. `runtime` and
+/// `threads` map straight onto the service's query params (and from there
+/// onto both the round scheduler and the intra-layer round primitives).
+fn color_target(
+    workload: Workload,
+    graph: &CsrGraph,
+    runtime: &str,
+    threads: Option<usize>,
+) -> String {
+    let mut target = format!(
+        "/v1/color?algorithm=two-alpha-plus-one&alpha={}&runtime={runtime}&wait=1&min_nodes={}",
         workload.alpha_bound(),
         graph.num_nodes()
-    )
+    );
+    if let Some(threads) = threads {
+        target.push_str(&format!("&threads={threads}"));
+    }
+    target
 }
 
 /// One synchronous `POST /v1/color?wait=1` with a pre-serialized body;
@@ -105,13 +119,19 @@ fn main() {
     let kind: String = parse_flag(&args, "workload").unwrap_or_else(|| "forest".to_string());
     let n: usize = parse_flag(&args, "n").unwrap_or(2000);
     let workload = workload_for(&kind, n);
+    let runtime: String = parse_flag(&args, "runtime").unwrap_or_else(|| "parallel".to_string());
+    let threads: Option<usize> = parse_flag(&args, "threads");
 
     if has_flag(&args, "smoke") {
         // One request; exit non-zero unless it is HTTP 200 with a proper
         // coloring (the CI gate).
         let graph = workload.build(0);
         let body = write_edge_list(&graph);
-        match post_color(&addr, &color_target(workload, &graph), &body) {
+        match post_color(
+            &addr,
+            &color_target(workload, &graph, &runtime, threads),
+            &body,
+        ) {
             Ok((200, body)) => match check_coloring(&graph, &body) {
                 Ok(colors) => {
                     println!(
@@ -149,6 +169,7 @@ fn main() {
     let clients: Vec<_> = (0..concurrency)
         .map(|_| {
             let addr = addr.clone();
+            let runtime = runtime.clone();
             let next_job = Arc::clone(&next_job);
             let latencies = Arc::clone(&latencies);
             let failures = Arc::clone(&failures);
@@ -162,7 +183,7 @@ fn main() {
                 let seed = if cached_mode { 0 } else { job as u64 };
                 let graph = workload.build(seed);
                 let body = write_edge_list(&graph);
-                let target = color_target(workload, &graph);
+                let target = color_target(workload, &graph, &runtime, threads);
                 let request_started = Instant::now();
                 match post_color(&addr, &target, &body) {
                     Ok((200, body)) => {

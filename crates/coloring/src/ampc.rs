@@ -8,16 +8,16 @@
 
 use std::fmt;
 
-use ampc_runtime::{parallel_map, RuntimeConfig};
+use ampc_runtime::{parallel_map, RoundPrimitives, RuntimeConfig};
 use beta_partition::{
     ampc_beta_partition, AmpcPartitionResult, BetaPartition, Layer, PartitionError, PartitionParams,
 };
 use sparse_graph::{Coloring, CsrGraph, InducedSubgraph, NodeId, Orientation};
 
-use crate::arb_linial::arb_linial_coloring;
-use crate::derand::{derandomized_coloring, DerandParams};
-use crate::kuhn_wattenhofer::kw_color_reduction;
-use crate::recolor::{recolor_layers, RecolorOrder};
+use crate::arb_linial::{arb_linial_coloring_with_runtime, ArbLinialError};
+use crate::derand::{derandomized_coloring_with_runtime, DerandParams};
+use crate::kuhn_wattenhofer::kw_color_reduction_with_runtime;
+use crate::recolor::{recolor_layers_with_runtime, RecolorOrder};
 
 /// Errors reported by the coloring drivers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +48,12 @@ impl From<PartitionError> for ColoringError {
 impl From<String> for ColoringError {
     fn from(message: String) -> Self {
         ColoringError::Internal(message)
+    }
+}
+
+impl From<ArbLinialError> for ColoringError {
+    fn from(error: ArbLinialError) -> Self {
+        ColoringError::Internal(error.to_string())
     }
 }
 
@@ -152,8 +158,20 @@ impl AmpcColoringResult {
         beta: usize,
         partition: &AmpcPartitionResult,
         coloring_rounds: usize,
+        primitives: &RoundPrimitives,
     ) -> Self {
         let colors_used = coloring.num_colors();
+        let mut metrics = partition.metrics.clone();
+        // The coloring phase's intra-layer parallelism, folded in as one
+        // runtime record. Like the pool stats it is measurement data only:
+        // excluded from metric equality, so sequential and parallel runs
+        // still report equal metrics. Only the intra_* fields are set:
+        // intra_wall_nanos sums per-primitive elapsed time across layers
+        // running concurrently, so writing it into wall_clock_nanos would
+        // inflate the host wall clock by up to the thread count.
+        if primitives.tasks_executed() > 0 {
+            metrics.record_runtime(primitives.runtime_stats());
+        }
         AmpcColoringResult {
             algorithm,
             coloring,
@@ -163,7 +181,7 @@ impl AmpcColoringResult {
             partition_size: partition.partition_size(),
             coloring_rounds,
             total_rounds: partition.rounds + coloring_rounds,
-            metrics: partition.metrics.clone(),
+            metrics,
         }
     }
 }
@@ -246,7 +264,8 @@ fn arb_linial_driver(
 ) -> Result<AmpcColoringResult, ColoringError> {
     let partition = ampc_beta_partition(graph, &params.partition_params(beta))?;
     let orientation = partition.partition.orientation(graph)?;
-    let result = arb_linial_coloring(graph, &orientation, None)?;
+    let primitives = RoundPrimitives::from_config(&params.runtime);
+    let result = arb_linial_coloring_with_runtime(graph, &orientation, None, &primitives)?;
     let coloring_rounds = simulation_rounds(
         graph.num_nodes(),
         orientation.max_out_degree(),
@@ -259,6 +278,7 @@ fn arb_linial_driver(
         beta,
         &partition,
         coloring_rounds,
+        &primitives,
     ))
 }
 
@@ -281,12 +301,16 @@ pub fn color_two_alpha_plus_one(
     let beta = beta_for(alpha, 2.0 + params.epsilon);
     let partition = ampc_beta_partition(graph, &params.partition_params(beta))?;
     let n = graph.num_nodes();
+    let primitives = RoundPrimitives::from_config(&params.runtime);
 
     // Phase 2: color every layer independently with beta + 1 colors. The
     // layers are disjoint induced subgraphs, so they are colored in
     // parallel (the model runs them on separate machine groups anyway) and
     // the per-layer results are folded back in layer order — deterministic
-    // for any thread count.
+    // for any thread count. Inside each layer the simulators' per-node
+    // rounds run on the same pool through the shared primitives context
+    // (nested submission is supported), so one huge layer no longer
+    // serializes the phase.
     struct LayerColors {
         colors: Vec<(NodeId, usize)>,
         linial_rounds: usize,
@@ -302,8 +326,10 @@ pub fn color_two_alpha_plus_one(
             // Any orientation of a subgraph with max degree <= beta has
             // out-degree <= beta; node order works fine.
             let orientation = Orientation::from_total_order(local_graph, |v| v);
-            let linial = arb_linial_coloring(local_graph, &orientation, None)?;
-            let reduced = kw_color_reduction(local_graph, &linial.coloring, beta)?;
+            let linial =
+                arb_linial_coloring_with_runtime(local_graph, &orientation, None, &primitives)?;
+            let reduced =
+                kw_color_reduction_with_runtime(local_graph, &linial.coloring, beta, &primitives)?;
             let colors = sub
                 .original_nodes()
                 .iter()
@@ -330,11 +356,12 @@ pub fn color_two_alpha_plus_one(
 
     // Phase 3: fix cross-layer conflicts.
     let initial = Coloring::new(initial);
-    let recolored = recolor_layers(
+    let recolored = recolor_layers_with_runtime(
         graph,
         &partition.partition,
         &initial,
         RecolorOrder::HighestAvailable,
+        &primitives,
     )?;
 
     // Round accounting (Section 6.3): the per-layer coloring costs the
@@ -352,6 +379,7 @@ pub fn color_two_alpha_plus_one(
         beta,
         &partition,
         coloring_rounds,
+        &primitives,
     ))
 }
 
@@ -382,7 +410,9 @@ pub fn color_large_arboricity(
     // Every layer is colored independently (in parallel, see
     // `color_two_alpha_plus_one`); the disjoint palette offsets are applied
     // in layer order afterwards, so the result is identical for any thread
-    // count.
+    // count. The derandomization's per-edge expectation sweeps also run on
+    // the shared primitives context inside each layer.
+    let primitives = RoundPrimitives::from_config(&params.runtime);
     struct LayerPalette {
         colors: Vec<(NodeId, usize)>,
         palette: usize,
@@ -394,7 +424,8 @@ pub fn color_large_arboricity(
         params.runtime.effective_threads(),
         |_, members| -> Result<LayerPalette, ColoringError> {
             let sub = InducedSubgraph::new(graph, members);
-            let result = derandomized_coloring(sub.graph(), &derand_params);
+            let result =
+                derandomized_coloring_with_runtime(sub.graph(), &derand_params, &primitives);
             let colors = sub
                 .original_nodes()
                 .iter()
@@ -432,6 +463,7 @@ pub fn color_large_arboricity(
         beta,
         &partition,
         mpc_rounds_max.max(1),
+        &primitives,
     ))
 }
 

@@ -14,10 +14,71 @@
 //! evaluation point on which its polynomial differs from the polynomials of
 //! all (at most `β`) out-neighbors, and the pair `(a, p_c(a))` becomes its
 //! new color from a palette of size `q²`.
+//!
+//! Every node decides its new color from its own polynomial and its
+//! out-neighbors' — a pure per-node function — so each reduction round runs
+//! as one [`RoundPrimitives::par_node_map`] over the shared worker pool,
+//! bit-identical to the sequential loop for any thread count.
 
+use std::fmt;
+
+use ampc_runtime::RoundPrimitives;
 use sparse_graph::{Coloring, CsrGraph, NodeId, Orientation};
 
 use crate::primes::next_prime;
+
+/// Structured failures of the Arb-Linial reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbLinialError {
+    /// The supplied orientation does not cover the graph's edge set.
+    UncoveredOrientation,
+    /// The supplied initial coloring is not proper.
+    ImproperInitialColoring,
+    /// The `q²` palette of a reduction round does not fit the machine: the
+    /// prime `q` required for this `palette`/`beta`/`degree` combination
+    /// squares past `usize::MAX` (or its search range overflows `u64`).
+    /// Pathological inputs only — returned instead of a silent wrap or
+    /// panic.
+    PaletteOverflow {
+        /// The palette the round started from.
+        palette: usize,
+        /// The orientation's maximum out-degree.
+        beta: usize,
+        /// The polynomial degree of the attempted round.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for ArbLinialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbLinialError::UncoveredOrientation => {
+                write!(f, "orientation does not cover the graph's edge set")
+            }
+            ArbLinialError::ImproperInitialColoring => {
+                write!(f, "initial coloring is not proper")
+            }
+            ArbLinialError::PaletteOverflow {
+                palette,
+                beta,
+                degree,
+            } => write!(
+                f,
+                "reduction palette overflows: no representable prime q with q > {degree} * {beta} \
+                 and q^{} >= {palette} whose square fits a usize",
+                degree + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArbLinialError {}
+
+impl From<ArbLinialError> for String {
+    fn from(error: ArbLinialError) -> Self {
+        error.to_string()
+    }
+}
 
 /// Result of running the Arb-Linial reduction to its fixed point.
 #[derive(Debug, Clone)]
@@ -40,27 +101,84 @@ impl ArbLinialResult {
     }
 }
 
+/// The smallest prime `q` with `q > d·β` and `q^{d+1} ≥ palette`, or a
+/// [`ArbLinialError::PaletteOverflow`] if no such `q` is representable.
+fn reduction_prime(palette: usize, beta: usize, d: usize) -> Result<u64, ArbLinialError> {
+    let overflow = || ArbLinialError::PaletteOverflow {
+        palette,
+        beta,
+        degree: d,
+    };
+    let floor = (d as u128) * (beta as u128) + 1;
+    // Bertrand: next_prime(n) < 2n, so the search stays in u64 as long as
+    // the floor does; beyond that q² cannot fit a usize anyway.
+    if floor > (u64::MAX / 2) as u128 {
+        return Err(overflow());
+    }
+    let mut q = next_prime(floor as u64);
+    loop {
+        // checked_pow overflowing u128 means q^{d+1} ≥ 2^128 > palette, so
+        // the palette constraint is certainly satisfied.
+        let big_enough = (q as u128)
+            .checked_pow(d as u32 + 1)
+            .is_none_or(|power| power >= palette as u128);
+        if big_enough {
+            break;
+        }
+        let Some(next) = q.checked_add(1) else {
+            return Err(overflow());
+        };
+        if next > u64::MAX / 2 {
+            return Err(overflow());
+        }
+        q = next_prime(next);
+    }
+    let squared = (q as u128) * (q as u128);
+    if squared > usize::MAX as u128 {
+        return Err(overflow());
+    }
+    Ok(q)
+}
+
 /// The palette `q²` that one reduction round with polynomial degree `d`
 /// would produce from the given palette.
-fn palette_after_round(palette: usize, beta: usize, d: usize) -> usize {
-    let mut q = next_prime((d as u64 * beta as u64) + 1);
-    while (q as u128).pow(d as u32 + 1) < palette as u128 {
-        q = next_prime(q + 1);
-    }
-    (q * q) as usize
+fn palette_after_round(palette: usize, beta: usize, d: usize) -> Result<usize, ArbLinialError> {
+    let q = reduction_prime(palette, beta, d)?;
+    Ok((q * q) as usize)
 }
 
 /// The polynomial degree minimizing the palette after one reduction round.
-fn best_degree(palette: usize, beta: usize) -> usize {
+/// Degrees whose palette overflows are skipped; if every candidate
+/// overflows, the overflow of the smallest degree is reported.
+fn best_degree(palette: usize, beta: usize) -> Result<usize, ArbLinialError> {
     let max_degree = (usize::BITS - palette.max(2).leading_zeros()) as usize + 1;
-    (1..=max_degree.max(1))
-        .min_by_key(|&d| palette_after_round(palette, beta, d))
-        .unwrap_or(1)
+    let mut best: Option<(usize, usize)> = None;
+    let mut first_error: Option<ArbLinialError> = None;
+    for d in 1..=max_degree.max(1) {
+        match palette_after_round(palette, beta, d) {
+            Ok(next) => {
+                if best.is_none_or(|(best_next, _)| next < best_next) {
+                    best = Some((next, d));
+                }
+            }
+            Err(error) => {
+                first_error.get_or_insert(error);
+            }
+        }
+    }
+    match best {
+        Some((_, d)) => Ok(d),
+        None => Err(first_error.expect("at least one degree was attempted")),
+    }
 }
 
 /// One round of the polynomial reduction: maps a proper `m`-coloring to a
 /// proper `q²`-coloring where `q` is the smallest prime satisfying
 /// `q ≥ d·β + 1` and `q^{d+1} ≥ m`.
+///
+/// Every node's new color is a pure function of its own and its
+/// out-neighbors' current colors, so the per-node loop fans out over the
+/// worker pool via [`RoundPrimitives::par_node_map`].
 ///
 /// Returns the new per-node colors and the new palette size `q²`.
 fn reduction_round(
@@ -70,16 +188,13 @@ fn reduction_round(
     palette: usize,
     beta: usize,
     degree_d: usize,
-) -> (Vec<usize>, usize) {
+    primitives: &RoundPrimitives,
+) -> Result<(Vec<usize>, usize), ArbLinialError> {
     let d = degree_d.max(1);
     // q must exceed d * beta (so that at most d*beta evaluation points are
     // "covered" by out-neighbors) and q^{d+1} must reach the palette so that
     // distinct colors map to distinct polynomials.
-    let mut q = next_prime((d as u64 * beta as u64) + 1);
-    while (q as u128).pow(d as u32 + 1) < palette as u128 {
-        q = next_prime(q + 1);
-    }
-    let q = q as usize;
+    let q = reduction_prime(palette, beta, d)? as usize;
 
     // Coefficients of color c: its base-q digits (d+1 of them).
     let coefficients = |c: usize| -> Vec<u64> {
@@ -100,8 +215,7 @@ fn reduction_round(
         value
     };
 
-    let mut new_colors = vec![0usize; graph.num_nodes()];
-    for v in graph.nodes() {
+    let new_colors = primitives.par_node_map(graph.num_nodes(), |v| {
         let own = coefficients(colors[v]);
         let neighbor_polys: Vec<Vec<u64>> = orientation
             .out_neighbors(v)
@@ -123,56 +237,30 @@ fn reduction_round(
             "a conflict-free evaluation point exists because q > d * beta \
              bounds the number of covered points",
         );
-        new_colors[v] = (a as usize) * q + value as usize;
-    }
-    (new_colors, q * q)
+        (a as usize) * q + value as usize
+    });
+    Ok((new_colors, q * q))
 }
 
 /// Runs the Arb-Linial algorithm on top of an acyclic orientation until the
-/// palette stops shrinking.
+/// palette stops shrinking, executing every per-node reduction round on the
+/// supplied [`RoundPrimitives`] context.
 ///
-/// * `graph` — the input graph,
-/// * `orientation` — an acyclic orientation covering `graph` (out-degree
-///   `β`), typically derived from a β-partition,
-/// * `initial` — a proper coloring to start from; `None` uses the trivial
-///   `n`-coloring by node id (what the paper's simulation does).
-///
-/// The final palette is `O(β²)`: at the fixed point the reduction uses
-/// degree `d = 1` polynomials over the smallest prime `q ≥ β + 1` capable of
-/// encoding the palette, so the palette converges to at most
-/// `(2(β + 1))² = O(β²)` by Bertrand's postulate (in practice much closer to
-/// `(β + 1)²`).
+/// Bit-identical to [`arb_linial_coloring`] (the strictly sequential entry
+/// point) for any thread count: each round is a pure per-node map merged in
+/// node order.
 ///
 /// # Errors
 ///
-/// Returns an error if `orientation` does not cover `graph` or if `initial`
-/// is not a proper coloring (the reduction requires adjacent nodes to carry
-/// distinct polynomials).
-///
-/// # Examples
-///
-/// ```
-/// use arbo_coloring::arb_linial_coloring;
-/// use sparse_graph::{generators, Orientation};
-/// use rand::SeedableRng;
-///
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-/// let graph = generators::forest_union(500, 2, &mut rng);
-/// // Orient by node id: out-degree can be large, but stays far below n.
-/// let orientation = Orientation::from_total_order(&graph, |v| v);
-/// let result = arb_linial_coloring(&graph, &orientation, None)?;
-/// assert!(result.coloring.is_proper(&graph));
-/// let beta = orientation.max_out_degree();
-/// assert!(result.final_palette() <= 4 * (beta + 2) * (beta + 2));
-/// # Ok::<(), String>(())
-/// ```
-pub fn arb_linial_coloring(
+/// See [`arb_linial_coloring`].
+pub fn arb_linial_coloring_with_runtime(
     graph: &CsrGraph,
     orientation: &Orientation,
     initial: Option<&Coloring>,
-) -> Result<ArbLinialResult, String> {
+    primitives: &RoundPrimitives,
+) -> Result<ArbLinialResult, ArbLinialError> {
     if !orientation.covers_graph(graph) {
-        return Err("orientation does not cover the graph's edge set".to_string());
+        return Err(ArbLinialError::UncoveredOrientation);
     }
     let n = graph.num_nodes();
     let beta = orientation.max_out_degree();
@@ -180,7 +268,7 @@ pub fn arb_linial_coloring(
     let (mut colors, mut palette): (Vec<usize>, usize) = match initial {
         Some(coloring) => {
             if !coloring.is_proper(graph) {
-                return Err("initial coloring is not proper".to_string());
+                return Err(ArbLinialError::ImproperInitialColoring);
             }
             (coloring.colors().to_vec(), coloring.palette_size().max(1))
         }
@@ -194,9 +282,16 @@ pub fn arb_linial_coloring(
         // Choose the polynomial degree that gives the strongest single-round
         // reduction (the classic Linial schedule uses a logarithmic degree
         // while the palette is huge and degree ~2 near the fixed point).
-        let degree = best_degree(palette, beta);
-        let (new_colors, new_palette) =
-            reduction_round(graph, orientation, &colors, palette, beta, degree);
+        let degree = best_degree(palette, beta)?;
+        let (new_colors, new_palette) = reduction_round(
+            graph,
+            orientation,
+            &colors,
+            palette,
+            beta,
+            degree,
+            primitives,
+        )?;
         rounds += 1;
         if new_palette >= palette {
             // Fixed point reached; keep the smaller palette.
@@ -216,6 +311,58 @@ pub fn arb_linial_coloring(
         palette_trajectory: trajectory,
         rounds,
     })
+}
+
+/// Runs the Arb-Linial algorithm on top of an acyclic orientation until the
+/// palette stops shrinking.
+///
+/// * `graph` — the input graph,
+/// * `orientation` — an acyclic orientation covering `graph` (out-degree
+///   `β`), typically derived from a β-partition,
+/// * `initial` — a proper coloring to start from; `None` uses the trivial
+///   `n`-coloring by node id (what the paper's simulation does).
+///
+/// The final palette is `O(β²)`: at the fixed point the reduction uses
+/// degree `d = 1` polynomials over the smallest prime `q ≥ β + 1` capable of
+/// encoding the palette, so the palette converges to at most
+/// `(2(β + 1))² = O(β²)` by Bertrand's postulate (in practice much closer to
+/// `(β + 1)²`).
+///
+/// This entry point runs strictly sequentially; use
+/// [`arb_linial_coloring_with_runtime`] to fan the per-node rounds out over
+/// the persistent worker pool (the results are bit-identical).
+///
+/// # Errors
+///
+/// Returns an error if `orientation` does not cover `graph`, if `initial`
+/// is not a proper coloring (the reduction requires adjacent nodes to carry
+/// distinct polynomials), or — for pathological `palette`/`beta`
+/// combinations — if the `q²` palette of a round cannot be represented
+/// ([`ArbLinialError::PaletteOverflow`]).
+///
+/// # Examples
+///
+/// ```
+/// use arbo_coloring::arb_linial_coloring;
+/// use sparse_graph::{generators, Orientation};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let graph = generators::forest_union(500, 2, &mut rng);
+/// // Orient by node id: out-degree can be large, but stays far below n.
+/// let orientation = Orientation::from_total_order(&graph, |v| v);
+/// let result = arb_linial_coloring(&graph, &orientation, None)?;
+/// assert!(result.coloring.is_proper(&graph));
+/// let beta = orientation.max_out_degree();
+/// assert!(result.final_palette() <= 4 * (beta + 2) * (beta + 2));
+/// # Ok::<(), arbo_coloring::ArbLinialError>(())
+/// ```
+pub fn arb_linial_coloring(
+    graph: &CsrGraph,
+    orientation: &Orientation,
+    initial: Option<&Coloring>,
+) -> Result<ArbLinialResult, ArbLinialError> {
+    arb_linial_coloring_with_runtime(graph, orientation, initial, &RoundPrimitives::sequential())
 }
 
 #[cfg(test)]
@@ -301,14 +448,20 @@ mod tests {
         let graph = generators::cycle(4);
         let orientation = id_orientation(&graph);
         let bad = Coloring::new(vec![0, 0, 1, 1]);
-        assert!(arb_linial_coloring(&graph, &orientation, Some(&bad)).is_err());
+        assert_eq!(
+            arb_linial_coloring(&graph, &orientation, Some(&bad)).unwrap_err(),
+            ArbLinialError::ImproperInitialColoring
+        );
     }
 
     #[test]
     fn rejects_orientations_that_do_not_cover() {
         let graph = generators::cycle(4);
         let partial = Orientation::from_out_neighbors(vec![vec![1], vec![2], vec![3], vec![]]);
-        assert!(arb_linial_coloring(&graph, &partial, None).is_err());
+        assert_eq!(
+            arb_linial_coloring(&graph, &partial, None).unwrap_err(),
+            ArbLinialError::UncoveredOrientation
+        );
     }
 
     #[test]
@@ -318,10 +471,60 @@ mod tests {
         let graph = generators::star(200);
         let orientation = Orientation::from_total_order(&graph, |v| if v == 0 { 1 } else { 0 });
         let colors: Vec<usize> = (0..200).collect();
-        let (new_colors, new_palette) = reduction_round(&graph, &orientation, &colors, 200, 1, 2);
+        let (new_colors, new_palette) = reduction_round(
+            &graph,
+            &orientation,
+            &colors,
+            200,
+            1,
+            2,
+            &RoundPrimitives::sequential(),
+        )
+        .unwrap();
         assert!(new_palette < 200);
         let coloring = Coloring::new(new_colors);
         assert!(coloring.is_proper(&graph));
         assert!(coloring.palette_size() <= new_palette);
+    }
+
+    #[test]
+    fn parallel_rounds_are_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(73);
+        let graph = generators::forest_union(1_500, 3, &mut rng);
+        let orientation = id_orientation(&graph);
+        let reference = arb_linial_coloring(&graph, &orientation, None).unwrap();
+        for threads in [2usize, 4, 7] {
+            let primitives = RoundPrimitives::new(threads);
+            let parallel =
+                arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives).unwrap();
+            assert_eq!(reference.coloring, parallel.coloring, "threads {threads}");
+            assert_eq!(reference.palette_trajectory, parallel.palette_trajectory);
+            assert_eq!(reference.rounds, parallel.rounds);
+            assert!(primitives.tasks_executed() > 0);
+        }
+    }
+
+    #[test]
+    fn pathological_palette_beta_combinations_error_instead_of_wrapping() {
+        // q² for these combinations cannot fit a usize: the structured
+        // overflow error is returned instead of a silent wrap or panic.
+        let err = palette_after_round(usize::MAX, usize::MAX / 2, 3).unwrap_err();
+        assert!(
+            matches!(err, ArbLinialError::PaletteOverflow { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("overflow"), "{err}");
+
+        // d * beta + 1 itself past the u64 search range.
+        let err = palette_after_round(16, usize::MAX, usize::MAX).unwrap_err();
+        assert!(matches!(err, ArbLinialError::PaletteOverflow { .. }));
+
+        // best_degree surfaces the overflow when *every* degree overflows,
+        // and skips overflowing degrees when a representable one exists.
+        assert!(best_degree(usize::MAX, usize::MAX / 2).is_err());
+        assert!(best_degree(1_000, 7).is_ok());
+
+        // Sane combinations are untouched.
+        assert_eq!(palette_after_round(200, 1, 2).unwrap(), 49);
     }
 }

@@ -23,6 +23,7 @@
 //! theorem.
 
 use ampc_model::mpc::{MpcConfig, MpcCostTracker};
+use ampc_runtime::RoundPrimitives;
 use sparse_graph::{Coloring, CsrGraph, NodeId, PartialColoring};
 
 /// Parameters of the derandomized coloring.
@@ -200,6 +201,25 @@ fn xor(a: &[bool], b: &[bool]) -> Vec<bool> {
 /// assert!(result.palette <= 4 * graph.max_degree().next_power_of_two().max(2));
 /// ```
 pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandColoringResult {
+    derandomized_coloring_with_runtime(graph, params, &RoundPrimitives::sequential())
+}
+
+/// [`derandomized_coloring`] with the hot per-edge and per-node sweeps
+/// running on the supplied [`RoundPrimitives`] context — bit-identical
+/// results for any thread count.
+///
+/// The conditional-expectation evaluation (one collision probability per
+/// relevant edge, the inner loop of every seed batch) and the
+/// tentative-color / conflict sweeps are pure per-item functions, so they
+/// fan out as parallel maps; the floating-point probabilities are summed
+/// left-to-right in edge order afterwards, exactly as the sequential code
+/// does, so the fixed seeds (and therefore the colorings) never depend on
+/// the thread count.
+pub fn derandomized_coloring_with_runtime(
+    graph: &CsrGraph,
+    params: &DerandParams,
+    primitives: &RoundPrimitives,
+) -> DerandColoringResult {
     assert!(params.x >= 2, "x must be at least 2");
     let n = graph.num_nodes();
     let max_degree = graph.max_degree();
@@ -239,26 +259,44 @@ pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandC
             graph.edges().filter(|&(u, v)| in_u[u] || in_u[v]).collect();
 
         // Conditional expectation of the number of monochromatic relevant
-        // edges under the (partially fixed) seed.
+        // edges under the (partially fixed) seed. The per-edge collision
+        // probabilities are computed in parallel (each is a pure function
+        // of the seed and the edge); the final sum runs left-to-right in
+        // edge order, so the floating-point result — and therefore every
+        // seed decision — matches the sequential evaluation bit for bit.
+        let edge_probability = |seed: &Seed, (u, v): (NodeId, NodeId)| -> f64 {
+            match (in_u[u], in_u[v]) {
+                (true, true) => {
+                    let d = xor(&encode(u, cols), &encode(v, cols));
+                    seed.collision_probability(&d, 0)
+                }
+                (true, false) => {
+                    let target = partial.color(v).expect("colored node has a color");
+                    seed.collision_probability(&encode(u, cols), target)
+                }
+                (false, true) => {
+                    let target = partial.color(u).expect("colored node has a color");
+                    seed.collision_probability(&encode(v, cols), target)
+                }
+                (false, false) => unreachable!("edge filtered to touch U"),
+            }
+        };
         let expectation = |seed: &Seed| -> f64 {
-            relevant_edges
-                .iter()
-                .map(|&(u, v)| match (in_u[u], in_u[v]) {
-                    (true, true) => {
-                        let d = xor(&encode(u, cols), &encode(v, cols));
-                        seed.collision_probability(&d, 0)
-                    }
-                    (true, false) => {
-                        let target = partial.color(v).expect("colored node has a color");
-                        seed.collision_probability(&encode(u, cols), target)
-                    }
-                    (false, true) => {
-                        let target = partial.color(u).expect("colored node has a color");
-                        seed.collision_probability(&encode(v, cols), target)
-                    }
-                    (false, false) => unreachable!("edge filtered to touch U"),
-                })
-                .sum()
+            if primitives.map_dispatches(relevant_edges.len()) {
+                primitives
+                    .par_map(&relevant_edges, |_, &edge| edge_probability(seed, edge))
+                    .iter()
+                    .sum()
+            } else {
+                // Streamed whenever the map would run inline anyway (the
+                // sequential path, and small late-phase edge sets): same
+                // left-to-right sum as the parallel branch, without
+                // materializing the per-edge probabilities.
+                relevant_edges
+                    .iter()
+                    .map(|&edge| edge_probability(seed, edge))
+                    .sum()
+            }
         };
 
         // Method of conditional expectations, one batch of seed bits at a
@@ -292,25 +330,24 @@ pub fn derandomized_coloring(graph: &CsrGraph, params: &DerandParams) -> DerandC
         }
 
         // Apply the fully fixed seed to U and freeze conflict-free nodes.
+        // Both sweeps are pure per-node functions of the fixed seed (and
+        // the previous phases' colors), so they fan out over the pool.
         let tentative: Vec<(NodeId, usize)> =
-            uncolored.iter().map(|&v| (v, seed.color_of(v))).collect();
+            primitives.par_map(&uncolored, |_, &v| (v, seed.color_of(v)));
         let mut tentative_colors: Vec<Option<usize>> = vec![None; n];
         for &(v, c) in &tentative {
             tentative_colors[v] = Some(c);
         }
-        let conflicts: Vec<bool> = tentative
-            .iter()
-            .map(|&(v, color)| {
-                graph.neighbors(v).iter().any(|&w| {
-                    let other = if in_u[w] {
-                        tentative_colors[w]
-                    } else {
-                        partial.color(w)
-                    };
-                    other == Some(color)
-                })
+        let conflicts: Vec<bool> = primitives.par_map(&tentative, |_, &(v, color)| {
+            graph.neighbors(v).iter().any(|&w| {
+                let other = if in_u[w] {
+                    tentative_colors[w]
+                } else {
+                    partial.color(w)
+                };
+                other == Some(color)
             })
-            .collect();
+        });
         let mut still_uncolored = Vec::new();
         for (&(v, color), &conflicted) in tentative.iter().zip(&conflicts) {
             if conflicted {
@@ -397,6 +434,23 @@ mod tests {
         assert!(large_x.palette >= small_x.palette);
         assert!(small_x.coloring.is_proper(&graph));
         assert!(large_x.coloring.is_proper(&graph));
+    }
+
+    #[test]
+    fn parallel_sweeps_are_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(111);
+        let graph = generators::gnm(1_200, 3_000, &mut rng);
+        let params = DerandParams::with_x(4);
+        let reference = derandomized_coloring(&graph, &params);
+        for threads in [2usize, 4, 7] {
+            let primitives = RoundPrimitives::new(threads);
+            let parallel = derandomized_coloring_with_runtime(&graph, &params, &primitives);
+            assert_eq!(reference.coloring, parallel.coloring, "threads {threads}");
+            assert_eq!(reference.palette, parallel.palette);
+            assert_eq!(reference.phases, parallel.phases);
+            assert_eq!(reference.uncolored_history, parallel.uncolored_history);
+            assert_eq!(reference.mpc_rounds, parallel.mpc_rounds);
+        }
     }
 
     #[test]

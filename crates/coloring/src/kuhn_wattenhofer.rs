@@ -9,6 +9,7 @@
 //! of colors in `∆ + 1` rounds; repeating until only `∆ + 1` colors remain
 //! costs `O(∆ log(m / ∆))` rounds — the complexity quoted by the paper.
 
+use ampc_runtime::RoundPrimitives;
 use sparse_graph::{Coloring, CsrGraph};
 
 /// Result of the Kuhn–Wattenhofer reduction.
@@ -53,6 +54,31 @@ pub fn kw_color_reduction(
     initial: &Coloring,
     degree_bound: usize,
 ) -> Result<KwReductionResult, String> {
+    kw_color_reduction_with_runtime(graph, initial, degree_bound, &RoundPrimitives::sequential())
+}
+
+/// [`kw_color_reduction`] with every intra-round sweep running on the
+/// supplied [`RoundPrimitives`] context — bit-identical results for any
+/// thread count.
+///
+/// Each elimination round touches one color class per block (the nodes with
+/// `color % block == offset`). Within a block those nodes share a color, so
+/// the class is an independent set; across blocks, a member's decision only
+/// inspects neighbor colors inside its *own* block window, which no
+/// co-member (whose old and new colors live in a different block) can
+/// touch. That is exactly the contract of
+/// [`RoundPrimitives::par_color_classes`], so the parallel sweep matches
+/// the sequential in-place loop bit for bit.
+///
+/// # Errors
+///
+/// See [`kw_color_reduction`].
+pub fn kw_color_reduction_with_runtime(
+    graph: &CsrGraph,
+    initial: &Coloring,
+    degree_bound: usize,
+    primitives: &RoundPrimitives,
+) -> Result<KwReductionResult, String> {
     if initial.num_nodes() != graph.num_nodes() {
         return Err("coloring does not cover the graph".to_string());
     }
@@ -81,18 +107,15 @@ pub fn kw_color_reduction(
         // one LOCAL round since the affected nodes form an independent set).
         for offset in target..block {
             rounds += 1;
-            let recolor: Vec<usize> = graph
-                .nodes()
-                .filter(|&v| {
-                    let c = colors[v];
-                    c % block == offset && c < palette
-                })
-                .collect();
-            for &v in &recolor {
-                let block_start = (colors[v] / block) * block;
+            let recolor: Vec<usize> = primitives.par_collect_indices(graph.num_nodes(), |v| {
+                let c = colors[v];
+                c % block == offset && c < palette
+            });
+            primitives.par_color_classes(&recolor, &mut colors, |v, snapshot| {
+                let block_start = (snapshot[v] / block) * block;
                 let mut used = vec![false; target];
                 for &w in graph.neighbors(v) {
-                    let cw = colors[w];
+                    let cw = snapshot[w];
                     if cw >= block_start && cw < block_start + target {
                         used[cw - block_start] = true;
                     }
@@ -100,17 +123,17 @@ pub fn kw_color_reduction(
                 let free = (0..target)
                     .find(|&c| !used[c])
                     .expect("a free color exists because the degree is at most degree_bound");
-                colors[v] = block_start + free;
-            }
+                block_start + free
+            });
         }
         // Compact the palette: block b now only uses colors
         // [b * block, b * block + target); renumber to b * target + offset.
-        for color in &mut colors {
-            let b = *color / block;
-            let within = *color % block;
+        colors = primitives.par_node_map(colors.len(), |v| {
+            let b = colors[v] / block;
+            let within = colors[v] % block;
             debug_assert!(within < target);
-            *color = b * target + within;
-        }
+            b * target + within
+        });
         palette = num_blocks * target;
         trajectory.push(palette);
         if num_blocks == 1 {
@@ -189,6 +212,24 @@ mod tests {
 
         let proper = Coloring::new((0..6).collect());
         assert!(kw_color_reduction(&graph, &proper, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_sweeps_are_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(85);
+        let graph = generators::gnm(1_500, 3_000, &mut rng);
+        let delta = graph.max_degree();
+        let initial = Coloring::new((0..1_500).collect());
+        let reference = kw_color_reduction(&graph, &initial, delta).unwrap();
+        for threads in [2usize, 4, 7] {
+            let primitives = RoundPrimitives::new(threads);
+            let parallel =
+                kw_color_reduction_with_runtime(&graph, &initial, delta, &primitives).unwrap();
+            assert_eq!(reference.coloring, parallel.coloring, "threads {threads}");
+            assert_eq!(reference.rounds, parallel.rounds);
+            assert_eq!(reference.palette_trajectory, parallel.palette_trajectory);
+            assert!(primitives.tasks_executed() > 0);
+        }
     }
 
     #[test]

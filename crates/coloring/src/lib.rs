@@ -50,8 +50,14 @@ mod recolor;
 pub mod ampc;
 pub mod baselines;
 
-pub use arb_linial::{arb_linial_coloring, ArbLinialResult};
-pub use derand::{derandomized_coloring, DerandColoringResult, DerandParams};
-pub use kuhn_wattenhofer::{kw_color_reduction, KwReductionResult};
+pub use arb_linial::{
+    arb_linial_coloring, arb_linial_coloring_with_runtime, ArbLinialError, ArbLinialResult,
+};
+pub use derand::{
+    derandomized_coloring, derandomized_coloring_with_runtime, DerandColoringResult, DerandParams,
+};
+pub use kuhn_wattenhofer::{
+    kw_color_reduction, kw_color_reduction_with_runtime, KwReductionResult,
+};
 pub use primes::{is_prime, next_prime};
-pub use recolor::{recolor_layers, RecolorOrder, RecolorResult};
+pub use recolor::{recolor_layers, recolor_layers_with_runtime, RecolorOrder, RecolorResult};

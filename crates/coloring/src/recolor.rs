@@ -10,6 +10,7 @@
 //! nodes in higher layers have final colors — at most `β` of them — so a
 //! free color in a palette of size `β + 1` always exists.
 
+use ampc_runtime::RoundPrimitives;
 use beta_partition::{BetaPartition, Layer};
 use sparse_graph::{Coloring, CsrGraph, NodeId};
 
@@ -79,6 +80,36 @@ pub fn recolor_layers(
     initial: &Coloring,
     order: RecolorOrder,
 ) -> Result<RecolorResult, String> {
+    recolor_layers_with_runtime(
+        graph,
+        partition,
+        initial,
+        order,
+        &RoundPrimitives::sequential(),
+    )
+}
+
+/// [`recolor_layers`] with the hot sweeps running on the supplied
+/// [`RoundPrimitives`] context — bit-identical results for any thread
+/// count.
+///
+/// The centralized schedule of Section 6.3 processes nodes by
+/// `(layer desc, initial color desc, id)`. All nodes sharing a
+/// `(layer, initial color)` pair form an independent set (the initial
+/// coloring is proper within each layer), so each such *wave* is one
+/// parallel sweep: every member picks its color from the snapshot the
+/// previous waves left behind, exactly as the sequential loop would.
+///
+/// # Errors
+///
+/// See [`recolor_layers`].
+pub fn recolor_layers_with_runtime(
+    graph: &CsrGraph,
+    partition: &BetaPartition,
+    initial: &Coloring,
+    order: RecolorOrder,
+    primitives: &RoundPrimitives,
+) -> Result<RecolorResult, String> {
     let n = graph.num_nodes();
     if partition.num_nodes() != n || initial.num_nodes() != n {
         return Err("partition / coloring / graph sizes do not match".to_string());
@@ -90,19 +121,45 @@ pub fn recolor_layers(
     let palette = beta + 1;
 
     // Check the within-layer properness precondition and count cross-layer
-    // conflicts for reporting.
-    let mut repaired_conflicts = 0usize;
-    for (u, v) in graph.edges() {
-        if initial.color(u) == initial.color(v) {
-            if partition.layer(u) == partition.layer(v) {
-                return Err(format!(
-                    "initial coloring conflicts within layer {:?} on edge ({u}, {v})",
-                    partition.layer(u)
-                ));
-            }
-            repaired_conflicts += 1;
-        }
+    // conflicts for reporting. One parallel reduce over the per-node edge
+    // lists, scanned in the same (u, v)-ascending order as `graph.edges()`:
+    // the conflict count is an integer sum and the reported violation is
+    // the first in canonical edge order, so the outcome is identical for
+    // any thread count.
+    #[derive(Clone, Default)]
+    struct EdgeCheck {
+        conflicts: usize,
+        violation: Option<(NodeId, NodeId)>,
     }
+    let check = primitives.par_reduce_range(
+        n,
+        EdgeCheck::default(),
+        |mut acc: EdgeCheck, u| {
+            for &v in graph.neighbors(u) {
+                if u < v && initial.color(u) == initial.color(v) {
+                    if partition.layer(u) == partition.layer(v) {
+                        if acc.violation.is_none() {
+                            acc.violation = Some((u, v));
+                        }
+                    } else {
+                        acc.conflicts += 1;
+                    }
+                }
+            }
+            acc
+        },
+        |left, right| EdgeCheck {
+            conflicts: left.conflicts + right.conflicts,
+            violation: left.violation.or(right.violation),
+        },
+    );
+    if let Some((u, v)) = check.violation {
+        return Err(format!(
+            "initial coloring conflicts within layer {:?} on edge ({u}, {v})",
+            partition.layer(u)
+        ));
+    }
+    let repaired_conflicts = check.conflicts;
 
     let layer_of = |v: NodeId| -> usize {
         match partition.layer(v) {
@@ -122,26 +179,45 @@ pub fn recolor_layers(
     });
 
     let mut final_colors: Vec<Option<usize>> = vec![None; n];
-    for &v in &schedule {
-        let mut used = vec![false; palette];
-        for &w in graph.neighbors(v) {
-            if let Some(c) = final_colors[w] {
-                if c < palette {
-                    used[c] = true;
-                }
-            }
+    let mut start = 0usize;
+    while start < schedule.len() {
+        // One wave: the maximal run of schedule entries sharing
+        // (layer, initial color) — an independent set, so its members only
+        // see colors fixed by previous waves.
+        let wave_key = |v: NodeId| (layer_of(v), initial.color(v));
+        let key = wave_key(schedule[start]);
+        let mut end = start + 1;
+        while end < schedule.len() && wave_key(schedule[end]) == key {
+            end += 1;
         }
-        let choice = match order {
-            RecolorOrder::HighestAvailable => (0..palette).rev().find(|&c| !used[c]),
-            RecolorOrder::SmallestAvailable => (0..palette).find(|&c| !used[c]),
+        let wave = &schedule[start..end];
+        let choices: Vec<Option<usize>> = {
+            let snapshot: &[Option<usize>] = &final_colors;
+            primitives.par_map(wave, |_, &v| {
+                let mut used = vec![false; palette];
+                for &w in graph.neighbors(v) {
+                    if let Some(c) = snapshot[w] {
+                        if c < palette {
+                            used[c] = true;
+                        }
+                    }
+                }
+                match order {
+                    RecolorOrder::HighestAvailable => (0..palette).rev().find(|&c| !used[c]),
+                    RecolorOrder::SmallestAvailable => (0..palette).find(|&c| !used[c]),
+                }
+            })
         };
-        let Some(color) = choice else {
-            return Err(format!(
-                "node {v} has no free color in a palette of size {palette}: the partition \
-                 violates its beta bound"
-            ));
-        };
-        final_colors[v] = Some(color);
+        for (&v, choice) in wave.iter().zip(choices) {
+            let Some(color) = choice else {
+                return Err(format!(
+                    "node {v} has no free color in a palette of size {palette}: the partition \
+                     violates its beta bound"
+                ));
+            };
+            final_colors[v] = Some(color);
+        }
+        start = end;
     }
 
     let coloring = Coloring::new(final_colors.into_iter().map(|c| c.unwrap()).collect());
@@ -221,6 +297,32 @@ mod tests {
             let result = recolor_layers(&graph, &partition, &initial, order).unwrap();
             assert!(result.coloring.is_proper(&graph));
             assert!(result.coloring.palette_size() <= beta + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_waves_are_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(93);
+        let graph = generators::forest_union(1_500, 3, &mut rng);
+        let partition = natural_partition(&graph, 8);
+        let initial = per_layer_coloring(&graph, &partition);
+        for order in [
+            RecolorOrder::HighestAvailable,
+            RecolorOrder::SmallestAvailable,
+        ] {
+            let reference = recolor_layers(&graph, &partition, &initial, order).unwrap();
+            for threads in [2usize, 4, 7] {
+                let primitives = RoundPrimitives::new(threads);
+                let parallel =
+                    recolor_layers_with_runtime(&graph, &partition, &initial, order, &primitives)
+                        .unwrap();
+                assert_eq!(
+                    reference.coloring, parallel.coloring,
+                    "{order:?}, threads {threads}"
+                );
+                assert_eq!(reference.repaired_conflicts, parallel.repaired_conflicts);
+                assert_eq!(reference.sequential_waves, parallel.sequential_waves);
+            }
         }
     }
 

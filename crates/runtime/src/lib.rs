@@ -24,6 +24,12 @@
 //!   reused across rounds, backends and jobs, instead of scoped-spawning
 //!   per round. The serving subsystem (`ampc-service`) shares the same
 //!   pool across its job queue.
+//! * [`RoundPrimitives`] — deterministic data-parallel **round primitives**
+//!   (`par_node_map`, `par_color_classes`, `par_reduce`) that the LOCAL/MPC
+//!   simulators' per-node loops run on: chunked maps with index-ordered
+//!   merge, independent-set recoloring sweeps with snapshot semantics, and
+//!   reductions over a thread-count-independent chunk grid — bit-identical
+//!   for any thread count.
 //! * Extended metrics — wall-clock per round, per-shard read/write counts,
 //!   conflict-merge counts and pool-reuse deltas (tasks per worker, idle
 //!   time), surfaced through [`ampc_model::AmpcMetrics::runtime_stats`].
@@ -84,6 +90,7 @@ mod backend;
 mod config;
 mod parallel;
 mod pool;
+mod rounds;
 mod shard;
 
 pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
@@ -91,4 +98,5 @@ pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
 pub use config::RuntimeConfig;
 pub use parallel::ParallelBackend;
 pub use pool::{parallel_map, PoolStats, ScopedTask, WorkerPool};
+pub use rounds::RoundPrimitives;
 pub use shard::ShardedStore;

@@ -387,6 +387,7 @@ impl AmpcBackend for ParallelBackend {
             pool_idle_nanos: pool_after
                 .total_idle_nanos()
                 .saturating_sub(pool_before.total_idle_nanos()),
+            ..RoundRuntimeStats::default()
         });
         Ok(report)
     }

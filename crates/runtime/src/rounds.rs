@@ -1,0 +1,450 @@
+//! Deterministic data-parallel round primitives for the LOCAL/MPC
+//! simulators.
+//!
+//! PR 1 parallelized the AMPC rounds *across* machines and the coloring
+//! phase *across* layers; the simulators inside one layer
+//! (`arb_linial_coloring`, `kw_color_reduction`, the recoloring and
+//! derandomization sweeps) still ran sequentially, so one huge layer
+//! serialized the whole job. [`RoundPrimitives`] is the small vocabulary
+//! those per-node loops are written in:
+//!
+//! * [`RoundPrimitives::par_node_map`] — a chunked per-node map over the
+//!   shared [`WorkerPool`] whose results are merged in index order.
+//! * [`RoundPrimitives::par_color_classes`] — a recoloring sweep over an
+//!   independent set (one color class / block of classes): every member's
+//!   new color is a pure function of the *pre-sweep* snapshot, written back
+//!   in member order.
+//! * [`RoundPrimitives::par_reduce`] / [`RoundPrimitives::par_reduce_range`]
+//!   — a chunked fold whose chunk boundaries depend only on the item count
+//!   (never on the thread count), combined left-to-right in chunk order.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive produces **bit-identical** results for any thread count,
+//! including 1, provided the supplied closures are pure functions of their
+//! arguments:
+//!
+//! * maps write into index-keyed slots, so scheduling order cannot leak;
+//! * color-class sweeps read a snapshot taken before the sweep — sound
+//!   because the members form an independent set, which is exactly the
+//!   invariant the LOCAL algorithms (Kuhn–Wattenhofer color classes,
+//!   recoloring waves of equal `(layer, color)`) provide;
+//! * reductions use a *fixed* chunk grid (`REDUCE_CHUNK` items per chunk)
+//!   so even non-associative accumulators (floating-point sums) come out
+//!   identical whether chunks run inline or on eight workers.
+//!
+//! The primitives record how many tasks they dispatched and how long they
+//! ran; algorithm drivers fold those counters into
+//! [`ampc_model::RoundRuntimeStats::intra_tasks`] /
+//! [`ampc_model::RoundRuntimeStats::intra_wall_nanos`] — measurement data,
+//! excluded from metric equality like the existing pool stats.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ampc_model::RoundRuntimeStats;
+
+use crate::config::RuntimeConfig;
+use crate::pool::{chunk_ranges, ScopedTask, WorkerPool};
+
+/// Below this many items a map runs inline: the work is too small to
+/// amortize a pool round-trip.
+const MIN_PAR_ITEMS: usize = 4096;
+
+/// Fixed reduction chunk width. Chunk boundaries must depend only on the
+/// item count so that non-associative accumulators (floating-point sums)
+/// are bit-identical across thread counts.
+const REDUCE_CHUNK: usize = 4096;
+
+/// Below this many items a reduction runs inline (over the same fixed
+/// chunk grid). Reductions are usually cheap per item — a filter predicate
+/// or one float multiply — so they need more items than a map to amortize
+/// a dispatch.
+const MIN_PAR_REDUCE_ITEMS: usize = 4 * REDUCE_CHUNK;
+
+/// The intra-layer parallelism context threaded through the LOCAL/MPC
+/// simulators: a thread budget plus reuse counters.
+///
+/// One instance is shared (by reference) across every per-node loop of a
+/// coloring run, including loops nested inside per-layer pool tasks — the
+/// counters are atomic, and the underlying [`WorkerPool`] supports nested
+/// submission (submitters help drain their own batches).
+#[derive(Debug)]
+pub struct RoundPrimitives {
+    threads: usize,
+    tasks: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl RoundPrimitives {
+    /// A context running on up to `threads` workers of the global pool
+    /// (1 means strictly inline execution).
+    pub fn new(threads: usize) -> Self {
+        RoundPrimitives {
+            threads: threads.max(1),
+            tasks: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The context a [`RuntimeConfig`] implies: inline for
+    /// [`RuntimeConfig::Sequential`], the configured thread count otherwise.
+    pub fn from_config(config: &RuntimeConfig) -> Self {
+        RoundPrimitives::new(config.effective_threads())
+    }
+
+    /// The strictly inline context (the sequential reference path).
+    pub fn sequential() -> Self {
+        RoundPrimitives::new(1)
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this context ever dispatches to the pool.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Whether a map over `items` elements would actually dispatch to the
+    /// pool (rather than run inline). Callers with a cheaper streaming
+    /// fallback (e.g. an allocation-free sum) use this to skip the
+    /// collect-then-consume shape when no parallelism would be gained.
+    pub fn map_dispatches(&self, items: usize) -> bool {
+        self.threads > 1 && items >= MIN_PAR_ITEMS
+    }
+
+    /// Tasks dispatched (pool chunks plus inline executions) so far.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Wall clock spent inside primitives so far, in nanoseconds.
+    pub fn wall_nanos(&self) -> u64 {
+        self.wall_nanos.load(Ordering::Relaxed)
+    }
+
+    /// The counters as a [`RoundRuntimeStats`] record (all model-level
+    /// fields zero), ready for [`ampc_model::AmpcMetrics::record_runtime`].
+    pub fn runtime_stats(&self) -> RoundRuntimeStats {
+        RoundRuntimeStats {
+            intra_tasks: self.tasks_executed(),
+            intra_wall_nanos: self.wall_nanos(),
+            ..RoundRuntimeStats::default()
+        }
+    }
+
+    fn record(&self, tasks: u64, started: Instant) {
+        self.tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.wall_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Applies `f` to every index in `0..items`, returning the results in
+    /// index order. `f` must be a pure function of the index (and whatever
+    /// immutable state it captures); under that contract the result is
+    /// bit-identical for any thread count.
+    pub fn par_node_map<U, F>(&self, items: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let started = Instant::now();
+        if self.threads == 1 || items < MIN_PAR_ITEMS {
+            let out: Vec<U> = (0..items).map(f).collect();
+            self.record(1, started);
+            return out;
+        }
+
+        let chunks = chunk_ranges(items, self.threads);
+        let mut slots: Vec<Option<Vec<U>>> = (0..chunks.len()).map(|_| None).collect();
+        {
+            let f = &f;
+            let tasks: Vec<ScopedTask<'_>> = slots
+                .iter_mut()
+                .zip(chunks.iter().cloned())
+                .map(|(slot, range)| {
+                    Box::new(move || {
+                        *slot = Some(range.map(f).collect());
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            WorkerPool::global().execute(tasks);
+        }
+        let mut out = Vec::with_capacity(items);
+        for slot in slots {
+            out.extend(slot.expect("the pool ran every chunk"));
+        }
+        self.record(chunks.len() as u64, started);
+        out
+    }
+
+    /// Applies `f` to every element of `items`, returning the results in
+    /// item order (the slice-input convenience over
+    /// [`RoundPrimitives::par_node_map`]).
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.par_node_map(items.len(), |index| f(index, &items[index]))
+    }
+
+    /// One parallel recoloring sweep over an independent set: every member
+    /// `v` of `members` is assigned `f(v, snapshot)` where `snapshot` is the
+    /// state of `colors` *before* the sweep.
+    ///
+    /// This matches the sequential in-place loop exactly **when the members
+    /// form an independent set whose decisions only inspect colors no
+    /// co-member can change** — the invariant the Kuhn–Wattenhofer color
+    /// classes and the recoloring waves provide. The caller is responsible
+    /// for that invariant; the primitive guarantees the snapshot semantics
+    /// and the member-order write-back.
+    pub fn par_color_classes<C, F>(&self, members: &[usize], colors: &mut [C], f: F)
+    where
+        C: Copy + Send + Sync,
+        F: Fn(usize, &[C]) -> C + Sync,
+    {
+        let updates: Vec<C> = {
+            let snapshot: &[C] = colors;
+            self.par_node_map(members.len(), |index| f(members[index], snapshot))
+        };
+        for (&member, update) in members.iter().zip(updates) {
+            colors[member] = update;
+        }
+    }
+
+    /// Chunked fold over `items`: each fixed-width chunk is folded
+    /// left-to-right with `fold` starting from a clone of `identity`, and
+    /// the chunk accumulators are combined left-to-right (in chunk order)
+    /// with `combine`.
+    ///
+    /// The chunk grid depends only on `items.len()`, never on the thread
+    /// count — so the result is bit-identical across thread counts even for
+    /// non-associative accumulators (floating-point sums, ordered
+    /// collection).
+    pub fn par_reduce<T, A, F, C>(&self, items: &[T], identity: A, fold: F, combine: C) -> A
+    where
+        T: Sync,
+        A: Clone + Send + Sync,
+        F: Fn(A, usize, &T) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        self.par_reduce_range(
+            items.len(),
+            identity,
+            |acc, index| fold(acc, index, &items[index]),
+            combine,
+        )
+    }
+
+    /// [`RoundPrimitives::par_reduce`] over the index range `0..items`.
+    pub fn par_reduce_range<A, F, C>(&self, items: usize, identity: A, fold: F, combine: C) -> A
+    where
+        A: Clone + Send + Sync,
+        F: Fn(A, usize) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        let started = Instant::now();
+        let num_chunks = items.div_ceil(REDUCE_CHUNK).max(1);
+        let chunk_partial = |chunk: usize| -> A {
+            let start = chunk * REDUCE_CHUNK;
+            let end = (start + REDUCE_CHUNK).min(items);
+            (start..end).fold(identity.clone(), &fold)
+        };
+        if self.threads == 1 || items < MIN_PAR_REDUCE_ITEMS {
+            // Same chunk grid as the parallel path, executed inline — the
+            // per-chunk partials and the left-to-right combine (and
+            // therefore any floating-point rounding) are identical.
+            let acc = (0..num_chunks)
+                .map(chunk_partial)
+                .reduce(&combine)
+                .unwrap_or(identity);
+            self.record(1, started);
+            return acc;
+        }
+
+        // Dispatch at most `threads` tasks, each filling a contiguous run
+        // of per-chunk slots. The grouping affects only scheduling: the
+        // partials are still one per fixed chunk, combined left-to-right
+        // in chunk order below, so the result never depends on the
+        // thread count.
+        let groups = chunk_ranges(num_chunks, self.threads);
+        let num_groups = groups.len();
+        let mut slots: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
+        {
+            let chunk_partial = &chunk_partial;
+            let mut rest: &mut [Option<A>] = &mut slots;
+            let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(num_groups);
+            for group in groups {
+                let (mine, remainder) = rest.split_at_mut(group.len());
+                rest = remainder;
+                tasks.push(Box::new(move || {
+                    for (offset, slot) in mine.iter_mut().enumerate() {
+                        *slot = Some(chunk_partial(group.start + offset));
+                    }
+                }) as ScopedTask<'_>);
+            }
+            WorkerPool::global().execute(tasks);
+        }
+        let acc = slots
+            .into_iter()
+            .map(|slot| slot.expect("the pool ran every chunk"))
+            .reduce(combine)
+            .unwrap_or(identity);
+        self.record(num_groups as u64, started);
+        acc
+    }
+
+    /// The indices in `0..items` satisfying `pred`, in ascending order —
+    /// the parallel form of a sequential `filter` over the node range.
+    pub fn par_collect_indices<F>(&self, items: usize, pred: F) -> Vec<usize>
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        if self.threads == 1 || items < MIN_PAR_REDUCE_ITEMS {
+            // A plain filter — identical to the chunked path below, which
+            // concatenates ascending chunks of ascending indices, but
+            // without moving a Vec accumulator through every fold step.
+            let started = Instant::now();
+            let out = (0..items).filter(|&index| pred(index)).collect();
+            self.record(1, started);
+            return out;
+        }
+        self.par_reduce_range(
+            items,
+            Vec::new(),
+            |mut acc: Vec<usize>, index| {
+                if pred(index) {
+                    acc.push(index);
+                }
+                acc
+            },
+            |mut left, mut right| {
+                left.append(&mut right);
+                left
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{self, AssertUnwindSafe};
+
+    #[test]
+    fn node_map_merges_in_index_order_for_any_thread_count() {
+        let reference: Vec<usize> = (0..10_000).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let primitives = RoundPrimitives::new(threads);
+            let out = primitives.par_node_map(10_000, |i| i * 3 + 1);
+            assert_eq!(out, reference, "threads = {threads}");
+            assert!(primitives.tasks_executed() >= 1);
+        }
+    }
+
+    #[test]
+    fn slice_map_matches_node_map() {
+        let items: Vec<u64> = (0..5_000).map(|i| i * i).collect();
+        let sequential = RoundPrimitives::sequential().par_map(&items, |i, &x| x + i as u64);
+        let parallel = RoundPrimitives::new(4).par_map(&items, |i, &x| x + i as u64);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn color_classes_read_the_pre_sweep_snapshot() {
+        // Members double their *own* pre-sweep value; non-members keep
+        // theirs. A racy in-place implementation reading co-member updates
+        // would differ; snapshot semantics make it order-free.
+        let members: Vec<usize> = (0..8_000).step_by(2).collect();
+        for threads in [1usize, 4] {
+            let mut colors: Vec<usize> = (0..8_000).collect();
+            let primitives = RoundPrimitives::new(threads);
+            primitives.par_color_classes(&members, &mut colors, |v, snapshot| snapshot[v] * 2);
+            for (v, &color) in colors.iter().enumerate() {
+                let expected = if v % 2 == 0 { v * 2 } else { v };
+                assert_eq!(color, expected, "threads {threads}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts_even_for_floats() {
+        // A sum of values at many magnitudes: any change in association
+        // order shows up in the low bits.
+        let items: Vec<f64> = (0..50_000)
+            .map(|i| (i as f64).sqrt() * if i % 3 == 0 { 1e-9 } else { 1e3 })
+            .collect();
+        let sum = |threads: usize| -> f64 {
+            RoundPrimitives::new(threads).par_reduce(
+                &items,
+                0.0f64,
+                |acc, _, &x| acc + x,
+                |a, b| a + b,
+            )
+        };
+        let reference = sum(1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(reference.to_bits(), sum(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn collect_indices_preserves_ascending_order() {
+        let reference: Vec<usize> = (0..20_000).filter(|i| i % 7 == 0).collect();
+        for threads in [1usize, 4] {
+            let out = RoundPrimitives::new(threads).par_collect_indices(20_000, |i| i % 7 == 0);
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn primitives_propagate_panics() {
+        for threads in [1usize, 4] {
+            let primitives = RoundPrimitives::new(threads);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                primitives.par_node_map(5_000, |i| {
+                    if i == 4_321 {
+                        panic!("intra-layer task exploded");
+                    }
+                    i
+                })
+            }));
+            let payload = result.expect_err("the panic must reach the submitter");
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("non-str payload");
+            assert!(message.contains("exploded"), "{message}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_tasks_and_wall_clock() {
+        let primitives = RoundPrimitives::new(4);
+        let _ = primitives.par_node_map(50_000, |i| i);
+        let _ = primitives.par_reduce_range(50_000, 0usize, |a, i| a + i, |a, b| a + b);
+        let stats = primitives.runtime_stats();
+        // 4 map chunks + 4 reduce chunk-groups (one per thread).
+        assert!(stats.intra_tasks >= 4 + 4, "{}", stats.intra_tasks);
+        assert!(stats.intra_wall_nanos > 0);
+        // Model-level fields stay zero: intra stats never affect metric
+        // equality.
+        assert_eq!(stats.wall_clock_nanos, 0);
+        assert_eq!(stats.conflict_merges, 0);
+    }
+
+    #[test]
+    fn sequential_context_from_config() {
+        let sequential = RoundPrimitives::from_config(&RuntimeConfig::Sequential);
+        assert_eq!(sequential.threads(), 1);
+        assert!(!sequential.is_parallel());
+        let parallel = RoundPrimitives::from_config(&RuntimeConfig::parallel().with_threads(3));
+        assert_eq!(parallel.threads(), 3);
+        assert!(parallel.is_parallel());
+    }
+}

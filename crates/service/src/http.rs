@@ -22,6 +22,12 @@ pub const HEAD_DEADLINE: Duration = Duration::from_secs(10);
 /// push the maximum body (64 MB in ~2 minutes is ~0.5 MB/s), but bounded.
 pub const BODY_DEADLINE: Duration = Duration::from_secs(120);
 
+/// How long a kept-alive connection may sit idle between requests before
+/// the server closes it. Much shorter than [`HEAD_DEADLINE`]: an idle
+/// keep-alive connection parks an acceptor, and a well-behaved client that
+/// wants another request sends it immediately.
+pub const KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
+
 /// Errors surfaced while reading a request (mapped to 4xx responses).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
@@ -33,6 +39,10 @@ pub enum HttpError {
     Timeout(String),
     /// The socket failed mid-request.
     Io(String),
+    /// The connection ended (or went idle past its deadline) before a
+    /// single byte of a new request arrived — a clean end of a kept-alive
+    /// connection, not an error worth a response.
+    Closed,
 }
 
 impl fmt::Display for HttpError {
@@ -42,6 +52,7 @@ impl fmt::Display for HttpError {
             HttpError::TooLarge(detail) => write!(f, "request too large: {detail}"),
             HttpError::Timeout(detail) => write!(f, "request timed out: {detail}"),
             HttpError::Io(detail) => write!(f, "request read failed: {detail}"),
+            HttpError::Closed => write!(f, "connection closed between requests"),
         }
     }
 }
@@ -61,10 +72,22 @@ pub struct RequestHead {
     pub query: Vec<(String, String)>,
     /// Value of `Content-Length` (0 when absent).
     pub content_length: usize,
+    /// Whether the client asked for the connection to be closed after this
+    /// request (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
     /// Wall-clock deadline for receiving the rest of the body.
     body_deadline: Instant,
     /// Body bytes already consumed from the socket while buffering the head.
     leftover: Vec<u8>,
+    /// Bytes of the *next* pipelined request read while buffering this one
+    /// (beyond `Content-Length`); [`RequestHead::into_pipelined`] hands them
+    /// to the next `read_head` on a kept-alive connection.
+    pipelined: Vec<u8>,
+    /// Body bytes taken off the socket so far (leftover bytes count when
+    /// they are moved into a reader). `content_length - body_consumed` is
+    /// what a drain still has to pull from the socket before the connection
+    /// can be reused.
+    body_consumed: usize,
 }
 
 impl RequestHead {
@@ -76,19 +99,72 @@ impl RequestHead {
             .map(|(_, value)| value.as_str())
     }
 
-    /// A buffered reader over exactly the request body (the already-read
-    /// leftover bytes chained with the rest of the socket). Reads fail
-    /// once [`BODY_DEADLINE`] has passed since the head was received, so
-    /// a dribbling client cannot hold an acceptor indefinitely.
-    pub fn body_reader<'a>(&mut self, stream: &'a mut TcpStream) -> BodyReader<'a> {
-        let mut leftover = std::mem::take(&mut self.leftover);
-        leftover.truncate(self.content_length);
-        let remaining = (self.content_length - leftover.len()) as u64;
+    /// A buffered reader over exactly the (not yet consumed) request body:
+    /// the already-read leftover bytes chained with the rest of the socket.
+    /// Reads fail once [`BODY_DEADLINE`] has passed since the head was
+    /// received, so a dribbling client cannot hold an acceptor
+    /// indefinitely. Socket progress is tracked, so a later
+    /// [`RequestHead::drain`] knows exactly how many bytes are still
+    /// outstanding.
+    pub fn body_reader<'h, 's>(&'h mut self, stream: &'s mut TcpStream) -> BodyReader<'h, 's> {
+        let leftover = std::mem::take(&mut self.leftover);
+        self.body_consumed += leftover.len();
+        let remaining = (self.content_length - self.body_consumed) as u64;
         let bounded = DeadlineRead {
             inner: stream,
             deadline: self.body_deadline,
         };
-        BufReader::new(Cursor::new(leftover).chain(bounded.take(remaining)))
+        let counted = CountingRead {
+            inner: bounded,
+            consumed: &mut self.body_consumed,
+        };
+        BufReader::new(Cursor::new(leftover).chain(counted.take(remaining)))
+    }
+
+    /// Body bytes not yet taken off the socket.
+    pub fn unread_body_bytes(&self) -> usize {
+        self.content_length - self.body_consumed - self.leftover.len()
+    }
+
+    /// Reads and discards whatever part of the body is still on the socket,
+    /// returning whether the socket is now positioned at the end of this
+    /// request (the precondition for serving another request on the same
+    /// connection). Safe to call any number of times, before or after
+    /// [`RequestHead::body_reader`].
+    pub fn drain(&mut self, stream: &mut TcpStream) -> bool {
+        self.body_consumed += self.leftover.len();
+        self.leftover.clear();
+        let mut remaining = self.content_length - self.body_consumed;
+        if remaining == 0 {
+            return true;
+        }
+        // Discard with a manual loop so progress is counted per read: if a
+        // read fails partway, `body_consumed` still reflects the true
+        // socket position and a later drain resumes exactly where this one
+        // stopped (a lost partial count would make a retry over-read into
+        // the next pipelined request).
+        let mut bounded = DeadlineRead {
+            inner: stream,
+            deadline: self.body_deadline,
+        };
+        let mut chunk = [0u8; 8192];
+        while remaining > 0 {
+            let want = chunk.len().min(remaining);
+            match bounded.read(&mut chunk[..want]) {
+                Ok(0) | Err(_) => return false,
+                Ok(read) => {
+                    self.body_consumed += read;
+                    remaining -= read;
+                }
+            }
+        }
+        true
+    }
+
+    /// Hands over any bytes of the next pipelined request that arrived
+    /// while this one was being buffered.
+    pub fn into_pipelined(self) -> Vec<u8> {
+        self.pipelined
     }
 
     /// Reads the whole body into memory (for small bodies / tests).
@@ -114,9 +190,27 @@ impl RequestHead {
 }
 
 /// The streaming request-body reader: leftover bytes buffered with the
-/// head, chained with the deadline-bounded remainder of the socket.
-pub type BodyReader<'a> =
-    BufReader<io::Chain<Cursor<Vec<u8>>, io::Take<DeadlineRead<&'a mut TcpStream>>>>;
+/// head, chained with the deadline-bounded, progress-counted remainder of
+/// the socket.
+pub type BodyReader<'h, 's> = BufReader<
+    io::Chain<Cursor<Vec<u8>>, io::Take<CountingRead<'h, DeadlineRead<&'s mut TcpStream>>>>,
+>;
+
+/// A reader that records how many bytes it delivered into a caller-owned
+/// counter (how [`RequestHead`] learns what a body reader took off the
+/// socket).
+pub struct CountingRead<'h, R> {
+    inner: R,
+    consumed: &'h mut usize,
+}
+
+impl<R: Read> Read for CountingRead<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let read = self.inner.read(buf)?;
+        *self.consumed += read;
+        Ok(read)
+    }
+}
 
 /// A reader that fails with `TimedOut` once a wall-clock deadline passes.
 /// The socket's per-read timeout only bounds a single read and resets on
@@ -194,21 +288,32 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
 
 /// Reads and parses one request head from the stream. The head must
 /// arrive before `head_deadline` (callers pass roughly
-/// `Instant::now() + HEAD_DEADLINE`); the body is separately bounded by
+/// `Instant::now() + HEAD_DEADLINE`, or `+ KEEPALIVE_IDLE` between
+/// requests of a kept-alive connection); the body is separately bounded by
 /// [`BODY_DEADLINE`] from the moment the head completes.
+///
+/// `carry` seeds the buffer with bytes a previous request on the same
+/// connection already pulled off the socket (pipelined clients). With
+/// `idle_close_ok` (kept-alive connections between requests), an EOF,
+/// timeout or read failure *before any byte of a new request* is reported
+/// as [`HttpError::Closed`] — a clean end of the connection, not an error.
 ///
 /// # Errors
 ///
 /// [`HttpError::Malformed`] for grammar violations, [`HttpError::TooLarge`]
 /// when the head exceeds [`MAX_HEAD_BYTES`] or the declared body exceeds
 /// `max_body`, [`HttpError::Timeout`] when the deadline passes first,
-/// [`HttpError::Io`] for socket failures.
+/// [`HttpError::Io`] for socket failures, [`HttpError::Closed`] for a
+/// clean between-requests close.
 pub fn read_head(
     stream: &mut TcpStream,
     max_body: usize,
     head_deadline: Instant,
+    carry: Vec<u8>,
+    idle_close_ok: bool,
 ) -> Result<RequestHead, HttpError> {
-    let mut buffer = Vec::with_capacity(1024);
+    let mut buffer = carry;
+    buffer.reserve(1024);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
         if let Some(pos) = find_head_end(&buffer) {
@@ -222,14 +327,26 @@ pub fn read_head(
         // Cumulative deadline: the per-read socket timeout resets on every
         // byte, so it alone cannot bound a dribbling client.
         if Instant::now() >= head_deadline {
+            if idle_close_ok && buffer.is_empty() {
+                return Err(HttpError::Closed);
+            }
             return Err(HttpError::Timeout(
                 "headers not received within the request deadline".to_string(),
             ));
         }
-        let read = stream
-            .read(&mut chunk)
-            .map_err(|error| HttpError::Io(error.to_string()))?;
+        let read = match stream.read(&mut chunk) {
+            Ok(read) => read,
+            Err(error) => {
+                if idle_close_ok && buffer.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Io(error.to_string()));
+            }
+        };
         if read == 0 {
+            if buffer.is_empty() {
+                return Err(HttpError::Closed);
+            }
             return Err(HttpError::Malformed(
                 "connection closed before end of headers".to_string(),
             ));
@@ -238,7 +355,7 @@ pub fn read_head(
     };
 
     let head_text = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
-    let leftover = buffer[head_end + 4..].to_vec();
+    let rest = &buffer[head_end + 4..];
     let mut lines = head_text.split("\r\n");
     let request_line = lines
         .next()
@@ -260,6 +377,9 @@ pub fn read_head(
         )));
     }
 
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // `Connection:` header overrides either way.
+    let mut close = version == "HTTP/1.0";
     let mut content_length = 0usize;
     for line in lines {
         if line.is_empty() {
@@ -272,6 +392,14 @@ pub fn read_head(
             content_length = value.trim().parse::<usize>().map_err(|_| {
                 HttpError::Malformed(format!("bad Content-Length `{}`", value.trim()))
             })?;
+        }
+        if name.trim().eq_ignore_ascii_case("connection") {
+            let value = value.trim().to_ascii_lowercase();
+            if value.split(',').any(|token| token.trim() == "close") {
+                close = true;
+            } else if value.split(',').any(|token| token.trim() == "keep-alive") {
+                close = false;
+            }
         }
         // Chunked bodies are not decodable here; rejecting explicitly beats
         // misreading the body as empty and resetting the connection.
@@ -288,14 +416,23 @@ pub fn read_head(
         )));
     }
 
+    // Split the already-buffered remainder into this request's body prefix
+    // and any pipelined bytes of the next request.
+    let body_bytes = content_length.min(rest.len());
+    let leftover = rest[..body_bytes].to_vec();
+    let pipelined = rest[body_bytes..].to_vec();
+
     let (path, query) = parse_target(target);
     Ok(RequestHead {
         method,
         path,
         query,
         content_length,
+        close,
         body_deadline: Instant::now() + BODY_DEADLINE,
         leftover,
+        pipelined,
+        body_consumed: 0,
     })
 }
 
@@ -361,14 +498,17 @@ impl Response {
         }
     }
 
-    /// Serializes the response (with `Connection: close`) onto the stream.
+    /// Serializes the response onto the stream, advertising
+    /// `Connection: keep-alive` or `Connection: close` according to whether
+    /// the server will serve another request on this connection.
     ///
     /// # Errors
     ///
     /// Propagates socket write errors.
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
             self.status,
             self.reason(),
             self.content_type,
@@ -454,9 +594,102 @@ mod tests {
             &mut server_side,
             1024,
             Instant::now() - Duration::from_secs(1),
+            Vec::new(),
+            false,
         )
         .unwrap_err();
         assert!(matches!(error, HttpError::Timeout(_)), "{error}");
+        // Between requests of a kept-alive connection the same expiry is a
+        // clean close, not a timeout worth a 408.
+        let error = read_head(
+            &mut server_side,
+            1024,
+            Instant::now() - Duration::from_secs(1),
+            Vec::new(),
+            true,
+        )
+        .unwrap_err();
+        assert_eq!(error, HttpError::Closed);
+        drop(client);
+    }
+
+    #[test]
+    fn drain_counts_partial_progress_across_retries() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        // 8-byte body, only 4 bytes sent so far.
+        let wire = "POST /v1/color HTTP/1.1\r\nContent-Length: 8\r\n\r\n0 1\n";
+        std::io::Write::write_all(&mut client, wire.as_bytes()).unwrap();
+        let mut head = read_head(
+            &mut server_side,
+            1024,
+            Instant::now() + Duration::from_secs(5),
+            Vec::new(),
+            false,
+        )
+        .unwrap();
+        // First drain discards the 4 available bytes, then times out — it
+        // must report failure but keep the partial progress.
+        assert!(!head.drain(&mut server_side));
+        assert_eq!(head.unread_body_bytes(), 4);
+        // The client resumes: rest of the body plus a pipelined request.
+        std::io::Write::write_all(&mut client, b"2 3\nGET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        // The retried drain consumes exactly the 4 outstanding bytes and
+        // leaves the socket aligned on the pipelined request head.
+        assert!(head.drain(&mut server_side));
+        assert_eq!(head.unread_body_bytes(), 0);
+        let head = read_head(
+            &mut server_side,
+            1024,
+            Instant::now() + Duration::from_secs(5),
+            head.into_pipelined(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(head.path, "/healthz");
+        drop(client);
+    }
+
+    #[test]
+    fn read_head_parses_connection_and_pipelined_bytes() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        // One POST with a 4-byte body, immediately followed by a pipelined
+        // GET with Connection: close.
+        let wire = "POST /v1/color HTTP/1.1\r\nContent-Length: 4\r\n\r\n0 1\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        std::io::Write::write_all(&mut client, wire.as_bytes()).unwrap();
+        let mut head = read_head(
+            &mut server_side,
+            1024,
+            Instant::now() + Duration::from_secs(5),
+            Vec::new(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(head.method, "POST");
+        assert!(!head.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(head.read_body(&mut server_side).unwrap(), b"0 1\n");
+        assert!(head.drain(&mut server_side), "body fully consumed");
+        assert_eq!(head.unread_body_bytes(), 0);
+        let carry = head.into_pipelined();
+        assert!(!carry.is_empty(), "pipelined GET was buffered");
+        let head = read_head(
+            &mut server_side,
+            1024,
+            Instant::now() + Duration::from_secs(5),
+            carry,
+            true,
+        )
+        .unwrap();
+        assert_eq!(head.path, "/healthz");
+        assert!(head.close, "Connection: close honored");
         drop(client);
     }
 }

@@ -55,6 +55,14 @@ pub struct ServiceConfig {
     /// (oldest evicted beyond this) — the record-count cap alone would let
     /// a few huge colorings pin gigabytes.
     pub retained_node_budget: usize,
+    /// HTTP/1.1 requests served on one connection before the server closes
+    /// it (bounded keep-alive; 1 disables reuse entirely).
+    pub max_requests_per_connection: usize,
+    /// Age at which a *terminal* job record expires: the TTL-based GC
+    /// sweep drops done/failed records older than this on manager
+    /// activity, independent of the count/node-budget retention caps.
+    /// In-flight jobs never expire.
+    pub job_ttl: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +77,8 @@ impl Default for ServiceConfig {
             cache_node_budget: 1 << 23,
             max_retained_jobs: 4096,
             retained_node_budget: 1 << 23,
+            max_requests_per_connection: 100,
+            job_ttl: Duration::from_secs(600),
         }
     }
 }
@@ -154,6 +164,8 @@ struct JobRecord {
     result: Option<Arc<ColoringOutcome>>,
     error: Option<String>,
     submitted: Instant,
+    /// When the record reached a terminal state (the TTL clock).
+    finished: Option<Instant>,
     wall_nanos: u64,
 }
 
@@ -252,6 +264,7 @@ struct ManagerShared {
     cache: ResultCache,
     max_retained_jobs: usize,
     retained_node_budget: usize,
+    job_ttl: Duration,
     queue_depth: AtomicUsize,
     running: AtomicUsize,
     submitted: AtomicU64,
@@ -266,6 +279,7 @@ impl ManagerShared {
         if let Some(record) = state.records.get_mut(&id) {
             record.status = status;
             record.cached = cached;
+            record.finished = Some(Instant::now());
             let mut result_nodes = 0;
             match outcome {
                 FinishOutcome::Result { result, wall_nanos } => {
@@ -278,6 +292,7 @@ impl ManagerShared {
             state.terminal_result_nodes += result_nodes;
             state.terminal_order.push_back(id);
         }
+        self.expire_old_records(&mut state);
         self.evict_old_records(&mut state);
         match status {
             JobStatus::Done => self.completed.fetch_add(1, Ordering::Relaxed),
@@ -285,6 +300,37 @@ impl ManagerShared {
         };
         drop(state);
         self.job_done.notify_all();
+    }
+
+    /// The TTL-based GC sweep: drops terminal records older than
+    /// `job_ttl`, front-of-deque first (the deque is ordered by completion
+    /// time, so the sweep stops at the first fresh record — O(expired) per
+    /// call). Runs on manager activity (completions, submissions, the
+    /// recent-jobs listing behind `/metrics`), complementing the
+    /// count/node-budget caps below with age-based expiry. In-flight jobs
+    /// never expire.
+    fn expire_old_records(&self, state: &mut JobsState) {
+        let now = Instant::now();
+        while let Some(&id) = state.terminal_order.front() {
+            let expired = match state.records.get(&id) {
+                // Already evicted by the budget caps: clean up the deque.
+                None => true,
+                Some(record) => record
+                    .finished
+                    .is_some_and(|at| now.duration_since(at) >= self.job_ttl),
+            };
+            if !expired {
+                break;
+            }
+            state.terminal_order.pop_front();
+            if let Some(record) = state.records.remove(&id) {
+                if record.result.is_some() {
+                    state.terminal_result_nodes = state
+                        .terminal_result_nodes
+                        .saturating_sub(record.graph_nodes);
+                }
+            }
+        }
     }
 
     /// Drops the oldest terminal records once the map exceeds the retention
@@ -354,6 +400,9 @@ impl JobManager {
             cache: ResultCache::new(config.cache_capacity, config.cache_node_budget),
             max_retained_jobs: config.max_retained_jobs.max(1),
             retained_node_budget: config.retained_node_budget.max(1),
+            // Floored: a zero TTL would expire a finished job inside
+            // `finish()` itself, before any waiter can observe the result.
+            job_ttl: config.job_ttl.max(Duration::from_millis(10)),
             queue_depth: AtomicUsize::new(0),
             running: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
@@ -399,6 +448,9 @@ impl JobManager {
         let key = job_key(&graph, &spec);
         {
             let mut state = self.shared.jobs.lock().expect("jobs lock");
+            // Submission is a natural GC point: a busy server sweeps
+            // expired terminal records as new work arrives.
+            self.shared.expire_old_records(&mut state);
             state.records.insert(
                 id,
                 JobRecord {
@@ -410,6 +462,7 @@ impl JobManager {
                     result: None,
                     error: None,
                     submitted: Instant::now(),
+                    finished: None,
                     wall_nanos: 0,
                 },
             );
@@ -503,9 +556,12 @@ impl JobManager {
         }
     }
 
-    /// Snapshots of the most recent `limit` jobs, newest first.
+    /// Snapshots of the most recent `limit` jobs, newest first. Doubles as
+    /// a GC point: `/metrics` renders this listing, so even an idle server
+    /// probed for metrics sweeps its expired terminal records.
     pub fn recent(&self, limit: usize) -> Vec<JobView> {
-        let state = self.shared.jobs.lock().expect("jobs lock");
+        let mut state = self.shared.jobs.lock().expect("jobs lock");
+        self.shared.expire_old_records(&mut state);
         let mut ids: Vec<u64> = state.records.keys().copied().collect();
         ids.sort_unstable_by(|a, b| b.cmp(a));
         ids.into_iter()
@@ -880,6 +936,36 @@ mod tests {
             "the oldest result must be evicted to stay under the node budget"
         );
         assert!(manager.status(second).is_some());
+    }
+
+    #[test]
+    fn terminal_records_expire_after_the_ttl() {
+        let manager = JobManager::new(ServiceConfig {
+            workers: 1,
+            job_ttl: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let first = manager.submit(small_graph(8), spec()).unwrap();
+        let view = manager.wait(first, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        // Fresh terminal records survive an immediate sweep.
+        let _ = manager.recent(4);
+        assert!(manager.status(first).is_some());
+        thread::sleep(Duration::from_millis(120));
+        // Any manager activity sweeps; `recent` is what /metrics renders.
+        let _ = manager.recent(4);
+        assert!(
+            manager.status(first).is_none(),
+            "terminal record older than the TTL must be swept"
+        );
+        // Submission is a GC point too.
+        let second = manager.submit(small_graph(9), spec()).unwrap();
+        let view = manager.wait(second, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        thread::sleep(Duration::from_millis(120));
+        let third = manager.submit(small_graph(10), spec()).unwrap();
+        assert!(manager.status(second).is_none(), "swept at submission");
+        assert!(manager.status(third).is_some(), "fresh jobs never expire");
     }
 
     #[test]

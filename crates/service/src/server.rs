@@ -17,6 +17,10 @@ use crate::http::{read_head, HttpError, RequestHead, Response};
 use crate::jobs::{JobManager, JobSpec, JobView, ServiceConfig, SubmitError};
 use crate::json::{array_u64, Object};
 
+/// Per-read socket timeout for an in-flight request (the cumulative
+/// HEAD/BODY deadlines bound whole transfers; this bounds one read).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Per-endpoint request counters (surfaced by `/metrics`).
 #[derive(Debug, Default)]
 struct EndpointCounters {
@@ -32,6 +36,11 @@ struct EndpointCounters {
     /// `408` request-read deadline expiries — also kept apart: a client
     /// being cut off mid-transfer is not malformed traffic either.
     timeouts: AtomicU64,
+    /// TCP connections accepted.
+    connections: AtomicU64,
+    /// Requests served on an already-used (kept-alive) connection — the
+    /// `/metrics` signal that HTTP/1.1 connection reuse is working.
+    keepalive_reused: AtomicU64,
 }
 
 struct ServerState {
@@ -197,38 +206,85 @@ fn acceptor_loop(listener: TcpListener, manager: Arc<JobManager>, state: Arc<Ser
         if state.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-        let response = handle_connection(&mut stream, &manager, &state);
-        let _ = response.write_to(&mut stream);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+        state.counters.connections.fetch_add(1, Ordering::Relaxed);
+        serve_connection(&mut stream, &manager, &state);
     }
 }
 
-fn handle_connection(
+/// Serves up to `max_requests_per_connection` HTTP/1.1 requests on one
+/// connection. The connection is reused only when the request body was
+/// fully consumed, the client did not ask for `Connection: close`, and the
+/// per-connection request cap has not been reached; between requests an
+/// idle client is cut off after [`crate::http::KEEPALIVE_IDLE`] so parked
+/// acceptors are reclaimed quickly.
+fn serve_connection(stream: &mut TcpStream, manager: &Arc<JobManager>, state: &ServerState) {
+    let max_requests = manager.config().max_requests_per_connection.max(1);
+    let mut carry = Vec::new();
+    for served in 0..max_requests {
+        let reused = served > 0;
+        if reused {
+            // The per-read socket timeout must not exceed the idle budget,
+            // or a silent client would hold the acceptor for the full 30 s.
+            let _ = stream.set_read_timeout(Some(crate::http::KEEPALIVE_IDLE));
+        }
+        let head_budget = if reused {
+            crate::http::KEEPALIVE_IDLE
+        } else {
+            crate::http::HEAD_DEADLINE
+        };
+        let mut head = match read_head(
+            stream,
+            manager.config().max_body_bytes,
+            Instant::now() + head_budget,
+            std::mem::take(&mut carry),
+            reused,
+        ) {
+            Ok(head) => head,
+            Err(HttpError::Closed) => return,
+            Err(error) => {
+                let status = match &error {
+                    HttpError::TooLarge(_) => 413,
+                    HttpError::Timeout(_) => 408,
+                    _ => 400,
+                };
+                if status == 408 {
+                    state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = error_response(status, &error.to_string()).write_to(stream, false);
+                return;
+            }
+        };
+        if reused {
+            state
+                .counters
+                .keepalive_reused
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        }
+        let response = handle_request(stream, &mut head, manager, state);
+        // The socket is reusable only when it is positioned at the end of
+        // this request's body (drain is idempotent; the handler usually
+        // consumed the body already).
+        let reusable = head.drain(stream);
+        let keep_alive = reusable && !head.close && served + 1 < max_requests;
+        if response.write_to(stream, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+        carry = head.into_pipelined();
+    }
+}
+
+fn handle_request(
     stream: &mut TcpStream,
+    head: &mut RequestHead,
     manager: &Arc<JobManager>,
     state: &ServerState,
 ) -> Response {
-    let head_deadline = Instant::now() + crate::http::HEAD_DEADLINE;
-    let mut head = match read_head(stream, manager.config().max_body_bytes, head_deadline) {
-        Ok(head) => head,
-        Err(error) => {
-            let status = match &error {
-                HttpError::TooLarge(_) => 413,
-                HttpError::Timeout(_) => 408,
-                _ => 400,
-            };
-            if status == 408 {
-                state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-            } else {
-                state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            }
-            return error_response(status, &error.to_string());
-        }
-    };
-
-    let is_color_post = head.method == "POST" && head.path == "/v1/color";
-    let response = match (head.method.as_str(), head.path.as_str()) {
+    match (head.method.as_str(), head.path.as_str()) {
         ("GET", "/healthz") => {
             state.counters.healthz.fetch_add(1, Ordering::Relaxed);
             Response::json(
@@ -245,7 +301,7 @@ fn handle_connection(
         }
         ("POST", "/v1/color") => {
             state.counters.color.fetch_add(1, Ordering::Relaxed);
-            match handle_color(stream, &mut head, manager, state) {
+            match handle_color(stream, head, manager, state) {
                 Ok(response) => response,
                 Err(response) => {
                     if response.status == 429 {
@@ -277,22 +333,16 @@ fn handle_connection(
             state.counters.not_found.fetch_add(1, Ordering::Relaxed);
             error_response(404, &format!("no route for {} {}", head.method, head.path))
         }
-    };
-    // Routes that never touch the body must still consume it: closing the
-    // socket with unread bytes turns the response into a TCP reset before
-    // the client can read it. (`/v1/color` consumes or drains its body
-    // itself.)
-    if !is_color_post {
-        drain_body(stream, &mut head);
     }
-    response
+    // The caller (`serve_connection`) drains whatever part of the body the
+    // route left unread before the response is written — both so the
+    // client receives a 4xx instead of a TCP reset and so the connection
+    // can be kept alive.
 }
 
 /// Reads and discards the (untouched) request body.
 fn drain_body(stream: &mut TcpStream, head: &mut RequestHead) {
-    if head.content_length > 0 {
-        let _ = io::copy(&mut head.body_reader(stream), &mut io::sink());
-    }
+    let _ = head.drain(stream);
 }
 
 /// Parses the query string and body of `POST /v1/color`, submits the job
@@ -408,7 +458,7 @@ fn handle_color(
                         .str("status", "expired")
                         .str(
                             "error",
-                            "job finished but its record was evicted (retention cap)",
+                            "job finished but its record was evicted (retention cap or TTL)",
                         )
                         .finish(),
                 ),
@@ -699,6 +749,8 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             "shard_writes",
             "pool_tasks",
             "pool_idle_us",
+            "intra_tasks",
+            "intra_wall_us",
         ],
     );
     for (round, stats) in outcome.metrics.runtime_stats().iter().enumerate() {
@@ -710,6 +762,8 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             stats.shard_writes.iter().sum::<u64>().to_string(),
             stats.pool_tasks_per_worker.iter().sum::<u64>().to_string(),
             (stats.pool_idle_nanos / 1_000).to_string(),
+            stats.intra_tasks.to_string(),
+            (stats.intra_wall_nanos / 1_000).to_string(),
         ]);
     }
     table
@@ -776,6 +830,23 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                     state.counters.queue_rejected.load(Ordering::Relaxed),
                 )
                 .u64("timeouts", state.counters.timeouts.load(Ordering::Relaxed))
+                .finish(),
+        )
+        .raw(
+            "http",
+            Object::new()
+                .u64(
+                    "connections",
+                    state.counters.connections.load(Ordering::Relaxed),
+                )
+                .u64(
+                    "keepalive_reused",
+                    state.counters.keepalive_reused.load(Ordering::Relaxed),
+                )
+                .usize(
+                    "max_requests_per_connection",
+                    manager.config().max_requests_per_connection,
+                )
                 .finish(),
         )
         .raw(
@@ -1011,6 +1082,137 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"status\":\"done\""), "{body}");
         assert!(body.contains("\"cached\":true"), "{body}");
+        handle.shutdown();
+    }
+
+    /// Sends one request on an already-open stream and reads exactly one
+    /// response, returning `(status, body, connection-header)` — the
+    /// keep-alive test client (the shared `http_client` closes after every
+    /// request by design).
+    fn raw_request(
+        stream: &mut TcpStream,
+        method: &str,
+        target: &str,
+        body: &str,
+        extra_headers: &str,
+    ) -> (u16, String, String) {
+        use std::io::{Read, Write};
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n{extra_headers}\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body.as_bytes()).unwrap();
+        let mut buffer = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buffer.ends_with(b"\r\n\r\n") {
+            let read = stream.read(&mut byte).expect("response head");
+            assert!(read > 0, "connection closed mid-response");
+            buffer.push(byte[0]);
+        }
+        let head_text = String::from_utf8_lossy(&buffer).into_owned();
+        let status: u16 = head_text
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("numeric status");
+        let header = |name: &str| -> Option<String> {
+            head_text.lines().find_map(|line| {
+                line.to_ascii_lowercase()
+                    .strip_prefix(&format!("{name}:"))
+                    .map(|value| value.trim().to_string())
+            })
+        };
+        let content_length: usize = header("content-length")
+            .and_then(|value| value.parse().ok())
+            .unwrap_or(0);
+        let connection = header("connection").unwrap_or_default();
+        let mut body_buffer = vec![0u8; content_length];
+        stream.read_exact(&mut body_buffer).expect("response body");
+        (
+            status,
+            String::from_utf8_lossy(&body_buffer).into_owned(),
+            connection,
+        )
+    }
+
+    #[test]
+    fn keep_alive_reuses_connections_and_counts_them() {
+        let handle = boot();
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+
+        // Several requests on ONE connection, including a POST whose body
+        // must be fully consumed before the next head is parsed.
+        let (status, body, connection) = raw_request(&mut stream, "GET", "/healthz", "", "");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(connection, "keep-alive");
+        let (status, body, connection) = raw_request(
+            &mut stream,
+            "POST",
+            "/v1/color?algorithm=two-alpha-plus-one&alpha=1&wait=1",
+            "0 1\n1 2\n2 3\n3 0\n",
+            "",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"done\""), "{body}");
+        assert_eq!(connection, "keep-alive");
+        // 4xx responses on a clean body keep the connection alive too.
+        let (status, _, connection) = raw_request(&mut stream, "GET", "/nope", "", "");
+        assert_eq!(status, 404);
+        assert_eq!(connection, "keep-alive");
+
+        let (status, metrics, _) = raw_request(&mut stream, "GET", "/metrics", "", "");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\"keepalive_reused\":3"), "{metrics}");
+        assert!(metrics.contains("\"connections\":"), "{metrics}");
+
+        // Connection: close is honored — the server answers close and
+        // shuts the socket down.
+        let (status, _, connection) =
+            raw_request(&mut stream, "GET", "/healthz", "", "Connection: close\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(connection, "close");
+        let mut rest = Vec::new();
+        use std::io::Read;
+        assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0, "closed");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_requests_per_connection_are_bounded() {
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 1,
+                acceptors: 2,
+                max_requests_per_connection: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .start()
+        .unwrap();
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let (status, _, connection) = raw_request(&mut stream, "GET", "/healthz", "", "");
+        assert_eq!(status, 200);
+        assert_eq!(connection, "keep-alive");
+        // The cap closes the connection after the second request even
+        // though the client never asked for close.
+        let (status, _, connection) = raw_request(&mut stream, "GET", "/healthz", "", "");
+        assert_eq!(status, 200);
+        assert_eq!(connection, "close");
+        let mut rest = Vec::new();
+        use std::io::Read;
+        assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0, "closed");
         handle.shutdown();
     }
 

@@ -12,6 +12,12 @@
 //! * `--queue=N` — bounded submission-queue capacity (default 64).
 //! * `--acceptors=N` — HTTP acceptor threads (default 4).
 //! * `--max-body-mb=N` — request-body limit in MiB (default 64).
+//! * `--keepalive-requests=N` — HTTP/1.1 requests served per connection
+//!   before it is closed (default 100; 1 disables keep-alive).
+//! * `--job-ttl-s=N` — age in seconds at which terminal job records are
+//!   garbage-collected (default 600).
+
+use std::time::Duration;
 
 use ampc_coloring_bench::args::parse_flag;
 use ampc_service::{Server, ServiceConfig};
@@ -31,6 +37,14 @@ fn main() {
     }
     if let Some(megabytes) = parse_flag::<usize>(&args, "max-body-mb") {
         config.max_body_bytes = megabytes << 20;
+    }
+    if let Some(requests) = parse_flag(&args, "keepalive-requests") {
+        config.max_requests_per_connection = requests;
+    }
+    if let Some(seconds) = parse_flag::<u64>(&args, "job-ttl-s") {
+        // At least one second: a sub-second TTL would expire results
+        // before a synchronous waiter can read them.
+        config.job_ttl = Duration::from_secs(seconds.max(1));
     }
 
     let server = match Server::bind(&addr, config) {

@@ -7,9 +7,13 @@
 
 use ampc_coloring_repro::{Algorithm, RuntimeConfig, SparseColoring, Workload};
 use ampc_model::{AmpcConfig, ConflictPolicy, DataStore, Key, ModelError, Value};
-use ampc_runtime::AmpcBackend;
-use beta_partition::{ampc_beta_partition, PartitionParams};
-use sparse_graph::CsrGraph;
+use ampc_runtime::{AmpcBackend, RoundPrimitives};
+use arbo_coloring::{
+    arb_linial_coloring_with_runtime, derandomized_coloring_with_runtime,
+    kw_color_reduction_with_runtime, recolor_layers_with_runtime, DerandParams, RecolorOrder,
+};
+use beta_partition::{ampc_beta_partition, natural_partition, PartitionParams};
+use sparse_graph::{Coloring, CsrGraph, Orientation};
 
 const ALL_WORKLOADS: [Workload; 4] = [
     Workload::ForestUnion { n: 400, k: 2 },
@@ -192,6 +196,152 @@ fn partitions_and_colorings_agree_on_every_workload() {
         assert_eq!(sequential.colors_used, parallel.colors_used);
         assert_eq!(sequential.total_rounds, parallel.total_rounds);
         assert!(sequential.coloring.is_proper(&graph));
+    }
+}
+
+/// The intra-layer determinism matrix: the LOCAL simulators themselves
+/// (Arb-Linial rounds, Kuhn–Wattenhofer sweeps) produce bit-identical
+/// colorings, palette trajectories and round counts on the round
+/// primitives for every workload and thread count.
+#[test]
+fn intra_layer_simulators_are_bit_identical_across_thread_counts() {
+    for workload in ALL_WORKLOADS {
+        let graph = workload.build(101);
+        let orientation = Orientation::from_total_order(&graph, |v| v);
+        let initial = Coloring::new((0..graph.num_nodes()).collect());
+        let delta = graph.max_degree();
+
+        let linial_reference = arb_linial_coloring_with_runtime(
+            &graph,
+            &orientation,
+            None,
+            &RoundPrimitives::sequential(),
+        )
+        .expect("sequential Arb-Linial succeeds");
+        let kw_reference = kw_color_reduction_with_runtime(
+            &graph,
+            &initial,
+            delta,
+            &RoundPrimitives::sequential(),
+        )
+        .expect("sequential KW succeeds");
+
+        for threads in [2usize, 4, 7] {
+            let primitives = RoundPrimitives::new(threads);
+            let linial = arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
+                .expect("parallel Arb-Linial succeeds");
+            assert_eq!(
+                linial_reference.coloring, linial.coloring,
+                "workload {workload:?}, threads {threads}"
+            );
+            assert_eq!(
+                linial_reference.palette_trajectory,
+                linial.palette_trajectory
+            );
+            assert_eq!(linial_reference.rounds, linial.rounds);
+
+            let kw = kw_color_reduction_with_runtime(&graph, &initial, delta, &primitives)
+                .expect("parallel KW succeeds");
+            assert_eq!(
+                kw_reference.coloring, kw.coloring,
+                "workload {workload:?}, threads {threads}"
+            );
+            assert_eq!(kw_reference.palette_trajectory, kw.palette_trajectory);
+            assert_eq!(kw_reference.rounds, kw.rounds);
+            assert!(primitives.tasks_executed() > 0, "primitives actually ran");
+        }
+    }
+}
+
+/// The recoloring waves and the derandomized MPC sweeps agree across
+/// thread counts too (the remaining intra-layer code paths).
+#[test]
+fn recolor_and_derand_sweeps_are_bit_identical_across_thread_counts() {
+    for workload in ALL_WORKLOADS {
+        let graph = workload.build(102);
+        let beta = 2 * workload.alpha_bound() + 2;
+        let partition = natural_partition(&graph, beta);
+        // The trivial id-coloring is proper everywhere, hence within every
+        // layer — a valid recoloring input with plenty of waves.
+        let initial = Coloring::new((0..graph.num_nodes()).collect());
+        let recolor_reference = recolor_layers_with_runtime(
+            &graph,
+            &partition,
+            &initial,
+            RecolorOrder::HighestAvailable,
+            &RoundPrimitives::sequential(),
+        )
+        .expect("sequential recolor succeeds");
+        let derand_reference = derandomized_coloring_with_runtime(
+            &graph,
+            &DerandParams::with_x(2),
+            &RoundPrimitives::sequential(),
+        );
+        for threads in [2usize, 5] {
+            let primitives = RoundPrimitives::new(threads);
+            let recolored = recolor_layers_with_runtime(
+                &graph,
+                &partition,
+                &initial,
+                RecolorOrder::HighestAvailable,
+                &primitives,
+            )
+            .expect("parallel recolor succeeds");
+            assert_eq!(
+                recolor_reference.coloring, recolored.coloring,
+                "workload {workload:?}, threads {threads}"
+            );
+            assert_eq!(
+                recolor_reference.repaired_conflicts,
+                recolored.repaired_conflicts
+            );
+            let derand =
+                derandomized_coloring_with_runtime(&graph, &DerandParams::with_x(2), &primitives);
+            assert_eq!(
+                derand_reference.coloring, derand.coloring,
+                "workload {workload:?}, threads {threads}"
+            );
+            assert_eq!(derand_reference.uncolored_history, derand.uncolored_history);
+            assert_eq!(derand_reference.mpc_rounds, derand.mpc_rounds);
+        }
+    }
+}
+
+/// End-to-end: the full drivers stay bit-identical across a thread matrix
+/// now that the intra-layer loops are parallel too, and parallel runs
+/// record intra-layer task counts (excluded from metric equality).
+#[test]
+fn drivers_agree_across_thread_matrix_and_record_intra_stats() {
+    for workload in ALL_WORKLOADS {
+        let graph = workload.build(103);
+        let alpha = workload.alpha_bound();
+        let color = |runtime: RuntimeConfig| {
+            SparseColoring::new()
+                .algorithm(Algorithm::TwoAlphaPlusOne)
+                .alpha(alpha)
+                .runtime(runtime)
+                .color(&graph)
+                .expect("coloring succeeds")
+        };
+        let sequential = color(RuntimeConfig::Sequential);
+        for threads in [2usize, 4, 7] {
+            let parallel = color(RuntimeConfig::parallel().with_threads(threads));
+            assert_eq!(
+                sequential.coloring, parallel.coloring,
+                "workload {workload:?}, threads {threads}"
+            );
+            assert_eq!(sequential.colors_used, parallel.colors_used);
+            assert_eq!(sequential.total_rounds, parallel.total_rounds);
+            assert_eq!(sequential.metrics, parallel.metrics, "model-level only");
+            assert!(
+                parallel
+                    .metrics
+                    .runtime_stats()
+                    .iter()
+                    .any(|stats| stats.intra_tasks > 0),
+                "parallel runs record intra-layer stats"
+            );
+        }
     }
 }
 
