@@ -101,6 +101,19 @@ pub struct RoundRuntimeStats {
     /// Estimated nanoseconds the pool's workers spent idle while this round
     /// ran (0 for the sequential executor).
     pub pool_idle_nanos: u64,
+    /// Pool tasks a worker claimed from another worker's deque while this
+    /// round ran (the work-stealing scheduler rebalancing skewed chunks;
+    /// 0 for the sequential executor). Approximate when several executions
+    /// share one pool, like the other pool counters.
+    pub pool_steals: u64,
+    /// Pool tasks that overflowed a full worker deque into the shared
+    /// injector while this round ran (0 for the sequential executor).
+    pub pool_overflows: u64,
+    /// The shard count chosen by the auto-tuner for this round, when the
+    /// backend runs with `shards = 0` (auto); 0 when the shard count was
+    /// fixed by configuration. Logged so operators can see what the
+    /// imbalance-driven re-sharding settled on.
+    pub auto_shards: usize,
     /// Data-parallel tasks executed by the intra-layer round primitives
     /// (`par_node_map` / `par_color_classes` / `par_reduce`) while this
     /// logical round ran. Like the pool counters these are measurements of
@@ -134,6 +147,15 @@ impl RoundRuntimeStats {
             shard_writes: add(&self.shard_writes, &other.shard_writes),
             pool_tasks_per_worker: add(&self.pool_tasks_per_worker, &other.pool_tasks_per_worker),
             pool_idle_nanos: self.pool_idle_nanos + other.pool_idle_nanos,
+            pool_steals: self.pool_steals + other.pool_steals,
+            pool_overflows: self.pool_overflows + other.pool_overflows,
+            // The chosen shard count is a configuration-like value, not a
+            // sum: folding rounds keeps the latest non-zero choice.
+            auto_shards: if other.auto_shards != 0 {
+                other.auto_shards
+            } else {
+                self.auto_shards
+            },
             intra_tasks: self.intra_tasks + other.intra_tasks,
             intra_wall_nanos: self.intra_wall_nanos + other.intra_wall_nanos,
         }

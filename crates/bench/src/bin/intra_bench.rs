@@ -7,6 +7,17 @@
 //! cannot help. Every parallel run is checked bit-identical to the
 //! sequential reference before its timing is reported.
 //!
+//! Two sections:
+//!
+//! * **balanced** — degeneracy-oriented forest-union / power-law graphs
+//!   (near-uniform per-node cost), the PR 3 matrix.
+//! * **skewed** — power-law and hub-and-spoke graphs oriented **by node
+//!   id**, which piles most of the Arb-Linial work onto a few hub nodes
+//!   clustered in index space. Here every thread count runs twice: once
+//!   with the PR 3 `contiguous` equal-width chunk grid and once with the
+//!   cost-`weighted` grid + work-stealing deques, so the scheduler A/B is
+//!   recorded directly in `BENCH_intra.json`.
+//!
 //! ```text
 //! # smoke: small graphs, assert bit-identity, exit non-zero on mismatch
 //! cargo run -p ampc-coloring-bench --bin intra_bench --release -- --smoke
@@ -56,11 +67,24 @@ fn best_of<R>(reps: usize, mut run: impl FnMut() -> R) -> (Duration, R) {
 }
 
 struct Cell {
+    workload: String,
     simulator: &'static str,
+    scheduler: &'static str,
     threads: usize,
     wall: Duration,
     identical: bool,
     intra_tasks: u64,
+}
+
+/// A primitives context for one cell: threads plus the scheduler under
+/// test (`weighted` cost-aware chunking vs the PR 3 `contiguous` grid).
+fn primitives_for(threads: usize, scheduler: &str) -> RoundPrimitives {
+    let primitives = RoundPrimitives::new(threads);
+    if scheduler == "contiguous" {
+        primitives.contiguous()
+    } else {
+        primitives
+    }
 }
 
 fn main() {
@@ -76,22 +100,17 @@ fn main() {
     threads.retain(|&t| t != 1);
     threads.insert(0, 1);
 
-    let workloads = [
-        Workload::ForestUnion { n, k: 2 },
-        Workload::PowerLaw {
-            n,
-            edges_per_node: 3,
-        },
-    ];
-
     let mut table = Table::new(
         "intra",
         "intra-layer seq vs parallel matrix",
         "wall clock of the LOCAL simulators (whole graph = one layer) on the round \
-         primitives, per thread count; parallel runs verified bit-identical to threads=1",
+         primitives, per thread count and scheduler; `weighted` = cost-weighted chunking \
+         + work-stealing deques, `contiguous` = the PR 3 equal-width grid; parallel runs \
+         verified bit-identical to threads=1",
         &[
             "workload",
             "simulator",
+            "scheduler",
             "threads",
             "wall_ms",
             "speedup",
@@ -100,8 +119,19 @@ fn main() {
         ],
     );
 
+    let mut cells: Vec<Cell> = Vec::new();
     let mut all_identical = true;
-    for workload in workloads {
+
+    // Section 1 — balanced: degeneracy orientations, near-uniform per-node
+    // cost; the weighted scheduler's grid is near-uniform too, so a single
+    // scheduler column suffices (it is the simulators' default).
+    for workload in [
+        Workload::ForestUnion { n, k: 2 },
+        Workload::PowerLaw {
+            n,
+            edges_per_node: 3,
+        },
+    ] {
         let graph = workload.build(7);
         let orientation = degeneracy_orientation(&graph);
         let trivial = Coloring::new((0..graph.num_nodes()).collect());
@@ -113,7 +143,6 @@ fn main() {
         // keep Δ small, so KW runs there only.
         let run_kw = matches!(workload, Workload::ForestUnion { .. });
 
-        let mut cells: Vec<Cell> = Vec::new();
         let mut linial_reference: Option<ArbLinialResult> = None;
         let mut kw_reference: Option<KwReductionResult> = None;
         for &t in &threads {
@@ -139,7 +168,9 @@ fn main() {
             };
             all_identical &= identical;
             cells.push(Cell {
+                workload: workload.label(),
                 simulator: "arb-linial",
+                scheduler: "weighted",
                 threads: t,
                 wall,
                 identical,
@@ -166,7 +197,9 @@ fn main() {
                 };
                 all_identical &= identical;
                 cells.push(Cell {
+                    workload: workload.label(),
                     simulator: "kuhn-wattenhofer",
+                    scheduler: "weighted",
                     threads: t,
                     wall,
                     identical,
@@ -174,30 +207,95 @@ fn main() {
                 });
             }
         }
+    }
 
-        let baseline = |simulator: &str| -> Duration {
-            cells
-                .iter()
-                .find(|cell| cell.simulator == simulator && cell.threads == 1)
-                .map_or(Duration::ZERO, |cell| cell.wall)
-        };
-        for cell in &cells {
-            let sequential = baseline(cell.simulator);
-            let speedup = if cell.wall.as_nanos() > 0 {
-                sequential.as_secs_f64() / cell.wall.as_secs_f64()
+    // Section 2 — skewed: the graphs oriented **by node id**, so hubs keep
+    // their full degree as out-degree. On the preferential-attachment graph
+    // the hubs are the low ids — clustered at the front of the index space,
+    // exactly the shape that starves contiguous equal-width chunks. Every
+    // parallel thread count runs under both schedulers.
+    for workload in [
+        Workload::PowerLaw {
+            n,
+            edges_per_node: 3,
+        },
+        Workload::HubAndSpoke {
+            n,
+            communities: (n / 500).max(2),
+        },
+    ] {
+        let graph = workload.build(11);
+        let orientation = Orientation::from_total_order(&graph, |v| v);
+        let label = format!("{}+by-id", workload.label());
+
+        let mut reference: Option<ArbLinialResult> = None;
+        for &t in &threads {
+            let schedulers: &[&'static str] = if t == 1 {
+                // Inline execution: the scheduler never engages.
+                &["weighted"]
             } else {
-                0.0
+                &["contiguous", "weighted"]
             };
-            table.push_row(vec![
-                workload.label(),
-                cell.simulator.to_string(),
-                cell.threads.to_string(),
-                format!("{:.3}", cell.wall.as_secs_f64() * 1e3),
-                format!("{speedup:.2}"),
-                cell.intra_tasks.to_string(),
-                cell.identical.to_string(),
-            ]);
+            for &scheduler in schedulers {
+                let (wall, (linial, tasks)) = best_of(reps, || {
+                    let primitives = primitives_for(t, scheduler);
+                    let result =
+                        arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
+                            .expect("Arb-Linial succeeds");
+                    (result, primitives.tasks_executed())
+                });
+                let identical = match &reference {
+                    None => {
+                        reference = Some(linial);
+                        true
+                    }
+                    Some(reference) => {
+                        reference.coloring == linial.coloring
+                            && reference.palette_trajectory == linial.palette_trajectory
+                    }
+                };
+                all_identical &= identical;
+                cells.push(Cell {
+                    workload: label.clone(),
+                    simulator: "arb-linial",
+                    scheduler,
+                    threads: t,
+                    wall,
+                    identical,
+                    intra_tasks: tasks,
+                });
+            }
         }
+    }
+
+    // Speedups are relative to the threads=1 run of the same (workload,
+    // simulator) — the same baseline for both schedulers, so the A/B is a
+    // straight wall_ms (or speedup) comparison between rows.
+    let baseline = |workload: &str, simulator: &str| -> Duration {
+        cells
+            .iter()
+            .find(|cell| {
+                cell.workload == workload && cell.simulator == simulator && cell.threads == 1
+            })
+            .map_or(Duration::ZERO, |cell| cell.wall)
+    };
+    for cell in &cells {
+        let sequential = baseline(&cell.workload, cell.simulator);
+        let speedup = if cell.wall.as_nanos() > 0 {
+            sequential.as_secs_f64() / cell.wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            cell.workload.clone(),
+            cell.simulator.to_string(),
+            cell.scheduler.to_string(),
+            cell.threads.to_string(),
+            format!("{:.3}", cell.wall.as_secs_f64() * 1e3),
+            format!("{speedup:.2}"),
+            cell.intra_tasks.to_string(),
+            cell.identical.to_string(),
+        ]);
     }
 
     print!("{}", table.render());

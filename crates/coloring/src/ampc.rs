@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use ampc_runtime::{parallel_map, RoundPrimitives, RuntimeConfig};
+use ampc_runtime::{parallel_map_weighted, RoundPrimitives, RuntimeConfig};
 use beta_partition::{
     ampc_beta_partition, AmpcPartitionResult, BetaPartition, Layer, PartitionError, PartitionParams,
 };
@@ -317,9 +317,14 @@ pub fn color_two_alpha_plus_one(
         kw_rounds: usize,
     }
     let layers = layer_members(graph, &partition.partition);
-    let outcomes = parallel_map(
+    // Layer costs are skewed too (the bottom layer of a power-law graph
+    // holds most nodes and edges): weighting each layer by its total
+    // degree plus size splits the layer list into cost-balanced, stealable
+    // chunks instead of equal-count ranges.
+    let outcomes = parallel_map_weighted(
         &layers,
         params.runtime.effective_threads(),
+        |_, members| layer_cost(graph, members),
         |_, members| -> Result<LayerColors, ColoringError> {
             let sub = InducedSubgraph::new(graph, members);
             let local_graph = sub.graph();
@@ -419,9 +424,10 @@ pub fn color_large_arboricity(
         mpc_rounds: usize,
     }
     let layers = layer_members(graph, &partition.partition);
-    let outcomes = parallel_map(
+    let outcomes = parallel_map_weighted(
         &layers,
         params.runtime.effective_threads(),
+        |_, members| layer_cost(graph, members),
         |_, members| -> Result<LayerPalette, ColoringError> {
             let sub = InducedSubgraph::new(graph, members);
             let result =
@@ -475,6 +481,13 @@ fn recolor_batch_size(n: usize, beta: usize, delta: f64) -> usize {
     }
     let log_beta_n = (n as f64).ln() / (beta.max(2) as f64).ln();
     ((delta / beta.max(1) as f64) * log_beta_n).floor().max(1.0) as usize
+}
+
+/// The scheduling cost estimate of coloring one layer: its size plus its
+/// members' total degree (the induced-subgraph construction and every
+/// simulator round scan the members' adjacency lists).
+fn layer_cost(graph: &CsrGraph, members: &[NodeId]) -> usize {
+    members.len() + members.iter().map(|&v| graph.degree(v)).sum::<usize>()
 }
 
 /// The member lists of all non-empty layers, in increasing layer order.

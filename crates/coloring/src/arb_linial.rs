@@ -215,30 +215,40 @@ fn reduction_round(
         value
     };
 
-    let new_colors = primitives.par_node_map(graph.num_nodes(), |v| {
-        let own = coefficients(colors[v]);
-        let neighbor_polys: Vec<Vec<u64>> = orientation
-            .out_neighbors(v)
-            .iter()
-            .map(|&u| coefficients(colors[u]))
-            .collect();
-        let mut chosen = None;
-        for a in 0..q as u64 {
-            let own_value = evaluate(&own, a);
-            let clashes = neighbor_polys
+    // Cost-weighted chunking: a node's round cost is dominated by scanning
+    // its out-neighbors (polynomial decoding plus up to q evaluations per
+    // out-neighbor), so the out-degree is the per-node weight. On skewed
+    // orientations — power-law graphs oriented by node id put most edges on
+    // a few hubs — this shatters the hub-heavy index ranges into many
+    // small, stealable tasks instead of one dominant contiguous chunk.
+    let new_colors = primitives.par_node_map_weighted(
+        graph.num_nodes(),
+        |v| orientation.out_degree(v),
+        |v| {
+            let own = coefficients(colors[v]);
+            let neighbor_polys: Vec<Vec<u64>> = orientation
+                .out_neighbors(v)
                 .iter()
-                .any(|poly| evaluate(poly, a) == own_value);
-            if !clashes {
-                chosen = Some((a, own_value));
-                break;
+                .map(|&u| coefficients(colors[u]))
+                .collect();
+            let mut chosen = None;
+            for a in 0..q as u64 {
+                let own_value = evaluate(&own, a);
+                let clashes = neighbor_polys
+                    .iter()
+                    .any(|poly| evaluate(poly, a) == own_value);
+                if !clashes {
+                    chosen = Some((a, own_value));
+                    break;
+                }
             }
-        }
-        let (a, value) = chosen.expect(
-            "a conflict-free evaluation point exists because q > d * beta \
+            let (a, value) = chosen.expect(
+                "a conflict-free evaluation point exists because q > d * beta \
              bounds the number of covered points",
-        );
-        (a as usize) * q + value as usize
-    });
+            );
+            (a as usize) * q + value as usize
+        },
+    );
     Ok((new_colors, q * q))
 }
 

@@ -338,16 +338,22 @@ pub fn derandomized_coloring_with_runtime(
         for &(v, c) in &tentative {
             tentative_colors[v] = Some(c);
         }
-        let conflicts: Vec<bool> = primitives.par_map(&tentative, |_, &(v, color)| {
-            graph.neighbors(v).iter().any(|&w| {
-                let other = if in_u[w] {
-                    tentative_colors[w]
-                } else {
-                    partial.color(w)
-                };
-                other == Some(color)
-            })
-        });
+        // Weighted by degree: the conflict check scans each tentative
+        // node's adjacency list, the edge-dominated loop of this sweep.
+        let conflicts: Vec<bool> = primitives.par_map_weighted(
+            &tentative,
+            |_, &(v, _)| graph.degree(v),
+            |_, &(v, color)| {
+                graph.neighbors(v).iter().any(|&w| {
+                    let other = if in_u[w] {
+                        tentative_colors[w]
+                    } else {
+                        partial.color(w)
+                    };
+                    other == Some(color)
+                })
+            },
+        );
         let mut still_uncolored = Vec::new();
         for (&(v, color), &conflicted) in tentative.iter().zip(&conflicts) {
             if conflicted {

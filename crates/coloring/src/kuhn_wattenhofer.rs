@@ -111,20 +111,28 @@ pub fn kw_color_reduction_with_runtime(
                 let c = colors[v];
                 c % block == offset && c < palette
             });
-            primitives.par_color_classes(&recolor, &mut colors, |v, snapshot| {
-                let block_start = (snapshot[v] / block) * block;
-                let mut used = vec![false; target];
-                for &w in graph.neighbors(v) {
-                    let cw = snapshot[w];
-                    if cw >= block_start && cw < block_start + target {
-                        used[cw - block_start] = true;
+            // Weighted by degree: a member's decision scans its whole
+            // adjacency list, so hub members cost Δ while leaves cost 1 —
+            // weighted chunking keeps the sweep balanced on skewed graphs.
+            primitives.par_color_classes_weighted(
+                &recolor,
+                &mut colors,
+                |v| graph.degree(v),
+                |v, snapshot| {
+                    let block_start = (snapshot[v] / block) * block;
+                    let mut used = vec![false; target];
+                    for &w in graph.neighbors(v) {
+                        let cw = snapshot[w];
+                        if cw >= block_start && cw < block_start + target {
+                            used[cw - block_start] = true;
+                        }
                     }
-                }
-                let free = (0..target)
-                    .find(|&c| !used[c])
-                    .expect("a free color exists because the degree is at most degree_bound");
-                block_start + free
-            });
+                    let free = (0..target)
+                        .find(|&c| !used[c])
+                        .expect("a free color exists because the degree is at most degree_bound");
+                    block_start + free
+                },
+            );
         }
         // Compact the palette: block b now only uses colors
         // [b * block, b * block + target); renumber to b * target + offset.

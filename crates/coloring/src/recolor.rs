@@ -131,8 +131,15 @@ pub fn recolor_layers_with_runtime(
         conflicts: usize,
         violation: Option<(NodeId, NodeId)>,
     }
-    let check = primitives.par_reduce_range(
+    // Weighted by degree: the fold scans each node's adjacency list, so
+    // the cost-weighted grid splits hub-heavy index ranges into small,
+    // stealable chunks. Both accumulator components are insensitive to the
+    // grid — the conflict count is an integer sum, and `Option::or` over
+    // ascending chunks always yields the first violation in edge order —
+    // so the outcome is identical for any thread count and grid.
+    let check = primitives.par_reduce_range_weighted(
         n,
+        |u| graph.degree(u),
         EdgeCheck::default(),
         |mut acc: EdgeCheck, u| {
             for &v in graph.neighbors(u) {
@@ -193,20 +200,27 @@ pub fn recolor_layers_with_runtime(
         let wave = &schedule[start..end];
         let choices: Vec<Option<usize>> = {
             let snapshot: &[Option<usize>] = &final_colors;
-            primitives.par_map(wave, |_, &v| {
-                let mut used = vec![false; palette];
-                for &w in graph.neighbors(v) {
-                    if let Some(c) = snapshot[w] {
-                        if c < palette {
-                            used[c] = true;
+            // Weighted by degree: a wave member's decision scans its whole
+            // adjacency list, and waves of a skewed layer mix hubs with
+            // leaves.
+            primitives.par_map_weighted(
+                wave,
+                |_, &v| graph.degree(v),
+                |_, &v| {
+                    let mut used = vec![false; palette];
+                    for &w in graph.neighbors(v) {
+                        if let Some(c) = snapshot[w] {
+                            if c < palette {
+                                used[c] = true;
+                            }
                         }
                     }
-                }
-                match order {
-                    RecolorOrder::HighestAvailable => (0..palette).rev().find(|&c| !used[c]),
-                    RecolorOrder::SmallestAvailable => (0..palette).find(|&c| !used[c]),
-                }
-            })
+                    match order {
+                        RecolorOrder::HighestAvailable => (0..palette).rev().find(|&c| !used[c]),
+                        RecolorOrder::SmallestAvailable => (0..palette).find(|&c| !used[c]),
+                    }
+                },
+            )
         };
         for (&v, choice) in wave.iter().zip(choices) {
             let Some(color) = choice else {

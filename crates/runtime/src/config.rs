@@ -21,7 +21,13 @@ pub enum RuntimeConfig {
         /// Worker threads per round; `None` uses the host's available
         /// parallelism.
         threads: Option<usize>,
-        /// Store shards; `None` derives `4 × threads`.
+        /// Store shards; `None` derives the fixed default `4 × threads`.
+        /// **`Some(0)` selects auto-tuning**: the initial count derives
+        /// from the thread count and the backend doubles it between rounds
+        /// while the observed per-shard read load
+        /// ([`ampc_model::RoundRuntimeStats::shard_reads`]) stays
+        /// imbalanced. Shard counts never affect results, only load
+        /// spread, so auto-tuning preserves bit-identity.
         shards: Option<usize>,
     },
 }
@@ -80,13 +86,29 @@ impl RuntimeConfig {
         }
     }
 
-    /// Store shards the parallel backend will use.
+    /// Whether the shard count is auto-tuned (`shards == Some(0)`).
+    pub fn auto_shards(&self) -> bool {
+        matches!(
+            self,
+            RuntimeConfig::Parallel {
+                shards: Some(0),
+                ..
+            }
+        )
+    }
+
+    /// Store shards the parallel backend will start with. For the
+    /// auto-tuned setting (`shards == Some(0)`) this is the initial count
+    /// derived from the thread count — a power of two so doublings stay
+    /// powers of two; the backend may grow it from observed imbalance.
     pub fn effective_shards(&self) -> usize {
         match self {
             RuntimeConfig::Sequential => 1,
-            RuntimeConfig::Parallel { shards, .. } => {
-                shards.unwrap_or(4 * self.effective_threads()).max(1)
-            }
+            RuntimeConfig::Parallel { shards, .. } => match shards {
+                Some(0) => (4 * self.effective_threads()).next_power_of_two(),
+                Some(shards) => (*shards).max(1),
+                None => (4 * self.effective_threads()).max(1),
+            },
         }
     }
 
@@ -94,12 +116,15 @@ impl RuntimeConfig {
     pub fn backend(&self, config: AmpcConfig, initial: DataStore) -> Box<dyn AmpcBackend> {
         match self {
             RuntimeConfig::Sequential => Box::new(SequentialBackend::new(config, initial)),
-            RuntimeConfig::Parallel { .. } => Box::new(ParallelBackend::new(
-                config,
-                initial,
-                self.effective_threads(),
-                self.effective_shards(),
-            )),
+            RuntimeConfig::Parallel { .. } => Box::new(
+                ParallelBackend::new(
+                    config,
+                    initial,
+                    self.effective_threads(),
+                    self.effective_shards(),
+                )
+                .with_auto_shard_tuning(self.auto_shards()),
+            ),
         }
     }
 
@@ -133,6 +158,21 @@ mod tests {
         let derived = RuntimeConfig::parallel().with_threads(2);
         assert_eq!(derived.effective_shards(), 8);
         assert!(RuntimeConfig::parallel().label().starts_with("parallel"));
+    }
+
+    #[test]
+    fn zero_shards_selects_auto_tuning() {
+        let auto = RuntimeConfig::parallel().with_threads(3).with_shards(0);
+        assert!(auto.auto_shards());
+        // Initial auto count: derived from the thread count, a power of
+        // two so doublings stay powers of two.
+        assert_eq!(auto.effective_shards(), 16);
+        assert!(!RuntimeConfig::parallel().with_threads(3).auto_shards());
+        assert!(!RuntimeConfig::Sequential.auto_shards());
+        // A non-zero explicit count is honored verbatim.
+        let fixed = RuntimeConfig::parallel().with_threads(3).with_shards(5);
+        assert!(!fixed.auto_shards());
+        assert_eq!(fixed.effective_shards(), 5);
     }
 
     #[test]

@@ -23,13 +23,19 @@
 //!   per pool (the process-wide [`WorkerPool::global`] pool by default) and
 //!   reused across rounds, backends and jobs, instead of scoped-spawning
 //!   per round. The serving subsystem (`ampc-service`) shares the same
-//!   pool across its job queue.
+//!   pool across its job queue. Tasks run on per-worker **work-stealing
+//!   deques** (LIFO local pop, FIFO steal), so skewed batches — the
+//!   cost-weighted chunks of a hub-heavy graph — keep every worker busy.
 //! * [`RoundPrimitives`] — deterministic data-parallel **round primitives**
 //!   (`par_node_map`, `par_color_classes`, `par_reduce`) that the LOCAL/MPC
 //!   simulators' per-node loops run on: chunked maps with index-ordered
 //!   merge, independent-set recoloring sweeps with snapshot semantics, and
 //!   reductions over a thread-count-independent chunk grid — bit-identical
-//!   for any thread count.
+//!   for any thread count. The `*_weighted` forms add **cost-weighted
+//!   chunking** (per-item cost = CSR degree) whose chunk boundaries derive
+//!   only from the prefix sum of the costs, splitting skewed index ranges
+//!   into many small stealable tasks without touching the bit-identity
+//!   contract.
 //! * Extended metrics — wall-clock per round, per-shard read/write counts,
 //!   conflict-merge counts and pool-reuse deltas (tasks per worker, idle
 //!   time), surfaced through [`ampc_model::AmpcMetrics::runtime_stats`].
@@ -97,6 +103,6 @@ pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
 pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
 pub use config::RuntimeConfig;
 pub use parallel::ParallelBackend;
-pub use pool::{parallel_map, PoolStats, ScopedTask, WorkerPool};
+pub use pool::{parallel_map, parallel_map_weighted, PoolStats, ScopedTask, WorkerPool};
 pub use rounds::RoundPrimitives;
 pub use shard::ShardedStore;

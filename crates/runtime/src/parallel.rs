@@ -92,7 +92,34 @@ pub struct ParallelBackend {
     metrics: AmpcMetrics,
     threads: usize,
     pool: Arc<WorkerPool>,
+    /// When set, the shard count grows (doubles, up to
+    /// [`MAX_AUTO_SHARDS`]) between rounds while the observed per-shard
+    /// read load stays imbalanced. Selected by `RuntimeConfig` with
+    /// `shards == Some(0)`.
+    auto_shards: bool,
+    /// The hottest shard's share of all reads at the last doubling —
+    /// compared against the next observation to tell *spreadable*
+    /// imbalance (more shards dilute the hot shard) from *irreducible*
+    /// imbalance (one hot key that lands in a single shard at any count).
+    last_hot_share: Option<f64>,
+    /// Set once a doubling failed to shrink the hot share: further
+    /// doublings cannot help either, so the tuner stops re-partitioning.
+    retune_stalled: bool,
 }
+
+/// Ceiling for the auto-tuned shard count.
+const MAX_AUTO_SHARDS: usize = 1024;
+
+/// The auto-tuner doubles the shard count while the hottest shard serves
+/// more than `IMBALANCE_FACTOR` times its fair share of reads.
+const IMBALANCE_FACTOR: u64 = 2;
+
+/// A doubling must shrink the hottest shard's read *share* below this
+/// fraction of the previous observation to count as progress; otherwise
+/// the imbalance is concentrated on fewer keys than shards (ultimately one
+/// hot key) and re-partitioning — a full store copy per attempt — is
+/// wasted work.
+const RETUNE_IMPROVEMENT: f64 = 0.75;
 
 impl std::fmt::Debug for ParallelBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -135,7 +162,24 @@ impl ParallelBackend {
             metrics: AmpcMetrics::default(),
             threads: threads.max(1),
             pool,
+            auto_shards: false,
+            last_hot_share: None,
+            retune_stalled: false,
         }
+    }
+
+    /// Enables (or disables) imbalance-driven shard-count auto-tuning: the
+    /// constructor's shard count becomes the starting point and the
+    /// backend doubles it between rounds while the hottest shard keeps
+    /// serving more than [`IMBALANCE_FACTOR`]× its fair share of the
+    /// observed reads ([`RoundRuntimeStats::shard_reads`]). The shard
+    /// count chosen for each round is logged in
+    /// [`RoundRuntimeStats::auto_shards`]. Results are unaffected: the
+    /// key→shard mapping only spreads load, the per-key merge order stays
+    /// global `(machine, write index)` order for any count.
+    pub fn with_auto_shard_tuning(mut self, enabled: bool) -> Self {
+        self.auto_shards = enabled;
+        self
     }
 
     /// Number of worker threads used per round.
@@ -299,6 +343,42 @@ impl ParallelBackend {
     }
 }
 
+impl ParallelBackend {
+    /// The imbalance-driven auto-tuner: after a round, if the hottest
+    /// shard served more than [`IMBALANCE_FACTOR`]× its fair share of the
+    /// round's reads, double the shard count (re-partitioning the store)
+    /// so the hot keys spread over more shards next round. No-op when
+    /// auto-tuning is disabled, the cap is reached, the round issued no
+    /// reads — or a previous doubling failed to dilute the hot shard
+    /// (irreducible single-hot-key imbalance, which no shard count fixes;
+    /// without this check every round would pay a full store copy all the
+    /// way to the cap for zero benefit).
+    fn retune_shards(&mut self, shard_reads: &[u64]) {
+        if !self.auto_shards || self.retune_stalled {
+            return;
+        }
+        let num_shards = self.store.num_shards();
+        if num_shards >= MAX_AUTO_SHARDS {
+            return;
+        }
+        let total: u64 = shard_reads.iter().sum();
+        let hottest = shard_reads.iter().copied().max().unwrap_or(0);
+        if total == 0 || hottest * num_shards as u64 <= IMBALANCE_FACTOR * total {
+            return;
+        }
+        let share = hottest as f64 / total as f64;
+        if let Some(previous) = self.last_hot_share {
+            if share >= RETUNE_IMPROVEMENT * previous {
+                self.retune_stalled = true;
+                return;
+            }
+        }
+        self.last_hot_share = Some(share);
+        let doubled = (num_shards * 2).min(MAX_AUTO_SHARDS);
+        self.store = ShardedStore::from_store(self.store.to_data_store(), doubled);
+    }
+}
+
 impl AmpcBackend for ParallelBackend {
     fn config(&self) -> &AmpcConfig {
         &self.config
@@ -381,14 +461,22 @@ impl AmpcBackend for ParallelBackend {
         self.metrics.record_runtime(RoundRuntimeStats {
             wall_clock_nanos: started.elapsed().as_nanos() as u64,
             conflict_merges,
-            shard_reads,
+            shard_reads: shard_reads.clone(),
             shard_writes,
             pool_tasks_per_worker: pool_delta(&pool_before, &pool_after),
             pool_idle_nanos: pool_after
                 .total_idle_nanos()
                 .saturating_sub(pool_before.total_idle_nanos()),
+            pool_steals: pool_after.steals.saturating_sub(pool_before.steals),
+            pool_overflows: pool_after.overflows.saturating_sub(pool_before.overflows),
+            auto_shards: if self.auto_shards {
+                self.store.num_shards()
+            } else {
+                0
+            },
             ..RoundRuntimeStats::default()
         });
+        self.retune_shards(&shard_reads);
         Ok(report)
     }
 
@@ -539,6 +627,91 @@ mod tests {
             pool.num_workers(),
             "combine keeps per-worker slots"
         );
+    }
+
+    #[test]
+    fn auto_shard_tuning_grows_under_imbalance_and_stays_bit_identical() {
+        // Every machine hammers one hot key, so whichever shard owns it
+        // serves (almost) all reads: maximal imbalance. The auto-tuner
+        // must double the shard count between rounds — and the store must
+        // stay bit-identical to the sequential reference throughout,
+        // because shard counts only spread load.
+        let hot_rounds = |backend: &mut dyn AmpcBackend| -> DataStore {
+            for round in 0..4u64 {
+                backend
+                    .round_carrying_forward(32, ConflictPolicy::KeepMin, |machine, ctx| {
+                        let hot = ctx.read(Key::single(0))?.map_or(0, |v| v.words()[0]);
+                        ctx.write(
+                            Key::pair(round + 1, machine as u64),
+                            Value::single(hot + machine as u64),
+                        )
+                    })
+                    .expect("budgets are generous");
+            }
+            backend.snapshot_store()
+        };
+        let mut seq: Box<dyn AmpcBackend> =
+            Box::new(SequentialBackend::new(config(), seeded_store(8)));
+        let expected = hot_rounds(seq.as_mut());
+
+        let runtime = crate::RuntimeConfig::parallel()
+            .with_threads(2)
+            .with_shards(0);
+        assert!(runtime.auto_shards());
+        let mut auto = runtime.backend(config(), seeded_store(8));
+        let actual = hot_rounds(auto.as_mut());
+        assert_eq!(expected, actual, "auto-sharding never changes results");
+
+        let recorded: Vec<usize> = auto
+            .metrics()
+            .runtime_stats()
+            .iter()
+            .map(|stats| stats.auto_shards)
+            .collect();
+        assert!(
+            recorded.iter().all(|&shards| shards > 0),
+            "auto runs log the chosen shard count per round: {recorded:?}"
+        );
+        assert!(
+            recorded.last() > recorded.first(),
+            "a fully imbalanced read load must grow the shard count: {recorded:?}"
+        );
+        // One hot key is *irreducible* imbalance: after the first doubling
+        // fails to dilute the hot shard, the tuner stalls instead of
+        // paying a full store re-partition every round up to the cap.
+        assert_eq!(
+            recorded.last(),
+            recorded.get(1),
+            "the tuner must stop doubling once doubling stops helping: {recorded:?}"
+        );
+        // Fixed-shard runs log 0 (not auto-tuned).
+        let mut fixed: Box<dyn AmpcBackend> =
+            Box::new(ParallelBackend::new(config(), seeded_store(8), 2, 4));
+        let _ = hot_rounds(fixed.as_mut());
+        assert!(fixed
+            .metrics()
+            .runtime_stats()
+            .iter()
+            .all(|stats| stats.auto_shards == 0));
+    }
+
+    #[test]
+    fn steal_and_overflow_deltas_are_recorded_per_round() {
+        // A dedicated pool so other tests' traffic cannot leak in.
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut par: Box<dyn AmpcBackend> = Box::new(ParallelBackend::with_pool(
+            config(),
+            seeded_store(64),
+            4,
+            4,
+            Arc::clone(&pool),
+        ));
+        run_program(par.as_mut(), 64, ConflictPolicy::KeepMin).unwrap();
+        let pool_stats = pool.stats();
+        for stats in par.metrics().runtime_stats() {
+            assert!(stats.pool_steals <= pool_stats.steals);
+            assert!(stats.pool_overflows <= pool_stats.overflows);
+        }
     }
 
     #[test]

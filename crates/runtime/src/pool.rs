@@ -1,5 +1,5 @@
-//! The persistent worker pool, deterministic work partitioning and a
-//! parallel map helper.
+//! The persistent worker pool, deterministic work partitioning and parallel
+//! map helpers.
 //!
 //! Before the pool existed the parallel backend spawned scoped threads for
 //! every round, which dominates the wall clock of many-round algorithms
@@ -8,13 +8,34 @@
 //! jobs: the round scheduler, [`parallel_map`] and the serving subsystem
 //! (`ampc-service`) all share the process-wide [`WorkerPool::global`] pool
 //! unless handed a dedicated one.
+//!
+//! ## Scheduling: per-worker deques with stealing
+//!
+//! Tasks are distributed round-robin across **per-worker deques** in the
+//! Chase–Lev style: the owning worker pops its own deque LIFO (newest
+//! first, cache-hot), idle workers steal FIFO from a victim's deque (oldest
+//! first, the end the owner is *not* working on). A bounded deque that
+//! fills up overflows into a shared injector queue every worker drains
+//! last. The submitting thread still helps drain work while it waits for
+//! its batch (submitter-helps), so a pool is never a parallelism *loss* —
+//! even on a single-core host — and nested submissions cannot deadlock.
+//!
+//! Stealing exists for **skewed** task sets: when cost-weighted chunking
+//! (see [`crate::RoundPrimitives`]) splits a hub-heavy index range into
+//! many small tasks, the workers that finish their light deques early
+//! steal the remaining hub tasks instead of idling. Which worker executes
+//! a task never influences results — tasks write into caller-owned,
+//! index-keyed slots — so scheduling stays invisible to the determinism
+//! contract. The pool counts steals and overflows ([`PoolStats::steals`],
+//! [`PoolStats::overflows`]); round schedulers surface the per-round
+//! deltas through `RoundRuntimeStats`.
 #![allow(unsafe_code)]
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 use std::time::Instant;
@@ -33,20 +54,25 @@ pub type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
 
 type ErasedTask = Box<dyn FnOnce() + Send + 'static>;
 
-/// One submitted batch of tasks: the not-yet-claimed tasks, the number of
-/// tasks that have not *finished*, and the first panic payload observed.
+/// Per-worker deque capacity; tasks beyond it overflow into the shared
+/// injector (counted in [`PoolStats::overflows`]). Bounding the deques
+/// keeps one enormous batch from concentrating in a single worker's queue.
+const DEQUE_CAPACITY: usize = 256;
+
+/// One submitted batch of tasks: the number of tasks that have not
+/// *finished*, and the first panic payload observed. The tasks themselves
+/// live in the per-worker deques (and the injector), tagged with their
+/// batch so completion is tracked per submission.
 struct Batch {
-    queue: Mutex<VecDeque<ErasedTask>>,
     pending: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Batch {
-    fn new(tasks: VecDeque<ErasedTask>) -> Self {
+    fn new(tasks: usize) -> Self {
         Batch {
-            pending: Mutex::new(tasks.len()),
-            queue: Mutex::new(tasks),
+            pending: Mutex::new(tasks),
             done: Condvar::new(),
             panic: Mutex::new(None),
         }
@@ -67,6 +93,9 @@ impl Batch {
     }
 }
 
+/// A task queued in a deque, tagged with the batch it completes.
+type QueuedTask = (Arc<Batch>, ErasedTask);
+
 /// Per-worker reuse counters (relaxed atomics; measurement data only).
 struct WorkerStats {
     tasks: AtomicU64,
@@ -74,47 +103,123 @@ struct WorkerStats {
 }
 
 struct PoolShared {
-    /// Batches with unclaimed tasks, oldest first.
-    injector: Mutex<VecDeque<Arc<Batch>>>,
+    /// One work-stealing deque per worker: the owner pops LIFO from the
+    /// back, thieves steal FIFO from the front.
+    deques: Vec<Mutex<VecDeque<QueuedTask>>>,
+    /// Overflow queue for tasks whose home deque was full, drained FIFO by
+    /// every runner after its deque and its steal attempts come up empty.
+    injector: Mutex<VecDeque<QueuedTask>>,
+    /// Tasks pushed but not yet claimed, across all deques + the injector.
+    unclaimed: AtomicUsize,
+    sleep: Mutex<()>,
     work_available: Condvar,
     shutdown: AtomicBool,
     workers: Vec<WorkerStats>,
     helper_tasks: AtomicU64,
+    steals: AtomicU64,
+    overflows: AtomicU64,
+    /// Round-robin cursor so consecutive batches start at different home
+    /// deques (keeps single-task-per-batch workloads spread out).
+    next_home: AtomicUsize,
 }
 
 impl PoolShared {
-    /// Claims the next task (oldest batch first), or `None` on shutdown.
-    fn claim(&self, worker: usize) -> Option<(Arc<Batch>, ErasedTask)> {
-        let mut injector = lock(&self.injector);
+    /// Claims one task for a worker: LIFO from its own deque, then
+    /// FIFO-steal from the other deques in round-robin order, then the
+    /// overflow injector. Returns the task and whether it was stolen from
+    /// another worker's deque.
+    fn try_claim(&self, runner: usize) -> Option<(QueuedTask, bool)> {
+        if let Some(task) = lock(&self.deques[runner]).pop_back() {
+            return Some((task, false));
+        }
+        let workers = self.deques.len();
+        for offset in 1..workers {
+            let victim = (runner + offset) % workers;
+            if let Some(task) = lock(&self.deques[victim]).pop_front() {
+                return Some((task, true));
+            }
+        }
+        if let Some(task) = lock(&self.injector).pop_front() {
+            // Overflowed tasks have no home deque, so draining them is not
+            // counted as a steal.
+            return Some((task, false));
+        }
+        None
+    }
+
+    /// Claims one not-yet-started task of **this specific batch**, for the
+    /// helping submitter. Restricting the helper to its own batch keeps
+    /// `execute`'s latency bounded by the batch's own tasks: claiming a
+    /// foreign long-running task here would pin the submitter past its own
+    /// batch's completion (priority inversion), and foreign batches never
+    /// need the help for progress — their own submitters drain them.
+    fn try_claim_owned(&self, batch: &Arc<Batch>) -> Option<ErasedTask> {
+        let owned = |queue: &Mutex<VecDeque<QueuedTask>>| -> Option<ErasedTask> {
+            let mut queue = lock(queue);
+            let position = queue
+                .iter()
+                .position(|(owner, _)| Arc::ptr_eq(owner, batch))?;
+            queue.remove(position).map(|(_, task)| task)
+        };
+        self.deques.iter().chain([&self.injector]).find_map(owned)
+    }
+
+    /// Books a successful claim: decrements the unclaimed count and counts
+    /// the steal if the task came out of another worker's deque.
+    fn book_claim(&self, stolen: bool) {
+        self.unclaimed.fetch_sub(1, Ordering::AcqRel);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims the next task for worker `index`, parking until work arrives,
+    /// or `None` on shutdown.
+    fn claim(&self, worker: usize) -> Option<QueuedTask> {
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            while let Some(batch) = injector.front().map(Arc::clone) {
-                let task = lock(&batch.queue).pop_front();
-                match task {
-                    Some(task) => return Some((batch, task)),
-                    None => {
-                        injector.pop_front();
-                    }
-                }
+            if let Some((task, stolen)) = self.try_claim(worker) {
+                self.book_claim(stolen);
+                return Some(task);
+            }
+            let guard = lock(&self.sleep);
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if self.unclaimed.load(Ordering::Acquire) > 0 {
+                // A push raced our empty scan: rescan instead of sleeping.
+                drop(guard);
+                thread::yield_now();
+                continue;
             }
             let waited = Instant::now();
-            injector = self
+            let _guard = self
                 .work_available
-                .wait(injector)
+                .wait(guard)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             self.workers[worker]
                 .idle_nanos
                 .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
+
+    /// Wakes every parked worker (called after pushing tasks; the sleep
+    /// lock orders the notify against sleepers' empty-scan checks).
+    fn wake_workers(&self) {
+        let _guard = lock(&self.sleep);
+        self.work_available.notify_all();
+    }
 }
 
 fn worker_loop(shared: Arc<PoolShared>, index: usize) {
     while let Some((batch, task)) = shared.claim(index) {
-        batch.run(task);
+        // Counted at claim time: `execute` may return the instant the
+        // batch's last `run` finishes, and a post-run increment could be
+        // missed by a stats snapshot taken right after.
         shared.workers[index].tasks.fetch_add(1, Ordering::Relaxed);
+        batch.run(task);
     }
 }
 
@@ -128,8 +233,14 @@ pub struct PoolStats {
     /// Nanoseconds each worker spent parked waiting for work.
     pub idle_nanos_per_worker: Vec<u64>,
     /// Tasks run inline by submitting threads while they waited for their
-    /// batch (the pool lets submitters help drain their own batch).
+    /// batch (the pool lets submitters help drain outstanding work).
     pub helper_tasks: u64,
+    /// Tasks a runner took from another worker's deque (FIFO steals) —
+    /// the signal that skewed batches are being rebalanced.
+    pub steals: u64,
+    /// Tasks routed to the shared injector because their home deque was
+    /// full ([`DEQUE_CAPACITY`]).
+    pub overflows: u64,
 }
 
 impl PoolStats {
@@ -144,19 +255,23 @@ impl PoolStats {
     }
 }
 
-/// A persistent pool of worker threads executing scoped task batches.
+/// A persistent pool of worker threads executing scoped task batches over
+/// per-worker work-stealing deques.
 ///
 /// Unlike `std::thread::scope`, the workers are spawned **once** — per pool,
 /// not per batch — and survive across rounds, jobs and callers; submitting a
-/// batch is a queue push, not `N` thread spawns. [`WorkerPool::execute`]
-/// blocks until every task of the batch has run, which is what makes
-/// borrowing tasks ([`ScopedTask`]) sound, and the submitting thread helps
-/// drain its own batch while it waits (so a pool is never a parallelism
-/// *loss*, even on a single-core host, and nested submissions cannot
-/// deadlock).
+/// batch distributes its tasks round-robin over the worker deques, not `N`
+/// thread spawns. [`WorkerPool::execute`] blocks until every task of the
+/// batch has run, which is what makes borrowing tasks ([`ScopedTask`])
+/// sound, and the submitting thread helps drain outstanding work while it
+/// waits (so a pool is never a parallelism *loss*, even on a single-core
+/// host, and nested submissions cannot deadlock). Idle workers steal from
+/// the front of busier workers' deques, so a batch of unevenly sized tasks
+/// (hub-heavy weighted chunks) keeps every worker busy.
 ///
-/// Determinism is unaffected by pooling: tasks write into caller-owned slots
-/// keyed by index, so scheduling order never leaks into results.
+/// Determinism is unaffected by pooling or stealing: tasks write into
+/// caller-owned slots keyed by index, so scheduling order never leaks into
+/// results.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<thread::JoinHandle<()>>,
@@ -176,7 +291,10 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
+            unclaimed: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
             work_available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers: (0..workers)
@@ -186,6 +304,9 @@ impl WorkerPool {
                 })
                 .collect(),
             helper_tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            next_home: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -243,11 +364,14 @@ impl WorkerPool {
                 .map(|w| w.idle_nanos.load(Ordering::Relaxed))
                 .collect(),
             helper_tasks: self.shared.helper_tasks.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            overflows: self.shared.overflows.load(Ordering::Relaxed),
         }
     }
 
     /// Runs a batch of tasks on the pool, blocking until **all** of them
-    /// have finished. The submitting thread helps drain the batch while it
+    /// have finished. Tasks are spread round-robin over the per-worker
+    /// deques; the submitting thread helps drain outstanding work while it
     /// waits. If any task panicked, the first observed panic is re-raised
     /// here (after the whole batch has finished).
     pub fn execute<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
@@ -261,32 +385,43 @@ impl WorkerPool {
             return;
         }
 
-        let erased: VecDeque<ErasedTask> = tasks
-            .into_iter()
-            .map(|task| {
-                // SAFETY: the only lifetime-carrying part of the type is the
-                // closure's borrow set. `execute` does not return — normally
-                // or by unwinding — before `pending == 0`, i.e. before every
-                // erased task has been consumed by `Batch::run` (panics are
-                // caught and re-raised only after the wait below), so no
-                // task can outlive the `'env` borrows it captures.
-                unsafe { std::mem::transmute::<ScopedTask<'env>, ErasedTask>(task) }
-            })
-            .collect();
-        let batch = Arc::new(Batch::new(erased));
-        lock(&self.shared.injector).push_back(Arc::clone(&batch));
-        self.shared.work_available.notify_all();
-
-        // Help with our own batch instead of going idle.
-        loop {
-            let task = lock(&batch.queue).pop_front();
-            match task {
-                Some(task) => {
-                    batch.run(task);
-                    self.shared.helper_tasks.fetch_add(1, Ordering::Relaxed);
-                }
-                None => break,
+        let shared = &self.shared;
+        let batch = Arc::new(Batch::new(tasks.len()));
+        // Count before pushing so a sleeper that scans between the pushes
+        // and the wakeup sees a non-zero unclaimed count and rescans.
+        shared.unclaimed.fetch_add(tasks.len(), Ordering::AcqRel);
+        let workers = shared.deques.len();
+        let start = shared.next_home.fetch_add(1, Ordering::Relaxed);
+        for (offset, task) in tasks.into_iter().enumerate() {
+            // SAFETY: the only lifetime-carrying part of the type is the
+            // closure's borrow set. `execute` does not return — normally
+            // or by unwinding — before `batch.pending == 0`, i.e. before
+            // every erased task has been consumed by `Batch::run` (panics
+            // are caught and re-raised only after the wait below), so no
+            // task can outlive the `'env` borrows it captures.
+            let task = unsafe { std::mem::transmute::<ScopedTask<'env>, ErasedTask>(task) };
+            let home = (start + offset) % workers;
+            let mut deque = lock(&shared.deques[home]);
+            if deque.len() < DEQUE_CAPACITY {
+                deque.push_back((Arc::clone(&batch), task));
+            } else {
+                drop(deque);
+                lock(&shared.injector).push_back((Arc::clone(&batch), task));
+                shared.overflows.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        shared.wake_workers();
+
+        // Help drain our own batch instead of going idle — only our own:
+        // the helper claiming a foreign batch's (possibly long) task would
+        // delay this `execute`'s return past our batch's completion, and
+        // foreign batches make progress through their own submitters. When
+        // no task of ours is left to claim, the stragglers are running on
+        // workers and the pending-wait below picks up their completion.
+        while let Some(task) = shared.try_claim_owned(&batch) {
+            shared.book_claim(false);
+            batch.run(task);
+            shared.helper_tasks.fetch_add(1, Ordering::Relaxed);
         }
         let mut pending = lock(&batch.pending);
         while *pending > 0 {
@@ -308,9 +443,7 @@ impl Drop for WorkerPool {
         // `execute` holds `&self` for its full duration, so no batch can be
         // in flight here; workers are parked or about to park.
         self.shared.shutdown.store(true, Ordering::Release);
-        let _unused = lock(&self.shared.injector);
-        self.shared.work_available.notify_all();
-        drop(_unused);
+        self.shared.wake_workers();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -338,6 +471,116 @@ pub(crate) fn chunk_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
     }
     ranges
 }
+
+/// The number of chunks cost-weighted grids aim for. A **constant** — never
+/// the thread count — so the grid (and therefore any order-sensitive
+/// combine over it) is identical no matter how many workers execute it;
+/// many-more-chunks-than-threads is also what makes the chunks stealable.
+pub(crate) const WEIGHTED_CHUNK_TARGET: usize = 64;
+
+/// Minimum total cost per weighted chunk (in `weight + 1` units, i.e.
+/// roughly items-plus-edges for degree weights): small inputs produce few
+/// chunks instead of 64 micro-tasks whose dispatch overhead would swamp
+/// the work. A constant for the same determinism reason as the target.
+pub(crate) const MIN_WEIGHTED_CHUNK_COST: u64 = 4096;
+
+/// How many stealable tasks a weighted dispatch creates per configured
+/// worker thread. More tasks than threads is what lets the deques
+/// rebalance a bad cost estimate or an oversized hub chunk; the factor
+/// also **bounds** a call's pool occupancy proportionally to its thread
+/// budget, so a `threads=2` request cannot saturate a 32-worker pool.
+pub(crate) const STEAL_GRANULARITY: usize = 4;
+
+/// Cuts `0..items` at the prefix-sum positions where the accumulated cost
+/// reaches `target` (item `i` costs `weight(i) + 1`; the `+ 1` floors
+/// zero-weight items so no range degenerates into an unbounded index run).
+/// Every produced range holds at least `target` cost except possibly the
+/// last, so at most `ceil(total / target)` ranges come back; a single
+/// oversized item (a hub) terminates its range immediately.
+fn cut_by_cost<W>(items: usize, weight: W, target: u64) -> (Vec<Range<usize>>, Vec<u64>)
+where
+    W: Fn(usize) -> usize,
+{
+    let mut ranges = Vec::new();
+    let mut costs = Vec::new();
+    if items == 0 {
+        ranges.push(0..0);
+        costs.push(0);
+        return (ranges, costs);
+    }
+    let mut start = 0usize;
+    let mut accumulated = 0u64;
+    for item in 0..items {
+        accumulated += weight(item) as u64 + 1;
+        if accumulated >= target {
+            ranges.push(start..item + 1);
+            costs.push(accumulated);
+            start = item + 1;
+            accumulated = 0;
+        }
+    }
+    if start < items {
+        ranges.push(start..items);
+        costs.push(accumulated);
+    }
+    (ranges, costs)
+}
+
+/// The **fixed** cost-weighted chunk grid for order-sensitive reductions:
+/// `0..items` split into up to [`WEIGHTED_CHUNK_TARGET`] contiguous ranges
+/// of roughly equal total cost, with a per-chunk cost floor
+/// ([`MIN_WEIGHTED_CHUNK_COST`]) so small inputs produce few chunks.
+///
+/// The boundaries are derived *only* from the prefix sum of the costs —
+/// never from the thread count — so a reduction's per-chunk partials (and
+/// therefore any non-associative combine over them) are bit-identical no
+/// matter how many workers execute the grid. Returns the ranges and their
+/// total costs (used to group chunks into dispatch tasks).
+pub(crate) fn weighted_chunk_grid<W>(items: usize, weight: W) -> (Vec<Range<usize>>, Vec<u64>)
+where
+    W: Fn(usize) -> usize,
+{
+    let total: u64 = (0..items).map(|i| weight(i) as u64 + 1).sum();
+    let target = total
+        .div_ceil(WEIGHTED_CHUNK_TARGET as u64)
+        .max(MIN_WEIGHTED_CHUNK_COST);
+    cut_by_cost(items, weight, target)
+}
+
+/// The ranges of [`weighted_chunk_grid`] without the costs.
+#[cfg(test)]
+pub(crate) fn weighted_chunk_ranges<W>(items: usize, weight: W) -> Vec<Range<usize>>
+where
+    W: Fn(usize) -> usize,
+{
+    weighted_chunk_grid(items, weight).0
+}
+
+/// Splits `0..items` into at most `max_groups` contiguous ranges of
+/// roughly equal total cost — the dispatch grid for cost-weighted **maps**,
+/// whose results merge in index order and therefore tolerate a
+/// thread-dependent grid (exactly like the unweighted [`chunk_ranges`]
+/// grid always has). Callers pass
+/// `max_groups = STEAL_GRANULARITY × threads`: enough surplus tasks for
+/// the deques to steal, while pool occupancy stays proportional to the
+/// caller's thread budget. No cost floor is applied — for coarse items
+/// (whole layers) even a tiny total cost can hide hours of work, and the
+/// dispatch count is already bounded by `max_groups`.
+pub(crate) fn cost_grouped_ranges<W>(
+    items: usize,
+    weight: W,
+    max_groups: usize,
+) -> Vec<Range<usize>>
+where
+    W: Fn(usize) -> usize,
+{
+    let total: u64 = (0..items).map(|i| weight(i) as u64 + 1).sum();
+    let target = total.div_ceil(max_groups.max(1) as u64).max(1);
+    cut_by_cost(items, weight, target).0
+}
+
+/// A chunk's indexed results, or its first failure as `(index, error)`.
+type ChunkResult<U, E> = Result<Vec<(usize, U)>, (usize, E)>;
 
 /// Applies `f` to every item on up to `threads` workers of the global
 /// [`WorkerPool`], returning the results **in item order**.
@@ -367,17 +610,67 @@ where
             .map(|(index, item)| f(index, item))
             .collect();
     }
+    chunked_map(items, chunk_ranges(items.len(), threads), f)
+}
 
-    /// A chunk's indexed results, or its first failure as `(index, error)`.
-    type ChunkResult<U, E> = Result<Vec<(usize, U)>, (usize, E)>;
+/// [`parallel_map`] with cost-weighted chunking: `weight(index, item)`
+/// estimates each item's cost (e.g. a layer's total degree) and the item
+/// space is split into up to `STEAL_GRANULARITY × threads` chunks of
+/// roughly equal total cost, so one huge item no longer pins a whole
+/// contiguous range to one worker — the surplus chunks are stealable and
+/// the work-stealing deques rebalance them, while pool occupancy stays
+/// proportional to the caller's thread budget.
+///
+/// Results (and the lowest-index error, see [`parallel_map`]) are
+/// bit-identical to the unweighted form for any thread count.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item.
+pub fn parallel_map_weighted<T, U, E, F, W>(
+    items: &[T],
+    threads: usize,
+    weight: W,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+    W: Fn(usize, &T) -> usize,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(index, item))
+            .collect();
+    }
+    let grid = cost_grouped_ranges(
+        items.len(),
+        |index| weight(index, &items[index]),
+        STEAL_GRANULARITY * threads,
+    );
+    chunked_map(items, grid, f)
+}
 
-    let chunks = chunk_ranges(items.len(), threads);
-    let mut outcomes: Vec<Option<ChunkResult<U, E>>> = (0..chunks.len()).map(|_| None).collect();
+/// The shared fan-out behind [`parallel_map`] / [`parallel_map_weighted`]:
+/// runs every chunk of `grid` as one pool task and merges in index order.
+fn chunked_map<T, U, E, F>(items: &[T], grid: Vec<Range<usize>>, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let mut outcomes: Vec<Option<ChunkResult<U, E>>> = (0..grid.len()).map(|_| None).collect();
     {
         let f = &f;
         let tasks: Vec<ScopedTask<'_>> = outcomes
             .iter_mut()
-            .zip(chunks)
+            .zip(grid)
             .map(|(slot, range)| {
                 Box::new(move || {
                     let mut produced = Vec::with_capacity(range.len());
@@ -448,6 +741,81 @@ mod tests {
     }
 
     #[test]
+    fn weighted_chunks_cover_exactly_once_and_balance_cost() {
+        // A hub-heavy weight profile: item 0 carries half the total cost.
+        let weight = |i: usize| if i == 0 { 50_000 } else { 1 };
+        for items in [1usize, 2, 100, 5_000] {
+            let ranges = weighted_chunk_ranges(items, weight);
+            let mut covered = Vec::new();
+            let mut last_end = 0;
+            for range in &ranges {
+                assert_eq!(range.start, last_end, "contiguous ascending");
+                last_end = range.end;
+                covered.extend(range.clone());
+            }
+            assert_eq!(covered, (0..items).collect::<Vec<_>>());
+        }
+        // The hub terminates its chunk immediately: chunk 0 is exactly {0}.
+        let ranges = weighted_chunk_ranges(5_000, weight);
+        assert_eq!(ranges[0], 0..1, "the hub forms its own chunk");
+        assert!(ranges.len() > 2, "the light tail still splits");
+        assert!(ranges.len() <= WEIGHTED_CHUNK_TARGET + 1);
+    }
+
+    #[test]
+    fn weighted_chunk_grid_is_independent_of_thread_count() {
+        // The grid is a pure function of the weights — there is no thread
+        // parameter to vary, which is the whole determinism argument. Pin
+        // the boundary rule on a known profile so regressions are loud:
+        // 64 × 64 items of cost 64 split into exactly 64 uniform chunks.
+        let ranges = weighted_chunk_ranges(64 * 64, |_| 63);
+        assert_eq!(ranges.len(), WEIGHTED_CHUNK_TARGET);
+        for range in &ranges {
+            assert_eq!(range.len(), 64, "uniform weights give uniform chunks");
+        }
+        // Small totals collapse to few chunks (the per-chunk cost floor),
+        // instead of 64 micro-tasks.
+        let small = weighted_chunk_ranges(640, |_| 0);
+        assert_eq!(small.len(), 1);
+        let empty = weighted_chunk_ranges(0, |_| 7);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty[0], 0..0);
+        // The grid also reports per-chunk costs (in weight + 1 units).
+        let (ranges, costs) = weighted_chunk_grid(64 * 64, |_| 63);
+        assert_eq!(ranges.len(), costs.len());
+        assert_eq!(costs.iter().sum::<u64>(), 64 * 64 * 64);
+    }
+
+    #[test]
+    fn cost_grouped_ranges_bound_dispatch_by_the_group_budget() {
+        // The map-dispatch grid: at most `max_groups` cost-balanced
+        // ranges, no cost floor — a tiny total must still split so coarse
+        // items (whole layers) keep their parallelism.
+        let groups = cost_grouped_ranges(8, |_| 0, 4);
+        assert_eq!(groups.len(), 4, "{groups:?}");
+        let mut covered = Vec::new();
+        for range in &groups {
+            covered.extend(range.clone());
+        }
+        assert_eq!(covered, (0..8).collect::<Vec<_>>());
+        // A hub-heavy profile never exceeds the budget either, and the
+        // hub still terminates its range immediately.
+        let weight = |i: usize| if i == 0 { 10_000 } else { 1 };
+        for budget in [1usize, 2, 8, 32] {
+            let groups = cost_grouped_ranges(5_000, weight, budget);
+            assert!(groups.len() <= budget, "budget {budget}: {}", groups.len());
+            let mut last_end = 0;
+            for range in &groups {
+                assert_eq!(range.start, last_end);
+                last_end = range.end;
+            }
+            assert_eq!(last_end, 5_000);
+        }
+        let groups = cost_grouped_ranges(5_000, weight, 32);
+        assert_eq!(groups[0], 0..1, "the hub forms its own dispatch group");
+    }
+
+    #[test]
     fn map_preserves_order() {
         let items: Vec<usize> = (0..100).collect();
         let doubled =
@@ -458,10 +826,26 @@ mod tests {
     }
 
     #[test]
+    fn weighted_map_matches_unweighted() {
+        let items: Vec<usize> = (0..500).collect();
+        let expected = parallel_map(&items, 4, |i, &x| Ok::<_, ()>(x * 3 + i)).expect("no errors");
+        let weighted = parallel_map_weighted(&items, 4, |_, &x| x, |i, &x| Ok::<_, ()>(x * 3 + i))
+            .expect("no errors");
+        assert_eq!(expected, weighted);
+    }
+
+    #[test]
     fn lowest_index_error_wins() {
         let items: Vec<usize> = (0..64).collect();
         let result = parallel_map(&items, 4, |i, _| if i % 10 == 7 { Err(i) } else { Ok(i) });
         assert_eq!(result, Err(7));
+        let weighted = parallel_map_weighted(
+            &items,
+            4,
+            |_, &x| x,
+            |i, _| if i % 10 == 7 { Err(i) } else { Ok(i) },
+        );
+        assert_eq!(weighted, Err(7));
     }
 
     #[test]
@@ -489,6 +873,63 @@ mod tests {
         assert_eq!(stats.total_tasks(), 5 * 40);
         assert_eq!(stats.tasks_per_worker.len(), 2);
         assert_eq!(stats.idle_nanos_per_worker.len(), 2);
+    }
+
+    #[test]
+    fn steal_counter_accounts_rebalanced_tasks() {
+        // Tasks spread round-robin over the worker deques; an early
+        // finisher must cross deques to keep busy. The steal counter
+        // records exactly the worker-to-worker cross-deque claims (the
+        // helping submitter's claims count as helper_tasks instead), and
+        // every claim is booked exactly once: total_tasks stays exact
+        // even under stealing.
+        let pool = WorkerPool::new(3);
+        let before = pool.stats();
+        let mut slots = vec![0u64; 300];
+        for _ in 0..10 {
+            let tasks: Vec<ScopedTask<'_>> = slots
+                .iter_mut()
+                .map(|slot| {
+                    Box::new(move || {
+                        // Uneven task costs provoke stealing.
+                        let spins = (*slot % 7) * 200;
+                        for _ in 0..spins {
+                            std::hint::black_box(());
+                        }
+                        *slot += 1;
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            pool.execute(tasks);
+        }
+        assert!(slots.iter().all(|&v| v == 10));
+        let after = pool.stats();
+        assert_eq!(after.total_tasks() - before.total_tasks(), 10 * 300);
+        // Steals and overflows never exceed the tasks that existed.
+        assert!(after.steals - before.steals <= 10 * 300);
+        assert!(after.overflows - before.overflows <= 10 * 300);
+    }
+
+    #[test]
+    fn oversized_batches_overflow_to_the_injector_and_still_complete() {
+        // 2 workers x DEQUE_CAPACITY is the deque budget; a batch far past
+        // it must spill into the injector (counted) and still run fully.
+        let pool = WorkerPool::new(2);
+        let before = pool.stats();
+        let count = 2 * DEQUE_CAPACITY + 500;
+        let mut slots = vec![false; count];
+        let tasks: Vec<ScopedTask<'_>> = slots
+            .iter_mut()
+            .map(|slot| Box::new(move || *slot = true) as ScopedTask<'_>)
+            .collect();
+        pool.execute(tasks);
+        assert!(slots.iter().all(|&v| v));
+        let after = pool.stats();
+        assert_eq!(after.total_tasks() - before.total_tasks(), count as u64);
+        assert!(
+            after.overflows > before.overflows,
+            "a batch past the deque budget must overflow"
+        );
     }
 
     #[test]
@@ -541,6 +982,38 @@ mod tests {
         let mut ok = false;
         pool.execute(vec![Box::new(|| ok = true) as ScopedTask<'_>]);
         assert!(ok);
+    }
+
+    #[test]
+    fn nested_submissions_make_progress() {
+        // A task running on the pool submits its own batch — the shape the
+        // per-layer drivers produce. The nested submitter must be able to
+        // drain its batch even when every worker is busy.
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut totals = vec![0u64; 6];
+        {
+            let pool_ref = &pool;
+            let tasks: Vec<ScopedTask<'_>> = totals
+                .iter_mut()
+                .map(|total| {
+                    Box::new(move || {
+                        let mut inner = [0u64; 16];
+                        let inner_tasks: Vec<ScopedTask<'_>> = inner
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, slot)| {
+                                Box::new(move || *slot = i as u64 + 1) as ScopedTask<'_>
+                            })
+                            .collect();
+                        pool_ref.execute(inner_tasks);
+                        *total = inner.iter().sum();
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            pool.execute(tasks);
+        }
+        let expected: u64 = (1..=16).sum();
+        assert!(totals.iter().all(|&v| v == expected), "{totals:?}");
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! * [`RoundPrimitives::par_reduce`] / [`RoundPrimitives::par_reduce_range`]
 //!   — a chunked fold whose chunk boundaries depend only on the item count
 //!   (never on the thread count), combined left-to-right in chunk order.
+//! * the `*_weighted` forms ([`RoundPrimitives::par_node_map_weighted`],
+//!   [`RoundPrimitives::par_color_classes_weighted`],
+//!   [`RoundPrimitives::par_reduce_range_weighted`]) — the same primitives
+//!   with **cost-weighted chunking** for skewed inputs: a per-item cost
+//!   function (the CSR degree for edge-dominated loops) splits the index
+//!   space into many small chunks of roughly equal total cost, which the
+//!   pool's work-stealing deques rebalance. Chunk boundaries derive only
+//!   from the prefix sum of the costs, never from the thread count, so the
+//!   bit-identity contract is untouched.
 //!
 //! ## Determinism contract
 //!
@@ -45,7 +54,10 @@ use std::time::Instant;
 use ampc_model::RoundRuntimeStats;
 
 use crate::config::RuntimeConfig;
-use crate::pool::{chunk_ranges, ScopedTask, WorkerPool};
+use crate::pool::{
+    chunk_ranges, cost_grouped_ranges, weighted_chunk_grid, ScopedTask, WorkerPool,
+    STEAL_GRANULARITY,
+};
 
 /// Below this many items a map runs inline: the work is too small to
 /// amortize a pool round-trip.
@@ -72,6 +84,11 @@ const MIN_PAR_REDUCE_ITEMS: usize = 4 * REDUCE_CHUNK;
 #[derive(Debug)]
 pub struct RoundPrimitives {
     threads: usize,
+    /// Whether the `*_weighted` primitives honor their cost function. The
+    /// default; `false` (see [`RoundPrimitives::contiguous`]) falls back to
+    /// the PR-3-era contiguous equal-width grids, kept as the A/B baseline
+    /// for the scheduler benchmarks.
+    weighted: bool,
     tasks: AtomicU64,
     wall_nanos: AtomicU64,
 }
@@ -82,9 +99,26 @@ impl RoundPrimitives {
     pub fn new(threads: usize) -> Self {
         RoundPrimitives {
             threads: threads.max(1),
+            weighted: true,
             tasks: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Disables cost-weighted chunking: the `*_weighted` primitives ignore
+    /// their weight function and use the contiguous equal-width grids of
+    /// the unweighted forms. A benchmarking/testing knob for A/B-ing the
+    /// scheduler — colorings are identical either way (maps merge in index
+    /// order; the weighted reducers in this workspace use associative
+    /// accumulators), only the wall clock under skew differs.
+    pub fn contiguous(mut self) -> Self {
+        self.weighted = false;
+        self
+    }
+
+    /// Whether the `*_weighted` primitives honor their cost function.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
     }
 
     /// The context a [`RuntimeConfig`] implies: inline for
@@ -193,6 +227,76 @@ impl RoundPrimitives {
         self.par_node_map(items.len(), |index| f(index, &items[index]))
     }
 
+    /// [`RoundPrimitives::par_node_map`] with **cost-weighted chunking**:
+    /// `weight(index)` estimates the cost of item `index` (callers pass the
+    /// CSR degree, `adj_offsets[i + 1] - adj_offsets[i]`), and the index
+    /// space is split into up to `STEAL_GRANULARITY × threads` chunks of
+    /// roughly equal *total* cost instead of `threads` equal-width ranges.
+    /// On skewed (power-law) inputs the hub-heavy parts of the index space
+    /// shatter into stealable tasks, so the pool's work-stealing deques
+    /// keep every worker busy instead of idling behind one hub chunk —
+    /// while pool occupancy stays proportional to the configured thread
+    /// budget.
+    ///
+    /// Results merge in index order, so the output is bit-identical to
+    /// [`RoundPrimitives::par_node_map`] for any thread count — including
+    /// one — no matter how the grid is cut; map grids have always been
+    /// thread-dependent, only reductions need the fixed grid.
+    pub fn par_node_map_weighted<U, F, W>(&self, items: usize, weight: W, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+        W: Fn(usize) -> usize,
+    {
+        if !self.weighted {
+            return self.par_node_map(items, f);
+        }
+        let started = Instant::now();
+        if self.threads == 1 || items < MIN_PAR_ITEMS {
+            let out: Vec<U> = (0..items).map(f).collect();
+            self.record(1, started);
+            return out;
+        }
+
+        let chunks = cost_grouped_ranges(items, weight, STEAL_GRANULARITY * self.threads);
+        let mut slots: Vec<Option<Vec<U>>> = (0..chunks.len()).map(|_| None).collect();
+        {
+            let f = &f;
+            let tasks: Vec<ScopedTask<'_>> = slots
+                .iter_mut()
+                .zip(chunks.iter().cloned())
+                .map(|(slot, range)| {
+                    Box::new(move || {
+                        *slot = Some(range.map(f).collect());
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            WorkerPool::global().execute(tasks);
+        }
+        let mut out = Vec::with_capacity(items);
+        for slot in slots {
+            out.extend(slot.expect("the pool ran every chunk"));
+        }
+        self.record(chunks.len() as u64, started);
+        out
+    }
+
+    /// The slice-input convenience over
+    /// [`RoundPrimitives::par_node_map_weighted`].
+    pub fn par_map_weighted<T, U, F, W>(&self, items: &[T], weight: W, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+        W: Fn(usize, &T) -> usize,
+    {
+        self.par_node_map_weighted(
+            items.len(),
+            |index| weight(index, &items[index]),
+            |index| f(index, &items[index]),
+        )
+    }
+
     /// One parallel recoloring sweep over an independent set: every member
     /// `v` of `members` is assigned `f(v, snapshot)` where `snapshot` is the
     /// state of `colors` *before* the sweep.
@@ -211,6 +315,36 @@ impl RoundPrimitives {
         let updates: Vec<C> = {
             let snapshot: &[C] = colors;
             self.par_node_map(members.len(), |index| f(members[index], snapshot))
+        };
+        for (&member, update) in members.iter().zip(updates) {
+            colors[member] = update;
+        }
+    }
+
+    /// [`RoundPrimitives::par_color_classes`] with cost-weighted chunking
+    /// over the member list: `weight(member)` estimates each member's sweep
+    /// cost (callers pass the member's degree — a recoloring decision scans
+    /// its adjacency list). Identical results to the unweighted sweep for
+    /// any thread count; only the chunk grid (and therefore load balance
+    /// under skew) differs.
+    pub fn par_color_classes_weighted<C, F, W>(
+        &self,
+        members: &[usize],
+        colors: &mut [C],
+        weight: W,
+        f: F,
+    ) where
+        C: Copy + Send + Sync,
+        F: Fn(usize, &[C]) -> C + Sync,
+        W: Fn(usize) -> usize,
+    {
+        let updates: Vec<C> = {
+            let snapshot: &[C] = colors;
+            self.par_node_map_weighted(
+                members.len(),
+                |index| weight(members[index]),
+                |index| f(members[index], snapshot),
+            )
         };
         for (&member, update) in members.iter().zip(updates) {
             colors[member] = update;
@@ -297,6 +431,118 @@ impl RoundPrimitives {
             .unwrap_or(identity);
         self.record(num_groups as u64, started);
         acc
+    }
+
+    /// [`RoundPrimitives::par_reduce_range`] with **cost-weighted
+    /// chunking**: the chunk grid is derived from the prefix sum of
+    /// `weight(index)` (callers pass the CSR degree for edge-dominated
+    /// folds), so skewed index ranges split into many cost-balanced,
+    /// stealable chunks instead of the fixed equal-width grid.
+    ///
+    /// The grid depends only on the weights — never on the thread count —
+    /// and the inline path folds over the *same* grid, so results are
+    /// bit-identical across thread counts even for non-associative
+    /// accumulators. (Between the weighted and the unweighted primitive
+    /// the grids differ, so only associative-and-commutative-free
+    /// accumulators — sums, `Option::or` in index order — may switch
+    /// between the two without changing results; that is what the
+    /// simulators use.)
+    pub fn par_reduce_range_weighted<A, F, C, W>(
+        &self,
+        items: usize,
+        weight: W,
+        identity: A,
+        fold: F,
+        combine: C,
+    ) -> A
+    where
+        A: Clone + Send + Sync,
+        F: Fn(A, usize) -> A + Sync,
+        C: Fn(A, A) -> A,
+        W: Fn(usize) -> usize,
+    {
+        if !self.weighted {
+            return self.par_reduce_range(items, identity, fold, combine);
+        }
+        let started = Instant::now();
+        let (chunks, chunk_costs) = weighted_chunk_grid(items, weight);
+        let chunk_partial =
+            |range: std::ops::Range<usize>| -> A { range.fold(identity.clone(), &fold) };
+        if self.threads == 1 || items < MIN_PAR_REDUCE_ITEMS {
+            // Same weighted grid as the parallel path, executed inline —
+            // the per-chunk partials and the left-to-right combine (and
+            // therefore any floating-point rounding) are identical.
+            let acc = chunks
+                .into_iter()
+                .map(chunk_partial)
+                .reduce(&combine)
+                .unwrap_or(identity);
+            self.record(1, started);
+            return acc;
+        }
+
+        // The partials stay one per fixed chunk (combined left-to-right in
+        // chunk order below, so the result never depends on the thread
+        // count), but the *dispatch* groups contiguous chunks by their
+        // cost into at most STEAL_GRANULARITY × threads stealable tasks —
+        // bounding pool occupancy by the thread budget, like the maps.
+        let num_chunks = chunks.len();
+        let groups = cost_grouped_ranges(
+            num_chunks,
+            |chunk| chunk_costs[chunk] as usize,
+            STEAL_GRANULARITY * self.threads,
+        );
+        let num_groups = groups.len();
+        let mut slots: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
+        {
+            let chunk_partial = &chunk_partial;
+            let chunks = &chunks;
+            let mut rest: &mut [Option<A>] = &mut slots;
+            let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(num_groups);
+            for group in groups {
+                let (mine, remainder) = rest.split_at_mut(group.len());
+                rest = remainder;
+                tasks.push(Box::new(move || {
+                    for (offset, slot) in mine.iter_mut().enumerate() {
+                        *slot = Some(chunk_partial(chunks[group.start + offset].clone()));
+                    }
+                }) as ScopedTask<'_>);
+            }
+            WorkerPool::global().execute(tasks);
+        }
+        let acc = slots
+            .into_iter()
+            .map(|slot| slot.expect("the pool ran every chunk"))
+            .reduce(combine)
+            .unwrap_or(identity);
+        self.record(num_groups as u64, started);
+        acc
+    }
+
+    /// The slice-input convenience over
+    /// [`RoundPrimitives::par_reduce_range_weighted`].
+    pub fn par_reduce_weighted<T, A, F, C, W>(
+        &self,
+        items: &[T],
+        weight: W,
+        identity: A,
+        fold: F,
+        combine: C,
+    ) -> A
+    where
+        T: Sync,
+        A: Clone + Send + Sync,
+        F: Fn(A, usize, &T) -> A + Sync,
+        C: Fn(A, A) -> A,
+        W: Fn(usize, &T) -> usize,
+    {
+        self.par_reduce_range_weighted(
+            items.len(),
+            |index| weight(index, &items[index]),
+            identity,
+            |acc, index| fold(acc, index, &items[index]),
+            combine,
+        )
     }
 
     /// The indices in `0..items` satisfying `pred`, in ascending order —
@@ -436,6 +682,66 @@ mod tests {
         // equality.
         assert_eq!(stats.wall_clock_nanos, 0);
         assert_eq!(stats.conflict_merges, 0);
+    }
+
+    #[test]
+    fn weighted_map_is_bit_identical_for_any_thread_count() {
+        // A hub-heavy weight profile: item 0 is 10_000x heavier.
+        let weight = |i: usize| if i == 0 { 100_000 } else { 10 };
+        let reference: Vec<usize> = (0..20_000).map(|i| i * 5 + 2).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let primitives = RoundPrimitives::new(threads);
+            let out = primitives.par_node_map_weighted(20_000, weight, |i| i * 5 + 2);
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+        // The contiguous fallback produces the same values through the
+        // unweighted grid.
+        let contiguous = RoundPrimitives::new(4).contiguous();
+        assert!(!contiguous.is_weighted());
+        let out = contiguous.par_node_map_weighted(20_000, weight, |i| i * 5 + 2);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn weighted_reduce_is_bit_identical_across_thread_counts_even_for_floats() {
+        // Non-associative accumulator + skewed weights: the weighted grid
+        // must be the same for every thread count (it only depends on the
+        // prefix sum of the weights), so the float sum's low bits agree.
+        let items: Vec<f64> = (0..50_000)
+            .map(|i| (i as f64).sqrt() * if i % 5 == 0 { 1e-9 } else { 1e3 })
+            .collect();
+        let weight = |i: usize, _: &f64| if i.is_multiple_of(1000) { 5_000 } else { 1 };
+        let sum = |threads: usize| -> f64 {
+            RoundPrimitives::new(threads).par_reduce_weighted(
+                &items,
+                weight,
+                0.0f64,
+                |acc, _, &x| acc + x,
+                |a, b| a + b,
+            )
+        };
+        let reference = sum(1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(reference.to_bits(), sum(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn weighted_color_classes_match_unweighted_sweeps() {
+        let members: Vec<usize> = (0..9_000).step_by(3).collect();
+        let mut expected: Vec<usize> = (0..9_000).collect();
+        RoundPrimitives::sequential()
+            .par_color_classes(&members, &mut expected, |v, snapshot| snapshot[v] + 7);
+        for threads in [1usize, 4] {
+            let mut colors: Vec<usize> = (0..9_000).collect();
+            RoundPrimitives::new(threads).par_color_classes_weighted(
+                &members,
+                &mut colors,
+                |member| member % 97,
+                |v, snapshot| snapshot[v] + 7,
+            );
+            assert_eq!(colors, expected, "threads {threads}");
+        }
     }
 
     #[test]

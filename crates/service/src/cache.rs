@@ -13,6 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use ampc_coloring::ColoringOutcome;
 use sparse_graph::CsrGraph;
@@ -66,8 +67,10 @@ impl CacheEntry {
 #[derive(Debug, Default)]
 struct CacheInner {
     buckets: HashMap<u64, Vec<CacheEntry>>,
-    /// One element per `Ready` entry, oldest first (FIFO eviction order).
-    ready_order: VecDeque<u64>,
+    /// One element per `Ready` entry — its bucket key and the instant it
+    /// became ready — oldest first (FIFO eviction *and* TTL sweep order:
+    /// readiness times are monotone along the deque).
+    ready_order: VecDeque<(u64, Instant)>,
     ready_count: usize,
     /// Total [`cache_cost`] across `Ready` entries (the budget eviction
     /// unit).
@@ -94,40 +97,59 @@ pub struct CacheCounters {
     pub coalesced: u64,
     /// Ready entries currently held.
     pub entries: u64,
+    /// Ready entries dropped by the entry-count / cost-budget caps.
+    pub evicted: u64,
+    /// Ready entries dropped by the age-based TTL sweep.
+    pub expired: u64,
 }
 
-/// A single-flight result cache with exact input verification and a FIFO
-/// cap on ready entries — by entry count and by total result nodes.
+/// A single-flight result cache with exact input verification, a FIFO cap
+/// on ready entries — by entry count and by total result nodes — and an
+/// age-based TTL sweep for long-running servers whose traffic never
+/// pressures the caps.
 #[derive(Debug)]
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     node_budget: usize,
+    ttl: Duration,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    evicted: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl ResultCache {
     /// Creates an empty cache retaining at most `capacity` ready results
     /// totalling at most `node_budget` in [`cache_cost`] units (nodes plus
     /// directed edges of the pinned graphs; each at least 1; in-flight
-    /// entries are never evicted). The budget keeps memory bounded when
-    /// few-but-huge entries would stay under the entry cap.
-    pub fn new(capacity: usize, node_budget: usize) -> Self {
+    /// entries are never evicted), each for at most `ttl` after it became
+    /// ready. The budget keeps memory bounded when few-but-huge entries
+    /// would stay under the entry cap; the TTL bounds how stale a served
+    /// result can be and releases memory on servers whose load never
+    /// reaches the caps. The TTL sweep runs alongside every claim,
+    /// publication and counter snapshot.
+    pub fn new(capacity: usize, node_budget: usize, ttl: Duration) -> Self {
         ResultCache {
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
             node_budget: node_budget.max(1),
+            // Floored like the job TTL: a zero TTL would expire a result
+            // inside the very fulfill() that published it.
+            ttl: ttl.max(Duration::from_millis(10)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
     /// Claims `(graph, spec)` under bucket `key` for the job `waiter`.
     pub fn claim(&self, key: u64, graph: &Arc<CsrGraph>, spec: &JobSpec, waiter: u64) -> Claim {
         let mut inner = self.inner.lock().expect("cache lock");
+        self.expire_over_ttl(&mut inner);
         let bucket = inner.buckets.entry(key).or_default();
         for entry in bucket.iter_mut() {
             if !entry.matches(graph, spec) {
@@ -188,9 +210,10 @@ impl ResultCache {
                 state: CacheState::Ready(value),
             });
         }
-        inner.ready_order.push_back(key);
+        inner.ready_order.push_back((key, Instant::now()));
         inner.ready_count += 1;
         inner.ready_cost += cache_cost(graph);
+        self.expire_over_ttl(&mut inner);
         self.evict_over_capacity(&mut inner);
         claimed_waiters
     }
@@ -222,35 +245,66 @@ impl ResultCache {
         waiters
     }
 
-    fn evict_over_capacity(&self, inner: &mut CacheInner) {
-        while inner.ready_count > self.capacity || inner.ready_cost > self.node_budget {
-            let Some(key) = inner.ready_order.pop_front() else {
-                break;
-            };
-            if let Some(bucket) = inner.buckets.get_mut(&key) {
-                if let Some(position) = bucket
-                    .iter()
-                    .position(|entry| matches!(entry.state, CacheState::Ready(_)))
-                {
-                    let entry = bucket.remove(position);
-                    inner.ready_count -= 1;
-                    inner.ready_cost = inner.ready_cost.saturating_sub(cache_cost(&entry.graph));
-                }
-                if bucket.is_empty() {
-                    inner.buckets.remove(&key);
-                }
+    /// Drops the oldest `Ready` entry of bucket `key` (the entry the
+    /// `ready_order` front element accounts for), fixing up the counters.
+    fn drop_oldest_ready(inner: &mut CacheInner, key: u64) {
+        if let Some(bucket) = inner.buckets.get_mut(&key) {
+            if let Some(position) = bucket
+                .iter()
+                .position(|entry| matches!(entry.state, CacheState::Ready(_)))
+            {
+                let entry = bucket.remove(position);
+                inner.ready_count -= 1;
+                inner.ready_cost = inner.ready_cost.saturating_sub(cache_cost(&entry.graph));
+            }
+            if bucket.is_empty() {
+                inner.buckets.remove(&key);
             }
         }
     }
 
-    /// Counter snapshot.
+    /// The age-based sweep: drops ready entries older than the TTL, front
+    /// of the deque first (readiness times are monotone along it, so the
+    /// sweep stops at the first fresh entry — O(expired) per call). Runs
+    /// alongside the entry/cost-cap eviction on every claim, publication
+    /// and counter snapshot; in-flight entries never expire.
+    fn expire_over_ttl(&self, inner: &mut CacheInner) {
+        let now = Instant::now();
+        while let Some(&(key, ready_at)) = inner.ready_order.front() {
+            if now.duration_since(ready_at) < self.ttl {
+                break;
+            }
+            inner.ready_order.pop_front();
+            Self::drop_oldest_ready(inner, key);
+            self.expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn evict_over_capacity(&self, inner: &mut CacheInner) {
+        while inner.ready_count > self.capacity || inner.ready_cost > self.node_budget {
+            let Some((key, _)) = inner.ready_order.pop_front() else {
+                break;
+            };
+            Self::drop_oldest_ready(inner, key);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot (also a TTL-sweep point, so `/metrics` probes on
+    /// an idle server release expired results).
     pub fn counters(&self) -> CacheCounters {
-        let entries = self.inner.lock().expect("cache lock").ready_count as u64;
+        let entries = {
+            let mut inner = self.inner.lock().expect("cache lock");
+            self.expire_over_ttl(&mut inner);
+            inner.ready_count as u64
+        };
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             entries,
+            evicted: self.evicted.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -262,6 +316,9 @@ mod tests {
     use ampc_coloring::{ColorRequest, SparseColoring};
     use sparse_graph::generators;
 
+    /// A TTL far beyond any test's runtime: the sweeps never fire.
+    const LONG_TTL: Duration = Duration::from_secs(3600);
+
     fn graph(side: usize) -> Arc<CsrGraph> {
         Arc::new(generators::triangulated_grid(side, side))
     }
@@ -272,7 +329,7 @@ mod tests {
 
     #[test]
     fn miss_coalesce_hit_lifecycle() {
-        let cache = ResultCache::new(16, usize::MAX);
+        let cache = ResultCache::new(16, usize::MAX, LONG_TTL);
         let g = graph(4);
         let spec = JobSpec::default();
         let key = job_key(&g, &spec);
@@ -300,7 +357,7 @@ mod tests {
 
     #[test]
     fn colliding_keys_with_different_inputs_compute_separately() {
-        let cache = ResultCache::new(16, usize::MAX);
+        let cache = ResultCache::new(16, usize::MAX, LONG_TTL);
         let g1 = graph(4);
         let g2 = graph(5);
         let spec = JobSpec::default();
@@ -334,7 +391,7 @@ mod tests {
 
     #[test]
     fn abandon_allows_recompute_and_fails_waiters() {
-        let cache = ResultCache::new(16, usize::MAX);
+        let cache = ResultCache::new(16, usize::MAX, LONG_TTL);
         let g = graph(4);
         let spec = JobSpec::default();
         let key = job_key(&g, &spec);
@@ -354,7 +411,7 @@ mod tests {
         // f64::from_str parses "NaN"; before spec equality compared floats
         // by bit pattern, a NaN epsilon never equaled itself, so abandon()
         // could not find the in-flight entry and it leaked forever.
-        let cache = ResultCache::new(16, usize::MAX);
+        let cache = ResultCache::new(16, usize::MAX, LONG_TTL);
         let g = graph(4);
         let spec = JobSpec {
             request: ColorRequest {
@@ -386,7 +443,7 @@ mod tests {
         let spec = JobSpec::default();
         let g1 = graph(4);
         let g2 = graph(4);
-        let cache = ResultCache::new(16, g1.num_nodes() + 2 * g1.num_edges());
+        let cache = ResultCache::new(16, g1.num_nodes() + 2 * g1.num_edges(), LONG_TTL);
         let (k1, k2) = (job_key(&g1, &spec), 1 ^ job_key(&g2, &spec));
         assert_eq!(cache.claim(k1, &g1, &spec, 1), Claim::Compute);
         cache.fulfill(k1, &g1, &spec, outcome_for(&g1));
@@ -400,8 +457,33 @@ mod tests {
     }
 
     #[test]
+    fn ready_results_expire_after_the_ttl() {
+        let cache = ResultCache::new(16, usize::MAX, Duration::from_millis(50));
+        let g = graph(4);
+        let spec = JobSpec::default();
+        let key = job_key(&g, &spec);
+        assert_eq!(cache.claim(key, &g, &spec, 1), Claim::Compute);
+        cache.fulfill(key, &g, &spec, outcome_for(&g));
+        // Fresh results survive an immediate sweep and serve hits.
+        assert!(matches!(cache.claim(key, &g, &spec, 2), Claim::Hit(_)));
+        assert_eq!(cache.counters().entries, 1);
+        std::thread::sleep(Duration::from_millis(120));
+        // Any cache activity sweeps: the stale result is gone and the next
+        // identical submission recomputes.
+        assert_eq!(cache.claim(key, &g, &spec, 3), Claim::Compute);
+        let counters = cache.counters();
+        assert_eq!(counters.entries, 0);
+        assert_eq!(counters.expired, 1);
+        assert_eq!(counters.evicted, 0, "the caps were never pressured");
+        // In-flight entries never expire: the claim above still owns the
+        // computation after another TTL has passed.
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(cache.claim(key, &g, &spec, 4), Claim::Coalesced);
+    }
+
+    #[test]
     fn ready_results_are_capped_fifo() {
-        let cache = ResultCache::new(2, usize::MAX);
+        let cache = ResultCache::new(2, usize::MAX, LONG_TTL);
         let spec = JobSpec::default();
         let graphs: Vec<Arc<CsrGraph>> = (3..7).map(graph).collect();
         for g in &graphs {

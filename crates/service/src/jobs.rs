@@ -63,6 +63,11 @@ pub struct ServiceConfig {
     /// activity, independent of the count/node-budget retention caps.
     /// In-flight jobs never expire.
     pub job_ttl: Duration,
+    /// Age at which a *ready result cache entry* expires: the cache sweeps
+    /// entries older than this alongside its entry-count / cost-budget
+    /// caps, bounding both result staleness and idle-server memory.
+    /// In-flight (computing) entries never expire.
+    pub cache_ttl: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +84,7 @@ impl Default for ServiceConfig {
             retained_node_budget: 1 << 23,
             max_requests_per_connection: 100,
             job_ttl: Duration::from_secs(600),
+            cache_ttl: Duration::from_secs(3600),
         }
     }
 }
@@ -397,7 +403,11 @@ impl JobManager {
         let shared = Arc::new(ManagerShared {
             jobs: Mutex::new(JobsState::default()),
             job_done: Condvar::new(),
-            cache: ResultCache::new(config.cache_capacity, config.cache_node_budget),
+            cache: ResultCache::new(
+                config.cache_capacity,
+                config.cache_node_budget,
+                config.cache_ttl,
+            ),
             max_retained_jobs: config.max_retained_jobs.max(1),
             retained_node_budget: config.retained_node_budget.max(1),
             // Floored: a zero TTL would expire a finished job inside
@@ -966,6 +976,35 @@ mod tests {
         let third = manager.submit(small_graph(10), spec()).unwrap();
         assert!(manager.status(second).is_none(), "swept at submission");
         assert!(manager.status(third).is_some(), "fresh jobs never expire");
+    }
+
+    #[test]
+    fn cached_results_expire_after_the_cache_ttl() {
+        let manager = JobManager::new(ServiceConfig {
+            workers: 1,
+            cache_ttl: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let graph = small_graph(8);
+        let first = manager.submit(Arc::clone(&graph), spec()).unwrap();
+        assert_eq!(
+            manager.wait(first, Duration::from_secs(30)).unwrap().status,
+            JobStatus::Done
+        );
+        // An immediate resubmission hits the still-fresh cache entry.
+        let second = manager.submit(Arc::clone(&graph), spec()).unwrap();
+        let view = manager.wait(second, Duration::from_secs(30)).unwrap();
+        assert!(view.cached);
+        assert_eq!(manager.counters().computed, 1);
+        thread::sleep(Duration::from_millis(120));
+        // Past the TTL the entry is swept: the identical job recomputes.
+        let third = manager.submit(Arc::clone(&graph), spec()).unwrap();
+        let view = manager.wait(third, Duration::from_secs(30)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(!view.cached, "the stale entry must not serve hits");
+        let counters = manager.counters();
+        assert_eq!(counters.computed, 2);
+        assert!(counters.cache.expired >= 1, "{:?}", counters.cache);
     }
 
     #[test]

@@ -538,11 +538,14 @@ fn parse_spec(head: &RequestHead) -> Result<JobSpec, Response> {
             ));
         }
     }
+    // shards = 0 is the auto-tuning sentinel (initial count derived from
+    // the thread count, grown from observed imbalance) and is allowed;
+    // the auto-tuner's own ceiling is far below MAX_SHARDS.
     if let Some(shards) = shards {
-        if shards == 0 || shards > MAX_SHARDS {
+        if shards > MAX_SHARDS {
             return Err(error_response(
                 400,
-                &format!("shards must lie in 1..={MAX_SHARDS}"),
+                &format!("shards must lie in 0..={MAX_SHARDS} (0 = auto-tuned)"),
             ));
         }
     }
@@ -749,6 +752,9 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             "shard_writes",
             "pool_tasks",
             "pool_idle_us",
+            "pool_steals",
+            "pool_overflows",
+            "auto_shards",
             "intra_tasks",
             "intra_wall_us",
         ],
@@ -762,6 +768,9 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             stats.shard_writes.iter().sum::<u64>().to_string(),
             stats.pool_tasks_per_worker.iter().sum::<u64>().to_string(),
             (stats.pool_idle_nanos / 1_000).to_string(),
+            stats.pool_steals.to_string(),
+            stats.pool_overflows.to_string(),
+            stats.auto_shards.to_string(),
             stats.intra_tasks.to_string(),
             (stats.intra_wall_nanos / 1_000).to_string(),
         ]);
@@ -880,6 +889,8 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                 .u64("misses", counters.cache.misses)
                 .u64("coalesced", counters.cache.coalesced)
                 .u64("entries", counters.cache.entries)
+                .u64("evicted", counters.cache.evicted)
+                .u64("expired", counters.cache.expired)
                 .finish(),
         )
         .raw(
@@ -895,6 +906,8 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                     array_u64(pool_stats.idle_nanos_per_worker.iter().copied()),
                 )
                 .u64("helper_tasks", pool_stats.helper_tasks)
+                .u64("steals", pool_stats.steals)
+                .u64("overflows", pool_stats.overflows)
                 .finish(),
         )
         .raw("recent_jobs", recent.to_json())
@@ -969,6 +982,16 @@ mod tests {
         assert!(response.contains("\"status\":\"done\""), "{response}");
         assert!(response.contains("\"coloring\":["), "{response}");
         assert!(response.contains("\"runtime_stats\""), "{response}");
+
+        // shards=0 selects the auto-tuned shard count and is accepted.
+        let (status, response) = request(
+            addr,
+            "POST",
+            "/v1/color?algorithm=two-alpha-plus-one&alpha=1&runtime=parallel&threads=2&shards=0&wait=1",
+            body,
+        );
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"status\":\"done\""), "{response}");
 
         // Async path: 202 then poll.
         let (status, response) = request(addr, "POST", "/v1/color?alpha=1", body);

@@ -16,6 +16,9 @@
 //!   before it is closed (default 100; 1 disables keep-alive).
 //! * `--job-ttl-s=N` — age in seconds at which terminal job records are
 //!   garbage-collected (default 600).
+//! * `--cache-ttl-s=N` — age in seconds at which ready result-cache
+//!   entries expire (default 3600; the sweep runs alongside the cache's
+//!   entry-count and memory-budget caps).
 
 use std::time::Duration;
 
@@ -45,6 +48,10 @@ fn main() {
         // At least one second: a sub-second TTL would expire results
         // before a synchronous waiter can read them.
         config.job_ttl = Duration::from_secs(seconds.max(1));
+    }
+    if let Some(seconds) = parse_flag::<u64>(&args, "cache-ttl-s") {
+        // Same floor: a zero TTL would expire entries as they publish.
+        config.cache_ttl = Duration::from_secs(seconds.max(1));
     }
 
     let server = match Server::bind(&addr, config) {

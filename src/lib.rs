@@ -49,6 +49,16 @@ pub enum Workload {
         /// Tree depth.
         depth: usize,
     },
+    /// Hub-and-spoke communities: `communities` disjoint stars of
+    /// `n / communities` nodes whose hubs form a cycle — arboricity 2 with
+    /// maximum degree `n / communities + 1`, the extreme `∆ ≫ α` shape the
+    /// skew-aware scheduler targets.
+    HubAndSpoke {
+        /// Number of nodes (split evenly over the communities).
+        n: usize,
+        /// Number of communities (each a star around one hub).
+        communities: usize,
+    },
 }
 
 impl Workload {
@@ -62,6 +72,10 @@ impl Workload {
             }
             Workload::PlanarGrid { side } => generators::triangulated_grid(side, side),
             Workload::DeepTree { arity, depth } => generators::complete_kary_tree(arity, depth),
+            Workload::HubAndSpoke { n, communities } => {
+                let communities = communities.clamp(1, n.max(1));
+                generators::hub_and_spoke(communities, (n / communities).max(1))
+            }
         }
     }
 
@@ -76,6 +90,9 @@ impl Workload {
             Workload::DeepTree { arity, depth } => {
                 format!("deep-tree(arity={arity}, depth={depth})")
             }
+            Workload::HubAndSpoke { n, communities } => {
+                format!("hub-and-spoke(n={n}, c={communities})")
+            }
         }
     }
 
@@ -87,6 +104,7 @@ impl Workload {
             Workload::PowerLaw { edges_per_node, .. } => edges_per_node.max(1),
             Workload::PlanarGrid { .. } => 3,
             Workload::DeepTree { .. } => 1,
+            Workload::HubAndSpoke { .. } => 2,
         }
     }
 }

@@ -15,7 +15,7 @@ use arbo_coloring::{
 use beta_partition::{ampc_beta_partition, natural_partition, PartitionParams};
 use sparse_graph::{Coloring, CsrGraph, Orientation};
 
-const ALL_WORKLOADS: [Workload; 4] = [
+const ALL_WORKLOADS: [Workload; 5] = [
     Workload::ForestUnion { n: 400, k: 2 },
     Workload::PowerLaw {
         n: 400,
@@ -23,6 +23,12 @@ const ALL_WORKLOADS: [Workload; 4] = [
     },
     Workload::PlanarGrid { side: 14 },
     Workload::DeepTree { arity: 4, depth: 4 },
+    // The high-skew shape the work-stealing scheduler targets: a few hubs
+    // carry almost every edge.
+    Workload::HubAndSpoke {
+        n: 400,
+        communities: 8,
+    },
 ];
 
 const ALL_POLICIES: [ConflictPolicy; 4] = [
@@ -37,6 +43,9 @@ fn parallel_matrix() -> Vec<RuntimeConfig> {
         RuntimeConfig::parallel().with_threads(2).with_shards(1),
         RuntimeConfig::parallel().with_threads(4).with_shards(8),
         RuntimeConfig::parallel().with_threads(7).with_shards(3),
+        // shards = 0 selects imbalance-driven auto-tuning; the shard count
+        // may grow between rounds without touching any result.
+        RuntimeConfig::parallel().with_threads(4).with_shards(0),
     ]
 }
 
@@ -202,7 +211,10 @@ fn partitions_and_colorings_agree_on_every_workload() {
 /// The intra-layer determinism matrix: the LOCAL simulators themselves
 /// (Arb-Linial rounds, Kuhn–Wattenhofer sweeps) produce bit-identical
 /// colorings, palette trajectories and round counts on the round
-/// primitives for every workload and thread count.
+/// primitives — now with cost-weighted chunking and the work-stealing
+/// deques engaged — for every workload and thread count, including the
+/// skewed hub-and-spoke workload whose by-id orientation piles most of the
+/// per-node cost onto a few hubs.
 #[test]
 fn intra_layer_simulators_are_bit_identical_across_thread_counts() {
     for workload in ALL_WORKLOADS {
@@ -226,7 +238,7 @@ fn intra_layer_simulators_are_bit_identical_across_thread_counts() {
         )
         .expect("sequential KW succeeds");
 
-        for threads in [2usize, 4, 7] {
+        for threads in [1usize, 2, 4, 7] {
             let primitives = RoundPrimitives::new(threads);
             let linial = arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
                 .expect("parallel Arb-Linial succeeds");
@@ -249,6 +261,52 @@ fn intra_layer_simulators_are_bit_identical_across_thread_counts() {
             assert_eq!(kw_reference.palette_trajectory, kw.palette_trajectory);
             assert_eq!(kw_reference.rounds, kw.rounds);
             assert!(primitives.tasks_executed() > 0, "primitives actually ran");
+        }
+    }
+}
+
+/// The scheduler A/B is output-invisible: on the skewed workloads (by-id
+/// orientations, hub out-degrees = hub degrees) the cost-weighted grid +
+/// stealing and the PR 3 contiguous grid produce bit-identical colorings,
+/// palette trajectories and round counts — both equal to the sequential
+/// reference — for every thread count. Only the wall clock may differ.
+#[test]
+fn weighted_and_contiguous_schedulers_agree_on_skewed_workloads() {
+    for workload in [
+        Workload::HubAndSpoke {
+            n: 600,
+            communities: 4,
+        },
+        Workload::PowerLaw {
+            n: 600,
+            edges_per_node: 3,
+        },
+    ] {
+        let graph = workload.build(104);
+        let orientation = Orientation::from_total_order(&graph, |v| v);
+        let reference = arb_linial_coloring_with_runtime(
+            &graph,
+            &orientation,
+            None,
+            &RoundPrimitives::sequential(),
+        )
+        .expect("sequential Arb-Linial succeeds");
+        for threads in [1usize, 2, 4, 7] {
+            for contiguous in [false, true] {
+                let primitives = if contiguous {
+                    RoundPrimitives::new(threads).contiguous()
+                } else {
+                    RoundPrimitives::new(threads)
+                };
+                let run = arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
+                    .expect("Arb-Linial succeeds");
+                assert_eq!(
+                    reference.coloring, run.coloring,
+                    "workload {workload:?}, threads {threads}, contiguous {contiguous}"
+                );
+                assert_eq!(reference.palette_trajectory, run.palette_trajectory);
+                assert_eq!(reference.rounds, run.rounds);
+            }
         }
     }
 }
@@ -324,7 +382,7 @@ fn drivers_agree_across_thread_matrix_and_record_intra_stats() {
                 .expect("coloring succeeds")
         };
         let sequential = color(RuntimeConfig::Sequential);
-        for threads in [2usize, 4, 7] {
+        for threads in [1usize, 2, 4, 7] {
             let parallel = color(RuntimeConfig::parallel().with_threads(threads));
             assert_eq!(
                 sequential.coloring, parallel.coloring,
