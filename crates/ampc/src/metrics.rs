@@ -124,6 +124,15 @@ pub struct RoundRuntimeStats {
     /// tasks overlap in time, so this can exceed the host wall clock —
     /// it measures primitive *occupancy*, not elapsed time.
     pub intra_wall_nanos: u64,
+    /// Scratch-buffer acquisitions the intra-layer primitives served by
+    /// recycling an existing buffer (pool leases plus reusable output
+    /// buffers whose capacity sufficed) while this logical round ran. A
+    /// host measurement like the pool counters; in steady state this
+    /// dominates [`RoundRuntimeStats::scratch_allocs`].
+    pub scratch_reuses: u64,
+    /// Scratch-buffer acquisitions that had to allocate while this logical
+    /// round ran (cold pools, first-touch buffers, capacity growth).
+    pub scratch_allocs: u64,
 }
 
 impl RoundRuntimeStats {
@@ -158,6 +167,8 @@ impl RoundRuntimeStats {
             },
             intra_tasks: self.intra_tasks + other.intra_tasks,
             intra_wall_nanos: self.intra_wall_nanos + other.intra_wall_nanos,
+            scratch_reuses: self.scratch_reuses + other.scratch_reuses,
+            scratch_allocs: self.scratch_allocs + other.scratch_allocs,
         }
     }
 }

@@ -28,9 +28,41 @@
 //!
 //! Flags: `--n=NODES` (default 100000), `--reps=R` (default 3; best-of-R
 //! wall clock per cell), `--threads=a,b,c` (default `1,2,4,8`),
-//! `--json=PATH`, `--smoke` (n=5000, reps=1).
+//! `--json=PATH`, `--smoke` (n=5000, reps=1), `--alloc-budget=N` (fail if
+//! any cell's steady-state `allocs_per_round` exceeds `N`; also read from
+//! the `AMPC_ALLOC_BUDGET` env var; requires the `alloc-count` feature).
+//!
+//! Built with `--features alloc-count`, the bin installs a counting global
+//! allocator and the `allocs_per_round` column carries real heap-allocation
+//! counts per simulated LOCAL round — the allocation-discipline gate CI
+//! enforces. Without the feature the column reads 0 and the gate refuses
+//! to run (so a mis-built CI step fails loudly instead of passing vacuously).
 
 use std::time::{Duration, Instant};
+
+/// Whether the counting allocator is compiled in (the `alloc-count`
+/// feature): the `allocs_per_round` column is real iff this is true.
+#[cfg(feature = "alloc-count")]
+const ALLOC_COUNT_ENABLED: bool = true;
+#[cfg(not(feature = "alloc-count"))]
+const ALLOC_COUNT_ENABLED: bool = false;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOCATOR: ampc_runtime::alloc_count::CountingAllocator =
+    ampc_runtime::alloc_count::CountingAllocator;
+
+/// Heap allocations so far (0 when counting is not compiled in).
+fn allocations_now() -> u64 {
+    #[cfg(feature = "alloc-count")]
+    {
+        ampc_runtime::alloc_count::allocations()
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        0
+    }
+}
 
 use ampc_coloring_bench::args::{has_flag, parse_flag};
 use ampc_coloring_bench::{Table, Workload};
@@ -52,15 +84,19 @@ fn degeneracy_orientation(graph: &CsrGraph) -> Orientation {
     Orientation::from_total_order(graph, |v| position[v])
 }
 
-/// Best-of-`reps` wall clock of `run`.
-fn best_of<R>(reps: usize, mut run: impl FnMut() -> R) -> (Duration, R) {
-    let mut best: Option<(Duration, R)> = None;
+/// Best-of-`reps` wall clock of `run`, with the best rep's heap-allocation
+/// delta (each rep builds a fresh primitives context, so every rep pays
+/// the same cold-scratch warm-up and the deltas are comparable).
+fn best_of<R>(reps: usize, mut run: impl FnMut() -> R) -> (Duration, u64, R) {
+    let mut best: Option<(Duration, u64, R)> = None;
     for _ in 0..reps.max(1) {
+        let allocs_before = allocations_now();
         let started = Instant::now();
         let result = run();
         let elapsed = started.elapsed();
-        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
-            best = Some((elapsed, result));
+        let allocs = allocations_now().saturating_sub(allocs_before);
+        if best.as_ref().is_none_or(|(b, ..)| elapsed < *b) {
+            best = Some((elapsed, allocs, result));
         }
     }
     best.expect("at least one rep ran")
@@ -74,6 +110,10 @@ struct Cell {
     wall: Duration,
     identical: bool,
     intra_tasks: u64,
+    /// Heap allocations per simulated LOCAL round (whole-run delta over
+    /// the simulator's round count — the cold-start scratch warm-up is
+    /// amortized into it). 0 when counting is not compiled in.
+    allocs_per_round: u64,
 }
 
 /// A primitives context for one cell: threads plus the scheduler under
@@ -100,13 +140,33 @@ fn main() {
     threads.retain(|&t| t != 1);
     threads.insert(0, 1);
 
+    // A malformed budget must fail loudly, not silently disable the gate
+    // (the same fail-loudly contract as the missing-feature refusal below):
+    // fetch the raw string and reject anything that is not an integer.
+    let alloc_budget: u64 = match parse_flag::<String>(&args, "alloc-budget")
+        .or_else(|| std::env::var("AMPC_ALLOC_BUDGET").ok())
+    {
+        None => 0,
+        Some(raw) => match raw.trim().parse() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!(
+                    "intra_bench: FAILED — invalid allocation budget `{raw}` \
+                     (expected a non-negative integer of allocations per round)"
+                );
+                std::process::exit(1);
+            }
+        },
+    };
+
     let mut table = Table::new(
         "intra",
         "intra-layer seq vs parallel matrix",
         "wall clock of the LOCAL simulators (whole graph = one layer) on the round \
          primitives, per thread count and scheduler; `weighted` = cost-weighted chunking \
          + work-stealing deques, `contiguous` = the PR 3 equal-width grid; parallel runs \
-         verified bit-identical to threads=1",
+         verified bit-identical to threads=1; allocs_per_round = heap allocations per \
+         simulated LOCAL round (0 = built without the alloc-count feature)",
         &[
             "workload",
             "simulator",
@@ -115,6 +175,7 @@ fn main() {
             "wall_ms",
             "speedup",
             "intra_tasks",
+            "allocs_per_round",
             "identical",
         ],
     );
@@ -149,13 +210,14 @@ fn main() {
             // A fresh primitives context per rep keeps intra_tasks a
             // per-run count, consistent with the best-of-one-rep wall
             // clock (the counts are deterministic, so every rep agrees).
-            let (wall, (linial, linial_tasks)) = best_of(reps, || {
+            let (wall, allocs, (linial, linial_tasks)) = best_of(reps, || {
                 let primitives = RoundPrimitives::new(t);
                 let result =
                     arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
                         .expect("Arb-Linial succeeds");
                 (result, primitives.tasks_executed())
             });
+            let rounds = linial.rounds;
             let identical = match &linial_reference {
                 None => {
                     linial_reference = Some(linial);
@@ -175,16 +237,18 @@ fn main() {
                 wall,
                 identical,
                 intra_tasks: linial_tasks,
+                allocs_per_round: allocs / rounds.max(1) as u64,
             });
 
             if run_kw {
-                let (wall, (reduced, kw_tasks)) = best_of(reps, || {
+                let (wall, allocs, (reduced, kw_tasks)) = best_of(reps, || {
                     let primitives = RoundPrimitives::new(t);
                     let result =
                         kw_color_reduction_with_runtime(&graph, &trivial, kw_bound, &primitives)
                             .expect("KW succeeds");
                     (result, primitives.tasks_executed())
                 });
+                let rounds = reduced.rounds;
                 let identical = match &kw_reference {
                     None => {
                         kw_reference = Some(reduced);
@@ -204,6 +268,7 @@ fn main() {
                     wall,
                     identical,
                     intra_tasks: kw_tasks,
+                    allocs_per_round: allocs / rounds.max(1) as u64,
                 });
             }
         }
@@ -237,13 +302,14 @@ fn main() {
                 &["contiguous", "weighted"]
             };
             for &scheduler in schedulers {
-                let (wall, (linial, tasks)) = best_of(reps, || {
+                let (wall, allocs, (linial, tasks)) = best_of(reps, || {
                     let primitives = primitives_for(t, scheduler);
                     let result =
                         arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
                             .expect("Arb-Linial succeeds");
                     (result, primitives.tasks_executed())
                 });
+                let rounds = linial.rounds;
                 let identical = match &reference {
                     None => {
                         reference = Some(linial);
@@ -263,6 +329,7 @@ fn main() {
                     wall,
                     identical,
                     intra_tasks: tasks,
+                    allocs_per_round: allocs / rounds.max(1) as u64,
                 });
             }
         }
@@ -294,6 +361,7 @@ fn main() {
             format!("{:.3}", cell.wall.as_secs_f64() * 1e3),
             format!("{speedup:.2}"),
             cell.intra_tasks.to_string(),
+            cell.allocs_per_round.to_string(),
             cell.identical.to_string(),
         ]);
     }
@@ -309,6 +377,37 @@ fn main() {
     if !all_identical {
         eprintln!("intra_bench: FAILED — a parallel run diverged from the sequential reference");
         std::process::exit(1);
+    }
+    if alloc_budget > 0 {
+        // The allocation-discipline gate: steady-state rounds must stay
+        // under the budget. Refuses to run on a build without real
+        // counters, so a mis-built CI step cannot pass vacuously.
+        if !ALLOC_COUNT_ENABLED {
+            eprintln!(
+                "intra_bench: FAILED — --alloc-budget={alloc_budget} requires a build with \
+                 `--features alloc-count` (the allocation counters are stubbed to 0)"
+            );
+            std::process::exit(1);
+        }
+        let mut over_budget = false;
+        for cell in &cells {
+            if cell.allocs_per_round > alloc_budget {
+                over_budget = true;
+                eprintln!(
+                    "intra_bench: allocation budget exceeded — {} / {} / {} threads={} \
+                     allocated {} per round (budget {alloc_budget})",
+                    cell.workload,
+                    cell.simulator,
+                    cell.scheduler,
+                    cell.threads,
+                    cell.allocs_per_round
+                );
+            }
+        }
+        if over_budget {
+            std::process::exit(1);
+        }
+        println!("alloc gate ok: every cell within {alloc_budget} heap allocations per round");
     }
     if smoke {
         println!("smoke ok: all parallel runs bit-identical to sequential");

@@ -57,6 +57,12 @@ impl From<ArbLinialError> for ColoringError {
     }
 }
 
+impl From<crate::RecolorError> for ColoringError {
+    fn from(error: crate::RecolorError) -> Self {
+        ColoringError::Internal(error.to_string())
+    }
+}
+
 /// Parameters shared by all Theorem 1.3 drivers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmpcColoringParams {

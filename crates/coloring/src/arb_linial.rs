@@ -172,16 +172,29 @@ fn best_degree(palette: usize, beta: usize) -> Result<usize, ArbLinialError> {
     }
 }
 
+/// Per-worker scratch of one reduction round: the node's own polynomial
+/// coefficients plus its out-neighbors' polynomials flattened with stride
+/// `d + 1`. Leased from the context's scratch registry, so the per-node /
+/// per-neighbor `Vec` allocations of the old decoding are gone in steady
+/// state.
+#[derive(Debug, Default)]
+struct PolyScratch {
+    own: Vec<u64>,
+    neighbors: Vec<u64>,
+}
+
 /// One round of the polynomial reduction: maps a proper `m`-coloring to a
 /// proper `q²`-coloring where `q` is the smallest prime satisfying
 /// `q ≥ d·β + 1` and `q^{d+1} ≥ m`.
 ///
 /// Every node's new color is a pure function of its own and its
 /// out-neighbors' current colors, so the per-node loop fans out over the
-/// worker pool via [`RoundPrimitives::par_node_map`].
+/// worker pool; results are written into the caller-owned `out` buffer
+/// (recycled across rounds) in node order.
 ///
-/// Returns the new per-node colors and the new palette size `q²`.
-fn reduction_round(
+/// Returns the new palette size `q²`.
+#[allow(clippy::too_many_arguments)]
+fn reduction_round_into(
     graph: &CsrGraph,
     orientation: &Orientation,
     colors: &[usize],
@@ -189,22 +202,22 @@ fn reduction_round(
     beta: usize,
     degree_d: usize,
     primitives: &RoundPrimitives,
-) -> Result<(Vec<usize>, usize), ArbLinialError> {
+    out: &mut Vec<usize>,
+) -> Result<usize, ArbLinialError> {
     let d = degree_d.max(1);
     // q must exceed d * beta (so that at most d*beta evaluation points are
     // "covered" by out-neighbors) and q^{d+1} must reach the palette so that
     // distinct colors map to distinct polynomials.
     let q = reduction_prime(palette, beta, d)? as usize;
 
-    // Coefficients of color c: its base-q digits (d+1 of them).
-    let coefficients = |c: usize| -> Vec<u64> {
-        let mut digits = Vec::with_capacity(d + 1);
+    // Coefficients of color c: its base-q digits (d+1 of them), appended to
+    // a reused buffer.
+    let decode_into = |c: usize, digits: &mut Vec<u64>| {
         let mut rest = c as u64;
         for _ in 0..=d {
             digits.push(rest % q as u64);
             rest /= q as u64;
         }
-        digits
     };
     let evaluate = |coeffs: &[u64], a: u64| -> u64 {
         // Horner evaluation over GF(q).
@@ -221,21 +234,24 @@ fn reduction_round(
     // orientations — power-law graphs oriented by node id put most edges on
     // a few hubs — this shatters the hub-heavy index ranges into many
     // small, stealable tasks instead of one dominant contiguous chunk.
-    let new_colors = primitives.par_node_map_weighted(
+    let scratch = primitives.scratch_pool::<PolyScratch>();
+    primitives.par_node_map_weighted_into(
         graph.num_nodes(),
         |v| orientation.out_degree(v),
         |v| {
-            let own = coefficients(colors[v]);
-            let neighbor_polys: Vec<Vec<u64>> = orientation
-                .out_neighbors(v)
-                .iter()
-                .map(|&u| coefficients(colors[u]))
-                .collect();
+            let mut lease = scratch.lease();
+            let PolyScratch { own, neighbors } = &mut *lease;
+            own.clear();
+            decode_into(colors[v], own);
+            neighbors.clear();
+            for &u in orientation.out_neighbors(v) {
+                decode_into(colors[u], neighbors);
+            }
             let mut chosen = None;
             for a in 0..q as u64 {
-                let own_value = evaluate(&own, a);
-                let clashes = neighbor_polys
-                    .iter()
+                let own_value = evaluate(own, a);
+                let clashes = neighbors
+                    .chunks_exact(d + 1)
                     .any(|poly| evaluate(poly, a) == own_value);
                 if !clashes {
                     chosen = Some((a, own_value));
@@ -248,8 +264,9 @@ fn reduction_round(
             );
             (a as usize) * q + value as usize
         },
+        out,
     );
-    Ok((new_colors, q * q))
+    Ok(q * q)
 }
 
 /// Runs the Arb-Linial algorithm on top of an acyclic orientation until the
@@ -287,13 +304,16 @@ pub fn arb_linial_coloring_with_runtime(
 
     let mut trajectory = vec![palette];
     let mut rounds = 0usize;
+    // The round output buffer, swapped with `colors` after every accepted
+    // round — one allocation for the whole run instead of one per round.
+    let mut next_colors: Vec<usize> = Vec::new();
 
     loop {
         // Choose the polynomial degree that gives the strongest single-round
         // reduction (the classic Linial schedule uses a logarithmic degree
         // while the palette is huge and degree ~2 near the fixed point).
         let degree = best_degree(palette, beta)?;
-        let (new_colors, new_palette) = reduction_round(
+        let new_palette = reduction_round_into(
             graph,
             orientation,
             &colors,
@@ -301,14 +321,16 @@ pub fn arb_linial_coloring_with_runtime(
             beta,
             degree,
             primitives,
+            &mut next_colors,
         )?;
         rounds += 1;
         if new_palette >= palette {
-            // Fixed point reached; keep the smaller palette.
+            // Fixed point reached; keep the smaller palette (the round's
+            // output stays in the spare buffer, discarded by reuse).
             trajectory.push(palette);
             break;
         }
-        colors = new_colors;
+        std::mem::swap(&mut colors, &mut next_colors);
         palette = new_palette;
         trajectory.push(palette);
         if rounds > 64 {
@@ -481,7 +503,8 @@ mod tests {
         let graph = generators::star(200);
         let orientation = Orientation::from_total_order(&graph, |v| if v == 0 { 1 } else { 0 });
         let colors: Vec<usize> = (0..200).collect();
-        let (new_colors, new_palette) = reduction_round(
+        let mut new_colors = Vec::new();
+        let new_palette = reduction_round_into(
             &graph,
             &orientation,
             &colors,
@@ -489,6 +512,7 @@ mod tests {
             1,
             2,
             &RoundPrimitives::sequential(),
+            &mut new_colors,
         )
         .unwrap();
         assert!(new_palette < 200);

@@ -104,16 +104,22 @@ impl Seed {
         self.bits[row * self.cols + col]
     }
 
-    /// The color of node `v` once every bit is fixed.
+    /// The color of node `v` once every bit is fixed. The parity is
+    /// computed straight from the bits of `v` (the encoding is `v`'s bits
+    /// plus an appended constant 1), so no per-node encoding buffer is
+    /// materialized — this runs once per uncolored node per phase.
     fn color_of(&self, v: NodeId) -> usize {
-        let encoded = encode(v, self.cols);
         let mut color = 0usize;
         for row in 0..self.rows {
             let mut parity = false;
-            for (col, &bit_set) in encoded.iter().enumerate() {
-                if bit_set && self.bit(row, col).expect("seed fully fixed") {
+            for col in 0..self.cols - 1 {
+                if (v >> col) & 1 == 1 && self.bit(row, col).expect("seed fully fixed") {
                     parity ^= true;
                 }
+            }
+            // The appended constant-1 coordinate.
+            if self.bit(row, self.cols - 1).expect("seed fully fixed") {
+                parity ^= true;
             }
             if parity {
                 color |= 1 << row;
@@ -162,19 +168,22 @@ impl Seed {
 }
 
 /// Binary encoding of a node id with an appended constant-1 coordinate (so
-/// that the encoding is never the zero vector and distinct nodes differ).
-fn encode(v: NodeId, cols: usize) -> Vec<bool> {
-    let mut bits = Vec::with_capacity(cols);
+/// that the encoding is never the zero vector and distinct nodes differ),
+/// written into a reused buffer.
+fn encode_into(v: NodeId, cols: usize, out: &mut Vec<bool>) {
+    out.clear();
     for i in 0..cols - 1 {
-        bits.push((v >> i) & 1 == 1);
+        out.push((v >> i) & 1 == 1);
     }
-    bits.push(true);
-    bits
+    out.push(true);
 }
 
-/// XOR of two encodings.
-fn xor(a: &[bool], b: &[bool]) -> Vec<bool> {
-    a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
+/// XOR of two encodings, written in place into a reused buffer (the
+/// allocating `xor` of earlier revisions, minus the per-call `Vec`; the
+/// unit tests pin equality against that path).
+fn xor_into(a: &[bool], b: &[bool], out: &mut Vec<bool>) {
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| x ^ y));
 }
 
 /// Runs the deterministic `2x∆`-coloring of Theorem 1.5.
@@ -241,60 +250,94 @@ pub fn derandomized_coloring_with_runtime(
     let mut uncolored_history = Vec::new();
     let mut phases = 0usize;
 
+    // Per-phase buffers, allocated once per run and recycled across
+    // phases: U-membership, the relevant-edge query table (flattened GF(2)
+    // vectors with stride `cols` plus per-edge targets), encoding scratch,
+    // tentative colors and conflict flags. The per-candidate probability
+    // buffer is leased from the primitives' scratch registry so concurrent
+    // layer invocations sharing one context recycle each other's buffers.
+    let mut in_u: Vec<bool> = Vec::new();
+    let mut edge_dirs: Vec<bool> = Vec::new();
+    let mut edge_targets: Vec<usize> = Vec::new();
+    let mut encode_a: Vec<bool> = Vec::new();
+    let mut encode_b: Vec<bool> = Vec::new();
+    let mut xor_buf: Vec<bool> = Vec::new();
+    let mut tentative: Vec<(NodeId, usize)> = Vec::new();
+    let mut tentative_colors: Vec<Option<usize>> = Vec::new();
+    let mut conflicts: Vec<bool> = Vec::new();
+    let mut still_uncolored: Vec<NodeId> = Vec::new();
+    let probabilities = primitives.scratch_pool::<Vec<f64>>();
+
     while !uncolored.is_empty() && phases < params.max_phases {
         phases += 1;
-        let in_u: Vec<bool> = {
-            let mut membership = vec![false; n];
-            for &v in &uncolored {
-                membership[v] = true;
-            }
-            membership
-        };
+        in_u.clear();
+        in_u.resize(n, false);
+        for &v in &uncolored {
+            in_u[v] = true;
+        }
+
+        let mut seed = Seed::new(color_bits, cols);
 
         // Edges whose monochromatic status depends on the seed: both
-        // endpoints in U (difference vector), or one endpoint in U against a
-        // fixed color.
-        let mut seed = Seed::new(color_bits, cols);
-        let relevant_edges: Vec<(NodeId, NodeId)> =
-            graph.edges().filter(|&(u, v)| in_u[u] || in_u[v]).collect();
+        // endpoints in U (difference vector against target 0), or one
+        // endpoint in U against the neighbor's fixed color. The queries
+        // are seed-independent, so they are precomputed once per phase
+        // into a flat table — the conditional-expectation evaluations (one
+        // per candidate assignment per batch, the innermost loop of the
+        // derandomization) then allocate nothing per edge.
+        edge_dirs.clear();
+        edge_targets.clear();
+        for (u, v) in graph.edges() {
+            match (in_u[u], in_u[v]) {
+                (false, false) => continue,
+                (true, true) => {
+                    encode_into(u, cols, &mut encode_a);
+                    encode_into(v, cols, &mut encode_b);
+                    xor_into(&encode_a, &encode_b, &mut xor_buf);
+                    edge_dirs.extend_from_slice(&xor_buf);
+                    edge_targets.push(0);
+                }
+                (true, false) => {
+                    encode_into(u, cols, &mut encode_a);
+                    edge_dirs.extend_from_slice(&encode_a);
+                    edge_targets.push(partial.color(v).expect("colored node has a color"));
+                }
+                (false, true) => {
+                    encode_into(v, cols, &mut encode_a);
+                    edge_dirs.extend_from_slice(&encode_a);
+                    edge_targets.push(partial.color(u).expect("colored node has a color"));
+                }
+            }
+        }
+        let num_edges = edge_targets.len();
 
         // Conditional expectation of the number of monochromatic relevant
         // edges under the (partially fixed) seed. The per-edge collision
         // probabilities are computed in parallel (each is a pure function
-        // of the seed and the edge); the final sum runs left-to-right in
-        // edge order, so the floating-point result — and therefore every
-        // seed decision — matches the sequential evaluation bit for bit.
-        let edge_probability = |seed: &Seed, (u, v): (NodeId, NodeId)| -> f64 {
-            match (in_u[u], in_u[v]) {
-                (true, true) => {
-                    let d = xor(&encode(u, cols), &encode(v, cols));
-                    seed.collision_probability(&d, 0)
-                }
-                (true, false) => {
-                    let target = partial.color(v).expect("colored node has a color");
-                    seed.collision_probability(&encode(u, cols), target)
-                }
-                (false, true) => {
-                    let target = partial.color(u).expect("colored node has a color");
-                    seed.collision_probability(&encode(v, cols), target)
-                }
-                (false, false) => unreachable!("edge filtered to touch U"),
-            }
+        // of the seed and the precomputed query); the final sum runs
+        // left-to-right in edge order, so the floating-point result — and
+        // therefore every seed decision — matches the sequential
+        // evaluation bit for bit.
+        let edge_probability = |seed: &Seed, edge: usize| -> f64 {
+            let query = &edge_dirs[edge * cols..(edge + 1) * cols];
+            seed.collision_probability(query, edge_targets[edge])
         };
         let expectation = |seed: &Seed| -> f64 {
-            if primitives.map_dispatches(relevant_edges.len()) {
-                primitives
-                    .par_map(&relevant_edges, |_, &edge| edge_probability(seed, edge))
-                    .iter()
-                    .sum()
+            if primitives.map_dispatches(num_edges) {
+                let mut probabilities = probabilities.lease();
+                primitives.par_node_map_into(
+                    num_edges,
+                    |edge| edge_probability(seed, edge),
+                    &mut probabilities,
+                );
+                probabilities.iter().sum()
             } else {
                 // Streamed whenever the map would run inline anyway (the
                 // sequential path, and small late-phase edge sets): same
                 // left-to-right sum as the parallel branch, without
                 // materializing the per-edge probabilities.
-                relevant_edges
-                    .iter()
-                    .map(|&edge| edge_probability(seed, edge))
+                (0..num_edges)
+                    .map(|edge| edge_probability(seed, edge))
                     .sum()
             }
         };
@@ -312,11 +355,14 @@ pub fn derandomized_coloring_with_runtime(
             let mut best_assignment = 0usize;
             let mut best_value = f64::INFINITY;
             for assignment in 0..(1usize << width) {
-                let mut candidate = seed.clone();
+                // The batch's bits were still free (`None`), so each
+                // candidate is evaluated by writing its bits directly into
+                // the seed — no per-candidate clone; the winning
+                // assignment is written back after the scan.
                 for (offset, bit_index) in (next_bit..upper).enumerate() {
-                    candidate.bits[bit_index] = Some((assignment >> offset) & 1 == 1);
+                    seed.bits[bit_index] = Some((assignment >> offset) & 1 == 1);
                 }
-                let value = expectation(&candidate);
+                let value = expectation(&seed);
                 if value < best_value {
                     best_value = value;
                     best_assignment = assignment;
@@ -325,36 +371,42 @@ pub fn derandomized_coloring_with_runtime(
             for (offset, bit_index) in (next_bit..upper).enumerate() {
                 seed.bits[bit_index] = Some((best_assignment >> offset) & 1 == 1);
             }
-            tracker.charge_aggregation(&mpc, relevant_edges.len().max(1));
+            tracker.charge_aggregation(&mpc, num_edges.max(1));
             next_bit = upper;
         }
 
         // Apply the fully fixed seed to U and freeze conflict-free nodes.
         // Both sweeps are pure per-node functions of the fixed seed (and
         // the previous phases' colors), so they fan out over the pool.
-        let tentative: Vec<(NodeId, usize)> =
-            primitives.par_map(&uncolored, |_, &v| (v, seed.color_of(v)));
-        let mut tentative_colors: Vec<Option<usize>> = vec![None; n];
+        primitives.par_map_into(&uncolored, |_, &v| (v, seed.color_of(v)), &mut tentative);
+        tentative_colors.clear();
+        tentative_colors.resize(n, None);
         for &(v, c) in &tentative {
             tentative_colors[v] = Some(c);
         }
         // Weighted by degree: the conflict check scans each tentative
         // node's adjacency list, the edge-dominated loop of this sweep.
-        let conflicts: Vec<bool> = primitives.par_map_weighted(
-            &tentative,
-            |_, &(v, _)| graph.degree(v),
-            |_, &(v, color)| {
-                graph.neighbors(v).iter().any(|&w| {
-                    let other = if in_u[w] {
-                        tentative_colors[w]
-                    } else {
-                        partial.color(w)
-                    };
-                    other == Some(color)
-                })
-            },
-        );
-        let mut still_uncolored = Vec::new();
+        {
+            let tentative_colors = &tentative_colors;
+            let partial = &partial;
+            let in_u = &in_u;
+            primitives.par_map_weighted_into(
+                &tentative,
+                |_, &(v, _)| graph.degree(v),
+                |_, &(v, color)| {
+                    graph.neighbors(v).iter().any(|&w| {
+                        let other = if in_u[w] {
+                            tentative_colors[w]
+                        } else {
+                            partial.color(w)
+                        };
+                        other == Some(color)
+                    })
+                },
+                &mut conflicts,
+            );
+        }
+        still_uncolored.clear();
         for (&(v, color), &conflicted) in tentative.iter().zip(&conflicts) {
             if conflicted {
                 still_uncolored.push(v);
@@ -364,7 +416,7 @@ pub fn derandomized_coloring_with_runtime(
         }
         tracker.charge_rounds(1); // broadcasting the fixed seed / colors
         uncolored_history.push(still_uncolored.len());
-        uncolored = still_uncolored;
+        std::mem::swap(&mut uncolored, &mut still_uncolored);
     }
 
     // Safety fallback: if the phase cap was hit (it should not be for sane
@@ -492,6 +544,42 @@ mod tests {
         let result = derandomized_coloring(&isolated, &DerandParams::default());
         assert!(result.coloring.is_proper(&isolated));
         assert_eq!(result.phases, 1);
+    }
+
+    #[test]
+    fn in_place_xor_and_encode_match_the_allocating_path() {
+        // The pre-allocation-discipline reference implementations: a fresh
+        // Vec per encode and per XOR. The in-place forms must produce the
+        // same bits no matter what stale contents the reused buffers hold.
+        let encode_reference = |v: NodeId, cols: usize| -> Vec<bool> {
+            let mut bits = Vec::with_capacity(cols);
+            for i in 0..cols - 1 {
+                bits.push((v >> i) & 1 == 1);
+            }
+            bits.push(true);
+            bits
+        };
+        let xor_reference = |a: &[bool], b: &[bool]| -> Vec<bool> {
+            a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
+        };
+
+        let mut encode_a = vec![true; 3]; // stale garbage to discard
+        let mut encode_b = Vec::new();
+        let mut xor_buf = vec![false; 64];
+        for cols in [2usize, 5, 11, 40] {
+            for (u, v) in [(0usize, 1usize), (3, 3), (12_345, 678), (65_535, 2)] {
+                encode_into(u, cols, &mut encode_a);
+                encode_into(v, cols, &mut encode_b);
+                assert_eq!(encode_a, encode_reference(u, cols), "encode({u}, {cols})");
+                assert_eq!(encode_b, encode_reference(v, cols), "encode({v}, {cols})");
+                xor_into(&encode_a, &encode_b, &mut xor_buf);
+                assert_eq!(
+                    xor_buf,
+                    xor_reference(&encode_a, &encode_b),
+                    "xor of {u} and {v} at {cols} cols"
+                );
+            }
+        }
     }
 
     #[test]

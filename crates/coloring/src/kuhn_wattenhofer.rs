@@ -9,7 +9,7 @@
 //! of colors in `∆ + 1` rounds; repeating until only `∆ + 1` colors remain
 //! costs `O(∆ log(m / ∆))` rounds — the complexity quoted by the paper.
 
-use ampc_runtime::RoundPrimitives;
+use ampc_runtime::{MarkerSet, RoundPrimitives};
 use sparse_graph::{Coloring, CsrGraph};
 
 /// Result of the Kuhn–Wattenhofer reduction.
@@ -98,6 +98,15 @@ pub fn kw_color_reduction_with_runtime(
     let mut rounds = 0usize;
     let mut trajectory = vec![palette];
 
+    // Steady-state allocation-free sweeps: the per-decision "used colors"
+    // set is an epoch-stamped MarkerSet leased per worker from the
+    // context's scratch registry (O(1) clear between nodes, no
+    // `vec![false; target]` per node), and the recolor-index / compaction
+    // buffers are reused across every elimination round.
+    let markers = primitives.scratch_pool::<MarkerSet>();
+    let mut recolor: Vec<usize> = Vec::new();
+    let mut compacted: Vec<usize> = Vec::new();
+
     while palette > target {
         let block = 2 * target;
         // Number of blocks covering the palette {0, ..., palette - 1}.
@@ -107,10 +116,14 @@ pub fn kw_color_reduction_with_runtime(
         // one LOCAL round since the affected nodes form an independent set).
         for offset in target..block {
             rounds += 1;
-            let recolor: Vec<usize> = primitives.par_collect_indices(graph.num_nodes(), |v| {
-                let c = colors[v];
-                c % block == offset && c < palette
-            });
+            primitives.par_collect_indices_into(
+                graph.num_nodes(),
+                |v| {
+                    let c = colors[v];
+                    c % block == offset && c < palette
+                },
+                &mut recolor,
+            );
             // Weighted by degree: a member's decision scans its whole
             // adjacency list, so hub members cost Δ while leaves cost 1 —
             // weighted chunking keeps the sweep balanced on skewed graphs.
@@ -119,16 +132,17 @@ pub fn kw_color_reduction_with_runtime(
                 &mut colors,
                 |v| graph.degree(v),
                 |v, snapshot| {
+                    let mut used = markers.lease();
+                    used.reset(target);
                     let block_start = (snapshot[v] / block) * block;
-                    let mut used = vec![false; target];
                     for &w in graph.neighbors(v) {
                         let cw = snapshot[w];
                         if cw >= block_start && cw < block_start + target {
-                            used[cw - block_start] = true;
+                            used.mark(cw - block_start);
                         }
                     }
                     let free = (0..target)
-                        .find(|&c| !used[c])
+                        .find(|&c| !used.is_marked(c))
                         .expect("a free color exists because the degree is at most degree_bound");
                     block_start + free
                 },
@@ -136,12 +150,17 @@ pub fn kw_color_reduction_with_runtime(
         }
         // Compact the palette: block b now only uses colors
         // [b * block, b * block + target); renumber to b * target + offset.
-        colors = primitives.par_node_map(colors.len(), |v| {
-            let b = colors[v] / block;
-            let within = colors[v] % block;
-            debug_assert!(within < target);
-            b * target + within
-        });
+        primitives.par_node_map_into(
+            colors.len(),
+            |v| {
+                let b = colors[v] / block;
+                let within = colors[v] % block;
+                debug_assert!(within < target);
+                b * target + within
+            },
+            &mut compacted,
+        );
+        std::mem::swap(&mut colors, &mut compacted);
         palette = num_blocks * target;
         trajectory.push(palette);
         if num_blocks == 1 {

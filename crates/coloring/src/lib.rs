@@ -60,4 +60,6 @@ pub use kuhn_wattenhofer::{
     kw_color_reduction, kw_color_reduction_with_runtime, KwReductionResult,
 };
 pub use primes::{is_prime, next_prime};
-pub use recolor::{recolor_layers, recolor_layers_with_runtime, RecolorOrder, RecolorResult};
+pub use recolor::{
+    recolor_layers, recolor_layers_with_runtime, RecolorError, RecolorOrder, RecolorResult,
+};

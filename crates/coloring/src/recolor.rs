@@ -10,9 +10,85 @@
 //! nodes in higher layers have final colors — at most `β` of them — so a
 //! free color in a palette of size `β + 1` always exists.
 
-use ampc_runtime::RoundPrimitives;
+use std::fmt;
+
+use ampc_runtime::{MarkerSet, RoundPrimitives};
 use beta_partition::{BetaPartition, Layer};
 use sparse_graph::{Coloring, CsrGraph, NodeId};
+
+/// Structured failures of the layered recoloring pass (analogous to
+/// [`crate::ArbLinialError`]): every precondition violation and internal
+/// inconsistency has its own variant instead of a formatted `String`, and
+/// the "node left uncolored" case is a returned error rather than a
+/// release-mode panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecolorError {
+    /// Graph, partition and coloring disagree on the node count.
+    SizeMismatch,
+    /// The partition is partial (some node on the infinity layer); the
+    /// recoloring argument needs every node on a finite layer.
+    PartialPartition,
+    /// The initial coloring has a monochromatic edge *within* one layer,
+    /// violating the per-layer properness precondition.
+    WithinLayerConflict {
+        /// The layer both endpoints live on.
+        layer: Layer,
+        /// The offending edge, `(u, v)` with `u < v`.
+        edge: (NodeId, NodeId),
+    },
+    /// A node saw all `palette` colors on processed neighbors — the
+    /// partition violates its β bound.
+    NoFreeColor {
+        /// The node that found no free color.
+        node: NodeId,
+        /// The palette size (`β + 1`).
+        palette: usize,
+    },
+    /// A node was never assigned a final color (an internal scheduling
+    /// inconsistency: the wave schedule must cover every node exactly
+    /// once).
+    Uncolored {
+        /// The node missing from the schedule.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for RecolorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecolorError::SizeMismatch => {
+                write!(f, "partition / coloring / graph sizes do not match")
+            }
+            RecolorError::PartialPartition => {
+                write!(f, "recoloring requires a complete beta-partition")
+            }
+            RecolorError::WithinLayerConflict {
+                layer,
+                edge: (u, v),
+            } => write!(
+                f,
+                "initial coloring conflicts within layer {layer:?} on edge ({u}, {v})"
+            ),
+            RecolorError::NoFreeColor { node, palette } => write!(
+                f,
+                "node {node} has no free color in a palette of size {palette}: the partition \
+                 violates its beta bound"
+            ),
+            RecolorError::Uncolored { node } => write!(
+                f,
+                "node {node} was never scheduled into a recoloring wave and is left uncolored"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecolorError {}
+
+impl From<RecolorError> for String {
+    fn from(error: RecolorError) -> Self {
+        error.to_string()
+    }
+}
 
 /// Which color a node picks among the free ones.
 ///
@@ -79,7 +155,7 @@ pub fn recolor_layers(
     partition: &BetaPartition,
     initial: &Coloring,
     order: RecolorOrder,
-) -> Result<RecolorResult, String> {
+) -> Result<RecolorResult, RecolorError> {
     recolor_layers_with_runtime(
         graph,
         partition,
@@ -109,13 +185,13 @@ pub fn recolor_layers_with_runtime(
     initial: &Coloring,
     order: RecolorOrder,
     primitives: &RoundPrimitives,
-) -> Result<RecolorResult, String> {
+) -> Result<RecolorResult, RecolorError> {
     let n = graph.num_nodes();
     if partition.num_nodes() != n || initial.num_nodes() != n {
-        return Err("partition / coloring / graph sizes do not match".to_string());
+        return Err(RecolorError::SizeMismatch);
     }
     if partition.is_partial() {
-        return Err("recoloring requires a complete beta-partition".to_string());
+        return Err(RecolorError::PartialPartition);
     }
     let beta = partition.beta();
     let palette = beta + 1;
@@ -161,10 +237,10 @@ pub fn recolor_layers_with_runtime(
         },
     );
     if let Some((u, v)) = check.violation {
-        return Err(format!(
-            "initial coloring conflicts within layer {:?} on edge ({u}, {v})",
-            partition.layer(u)
-        ));
+        return Err(RecolorError::WithinLayerConflict {
+            layer: partition.layer(u),
+            edge: (u, v),
+        });
     }
     let repaired_conflicts = check.conflicts;
 
@@ -186,6 +262,12 @@ pub fn recolor_layers_with_runtime(
     });
 
     let mut final_colors: Vec<Option<usize>> = vec![None; n];
+    // Steady-state allocation-free waves: the per-decision "used colors"
+    // set is an epoch-stamped MarkerSet leased per worker (no
+    // `vec![false; palette]` per node) and the wave-choice buffer is
+    // recycled across waves.
+    let markers = primitives.scratch_pool::<MarkerSet>();
+    let mut choices: Vec<Option<usize>> = Vec::new();
     let mut start = 0usize;
     while start < schedule.len() {
         // One wave: the maximal run of schedule entries sharing
@@ -198,43 +280,56 @@ pub fn recolor_layers_with_runtime(
             end += 1;
         }
         let wave = &schedule[start..end];
-        let choices: Vec<Option<usize>> = {
+        {
             let snapshot: &[Option<usize>] = &final_colors;
             // Weighted by degree: a wave member's decision scans its whole
             // adjacency list, and waves of a skewed layer mix hubs with
             // leaves.
-            primitives.par_map_weighted(
+            primitives.par_map_weighted_into(
                 wave,
                 |_, &v| graph.degree(v),
                 |_, &v| {
-                    let mut used = vec![false; palette];
+                    let mut used = markers.lease();
+                    used.reset(palette);
                     for &w in graph.neighbors(v) {
                         if let Some(c) = snapshot[w] {
                             if c < palette {
-                                used[c] = true;
+                                used.mark(c);
                             }
                         }
                     }
                     match order {
-                        RecolorOrder::HighestAvailable => (0..palette).rev().find(|&c| !used[c]),
-                        RecolorOrder::SmallestAvailable => (0..palette).find(|&c| !used[c]),
+                        RecolorOrder::HighestAvailable => {
+                            (0..palette).rev().find(|&c| !used.is_marked(c))
+                        }
+                        RecolorOrder::SmallestAvailable => {
+                            (0..palette).find(|&c| !used.is_marked(c))
+                        }
                     }
                 },
-            )
-        };
-        for (&v, choice) in wave.iter().zip(choices) {
+                &mut choices,
+            );
+        }
+        for (&v, &choice) in wave.iter().zip(choices.iter()) {
             let Some(color) = choice else {
-                return Err(format!(
-                    "node {v} has no free color in a palette of size {palette}: the partition \
-                     violates its beta bound"
-                ));
+                return Err(RecolorError::NoFreeColor { node: v, palette });
             };
             final_colors[v] = Some(color);
         }
         start = end;
     }
 
-    let coloring = Coloring::new(final_colors.into_iter().map(|c| c.unwrap()).collect());
+    let mut colors = Vec::with_capacity(n);
+    for (node, color) in final_colors.into_iter().enumerate() {
+        match color {
+            Some(color) => colors.push(color),
+            // Unreachable when the schedule covers every node (it is built
+            // from `graph.nodes()`), but a structured error beats a
+            // release-mode unwrap panic if that invariant ever breaks.
+            None => return Err(RecolorError::Uncolored { node }),
+        }
+    }
+    let coloring = Coloring::new(colors);
     debug_assert!(coloring.is_proper(graph));
 
     let sequential_waves = partition.size() * palette;

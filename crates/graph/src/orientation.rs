@@ -114,15 +114,33 @@ impl Orientation {
         if self.num_oriented_edges() != graph.num_edges() {
             return false;
         }
-        let mut seen = std::collections::BTreeSet::new();
+        // Duplicate detection via a bitmap over the graph's adjacency
+        // slots (each canonical edge {a ≤ b} owns the slot of `b` inside
+        // `neighbors(a)`): three O(n + m) allocations for the whole check
+        // instead of a B-tree node per few edges — this runs in front of
+        // every Arb-Linial invocation, so its allocation cost is measured
+        // by the intra bench's allocation gate.
+        let n = graph.num_nodes();
+        let mut slot_offsets = Vec::with_capacity(n + 1);
+        slot_offsets.push(0usize);
+        for v in graph.nodes() {
+            slot_offsets.push(slot_offsets[v] + graph.degree(v));
+        }
+        let mut seen = vec![false; slot_offsets[n]];
         for (u, v) in self.oriented_edges() {
-            if !graph.has_edge(u, v) {
+            let (a, b) = crate::types::canonical_edge(u, v);
+            // The binary search doubles as the `has_edge` membership test
+            // (neighbor lists are sorted); `a < n` because the node counts
+            // matched above and `u` enumerates `0..n`.
+            let Ok(position) = graph.neighbors(a).binary_search(&b) else {
                 return false;
-            }
-            if !seen.insert(crate::types::canonical_edge(u, v)) {
+            };
+            let slot = slot_offsets[a] + position;
+            if seen[slot] {
                 // Edge oriented twice (in both or the same direction).
                 return false;
             }
+            seen[slot] = true;
         }
         true
     }

@@ -1,0 +1,52 @@
+//! A counting global allocator for allocation-budget benchmarks.
+//!
+//! Compiled only under the `alloc-count` feature (bench/test builds; the
+//! production binaries never pay the per-allocation atomic). The
+//! `intra_bench` bin installs [`CountingAllocator`] as its
+//! `#[global_allocator]` and reports the per-round allocation deltas as
+//! the `allocs_per_round` column of `BENCH_intra.json`, which CI gates on.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations (`alloc` + growing `realloc` calls) served since
+/// process start. Subtract two snapshots to attribute allocations to a
+/// region of code; with a single-threaded driver the attribution is exact
+/// up to pool-worker activity the region itself caused.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The system allocator with a relaxed allocation counter in front —
+/// behavior-identical to [`System`], plus [`allocations`] accounting.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// relaxed atomic with no allocation or panic paths of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growing realloc is a fresh backing allocation on most
+        // allocators; count it so Vec growth patterns stay visible.
+        if new_size > layout.size() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -36,6 +36,14 @@
 //!   only from the prefix sum of the costs, splitting skewed index ranges
 //!   into many small stealable tasks without touching the bit-identity
 //!   contract.
+//! * [`MarkerSet`] / [`ScratchPool`] — the allocation-discipline vocabulary:
+//!   epoch-stamped membership sets with O(1) clear and thread-indexed,
+//!   generation-checked reusable-buffer leasing
+//!   ([`RoundPrimitives::scratch_pool`]), plus `*_into` primitive variants
+//!   writing into caller-owned reused buffers — the simulators' hot loops
+//!   allocate nothing in steady state, with reuse counters surfaced as
+//!   [`ampc_model::RoundRuntimeStats::scratch_reuses`] /
+//!   [`ampc_model::RoundRuntimeStats::scratch_allocs`].
 //! * Extended metrics — wall-clock per round, per-shard read/write counts,
 //!   conflict-merge counts and pool-reuse deltas (tasks per worker, idle
 //!   time), surfaced through [`ampc_model::AmpcMetrics::runtime_stats`].
@@ -92,11 +100,14 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 mod backend;
 mod config;
 mod parallel;
 mod pool;
 mod rounds;
+mod scratch;
 mod shard;
 
 pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
@@ -105,4 +116,5 @@ pub use config::RuntimeConfig;
 pub use parallel::ParallelBackend;
 pub use pool::{parallel_map, parallel_map_weighted, PoolStats, ScopedTask, WorkerPool};
 pub use rounds::RoundPrimitives;
+pub use scratch::{scratch_totals, MarkerSet, ScratchCounters, ScratchLease, ScratchPool};
 pub use shard::ShardedStore;

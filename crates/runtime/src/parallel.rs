@@ -1,7 +1,5 @@
 //! The sharded multi-threaded round scheduler.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,7 +10,7 @@ use ampc_model::{
 
 use crate::backend::{AmpcBackend, RoundBody};
 use crate::pool::{chunk_ranges, PoolStats, ScopedTask, WorkerPool};
-use crate::shard::ShardedStore;
+use crate::shard::{FlatShard, ShardedStore};
 
 /// A write buffered by one machine: `(machine id, index within the
 /// machine's write sequence, key, value)`. The `(machine, index)` pair is
@@ -45,9 +43,9 @@ impl ChunkOutcome {
     }
 }
 
-/// Result of the merge phase: the next generation of shard maps, the
+/// Result of the merge phase: the next generation of shard tables, the
 /// per-shard routed-write counts, and the total conflict merges.
-type MergedShards = (Vec<HashMap<Key, Value>>, Vec<u64>, usize);
+type MergedShards = (Vec<FlatShard>, Vec<u64>, usize);
 
 /// Per-worker tasks completed between two pool snapshots.
 fn pool_delta(before: &PoolStats, after: &PoolStats) -> Vec<u64> {
@@ -62,7 +60,7 @@ fn pool_delta(before: &PoolStats, after: &PoolStats) -> Vec<u64> {
 /// Per-shard result of the merge phase.
 struct ShardMerge {
     shard: usize,
-    merged: HashMap<Key, Value>,
+    merged: FlatShard,
     writes_routed: u64,
     conflict_merges: usize,
     /// First conflicting write under [`ConflictPolicy::Error`], as
@@ -254,10 +252,10 @@ impl ParallelBackend {
         carry_forward: bool,
     ) -> Result<MergedShards, ModelError> {
         let num_shards = self.store.num_shards();
-        let base: Vec<HashMap<Key, Value>> = if carry_forward {
+        let base: Vec<FlatShard> = if carry_forward {
             self.store.clone_shards()
         } else {
-            vec![HashMap::new(); num_shards]
+            vec![FlatShard::default(); num_shards]
         };
 
         let shard_chunks = chunk_ranges(num_shards, self.threads);
@@ -270,7 +268,7 @@ impl ParallelBackend {
                 Box::new(move || {
                     let mut results = Vec::with_capacity(range.len());
                     for shard in range {
-                        let mut staged: HashMap<Key, Value> = HashMap::new();
+                        let mut staged = FlatShard::default();
                         let mut writes_routed = 0u64;
                         let mut conflict_merges = 0usize;
                         let mut conflict: Option<(usize, usize, ModelError)> = None;
@@ -280,20 +278,18 @@ impl ParallelBackend {
                         'outer: for outcome in outcomes {
                             for &(machine, index, key, value) in &outcome.per_shard[shard] {
                                 writes_routed += 1;
-                                match staged.entry(key) {
-                                    Entry::Vacant(entry) => {
-                                        entry.insert(value);
-                                    }
-                                    Entry::Occupied(mut entry) => {
-                                        conflict_merges += 1;
-                                        match policy.resolve(&key, *entry.get(), value) {
-                                            Ok(resolved) => {
-                                                entry.insert(resolved);
-                                            }
-                                            Err(error) => {
-                                                conflict = Some((machine, index, error));
-                                                break 'outer;
-                                            }
+                                // Single probe per write: absent keys are
+                                // inserted, resident ones come back for
+                                // conflict resolution.
+                                if let Some(existing) = staged.get_or_insert(key, value) {
+                                    conflict_merges += 1;
+                                    match policy.resolve(&key, *existing, value) {
+                                        Ok(resolved) => {
+                                            *existing = resolved;
+                                        }
+                                        Err(error) => {
+                                            conflict = Some((machine, index, error));
+                                            break 'outer;
                                         }
                                     }
                                 }
@@ -335,7 +331,7 @@ impl ParallelBackend {
             shard_writes[merge.shard] = merge.writes_routed;
             conflict_merges += merge.conflict_merges;
             let target = &mut next[merge.shard];
-            for (key, value) in merge.merged {
+            for (key, value) in merge.merged.into_entries() {
                 target.insert(key, value);
             }
         }

@@ -48,7 +48,11 @@
 //! [`ampc_model::RoundRuntimeStats::intra_wall_nanos`] — measurement data,
 //! excluded from metric equality like the existing pool stats.
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ampc_model::RoundRuntimeStats;
@@ -58,6 +62,7 @@ use crate::pool::{
     chunk_ranges, cost_grouped_ranges, weighted_chunk_grid, ScopedTask, WorkerPool,
     STEAL_GRANULARITY,
 };
+use crate::scratch::{ScratchCounters, ScratchPool};
 
 /// Below this many items a map runs inline: the work is too small to
 /// amortize a pool round-trip.
@@ -81,7 +86,15 @@ const MIN_PAR_REDUCE_ITEMS: usize = 4 * REDUCE_CHUNK;
 /// coloring run, including loops nested inside per-layer pool tasks — the
 /// counters are atomic, and the underlying [`WorkerPool`] supports nested
 /// submission (submitters help drain their own batches).
-#[derive(Debug)]
+///
+/// The context also owns the **scratch registry** behind
+/// [`RoundPrimitives::scratch_pool`]: one [`ScratchPool`] per buffer type,
+/// shared by every simulator running on this context, so the per-node /
+/// per-round scratch of the hot loops (marker sets, polynomial decodings,
+/// probability buffers) is recycled across rounds *and* across simulator
+/// invocations instead of re-allocated. The registry's reuse counters are
+/// folded into [`RoundPrimitives::runtime_stats`] as
+/// `scratch_reuses` / `scratch_allocs`.
 pub struct RoundPrimitives {
     threads: usize,
     /// Whether the `*_weighted` primitives honor their cost function. The
@@ -91,6 +104,24 @@ pub struct RoundPrimitives {
     weighted: bool,
     tasks: AtomicU64,
     wall_nanos: AtomicU64,
+    /// Reuse-vs-alloc accounting shared by every scratch pool of this
+    /// context and by the `_into` primitives' output-buffer checks.
+    scratch_counters: Arc<ScratchCounters>,
+    /// The type-keyed scratch registry: `TypeId::of::<T>()` →
+    /// `Arc<ScratchPool<T>>` (stored type-erased).
+    scratch: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for RoundPrimitives {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundPrimitives")
+            .field("threads", &self.threads)
+            .field("weighted", &self.weighted)
+            .field("tasks", &self.tasks_executed())
+            .field("scratch_reuses", &self.scratch_counters.reuses())
+            .field("scratch_allocs", &self.scratch_counters.allocs())
+            .finish()
+    }
 }
 
 impl RoundPrimitives {
@@ -102,7 +133,32 @@ impl RoundPrimitives {
             weighted: true,
             tasks: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
+            scratch_counters: Arc::new(ScratchCounters::default()),
+            scratch: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The scratch pool for buffers of type `T`, shared by every simulator
+    /// running on this context (created on first request). Leasing from a
+    /// context-owned pool is what makes the hot loops allocation-free in
+    /// steady state: a buffer allocated for one round (or one layer's
+    /// simulator invocation) is recycled by the next instead of re-created.
+    ///
+    /// The pool's reuse/alloc counts feed this context's
+    /// [`RoundPrimitives::runtime_stats`].
+    pub fn scratch_pool<T: Default + Send + 'static>(&self) -> Arc<ScratchPool<T>> {
+        let mut pools = self
+            .scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let entry = pools.entry(TypeId::of::<T>()).or_insert_with(|| {
+            Arc::new(ScratchPool::<T>::with_counters(Arc::clone(
+                &self.scratch_counters,
+            ))) as Arc<dyn Any + Send + Sync>
+        });
+        Arc::clone(entry)
+            .downcast::<ScratchPool<T>>()
+            .expect("registry entries are keyed by their exact type")
     }
 
     /// Disables cost-weighted chunking: the `*_weighted` primitives ignore
@@ -160,12 +216,25 @@ impl RoundPrimitives {
         self.wall_nanos.load(Ordering::Relaxed)
     }
 
+    /// Scratch-buffer acquisitions served by recycling so far (pool leases
+    /// plus `_into` output buffers whose capacity sufficed).
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch_counters.reuses()
+    }
+
+    /// Scratch-buffer acquisitions that allocated so far.
+    pub fn scratch_allocs(&self) -> u64 {
+        self.scratch_counters.allocs()
+    }
+
     /// The counters as a [`RoundRuntimeStats`] record (all model-level
     /// fields zero), ready for [`ampc_model::AmpcMetrics::record_runtime`].
     pub fn runtime_stats(&self) -> RoundRuntimeStats {
         RoundRuntimeStats {
             intra_tasks: self.tasks_executed(),
             intra_wall_nanos: self.wall_nanos(),
+            scratch_reuses: self.scratch_reuses(),
+            scratch_allocs: self.scratch_allocs(),
             ..RoundRuntimeStats::default()
         }
     }
@@ -225,6 +294,118 @@ impl RoundPrimitives {
         F: Fn(usize, &T) -> U + Sync,
     {
         self.par_node_map(items.len(), |index| f(index, &items[index]))
+    }
+
+    /// Runs a chunk grid over `out`, writing `f(index)` into slot `index`.
+    /// The grid must exactly cover `0..out.len()` in ascending order.
+    fn fill_chunks<U, F>(&self, chunks: &[Range<usize>], f: &F, out: &mut [U])
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let mut rest: &mut [U] = out;
+        let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(chunks.len());
+        for range in chunks {
+            let (mine, remainder) = rest.split_at_mut(range.len());
+            rest = remainder;
+            let start = range.start;
+            tasks.push(Box::new(move || {
+                for (offset, slot) in mine.iter_mut().enumerate() {
+                    *slot = f(start + offset);
+                }
+            }) as ScopedTask<'_>);
+        }
+        debug_assert!(rest.is_empty(), "the grid covers the output exactly");
+        WorkerPool::global().execute(tasks);
+    }
+
+    /// [`RoundPrimitives::par_node_map`] writing into a caller-owned,
+    /// reusable output buffer: `out` is cleared and refilled with
+    /// `f(0..items)` in index order, recycling its capacity across rounds
+    /// (chunk results are written straight into disjoint sub-slices — no
+    /// per-chunk buffers either). Values are bit-identical to
+    /// [`RoundPrimitives::par_node_map`] for any thread count; only where
+    /// they live differs. Buffer reuse is booked in the scratch counters.
+    pub fn par_node_map_into<U, F>(&self, items: usize, f: F, out: &mut Vec<U>)
+    where
+        U: Send + Default,
+        F: Fn(usize) -> U + Sync,
+    {
+        let started = Instant::now();
+        self.scratch_counters.note(out.capacity() >= items);
+        out.clear();
+        out.resize_with(items, U::default);
+        if self.threads == 1 || items < MIN_PAR_ITEMS {
+            for (index, slot) in out.iter_mut().enumerate() {
+                *slot = f(index);
+            }
+            self.record(1, started);
+            return;
+        }
+        let chunks = chunk_ranges(items, self.threads);
+        self.fill_chunks(&chunks, &f, out);
+        self.record(chunks.len() as u64, started);
+    }
+
+    /// [`RoundPrimitives::par_node_map_weighted`] writing into a
+    /// caller-owned, reusable output buffer (see
+    /// [`RoundPrimitives::par_node_map_into`]).
+    pub fn par_node_map_weighted_into<U, F, W>(
+        &self,
+        items: usize,
+        weight: W,
+        f: F,
+        out: &mut Vec<U>,
+    ) where
+        U: Send + Default,
+        F: Fn(usize) -> U + Sync,
+        W: Fn(usize) -> usize,
+    {
+        if !self.weighted {
+            return self.par_node_map_into(items, f, out);
+        }
+        let started = Instant::now();
+        self.scratch_counters.note(out.capacity() >= items);
+        out.clear();
+        out.resize_with(items, U::default);
+        if self.threads == 1 || items < MIN_PAR_ITEMS {
+            for (index, slot) in out.iter_mut().enumerate() {
+                *slot = f(index);
+            }
+            self.record(1, started);
+            return;
+        }
+        let chunks = cost_grouped_ranges(items, weight, STEAL_GRANULARITY * self.threads);
+        self.fill_chunks(&chunks, &f, out);
+        self.record(chunks.len() as u64, started);
+    }
+
+    /// The slice-input convenience over
+    /// [`RoundPrimitives::par_node_map_into`].
+    pub fn par_map_into<T, U, F>(&self, items: &[T], f: F, out: &mut Vec<U>)
+    where
+        T: Sync,
+        U: Send + Default,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.par_node_map_into(items.len(), |index| f(index, &items[index]), out)
+    }
+
+    /// The slice-input convenience over
+    /// [`RoundPrimitives::par_node_map_weighted_into`].
+    pub fn par_map_weighted_into<T, U, F, W>(&self, items: &[T], weight: W, f: F, out: &mut Vec<U>)
+    where
+        T: Sync,
+        U: Send + Default,
+        F: Fn(usize, &T) -> U + Sync,
+        W: Fn(usize, &T) -> usize,
+    {
+        self.par_node_map_weighted_into(
+            items.len(),
+            |index| weight(index, &items[index]),
+            |index| f(index, &items[index]),
+            out,
+        )
     }
 
     /// [`RoundPrimitives::par_node_map`] with **cost-weighted chunking**:
@@ -309,14 +490,23 @@ impl RoundPrimitives {
     /// and the member-order write-back.
     pub fn par_color_classes<C, F>(&self, members: &[usize], colors: &mut [C], f: F)
     where
-        C: Copy + Send + Sync,
+        C: Copy + Send + Sync + Default + 'static,
         F: Fn(usize, &[C]) -> C + Sync,
     {
-        let updates: Vec<C> = {
+        // The sweep's update buffer is leased from the context's scratch
+        // registry, so repeated sweeps (one per color class per round)
+        // recycle one allocation instead of creating a Vec each.
+        let pool = self.scratch_pool::<Vec<C>>();
+        let mut updates = pool.lease();
+        {
             let snapshot: &[C] = colors;
-            self.par_node_map(members.len(), |index| f(members[index], snapshot))
-        };
-        for (&member, update) in members.iter().zip(updates) {
+            self.par_node_map_into(
+                members.len(),
+                |index| f(members[index], snapshot),
+                &mut updates,
+            );
+        }
+        for (&member, &update) in members.iter().zip(updates.iter()) {
             colors[member] = update;
         }
     }
@@ -334,19 +524,22 @@ impl RoundPrimitives {
         weight: W,
         f: F,
     ) where
-        C: Copy + Send + Sync,
+        C: Copy + Send + Sync + Default + 'static,
         F: Fn(usize, &[C]) -> C + Sync,
         W: Fn(usize) -> usize,
     {
-        let updates: Vec<C> = {
+        let pool = self.scratch_pool::<Vec<C>>();
+        let mut updates = pool.lease();
+        {
             let snapshot: &[C] = colors;
-            self.par_node_map_weighted(
+            self.par_node_map_weighted_into(
                 members.len(),
                 |index| weight(members[index]),
                 |index| f(members[index], snapshot),
-            )
-        };
-        for (&member, update) in members.iter().zip(updates) {
+                &mut updates,
+            );
+        }
+        for (&member, &update) in members.iter().zip(updates.iter()) {
             colors[member] = update;
         }
     }
@@ -363,7 +556,7 @@ impl RoundPrimitives {
     pub fn par_reduce<T, A, F, C>(&self, items: &[T], identity: A, fold: F, combine: C) -> A
     where
         T: Sync,
-        A: Clone + Send + Sync,
+        A: Clone + Send + Sync + 'static,
         F: Fn(A, usize, &T) -> A + Sync,
         C: Fn(A, A) -> A,
     {
@@ -378,7 +571,7 @@ impl RoundPrimitives {
     /// [`RoundPrimitives::par_reduce`] over the index range `0..items`.
     pub fn par_reduce_range<A, F, C>(&self, items: usize, identity: A, fold: F, combine: C) -> A
     where
-        A: Clone + Send + Sync,
+        A: Clone + Send + Sync + 'static,
         F: Fn(A, usize) -> A + Sync,
         C: Fn(A, A) -> A,
     {
@@ -405,10 +598,14 @@ impl RoundPrimitives {
         // of per-chunk slots. The grouping affects only scheduling: the
         // partials are still one per fixed chunk, combined left-to-right
         // in chunk order below, so the result never depends on the
-        // thread count.
+        // thread count. The partial grid itself is leased scratch, reused
+        // across reduce calls.
         let groups = chunk_ranges(num_chunks, self.threads);
         let num_groups = groups.len();
-        let mut slots: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
+        let slots_pool = self.scratch_pool::<Vec<Option<A>>>();
+        let mut slots = slots_pool.lease();
+        slots.clear();
+        slots.resize_with(num_chunks, || None);
         {
             let chunk_partial = &chunk_partial;
             let mut rest: &mut [Option<A>] = &mut slots;
@@ -425,8 +622,8 @@ impl RoundPrimitives {
             WorkerPool::global().execute(tasks);
         }
         let acc = slots
-            .into_iter()
-            .map(|slot| slot.expect("the pool ran every chunk"))
+            .iter_mut()
+            .map(|slot| slot.take().expect("the pool ran every chunk"))
             .reduce(combine)
             .unwrap_or(identity);
         self.record(num_groups as u64, started);
@@ -456,7 +653,7 @@ impl RoundPrimitives {
         combine: C,
     ) -> A
     where
-        A: Clone + Send + Sync,
+        A: Clone + Send + Sync + 'static,
         F: Fn(A, usize) -> A + Sync,
         C: Fn(A, A) -> A,
         W: Fn(usize) -> usize,
@@ -486,6 +683,7 @@ impl RoundPrimitives {
         // count), but the *dispatch* groups contiguous chunks by their
         // cost into at most STEAL_GRANULARITY × threads stealable tasks —
         // bounding pool occupancy by the thread budget, like the maps.
+        // The partial grid is leased scratch, reused across reduce calls.
         let num_chunks = chunks.len();
         let groups = cost_grouped_ranges(
             num_chunks,
@@ -493,7 +691,10 @@ impl RoundPrimitives {
             STEAL_GRANULARITY * self.threads,
         );
         let num_groups = groups.len();
-        let mut slots: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
+        let slots_pool = self.scratch_pool::<Vec<Option<A>>>();
+        let mut slots = slots_pool.lease();
+        slots.clear();
+        slots.resize_with(num_chunks, || None);
         {
             let chunk_partial = &chunk_partial;
             let chunks = &chunks;
@@ -511,8 +712,8 @@ impl RoundPrimitives {
             WorkerPool::global().execute(tasks);
         }
         let acc = slots
-            .into_iter()
-            .map(|slot| slot.expect("the pool ran every chunk"))
+            .iter_mut()
+            .map(|slot| slot.take().expect("the pool ran every chunk"))
             .reduce(combine)
             .unwrap_or(identity);
         self.record(num_groups as u64, started);
@@ -531,7 +732,7 @@ impl RoundPrimitives {
     ) -> A
     where
         T: Sync,
-        A: Clone + Send + Sync,
+        A: Clone + Send + Sync + 'static,
         F: Fn(A, usize, &T) -> A + Sync,
         C: Fn(A, A) -> A,
         W: Fn(usize, &T) -> usize,
@@ -551,29 +752,56 @@ impl RoundPrimitives {
     where
         F: Fn(usize) -> bool + Sync,
     {
+        let mut out = Vec::new();
+        self.par_collect_indices_into(items, pred, &mut out);
+        out
+    }
+
+    /// [`RoundPrimitives::par_collect_indices`] writing into a
+    /// caller-owned, reusable output buffer: `out` is cleared and refilled
+    /// with the matching indices in ascending order. The parallel path
+    /// filters each chunk into a scratch-leased buffer and concatenates
+    /// them in chunk order, so in steady state neither the chunks nor the
+    /// output allocate. Output values are independent of the thread count
+    /// and the chunk grid (ascending chunks of ascending indices
+    /// concatenate to the plain filter).
+    pub fn par_collect_indices_into<F>(&self, items: usize, pred: F, out: &mut Vec<usize>)
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let started = Instant::now();
+        out.clear();
         if self.threads == 1 || items < MIN_PAR_REDUCE_ITEMS {
-            // A plain filter — identical to the chunked path below, which
-            // concatenates ascending chunks of ascending indices, but
-            // without moving a Vec accumulator through every fold step.
-            let started = Instant::now();
-            let out = (0..items).filter(|&index| pred(index)).collect();
+            out.extend((0..items).filter(|&index| pred(index)));
             self.record(1, started);
-            return out;
+            return;
         }
-        self.par_reduce_range(
-            items,
-            Vec::new(),
-            |mut acc: Vec<usize>, index| {
-                if pred(index) {
-                    acc.push(index);
-                }
-                acc
-            },
-            |mut left, mut right| {
-                left.append(&mut right);
-                left
-            },
-        )
+        let pool = self.scratch_pool::<Vec<usize>>();
+        let chunks = chunk_ranges(items, self.threads);
+        let mut buffers: Vec<Option<crate::scratch::ScratchLease<'_, Vec<usize>>>> =
+            (0..chunks.len()).map(|_| None).collect();
+        {
+            let pred = &pred;
+            let pool = &pool;
+            let tasks: Vec<ScopedTask<'_>> = buffers
+                .iter_mut()
+                .zip(chunks.iter().cloned())
+                .map(|(slot, range)| {
+                    Box::new(move || {
+                        let mut buffer = pool.lease();
+                        buffer.clear();
+                        buffer.extend(range.filter(|&index| pred(index)));
+                        *slot = Some(buffer);
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            WorkerPool::global().execute(tasks);
+        }
+        for buffer in buffers {
+            let buffer = buffer.expect("the pool ran every chunk");
+            out.extend_from_slice(&buffer);
+        }
+        self.record(chunks.len() as u64, started);
     }
 }
 

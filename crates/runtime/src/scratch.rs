@@ -1,0 +1,452 @@
+//! Reusable scratch memory for the intra-layer hot paths.
+//!
+//! PR 3/4 parallelized every LOCAL/MPC simulator loop, but profiling showed
+//! the loops were *allocator*-bound, not scheduler-bound: every
+//! Kuhn–Wattenhofer decision allocated a `vec![false; palette]`, every
+//! Arb-Linial round decoded polynomials into fresh `Vec`s, and every
+//! derandomization candidate cloned the seed — hundreds of thousands of
+//! mallocs per simulated round that the work-stealing pool could only
+//! spread around, not remove. This module is the vocabulary that removes
+//! them:
+//!
+//! * [`MarkerSet`] — an epoch-stamped membership set with O(1) clear: the
+//!   standard replacement for repeated small `vec![false; n]` scratch.
+//!   Marking stamps the current epoch; clearing just bumps the epoch.
+//! * [`ScratchPool`] — a thread-indexed pool of reusable `T: Default`
+//!   buffers. Worker closures [`ScratchPool::lease`] a buffer, use it for
+//!   one item (or one chunk) and return it on drop; in steady state no
+//!   lease allocates. Pools are **generation-checked**: bumping the
+//!   generation ([`ScratchPool::advance_generation`]) lazily discards every
+//!   cached buffer, so a caller that cannot prove its buffers reset cleanly
+//!   can force fresh ones without walking the pool.
+//! * [`ScratchCounters`] / [`scratch_totals`] — reuse-vs-alloc accounting.
+//!   Each pool bumps its shared counters (surfaced per round as
+//!   [`ampc_model::RoundRuntimeStats::scratch_reuses`] /
+//!   [`ampc_model::RoundRuntimeStats::scratch_allocs`]) and the
+//!   process-wide totals behind [`scratch_totals`] (surfaced by the
+//!   service's `/metrics`).
+//!
+//! ## Determinism
+//!
+//! Scratch reuse is invisible to the bit-identity contract by construction:
+//! a lease hands out a logically cleared buffer (values never depend on
+//! which physical buffer serves a lease), and the counters are measurement
+//! data excluded from metric equality like the pool stats.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Process-wide reuse/alloc totals across every [`ScratchPool`], for the
+/// service's `/metrics` document.
+static GLOBAL_REUSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(reuses, allocs)` across every [`ScratchPool`] in the
+/// process since start.
+pub fn scratch_totals() -> (u64, u64) {
+    (
+        GLOBAL_REUSES.load(Ordering::Relaxed),
+        GLOBAL_ALLOCS.load(Ordering::Relaxed),
+    )
+}
+
+/// Locks a mutex, ignoring poisoning (pool bookkeeping never runs caller
+/// code under the lock, so poisoning only means another thread panicked
+/// elsewhere).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A small dense id for the current thread, used to spread scratch leases
+/// over the pool's shards so concurrent workers rarely contend on one lock.
+fn thread_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut index = slot.get();
+        if index == usize::MAX {
+            index = NEXT.fetch_add(1, Ordering::Relaxed);
+            slot.set(index);
+        }
+        index
+    })
+}
+
+/// Shared reuse-vs-alloc counters, typically owned by a
+/// `RoundPrimitives` context and fed by every scratch pool (and reusable
+/// output buffer) attached to it.
+#[derive(Debug, Default)]
+pub struct ScratchCounters {
+    reuses: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl ScratchCounters {
+    /// Books one buffer acquisition: `reused` tells whether an existing
+    /// buffer's capacity was recycled (no allocation) or a fresh one was
+    /// created. Also feeds the process-wide [`scratch_totals`].
+    pub fn note(&self, reused: bool) {
+        if reused {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            GLOBAL_REUSES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+            GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Buffer acquisitions served from recycled buffers.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Buffer acquisitions that had to allocate.
+    pub fn allocs(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of independently locked free-lists per pool. Leases index by
+/// [`thread_slot`], so up to this many threads lease without contending.
+const SCRATCH_SHARDS: usize = 16;
+
+/// A cached buffer, tagged with the pool generation it was returned under.
+struct Entry<T> {
+    value: T,
+    generation: u64,
+}
+
+/// A thread-indexed pool of reusable `T: Default` scratch buffers.
+///
+/// [`ScratchPool::lease`] pops a cached buffer from the current thread's
+/// shard (or creates a fresh `T::default()` when none is cached — counted
+/// as an alloc); dropping the returned [`ScratchLease`] pushes the buffer
+/// back for the next lease. The pool never clears buffers itself: `T` is
+/// expected to expose a cheap logical reset (e.g. [`MarkerSet::reset`],
+/// `Vec::clear`) that the *user* of the lease applies, so stale contents
+/// can never influence results even when a buffer migrates between
+/// workloads.
+///
+/// Pools are generation-checked: [`ScratchPool::advance_generation`]
+/// invalidates every cached buffer lazily (stale entries are dropped the
+/// next time a lease finds them), forcing fresh `T::default()` values
+/// without walking the shards.
+pub struct ScratchPool<T> {
+    shards: Vec<Mutex<Vec<Entry<T>>>>,
+    generation: AtomicU64,
+    counters: Arc<ScratchCounters>,
+}
+
+impl<T> std::fmt::Debug for ScratchPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("generation", &self.generation.load(Ordering::Relaxed))
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl<T: Default> Default for ScratchPool<T> {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// An empty pool with its own (unshared) counters.
+    pub fn new() -> Self {
+        ScratchPool::with_counters(Arc::new(ScratchCounters::default()))
+    }
+
+    /// An empty pool feeding the supplied shared counters (what
+    /// `RoundPrimitives::scratch_pool` uses, so every pool of one context
+    /// reports into one `RoundRuntimeStats` record).
+    pub fn with_counters(counters: Arc<ScratchCounters>) -> Self {
+        ScratchPool {
+            shards: (0..SCRATCH_SHARDS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            generation: AtomicU64::new(0),
+            counters,
+        }
+    }
+
+    /// Leases a buffer: a recycled one when the thread's shard has a
+    /// current-generation entry cached, a fresh `T::default()` otherwise.
+    /// The buffer returns to the pool when the lease drops.
+    pub fn lease(&self) -> ScratchLease<'_, T> {
+        let shard = thread_slot() % self.shards.len();
+        let generation = self.generation.load(Ordering::Acquire);
+        let recycled = {
+            let mut entries = lock(&self.shards[shard]);
+            loop {
+                match entries.pop() {
+                    None => break None,
+                    Some(entry) if entry.generation == generation => break Some(entry.value),
+                    // Stale generation: drop the buffer and keep looking.
+                    Some(_) => continue,
+                }
+            }
+        };
+        let reused = recycled.is_some();
+        self.counters.note(reused);
+        ScratchLease {
+            pool: self,
+            shard,
+            generation,
+            value: Some(recycled.unwrap_or_default()),
+        }
+    }
+
+    /// Invalidates every cached buffer (lazily): subsequent leases create
+    /// fresh `T::default()` values, and buffers returned by still-live
+    /// leases of older generations are dropped instead of recycled.
+    pub fn advance_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The pool's shared counters.
+    pub fn counters(&self) -> &Arc<ScratchCounters> {
+        &self.counters
+    }
+
+    /// Number of buffers currently cached (for tests/diagnostics; stale
+    /// generations still count until a lease discards them).
+    pub fn cached(&self) -> usize {
+        self.shards.iter().map(|shard| lock(shard).len()).sum()
+    }
+}
+
+/// An exclusively held scratch buffer, returned to its [`ScratchPool`] on
+/// drop. Dereferences to `T`.
+pub struct ScratchLease<'a, T: Default> {
+    pool: &'a ScratchPool<T>,
+    shard: usize,
+    generation: u64,
+    /// Present from construction until `Drop` takes it back.
+    value: Option<T>,
+}
+
+impl<T: Default> std::ops::Deref for ScratchLease<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("present until drop")
+    }
+}
+
+impl<T: Default> std::ops::DerefMut for ScratchLease<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("present until drop")
+    }
+}
+
+impl<T: Default> Drop for ScratchLease<'_, T> {
+    fn drop(&mut self) {
+        let value = self.value.take().expect("dropped once");
+        // A generation bump while the lease was out means the buffer is
+        // considered stale: drop it instead of recycling.
+        if self.pool.generation.load(Ordering::Acquire) != self.generation {
+            return;
+        }
+        lock(&self.pool.shards[self.shard]).push(Entry {
+            value,
+            generation: self.generation,
+        });
+    }
+}
+
+/// An epoch-stamped membership set over `0..len` with O(1) clear — the
+/// allocation-free replacement for the per-item `vec![false; len]` pattern
+/// in the simulators' inner loops.
+///
+/// Every slot stores the epoch at which it was last marked;
+/// [`MarkerSet::is_marked`] compares against the current epoch, so
+/// [`MarkerSet::reset`] clears the whole set by bumping the epoch (and
+/// re-zeroes the stamps only on the one-in-`u32::MAX` wraparound, keeping
+/// stale stamps from a four-billion-reset-old epoch from reading as
+/// marked).
+#[derive(Debug, Default)]
+pub struct MarkerSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl MarkerSet {
+    /// An empty set ([`MarkerSet::reset`] sizes it).
+    pub fn new() -> Self {
+        MarkerSet::default()
+    }
+
+    /// Clears the set and ensures it covers `0..len`. O(1) except when the
+    /// domain grows or the epoch wraps around.
+    pub fn reset(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(epoch) => epoch,
+            None => {
+                // Wraparound: epoch 0 would collide with never-marked
+                // slots' initial stamp, and old stamps would alias future
+                // epochs — re-zero everything and restart at 1.
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Marks `index` as a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the domain of the last
+    /// [`MarkerSet::reset`].
+    #[inline]
+    pub fn mark(&mut self, index: usize) {
+        self.stamp[index] = self.epoch;
+    }
+
+    /// Whether `index` was marked since the last [`MarkerSet::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the domain of the last
+    /// [`MarkerSet::reset`].
+    #[inline]
+    pub fn is_marked(&self, index: usize) -> bool {
+        self.stamp[index] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_set_clears_in_constant_time() {
+        let mut marks = MarkerSet::new();
+        marks.reset(10);
+        marks.mark(3);
+        marks.mark(7);
+        assert!(marks.is_marked(3));
+        assert!(marks.is_marked(7));
+        assert!(!marks.is_marked(4));
+        marks.reset(10);
+        for i in 0..10 {
+            assert!(!marks.is_marked(i), "slot {i} survived a reset");
+        }
+        // Growing the domain keeps new slots unmarked.
+        marks.mark(1);
+        marks.reset(20);
+        for i in 0..20 {
+            assert!(!marks.is_marked(i));
+        }
+    }
+
+    #[test]
+    fn marker_set_epoch_wraparound_cannot_resurrect_stale_marks() {
+        let mut marks = MarkerSet::new();
+        marks.reset(4);
+        marks.mark(2);
+        // Fast-forward to the wraparound edge: the next reset overflows.
+        marks.epoch = u32::MAX;
+        marks.stamp[1] = u32::MAX; // "marked at the last pre-wrap epoch"
+        marks.reset(4);
+        assert_eq!(marks.epoch, 1, "wraparound restarts at epoch 1");
+        for i in 0..4 {
+            assert!(!marks.is_marked(i), "slot {i} read as marked after wrap");
+        }
+        marks.mark(0);
+        assert!(marks.is_marked(0));
+        assert!(!marks.is_marked(1));
+        // A stamp that happened to hold the restarted epoch was re-zeroed.
+        let mut aliased = MarkerSet::new();
+        aliased.reset(2);
+        aliased.mark(0); // stamp 1 — would alias epoch 1 after a wrap
+        aliased.epoch = u32::MAX;
+        aliased.reset(2);
+        assert!(
+            !aliased.is_marked(0),
+            "pre-wrap stamp aliased the new epoch"
+        );
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers_and_counts() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        {
+            let mut lease = pool.lease();
+            lease.extend_from_slice(&[1, 2, 3]);
+        } // returned with its capacity (and stale contents) intact
+        assert_eq!(pool.cached(), 1);
+        {
+            let mut lease = pool.lease();
+            // The user applies the logical reset; capacity survives.
+            assert!(lease.capacity() >= 3, "capacity must be recycled");
+            lease.clear();
+            assert!(lease.is_empty());
+        }
+        assert_eq!(
+            pool.counters().allocs(),
+            1,
+            "only the first lease allocates"
+        );
+        assert_eq!(pool.counters().reuses(), 1);
+    }
+
+    #[test]
+    fn advancing_the_generation_discards_cached_buffers() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        {
+            let mut lease = pool.lease();
+            lease.push(42);
+        }
+        pool.advance_generation();
+        {
+            let lease = pool.lease();
+            assert!(lease.is_empty(), "stale-generation buffers are dropped");
+        }
+        assert_eq!(pool.counters().allocs(), 2);
+        assert_eq!(pool.counters().reuses(), 0);
+        // A lease outstanding across the bump is dropped on return, not
+        // recycled: the next lease after the bump allocates fresh.
+        let lease = pool.lease(); // recycles the current-generation buffer
+        assert_eq!(pool.counters().reuses(), 1);
+        pool.advance_generation();
+        drop(lease);
+        assert_eq!(pool.cached(), 0, "stale returns are discarded");
+        let fresh = pool.lease();
+        assert_eq!(pool.counters().allocs(), 3);
+        drop(fresh);
+    }
+
+    #[test]
+    fn concurrent_leases_get_distinct_buffers() {
+        let pool: ScratchPool<Vec<usize>> = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..100 {
+                        let mut lease = pool.lease();
+                        lease.clear();
+                        lease.push(worker * 1000 + round);
+                        assert_eq!(lease.len(), 1, "no two leases share a buffer");
+                    }
+                });
+            }
+        });
+        let (reuses, allocs) = {
+            let counters = pool.counters();
+            (counters.reuses(), counters.allocs())
+        };
+        assert_eq!(reuses + allocs, 400);
+        assert!(reuses > 0, "steady-state leases recycle");
+    }
+}

@@ -1,26 +1,8 @@
 //! The hash-partitioned distributed data store.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ampc_model::{DataStore, Key, StoreRead, Value};
-
-/// A [`DataStore`] hash-partitioned into `N` shards.
-///
-/// During a round the store is shared immutably across all worker threads:
-/// reads are plain hash-map lookups (lock-free; the only shared-mutable
-/// state is one relaxed atomic read counter per shard, kept for the
-/// per-shard load metrics). Writes never touch the store mid-round — they
-/// are buffered per machine and merged shard-by-shard between rounds by
-/// [`crate::ParallelBackend`].
-///
-/// The shard of a key is a deterministic (FNV-1a) hash of its words, so a
-/// store's partitioning is reproducible across runs and machine counts.
-#[derive(Debug)]
-pub struct ShardedStore {
-    shards: Vec<HashMap<Key, Value>>,
-    read_counts: Vec<AtomicU64>,
-}
 
 /// Deterministic FNV-1a hash over the key's words and length.
 fn shard_hash(key: &Key) -> u64 {
@@ -35,12 +17,210 @@ fn shard_hash(key: &Key) -> u64 {
     hash.wrapping_mul(0x0000_0100_0000_01B3)
 }
 
+/// Probe start of a key inside a shard's slot array (`mask = capacity - 1`).
+///
+/// Deliberately *not* the raw [`shard_hash`] low bits: the shard index is
+/// `hash % num_shards`, so within one shard the low bits are correlated
+/// (every resident key shares the same residue), which would cluster the
+/// probe starts of a power-of-two shard count into a fraction of the
+/// table. A Fibonacci multiply re-mixes the full hash before masking.
+#[inline]
+fn probe_start(hash: u64, mask: usize) -> usize {
+    (hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
+}
+
+/// Initial slot-array capacity of a non-empty shard (power of two).
+const INITIAL_SLOTS: usize = 8;
+
+/// One shard as a flat open-addressing (linear-probe) table over
+/// `(Key, Value)` slots.
+///
+/// DDS reads are the hot path of every parallel round: with
+/// `std::collections::HashMap` each `get` paid the SipHash of a
+/// `RandomState` hasher plus hashbrown's control-byte machinery for keys
+/// that are at most three words long. The flat layout probes a contiguous
+/// `Vec<Option<(Key, Value)>>` from a cheap FNV-1a-derived start instead —
+/// one predictable memory stream, no per-map hasher state, and a layout
+/// that is a *deterministic* function of the insertion order (the merge
+/// replays writes in global `(machine, write index)` order, so even the
+/// physical slot assignment is reproducible across runs).
+///
+/// The model's stores never remove keys mid-generation (merges build fresh
+/// shards), so the table needs no tombstones: probing ends at the first
+/// empty slot. Capacity is a power of two, grown at 7/8 load.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatShard {
+    /// `None` = empty slot; length is 0 or a power of two.
+    slots: Vec<Option<(Key, Value)>>,
+    len: usize,
+}
+
+/// Where a probe ended: at the key's slot or at the empty slot where the
+/// key would be inserted.
+enum Probe {
+    Found(usize),
+    Vacant(usize),
+}
+
+impl FlatShard {
+    /// Linear probe for `key`. The table must be non-empty and below full
+    /// load (guaranteed by [`FlatShard::insert`]'s growth policy), so an
+    /// empty slot always terminates the scan.
+    fn probe(&self, key: &Key) -> Probe {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() - 1;
+        let mut index = probe_start(shard_hash(key), mask);
+        loop {
+            match &self.slots[index] {
+                Some((resident, _)) if resident == key => return Probe::Found(index),
+                Some(_) => index = (index + 1) & mask,
+                None => return Probe::Vacant(index),
+            }
+        }
+    }
+
+    /// Number of resident pairs.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the shard holds no pairs.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key.
+    pub(crate) fn get(&self, key: &Key) -> Option<&Value> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(key) {
+            Probe::Found(index) => self.slots[index].as_ref().map(|(_, value)| value),
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// Mutable lookup. The merge path uses the single-probe
+    /// [`FlatShard::get_or_insert`] instead; this remains for tests.
+    #[cfg(test)]
+    pub(crate) fn get_mut(&mut self, key: &Key) -> Option<&mut Value> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(key) {
+            Probe::Found(index) => self.slots[index].as_mut().map(|(_, value)| value),
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// The vacant slot for an absent `key`, growing first when the next
+    /// insertion would cross the 7/8 load threshold. Growth happens only
+    /// on this (resident-count-changing) path, so overwrites of existing
+    /// keys at the threshold never pay a spurious doubling.
+    fn vacant_slot(&mut self, key: &Key, probed: usize) -> usize {
+        if (self.len + 1) * 8 <= self.slots.len() * 7 {
+            return probed;
+        }
+        self.grow();
+        match self.probe(key) {
+            Probe::Vacant(index) => index,
+            Probe::Found(_) => unreachable!("the key was absent before growth"),
+        }
+    }
+
+    /// Inserts a pair, returning the previous value for the key if any.
+    pub(crate) fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        if self.slots.is_empty() {
+            self.grow();
+        }
+        match self.probe(&key) {
+            Probe::Found(index) => {
+                let slot = self.slots[index]
+                    .as_mut()
+                    .expect("found slots are occupied");
+                Some(std::mem::replace(&mut slot.1, value))
+            }
+            Probe::Vacant(probed) => {
+                let index = self.vacant_slot(&key, probed);
+                self.slots[index] = Some((key, value));
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Single-probe upsert for the merge path: inserts `value` when `key`
+    /// is absent (returning `None`), otherwise leaves the resident value
+    /// in place and returns a mutable reference to it so the caller can
+    /// resolve the conflict — the open-addressing equivalent of
+    /// `HashMap`'s entry API, without the second probe a
+    /// `get_mut`-then-`insert` pair would pay.
+    pub(crate) fn get_or_insert(&mut self, key: Key, value: Value) -> Option<&mut Value> {
+        if self.slots.is_empty() {
+            self.grow();
+        }
+        match self.probe(&key) {
+            Probe::Found(index) => self.slots[index].as_mut().map(|(_, resident)| resident),
+            Probe::Vacant(probed) => {
+                let index = self.vacant_slot(&key, probed);
+                self.slots[index] = Some((key, value));
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Doubles the slot array (or creates the initial one) and re-places
+    /// every resident pair. Slot order is rebuilt from the old slot order,
+    /// which itself is a deterministic function of the insertion sequence.
+    fn grow(&mut self) {
+        let capacity = (self.slots.len() * 2).max(INITIAL_SLOTS);
+        let old = std::mem::replace(&mut self.slots, vec![None; capacity]);
+        let mask = capacity - 1;
+        for (key, value) in old.into_iter().flatten() {
+            let mut index = probe_start(shard_hash(&key), mask);
+            while self.slots[index].is_some() {
+                index = (index + 1) & mask;
+            }
+            self.slots[index] = Some((key, value));
+        }
+    }
+
+    /// Iterates the resident pairs in slot order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.slots.iter().flatten().map(|(key, value)| (key, value))
+    }
+
+    /// Consumes the shard into its resident pairs, in slot order.
+    pub(crate) fn into_entries(self) -> impl Iterator<Item = (Key, Value)> {
+        self.slots.into_iter().flatten()
+    }
+}
+
+/// A [`DataStore`] hash-partitioned into `N` shards.
+///
+/// During a round the store is shared immutably across all worker threads:
+/// reads are lock-free probes of a flat open-addressing table per shard
+/// ([`FlatShard`] — no `HashMap` bucket chasing, no SipHash); the only
+/// shared-mutable state is one relaxed atomic read counter per shard, kept
+/// for the per-shard load metrics. Writes never touch the store mid-round —
+/// they are buffered per machine and merged shard-by-shard between rounds
+/// by [`crate::ParallelBackend`].
+///
+/// The shard of a key is a deterministic (FNV-1a) hash of its words, so a
+/// store's partitioning is reproducible across runs and machine counts.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<FlatShard>,
+    read_counts: Vec<AtomicU64>,
+}
+
 impl ShardedStore {
     /// Creates an empty store with `num_shards` shards (at least 1).
     pub fn new(num_shards: usize) -> Self {
         let num_shards = num_shards.max(1);
         ShardedStore {
-            shards: vec![HashMap::new(); num_shards],
+            shards: vec![FlatShard::default(); num_shards],
             read_counts: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -66,12 +246,12 @@ impl ShardedStore {
 
     /// Total number of key-value pairs across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(FlatShard::len).sum()
     }
 
     /// Returns `true` if no pairs are stored.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(HashMap::is_empty)
+        self.shards.iter().all(FlatShard::is_empty)
     }
 
     /// Total space in words (keys plus values), as in
@@ -79,7 +259,7 @@ impl ShardedStore {
     pub fn space_in_words(&self) -> usize {
         self.shards
             .iter()
-            .flat_map(|shard| shard.iter())
+            .flat_map(FlatShard::iter)
             .map(|(k, v)| k.len() + v.len())
             .sum()
     }
@@ -123,23 +303,23 @@ impl ShardedStore {
     pub fn to_data_store(&self) -> DataStore {
         self.shards
             .iter()
-            .flat_map(|shard| shard.iter())
+            .flat_map(FlatShard::iter)
             .map(|(&k, &v)| (k, v))
             .collect()
     }
 
-    /// Replaces the shard maps with a freshly merged generation.
+    /// Replaces the shard tables with a freshly merged generation.
     ///
     /// # Panics
     ///
     /// Panics if the shard count changes.
-    pub(crate) fn replace_shards(&mut self, shards: Vec<HashMap<Key, Value>>) {
+    pub(crate) fn replace_shards(&mut self, shards: Vec<FlatShard>) {
         assert_eq!(shards.len(), self.shards.len(), "shard count is fixed");
         self.shards = shards;
     }
 
-    /// Clones the raw shard maps (for carry-forward rounds).
-    pub(crate) fn clone_shards(&self) -> Vec<HashMap<Key, Value>> {
+    /// Clones the raw shard tables (for carry-forward rounds).
+    pub(crate) fn clone_shards(&self) -> Vec<FlatShard> {
         self.shards.clone()
     }
 }
@@ -203,5 +383,113 @@ mod tests {
     fn zero_shards_clamps_to_one() {
         let store = ShardedStore::new(0);
         assert_eq!(store.num_shards(), 1);
+    }
+
+    #[test]
+    fn flat_shard_inserts_overwrites_and_grows() {
+        let mut shard = FlatShard::default();
+        assert!(shard.is_empty());
+        assert_eq!(shard.get(&Key::single(1)), None);
+        // Grow through several doublings; every key must stay reachable.
+        for i in 0..10_000u64 {
+            assert_eq!(shard.insert(Key::pair(i, i ^ 7), Value::single(i)), None);
+        }
+        assert_eq!(shard.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(
+                shard.get(&Key::pair(i, i ^ 7)).copied(),
+                Some(Value::single(i)),
+                "key {i} lost after growth"
+            );
+        }
+        // Overwrites return the previous value and keep len stable.
+        assert_eq!(
+            shard.insert(Key::pair(3, 3 ^ 7), Value::single(999)),
+            Some(Value::single(3))
+        );
+        assert_eq!(shard.len(), 10_000);
+        assert_eq!(
+            shard.get_mut(&Key::pair(3, 3 ^ 7)).copied(),
+            Some(Value::single(999))
+        );
+        // Absent keys miss even under load.
+        assert_eq!(shard.get(&Key::single(123_456)), None);
+        // Iteration yields every pair exactly once.
+        assert_eq!(shard.iter().count(), 10_000);
+        assert_eq!(shard.into_entries().count(), 10_000);
+    }
+
+    #[test]
+    fn flat_shard_layout_is_deterministic() {
+        // Identical insertion sequences give byte-identical slot layouts:
+        // the table has no per-instance hasher state.
+        let build = || {
+            let mut shard = FlatShard::default();
+            for i in 0..500u64 {
+                shard.insert(Key::triple(i, i * 31, 2), Value::pair(i, i + 1));
+            }
+            shard
+        };
+        let a = build();
+        let b = build();
+        let entries = |shard: &FlatShard| -> Vec<(Key, Value)> {
+            shard.iter().map(|(&k, &v)| (k, v)).collect()
+        };
+        assert_eq!(entries(&a), entries(&b), "slot order must be reproducible");
+    }
+
+    #[test]
+    fn flat_shard_upsert_probes_once_and_overwrites_never_grow() {
+        let mut shard = FlatShard::default();
+        // Fill to exactly the 7/8 load threshold of the initial 8 slots.
+        for i in 0..7u64 {
+            shard.insert(Key::single(i), Value::single(i));
+        }
+        let capacity = shard.slots.len();
+        assert_eq!(capacity, 8, "7 entries sit at the 7/8 threshold");
+        // Overwriting a resident key at the threshold must not double.
+        assert_eq!(
+            shard.insert(Key::single(3), Value::single(333)),
+            Some(Value::single(3))
+        );
+        assert_eq!(shard.slots.len(), capacity, "overwrite triggered a grow");
+        // The upsert leaves resident values untouched and hands them back.
+        let resident = shard
+            .get_or_insert(Key::single(3), Value::single(999))
+            .expect("key 3 is resident");
+        assert_eq!(*resident, Value::single(333));
+        *resident = Value::single(1000);
+        assert_eq!(shard.slots.len(), capacity, "resident upsert grew");
+        assert_eq!(shard.len(), 7);
+        // An absent key inserts (growing now that the threshold is hit).
+        assert!(shard
+            .get_or_insert(Key::single(90), Value::single(9))
+            .is_none());
+        assert_eq!(shard.len(), 8);
+        assert!(
+            shard.slots.len() > capacity,
+            "vacant insert past load grows"
+        );
+        assert_eq!(
+            shard.get(&Key::single(3)).copied(),
+            Some(Value::single(1000))
+        );
+        assert_eq!(shard.get(&Key::single(90)).copied(), Some(Value::single(9)));
+    }
+
+    #[test]
+    fn flat_shard_handles_colliding_probe_starts() {
+        // Many keys, tiny table pressure: forces long probe runs across
+        // wraparound at every growth stage.
+        let mut shard = FlatShard::default();
+        for i in 0..64u64 {
+            shard.insert(Key::single(i), Value::single(i * 2));
+        }
+        for i in 0..64u64 {
+            assert_eq!(
+                shard.get(&Key::single(i)).copied(),
+                Some(Value::single(i * 2))
+            );
+        }
     }
 }

@@ -757,6 +757,8 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             "auto_shards",
             "intra_tasks",
             "intra_wall_us",
+            "scratch_reuses",
+            "scratch_allocs",
         ],
     );
     for (round, stats) in outcome.metrics.runtime_stats().iter().enumerate() {
@@ -773,6 +775,8 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             stats.auto_shards.to_string(),
             stats.intra_tasks.to_string(),
             (stats.intra_wall_nanos / 1_000).to_string(),
+            stats.scratch_reuses.to_string(),
+            stats.scratch_allocs.to_string(),
         ]);
     }
     table
@@ -910,6 +914,16 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                 .u64("overflows", pool_stats.overflows)
                 .finish(),
         )
+        .raw("scratch", {
+            // Process-wide scratch-buffer reuse across every coloring
+            // context: in steady state `reuses` dwarfs `allocs` (the
+            // allocation-discipline contract the intra bench gates on).
+            let (reuses, allocs) = ampc_runtime::scratch_totals();
+            Object::new()
+                .u64("reuses", reuses)
+                .u64("allocs", allocs)
+                .finish()
+        })
         .raw("recent_jobs", recent.to_json())
         .finish()
 }

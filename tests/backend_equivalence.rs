@@ -403,6 +403,108 @@ fn drivers_agree_across_thread_matrix_and_record_intra_stats() {
     }
 }
 
+/// The allocation-discipline regression test: one shared `RoundPrimitives`
+/// context — and therefore one shared set of scratch pools, marker sets
+/// and recycled reduce grids — runs *different* workloads back-to-back
+/// through every simulator, twice (the second pass leases only warm,
+/// previously-dirty buffers). Results must be bit-identical to
+/// fresh-context runs; a stale epoch, an unreset marker, or a dirty
+/// recycled buffer leaking values between workloads would diverge here.
+#[test]
+fn shared_scratch_across_workloads_stays_bit_identical() {
+    // Deliberately different shapes and palette sizes so recycled buffers
+    // change logical dimensions between leases.
+    let workloads = [
+        Workload::HubAndSpoke {
+            n: 700,
+            communities: 5,
+        },
+        Workload::ForestUnion { n: 500, k: 3 },
+        Workload::PowerLaw {
+            n: 600,
+            edges_per_node: 4,
+        },
+    ];
+    let shared = RoundPrimitives::new(4);
+    for pass in 0..2 {
+        for workload in workloads {
+            let graph = workload.build(105);
+            let orientation = Orientation::from_total_order(&graph, |v| v);
+            let initial = Coloring::new((0..graph.num_nodes()).collect());
+            let delta = graph.max_degree();
+            let beta = 2 * workload.alpha_bound() + 2;
+            let partition = natural_partition(&graph, beta);
+
+            let fresh = RoundPrimitives::new(4);
+            let linial_fresh = arb_linial_coloring_with_runtime(&graph, &orientation, None, &fresh)
+                .expect("fresh Arb-Linial succeeds");
+            let linial_shared =
+                arb_linial_coloring_with_runtime(&graph, &orientation, None, &shared)
+                    .expect("shared Arb-Linial succeeds");
+            assert_eq!(
+                linial_fresh.coloring, linial_shared.coloring,
+                "pass {pass}, workload {workload:?}: arb-linial diverged on shared scratch"
+            );
+            assert_eq!(
+                linial_fresh.palette_trajectory,
+                linial_shared.palette_trajectory
+            );
+
+            let kw_fresh = kw_color_reduction_with_runtime(&graph, &initial, delta, &fresh)
+                .expect("fresh KW succeeds");
+            let kw_shared = kw_color_reduction_with_runtime(&graph, &initial, delta, &shared)
+                .expect("shared KW succeeds");
+            assert_eq!(
+                kw_fresh.coloring, kw_shared.coloring,
+                "pass {pass}, workload {workload:?}: KW diverged on shared scratch"
+            );
+            assert_eq!(kw_fresh.palette_trajectory, kw_shared.palette_trajectory);
+
+            let recolor_fresh = recolor_layers_with_runtime(
+                &graph,
+                &partition,
+                &initial,
+                RecolorOrder::HighestAvailable,
+                &fresh,
+            )
+            .expect("fresh recolor succeeds");
+            let recolor_shared = recolor_layers_with_runtime(
+                &graph,
+                &partition,
+                &initial,
+                RecolorOrder::HighestAvailable,
+                &shared,
+            )
+            .expect("shared recolor succeeds");
+            assert_eq!(
+                recolor_fresh.coloring, recolor_shared.coloring,
+                "pass {pass}, workload {workload:?}: recolor diverged on shared scratch"
+            );
+
+            let derand_fresh =
+                derandomized_coloring_with_runtime(&graph, &DerandParams::with_x(2), &fresh);
+            let derand_shared =
+                derandomized_coloring_with_runtime(&graph, &DerandParams::with_x(2), &shared);
+            assert_eq!(
+                derand_fresh.coloring, derand_shared.coloring,
+                "pass {pass}, workload {workload:?}: derand diverged on shared scratch"
+            );
+            assert_eq!(
+                derand_fresh.uncolored_history,
+                derand_shared.uncolored_history
+            );
+        }
+    }
+    // The shared context actually recycled buffers (the point of the test),
+    // and the reuse counters surface through its runtime stats record.
+    let stats = shared.runtime_stats();
+    assert!(
+        stats.scratch_reuses > 0,
+        "the second pass must lease warm buffers: {stats:?}"
+    );
+    assert!(stats.scratch_allocs > 0, "cold leases are counted too");
+}
+
 #[test]
 fn large_arboricity_variant_agrees_too() {
     // The Theorem 1.5 per-layer driver takes a different code path
