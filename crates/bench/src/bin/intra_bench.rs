@@ -30,7 +30,10 @@
 //! wall clock per cell), `--threads=a,b,c` (default `1,2,4,8`),
 //! `--json=PATH`, `--smoke` (n=5000, reps=1), `--alloc-budget=N` (fail if
 //! any cell's steady-state `allocs_per_round` exceeds `N`; also read from
-//! the `AMPC_ALLOC_BUDGET` env var; requires the `alloc-count` feature).
+//! the `AMPC_ALLOC_BUDGET` env var; requires the `alloc-count` feature),
+//! `--trace` (attach one pre-allocated `TraceContext` to every cell's
+//! primitives so each simulator round records a span — the buffers are
+//! created before any cell runs, so the alloc gate holds with tracing on).
 //!
 //! Built with `--features alloc-count`, the bin installs a counting global
 //! allocator and the `allocs_per_round` column carries real heap-allocation
@@ -38,6 +41,7 @@
 //! enforces. Without the feature the column reads 0 and the gate refuses
 //! to run (so a mis-built CI step fails loudly instead of passing vacuously).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Whether the counting allocator is compiled in (the `alloc-count`
@@ -66,6 +70,7 @@ fn allocations_now() -> u64 {
 
 use ampc_coloring_bench::args::{has_flag, parse_flag};
 use ampc_coloring_bench::{Table, Workload};
+use ampc_runtime::trace::TraceContext;
 use ampc_runtime::RoundPrimitives;
 use arbo_coloring::{
     arb_linial_coloring_with_runtime, kw_color_reduction_with_runtime, ArbLinialResult,
@@ -117,9 +122,14 @@ struct Cell {
 }
 
 /// A primitives context for one cell: threads plus the scheduler under
-/// test (`weighted` cost-aware chunking vs the PR 3 `contiguous` grid).
-fn primitives_for(threads: usize, scheduler: &str) -> RoundPrimitives {
-    let primitives = RoundPrimitives::new(threads);
+/// test (`weighted` cost-aware chunking vs the PR 3 `contiguous` grid),
+/// optionally recording spans into the shared trace context.
+fn primitives_for(
+    threads: usize,
+    scheduler: &str,
+    trace: &Option<Arc<TraceContext>>,
+) -> RoundPrimitives {
+    let primitives = RoundPrimitives::new(threads).with_trace(trace.clone());
     if scheduler == "contiguous" {
         primitives.contiguous()
     } else {
@@ -158,6 +168,11 @@ fn main() {
             }
         },
     };
+
+    // One shared, pre-allocated trace context for every cell: recording a
+    // span is a clock read plus a push into a fixed-capacity buffer, so
+    // the per-round allocation deltas the gate measures are unaffected.
+    let trace = has_flag(&args, "trace").then(|| Arc::new(TraceContext::new()));
 
     let mut table = Table::new(
         "intra",
@@ -211,7 +226,7 @@ fn main() {
             // per-run count, consistent with the best-of-one-rep wall
             // clock (the counts are deterministic, so every rep agrees).
             let (wall, allocs, (linial, linial_tasks)) = best_of(reps, || {
-                let primitives = RoundPrimitives::new(t);
+                let primitives = RoundPrimitives::new(t).with_trace(trace.clone());
                 let result =
                     arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
                         .expect("Arb-Linial succeeds");
@@ -242,7 +257,7 @@ fn main() {
 
             if run_kw {
                 let (wall, allocs, (reduced, kw_tasks)) = best_of(reps, || {
-                    let primitives = RoundPrimitives::new(t);
+                    let primitives = RoundPrimitives::new(t).with_trace(trace.clone());
                     let result =
                         kw_color_reduction_with_runtime(&graph, &trivial, kw_bound, &primitives)
                             .expect("KW succeeds");
@@ -303,7 +318,7 @@ fn main() {
             };
             for &scheduler in schedulers {
                 let (wall, allocs, (linial, tasks)) = best_of(reps, || {
-                    let primitives = primitives_for(t, scheduler);
+                    let primitives = primitives_for(t, scheduler, &trace);
                     let result =
                         arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
                             .expect("Arb-Linial succeeds");
@@ -408,6 +423,13 @@ fn main() {
             std::process::exit(1);
         }
         println!("alloc gate ok: every cell within {alloc_budget} heap allocations per round");
+    }
+    if let Some(trace) = &trace {
+        println!(
+            "trace: {} spans recorded, {} dropped at capacity",
+            trace.recorded(),
+            trace.dropped()
+        );
     }
     if smoke {
         println!("smoke ok: all parallel runs bit-identical to sequential");

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use ampc_coloring_bench::args::{has_flag, parse_flag};
 use ampc_coloring_bench::{http_client, Table, Workload};
+use ampc_runtime::trace::LatencyHistogram;
 use sparse_graph::{write_edge_list, Coloring, CsrGraph};
 
 fn workload_for(kind: &str, n: usize) -> Workload {
@@ -102,12 +103,25 @@ fn check_coloring(graph: &CsrGraph, body: &str) -> Result<usize, String> {
     Ok(coloring.num_colors())
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+/// Renders the histogram's non-empty buckets as a JSON object — the
+/// `latency_histogram` section of `BENCH_service.json`, in the same
+/// `(inclusive upper bound, count)` shape the service's `/metrics`
+/// document uses.
+fn histogram_section(histogram: &LatencyHistogram) -> String {
+    let buckets = histogram.nonzero_buckets();
+    let join = |values: Vec<String>| values.join(",");
+    format!(
+        "{{\"unit\":\"microseconds\",\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"bucket_le\":[{}],\"bucket_count\":[{}]}}",
+        histogram.count(),
+        histogram.sum(),
+        histogram.mean(),
+        histogram.quantile(0.5),
+        histogram.quantile(0.9),
+        histogram.quantile(0.99),
+        histogram.max(),
+        join(buckets.iter().map(|&(le, _)| le.to_string()).collect()),
+        join(buckets.iter().map(|&(_, count)| count.to_string()).collect()),
+    )
 }
 
 fn main() {
@@ -162,7 +176,9 @@ fn main() {
     let cached_mode = has_flag(&args, "cached");
 
     let next_job = Arc::new(AtomicUsize::new(0));
-    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::with_capacity(jobs)));
+    // Log-bucketed and lock-free: clients record concurrently without a
+    // shared Vec + sort, and the buckets land in BENCH_service.json.
+    let latencies = Arc::new(LatencyHistogram::new());
     let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
 
     let started = Instant::now();
@@ -189,7 +205,7 @@ fn main() {
                     Ok((200, body)) => {
                         let elapsed = request_started.elapsed();
                         match check_coloring(&graph, &body) {
-                            Ok(_) => latencies.lock().unwrap().push(elapsed),
+                            Ok(_) => latencies.record(elapsed.as_micros() as u64),
                             Err(error) => {
                                 failures.lock().unwrap().push(format!("job {job}: {error}"))
                             }
@@ -213,12 +229,12 @@ fn main() {
     for failure in failures.iter() {
         eprintln!("loadgen: {failure}");
     }
-    let mut latencies = latencies.lock().unwrap().clone();
-    latencies.sort_unstable();
-    let ok = latencies.len();
+    let ok = latencies.count() as usize;
     let throughput = ok as f64 / wall.as_secs_f64();
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    // Histogram quantiles report the upper bound of the holding bucket
+    // (sub-1.6% bucket width), so no per-sample Vec + sort is needed.
+    let p50_micros = latencies.quantile(0.50);
+    let p99_micros = latencies.quantile(0.99);
 
     let mut table = Table::new(
         "service-load",
@@ -244,12 +260,19 @@ fn main() {
         concurrency.to_string(),
         format!("{:.3}", wall.as_secs_f64()),
         format!("{throughput:.2}"),
-        format!("{:.3}", p50.as_secs_f64() * 1e3),
-        format!("{:.3}", p99.as_secs_f64() * 1e3),
+        format!("{:.3}", p50_micros as f64 / 1e3),
+        format!("{:.3}", p99_micros as f64 / 1e3),
     ]);
     print!("{}", table.render());
     if let Some(path) = parse_flag::<String>(&args, "json") {
-        if let Err(error) = std::fs::write(&path, table.to_json()) {
+        // The emitted document pairs the summary table with the raw
+        // log-bucketed latency distribution.
+        let document = format!(
+            "{{\"load\":{},\"latency_histogram\":{}}}",
+            table.to_json(),
+            histogram_section(&latencies)
+        );
+        if let Err(error) = std::fs::write(&path, document) {
             eprintln!("loadgen: cannot write {path}: {error}");
             std::process::exit(1);
         }

@@ -7,10 +7,14 @@
 //! accounting of the two phases.
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
+use ampc_runtime::trace::{span_on, TraceContext};
 use ampc_runtime::{parallel_map_weighted, RoundPrimitives, RuntimeConfig};
 use beta_partition::{
-    ampc_beta_partition, AmpcPartitionResult, BetaPartition, Layer, PartitionError, PartitionParams,
+    ampc_beta_partition_traced, AmpcPartitionResult, BetaPartition, Layer, PartitionError,
+    PartitionParams,
 };
 use sparse_graph::{Coloring, CsrGraph, InducedSubgraph, NodeId, Orientation};
 
@@ -165,18 +169,23 @@ impl AmpcColoringResult {
         partition: &AmpcPartitionResult,
         coloring_rounds: usize,
         primitives: &RoundPrimitives,
+        coloring_wall_nanos: u64,
     ) -> Self {
         let colors_used = coloring.num_colors();
         let mut metrics = partition.metrics.clone();
         // The coloring phase's intra-layer parallelism, folded in as one
         // runtime record. Like the pool stats it is measurement data only:
         // excluded from metric equality, so sequential and parallel runs
-        // still report equal metrics. Only the intra_* fields are set:
-        // intra_wall_nanos sums per-primitive elapsed time across layers
-        // running concurrently, so writing it into wall_clock_nanos would
-        // inflate the host wall clock by up to the thread count.
+        // still report equal metrics. `wall_clock_nanos` is the driver's
+        // honest phase wall clock — measured once around the whole coloring
+        // phase, so it is the max over concurrently running layers —
+        // whereas `intra_wall_nanos` sums per-primitive elapsed time across
+        // those layers and may exceed it by up to the thread count
+        // (occupancy, not wall time).
         if primitives.tasks_executed() > 0 {
-            metrics.record_runtime(primitives.runtime_stats());
+            let mut stats = primitives.runtime_stats();
+            stats.wall_clock_nanos = coloring_wall_nanos;
+            metrics.record_runtime(stats);
         }
         AmpcColoringResult {
             algorithm,
@@ -241,8 +250,23 @@ pub fn color_alpha_power(
     alpha: usize,
     params: &AmpcColoringParams,
 ) -> Result<AmpcColoringResult, ColoringError> {
+    color_alpha_power_traced(graph, alpha, params, None)
+}
+
+/// [`color_alpha_power`] with an optional span recorder attached (see
+/// [`color_two_alpha_plus_one_traced`] for the tracing contract).
+///
+/// # Errors
+///
+/// See [`color_alpha_power`].
+pub fn color_alpha_power_traced(
+    graph: &CsrGraph,
+    alpha: usize,
+    params: &AmpcColoringParams,
+    trace: Option<Arc<TraceContext>>,
+) -> Result<AmpcColoringResult, ColoringError> {
     let beta = ((alpha.max(2) as f64).powf(1.0 + params.epsilon).ceil() as usize).max(2);
-    arb_linial_driver(graph, beta, params, "alpha^(2+eps)")
+    arb_linial_driver(graph, beta, params, "alpha^(2+eps)", trace)
 }
 
 /// Theorem 1.3 (2): an `O(α²)`-coloring in `O(log α)` AMPC rounds.
@@ -258,8 +282,23 @@ pub fn color_alpha_squared(
     alpha: usize,
     params: &AmpcColoringParams,
 ) -> Result<AmpcColoringResult, ColoringError> {
+    color_alpha_squared_traced(graph, alpha, params, None)
+}
+
+/// [`color_alpha_squared`] with an optional span recorder attached (see
+/// [`color_two_alpha_plus_one_traced`] for the tracing contract).
+///
+/// # Errors
+///
+/// See [`color_alpha_squared`].
+pub fn color_alpha_squared_traced(
+    graph: &CsrGraph,
+    alpha: usize,
+    params: &AmpcColoringParams,
+    trace: Option<Arc<TraceContext>>,
+) -> Result<AmpcColoringResult, ColoringError> {
     let beta = beta_for(alpha, 2.0 + params.epsilon);
-    arb_linial_driver(graph, beta, params, "alpha^2")
+    arb_linial_driver(graph, beta, params, "alpha^2", trace)
 }
 
 fn arb_linial_driver(
@@ -267,10 +306,18 @@ fn arb_linial_driver(
     beta: usize,
     params: &AmpcColoringParams,
     algorithm: &'static str,
+    trace: Option<Arc<TraceContext>>,
 ) -> Result<AmpcColoringResult, ColoringError> {
-    let partition = ampc_beta_partition(graph, &params.partition_params(beta))?;
+    let partition = {
+        let _span =
+            span_on(trace.as_deref(), "phase.partition", "driver").with_arg("beta", beta as u64);
+        ampc_beta_partition_traced(graph, &params.partition_params(beta), trace.clone())?
+    };
+    let coloring_started = Instant::now();
+    let phase_span =
+        span_on(trace.as_deref(), "phase.coloring", "driver").with_arg("beta", beta as u64);
     let orientation = partition.partition.orientation(graph)?;
-    let primitives = RoundPrimitives::from_config(&params.runtime);
+    let primitives = RoundPrimitives::from_config(&params.runtime).with_trace(trace.clone());
     let result = arb_linial_coloring_with_runtime(graph, &orientation, None, &primitives)?;
     let coloring_rounds = simulation_rounds(
         graph.num_nodes(),
@@ -278,6 +325,7 @@ fn arb_linial_driver(
         result.rounds,
         params.delta,
     );
+    drop(phase_span);
     Ok(AmpcColoringResult::new(
         algorithm,
         result.coloring,
@@ -285,6 +333,7 @@ fn arb_linial_driver(
         &partition,
         coloring_rounds,
         &primitives,
+        coloring_started.elapsed().as_nanos() as u64,
     ))
 }
 
@@ -304,10 +353,35 @@ pub fn color_two_alpha_plus_one(
     alpha: usize,
     params: &AmpcColoringParams,
 ) -> Result<AmpcColoringResult, ColoringError> {
+    color_two_alpha_plus_one_traced(graph, alpha, params, None)
+}
+
+/// [`color_two_alpha_plus_one`] with an optional span recorder attached:
+/// the partition backend, the per-layer simulators (Arb-Linial rounds, KW
+/// sweeps) and the recoloring waves all emit spans into `trace`, tagged
+/// with layer ids and counters. Tracing is measurement-only — the coloring
+/// (and the model-level metrics) are bit-identical with and without it.
+///
+/// # Errors
+///
+/// See [`color_two_alpha_plus_one`].
+pub fn color_two_alpha_plus_one_traced(
+    graph: &CsrGraph,
+    alpha: usize,
+    params: &AmpcColoringParams,
+    trace: Option<Arc<TraceContext>>,
+) -> Result<AmpcColoringResult, ColoringError> {
     let beta = beta_for(alpha, 2.0 + params.epsilon);
-    let partition = ampc_beta_partition(graph, &params.partition_params(beta))?;
+    let partition = {
+        let _span =
+            span_on(trace.as_deref(), "phase.partition", "driver").with_arg("beta", beta as u64);
+        ampc_beta_partition_traced(graph, &params.partition_params(beta), trace.clone())?
+    };
     let n = graph.num_nodes();
-    let primitives = RoundPrimitives::from_config(&params.runtime);
+    let coloring_started = Instant::now();
+    let phase_span =
+        span_on(trace.as_deref(), "phase.coloring", "driver").with_arg("beta", beta as u64);
+    let primitives = RoundPrimitives::from_config(&params.runtime).with_trace(trace.clone());
 
     // Phase 2: color every layer independently with beta + 1 colors. The
     // layers are disjoint induced subgraphs, so they are colored in
@@ -331,7 +405,11 @@ pub fn color_two_alpha_plus_one(
         &layers,
         params.runtime.effective_threads(),
         |_, members| layer_cost(graph, members),
-        |_, members| -> Result<LayerColors, ColoringError> {
+        |layer, members| -> Result<LayerColors, ColoringError> {
+            let _layer_span = primitives
+                .span("layer.color", "driver")
+                .with_arg("layer", layer as u64)
+                .with_arg("nodes", members.len() as u64);
             let sub = InducedSubgraph::new(graph, members);
             let local_graph = sub.graph();
             // Any orientation of a subgraph with max degree <= beta has
@@ -367,13 +445,18 @@ pub fn color_two_alpha_plus_one(
 
     // Phase 3: fix cross-layer conflicts.
     let initial = Coloring::new(initial);
-    let recolored = recolor_layers_with_runtime(
-        graph,
-        &partition.partition,
-        &initial,
-        RecolorOrder::HighestAvailable,
-        &primitives,
-    )?;
+    let recolored = {
+        let _span = primitives
+            .span("phase.recolor", "driver")
+            .with_arg("layers", partition.partition_size() as u64);
+        recolor_layers_with_runtime(
+            graph,
+            &partition.partition,
+            &initial,
+            RecolorOrder::HighestAvailable,
+            &primitives,
+        )?
+    };
 
     // Round accounting (Section 6.3): the per-layer coloring costs the
     // simulated Linial rounds plus the KW reduction rounds (layers run in
@@ -384,6 +467,7 @@ pub fn color_two_alpha_plus_one(
     let recolor_rounds = partition.partition_size().div_ceil(batch_size).max(1);
     let coloring_rounds = linial_sim + kw_rounds_max + recolor_rounds;
 
+    drop(phase_span);
     Ok(AmpcColoringResult::new(
         "(2+eps)alpha+1",
         recolored.coloring,
@@ -391,6 +475,7 @@ pub fn color_two_alpha_plus_one(
         &partition,
         coloring_rounds,
         &primitives,
+        coloring_started.elapsed().as_nanos() as u64,
     ))
 }
 
@@ -407,9 +492,31 @@ pub fn color_large_arboricity(
     alpha: usize,
     params: &AmpcColoringParams,
 ) -> Result<AmpcColoringResult, ColoringError> {
+    color_large_arboricity_traced(graph, alpha, params, None)
+}
+
+/// [`color_large_arboricity`] with an optional span recorder attached (see
+/// [`color_two_alpha_plus_one_traced`] for the tracing contract).
+///
+/// # Errors
+///
+/// See [`color_large_arboricity`].
+pub fn color_large_arboricity_traced(
+    graph: &CsrGraph,
+    alpha: usize,
+    params: &AmpcColoringParams,
+    trace: Option<Arc<TraceContext>>,
+) -> Result<AmpcColoringResult, ColoringError> {
     let beta = ((alpha.max(2) as f64).powf(1.0 + params.epsilon).ceil() as usize).max(2);
-    let partition = ampc_beta_partition(graph, &params.partition_params(beta))?;
+    let partition = {
+        let _span =
+            span_on(trace.as_deref(), "phase.partition", "driver").with_arg("beta", beta as u64);
+        ampc_beta_partition_traced(graph, &params.partition_params(beta), trace.clone())?
+    };
     let n = graph.num_nodes();
+    let coloring_started = Instant::now();
+    let phase_span =
+        span_on(trace.as_deref(), "phase.coloring", "driver").with_arg("beta", beta as u64);
 
     let x = ((alpha.max(2) as f64).powf(params.epsilon).round() as usize).max(2);
     let derand_params = DerandParams {
@@ -423,7 +530,7 @@ pub fn color_large_arboricity(
     // in layer order afterwards, so the result is identical for any thread
     // count. The derandomization's per-edge expectation sweeps also run on
     // the shared primitives context inside each layer.
-    let primitives = RoundPrimitives::from_config(&params.runtime);
+    let primitives = RoundPrimitives::from_config(&params.runtime).with_trace(trace.clone());
     struct LayerPalette {
         colors: Vec<(NodeId, usize)>,
         palette: usize,
@@ -434,7 +541,11 @@ pub fn color_large_arboricity(
         &layers,
         params.runtime.effective_threads(),
         |_, members| layer_cost(graph, members),
-        |_, members| -> Result<LayerPalette, ColoringError> {
+        |layer, members| -> Result<LayerPalette, ColoringError> {
+            let _layer_span = primitives
+                .span("layer.color", "driver")
+                .with_arg("layer", layer as u64)
+                .with_arg("nodes", members.len() as u64);
             let sub = InducedSubgraph::new(graph, members);
             let result =
                 derandomized_coloring_with_runtime(sub.graph(), &derand_params, &primitives);
@@ -469,6 +580,7 @@ pub fn color_large_arboricity(
         ));
     }
 
+    drop(phase_span);
     Ok(AmpcColoringResult::new(
         "alpha^(1+eps) (Thm 1.5 per layer)",
         coloring,
@@ -476,6 +588,7 @@ pub fn color_large_arboricity(
         &partition,
         mpc_rounds_max.max(1),
         &primitives,
+        coloring_started.elapsed().as_nanos() as u64,
     ))
 }
 

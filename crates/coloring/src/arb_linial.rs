@@ -312,6 +312,10 @@ pub fn arb_linial_coloring_with_runtime(
         // Choose the polynomial degree that gives the strongest single-round
         // reduction (the classic Linial schedule uses a logarithmic degree
         // while the palette is huge and degree ~2 near the fixed point).
+        let mut span = primitives
+            .span("arb_linial.round", "simulator")
+            .with_arg("round", rounds as u64)
+            .with_arg("palette", palette as u64);
         let degree = best_degree(palette, beta)?;
         let new_palette = reduction_round_into(
             graph,
@@ -323,6 +327,8 @@ pub fn arb_linial_coloring_with_runtime(
             primitives,
             &mut next_colors,
         )?;
+        span.set_arg("palette_after", new_palette.min(palette) as u64);
+        drop(span);
         rounds += 1;
         if new_palette >= palette {
             // Fixed point reached; keep the smaller palette (the round's

@@ -270,6 +270,10 @@ pub fn derandomized_coloring_with_runtime(
 
     while !uncolored.is_empty() && phases < params.max_phases {
         phases += 1;
+        let _phase_span = primitives
+            .span("derand.phase", "simulator")
+            .with_arg("phase", phases as u64)
+            .with_arg("uncolored", uncolored.len() as u64);
         in_u.clear();
         in_u.resize(n, false);
         for &v in &uncolored {

@@ -108,6 +108,10 @@ pub fn kw_color_reduction_with_runtime(
     let mut compacted: Vec<usize> = Vec::new();
 
     while palette > target {
+        let _sweep_span = primitives
+            .span("kw.sweep", "simulator")
+            .with_arg("palette", palette as u64)
+            .with_arg("target", target as u64);
         let block = 2 * target;
         // Number of blocks covering the palette {0, ..., palette - 1}.
         let num_blocks = palette.div_ceil(block);
@@ -116,6 +120,10 @@ pub fn kw_color_reduction_with_runtime(
         // one LOCAL round since the affected nodes form an independent set).
         for offset in target..block {
             rounds += 1;
+            let mut elimination_span = primitives
+                .span("kw.elimination", "simulator")
+                .with_arg("round", rounds as u64)
+                .with_arg("offset", offset as u64);
             primitives.par_collect_indices_into(
                 graph.num_nodes(),
                 |v| {
@@ -124,6 +132,7 @@ pub fn kw_color_reduction_with_runtime(
                 },
                 &mut recolor,
             );
+            elimination_span.set_arg("members", recolor.len() as u64);
             // Weighted by degree: a member's decision scans its whole
             // adjacency list, so hub members cost Δ while leaves cost 1 —
             // weighted chunking keeps the sweep balanced on skewed graphs.
@@ -150,6 +159,9 @@ pub fn kw_color_reduction_with_runtime(
         }
         // Compact the palette: block b now only uses colors
         // [b * block, b * block + target); renumber to b * target + offset.
+        let _compaction_span = primitives
+            .span("kw.compaction", "simulator")
+            .with_arg("blocks", num_blocks as u64);
         primitives.par_node_map_into(
             colors.len(),
             |v| {

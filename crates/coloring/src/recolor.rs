@@ -280,6 +280,11 @@ pub fn recolor_layers_with_runtime(
             end += 1;
         }
         let wave = &schedule[start..end];
+        let _wave_span = primitives
+            .span("recolor.wave", "simulator")
+            .with_arg("layer", key.0 as u64)
+            .with_arg("color", key.1 as u64)
+            .with_arg("members", wave.len() as u64);
         {
             let snapshot: &[Option<usize>] = &final_colors;
             // Weighted by degree: a wave member's decision scans its whole

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Graph substrate re-export (crate `sparse-graph`).
 pub use sparse_graph as graph;
@@ -66,9 +67,10 @@ pub use ampc_runtime as runtime;
 
 pub use ampc_runtime::RuntimeConfig;
 
+use ampc_runtime::trace::TraceContext;
 use arbo_coloring::ampc::{
-    color_alpha_power, color_alpha_squared, color_large_arboricity, color_two_alpha_plus_one,
-    AmpcColoringParams, AmpcColoringResult, ColoringError,
+    color_alpha_power_traced, color_alpha_squared_traced, color_large_arboricity_traced,
+    color_two_alpha_plus_one_traced, AmpcColoringParams, AmpcColoringResult, ColoringError,
 };
 use beta_partition::{
     ampc_beta_partition, ampc_beta_partition_unknown_arboricity, AmpcPartitionResult,
@@ -381,6 +383,22 @@ impl SparseColoring {
         SparseColoring::from_request(request)?.color(graph)
     }
 
+    /// [`SparseColoring::color_request`] with an optional [`TraceContext`]
+    /// attached: every AMPC round, LOCAL-simulation phase and backend
+    /// merge records a span into `trace` while the run executes. Passing
+    /// `None` is exactly `color_request` — no clock reads, no buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseColoring::color_request`].
+    pub fn color_request_traced(
+        graph: &CsrGraph,
+        request: &ColorRequest,
+        trace: Option<Arc<TraceContext>>,
+    ) -> Result<ColoringOutcome, Error> {
+        SparseColoring::from_request(request)?.color_traced(graph, trace)
+    }
+
     /// The arboricity bound used for `graph`: the explicit one if given,
     /// otherwise the degeneracy (which satisfies `α ≤ degeneracy ≤ 2α − 1`).
     pub fn resolve_alpha(&self, graph: &CsrGraph) -> usize {
@@ -398,6 +416,21 @@ impl SparseColoring {
     /// `alpha` underestimates the true arboricity so much that no
     /// β-partition exists).
     pub fn color(&self, graph: &CsrGraph) -> Result<ColoringOutcome, Error> {
+        self.color_traced(graph, None)
+    }
+
+    /// [`SparseColoring::color`] with an optional [`TraceContext`] threaded
+    /// through the partition and coloring phases. Tracing never changes the
+    /// coloring or the model-level metrics — only runtime observability.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseColoring::color`].
+    pub fn color_traced(
+        &self,
+        graph: &CsrGraph,
+        trace: Option<Arc<TraceContext>>,
+    ) -> Result<ColoringOutcome, Error> {
         self.validate()?;
         let alpha = self.resolve_alpha(graph);
         let params = self.coloring_params();
@@ -418,10 +451,14 @@ impl SparseColoring {
         };
 
         let result = match algorithm {
-            Algorithm::AlphaPower => color_alpha_power(graph, alpha, &params)?,
-            Algorithm::AlphaSquared => color_alpha_squared(graph, alpha, &params)?,
-            Algorithm::TwoAlphaPlusOne => color_two_alpha_plus_one(graph, alpha, &params)?,
-            Algorithm::LargeArboricity => color_large_arboricity(graph, alpha, &params)?,
+            Algorithm::AlphaPower => color_alpha_power_traced(graph, alpha, &params, trace)?,
+            Algorithm::AlphaSquared => color_alpha_squared_traced(graph, alpha, &params, trace)?,
+            Algorithm::TwoAlphaPlusOne => {
+                color_two_alpha_plus_one_traced(graph, alpha, &params, trace)?
+            }
+            Algorithm::LargeArboricity => {
+                color_large_arboricity_traced(graph, alpha, &params, trace)?
+            }
             Algorithm::Auto => unreachable!("Auto resolved above"),
         };
         Ok(ColoringOutcome::from_result(result, alpha))

@@ -12,11 +12,13 @@
 //! `β ≥ 2α` (Lemma 3.4).
 
 use std::fmt;
+use std::sync::Arc;
 
 use ampc_model::{
     AmpcConfig, AmpcMetrics, ConflictPolicy, DataStore, Key, LcaOracle, ModelError, RoundReport,
     RoundRuntimeStats, Value,
 };
+use ampc_runtime::trace::{span_on, TraceContext};
 use ampc_runtime::RuntimeConfig;
 use sparse_graph::{CsrGraph, InducedSubgraph, NodeId};
 
@@ -289,6 +291,23 @@ pub fn ampc_beta_partition(
     graph: &CsrGraph,
     params: &PartitionParams,
 ) -> Result<AmpcPartitionResult, PartitionError> {
+    ampc_beta_partition_traced(graph, params, None)
+}
+
+/// [`ampc_beta_partition`] with an optional span recorder attached: the
+/// backend emits round/merge/retune spans into `trace` and the driver adds
+/// one `partition.round` span per logical round. Tracing is
+/// measurement-only — the partition (and the model-level metrics) are
+/// bit-identical with and without it.
+///
+/// # Errors
+///
+/// See [`ampc_beta_partition`].
+pub fn ampc_beta_partition_traced(
+    graph: &CsrGraph,
+    params: &PartitionParams,
+    trace: Option<Arc<TraceContext>>,
+) -> Result<AmpcPartitionResult, PartitionError> {
     let n = graph.num_nodes();
     let mut partition = BetaPartition::all_infinite(n, params.beta);
     let mut remaining: Vec<NodeId> = graph.nodes().collect();
@@ -307,6 +326,7 @@ pub fn ampc_beta_partition(
     let mut backend = params
         .runtime
         .backend(partition_round_config(graph, params), DataStore::new());
+    backend.set_trace(trace.clone());
     let backend = backend.as_mut();
 
     while !remaining.is_empty() {
@@ -318,6 +338,9 @@ pub fn ampc_beta_partition(
         }
         remaining_per_round.push(remaining.len());
         rounds += 1;
+        let _round_span = span_on(trace.as_deref(), "partition.round", "driver")
+            .with_arg("round", rounds as u64)
+            .with_arg("remaining", remaining.len() as u64);
 
         let subgraph = InducedSubgraph::new(graph, &remaining);
         let sub = subgraph.graph();

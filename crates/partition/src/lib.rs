@@ -57,7 +57,8 @@ mod lca;
 mod merge;
 
 pub use ampc_partition::{
-    ampc_beta_partition, AmpcPartitionResult, PartitionError, PartitionParams,
+    ampc_beta_partition, ampc_beta_partition_traced, AmpcPartitionResult, PartitionError,
+    PartitionParams,
 };
 pub use beta::BetaPartition;
 pub use coin_game::{CoinGame, CoinGameConfig, CoinGameResult};

@@ -1,9 +1,13 @@
 //! The executor abstraction and the sequential reference backend.
 
+use std::sync::Arc;
+
 use ampc_model::{
     AmpcConfig, AmpcExecutor, AmpcMetrics, ConflictPolicy, DataStore, Key, MachineContext,
     ModelError, RoundReport, Value,
 };
+
+use crate::trace::{span_on, TraceContext};
 
 /// A machine closure executed once per machine in a round.
 ///
@@ -65,6 +69,12 @@ pub trait AmpcBackend: Send {
 
     /// Short backend name for logs and benches.
     fn name(&self) -> &'static str;
+
+    /// Attaches (or detaches) a span recorder: subsequent rounds emit
+    /// execute/merge/retune spans into it. Tracing is measurement-only —
+    /// it never changes what a round computes. The default implementation
+    /// ignores the recorder (backends opt in).
+    fn set_trace(&mut self, _trace: Option<Arc<TraceContext>>) {}
 }
 
 impl dyn AmpcBackend + '_ {
@@ -109,6 +119,7 @@ impl dyn AmpcBackend + '_ {
 #[derive(Debug)]
 pub struct SequentialBackend {
     executor: AmpcExecutor,
+    trace: Option<Arc<TraceContext>>,
 }
 
 impl SequentialBackend {
@@ -116,6 +127,7 @@ impl SequentialBackend {
     pub fn new(config: AmpcConfig, initial: DataStore) -> Self {
         SequentialBackend {
             executor: AmpcExecutor::new(config, initial),
+            trace: None,
         }
     }
 
@@ -157,6 +169,10 @@ impl AmpcBackend for SequentialBackend {
         carry_forward: bool,
         body: &RoundBody<'_>,
     ) -> Result<RoundReport, ModelError> {
+        let round_index = self.executor.metrics().num_rounds() as u64;
+        let _span = span_on(self.trace.as_deref(), "backend.round", "backend")
+            .with_arg("round", round_index)
+            .with_arg("machines", machines as u64);
         if carry_forward {
             self.executor
                 .round_carrying_forward(machines, policy, |machine, ctx| body(machine, ctx))
@@ -172,6 +188,10 @@ impl AmpcBackend for SequentialBackend {
 
     fn name(&self) -> &'static str {
         "sequential"
+    }
+
+    fn set_trace(&mut self, trace: Option<Arc<TraceContext>>) {
+        self.trace = trace;
     }
 }
 

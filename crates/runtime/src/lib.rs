@@ -47,6 +47,11 @@
 //! * Extended metrics — wall-clock per round, per-shard read/write counts,
 //!   conflict-merge counts and pool-reuse deltas (tasks per worker, idle
 //!   time), surfaced through [`ampc_model::AmpcMetrics::runtime_stats`].
+//! * [`TraceContext`] / [`LatencyHistogram`] — the observability layer
+//!   (see [`trace`]): a never-blocking, pre-allocated span recorder
+//!   carried by [`RoundPrimitives`] and the backends (per-round, per-layer
+//!   and per-phase spans, exportable as Chrome trace-event JSON) plus
+//!   log-bucketed latency histograms for the serving subsystem.
 //!
 //! ## Determinism contract
 //!
@@ -109,6 +114,7 @@ mod pool;
 mod rounds;
 mod scratch;
 mod shard;
+pub mod trace;
 
 pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
 pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
@@ -118,3 +124,7 @@ pub use pool::{parallel_map, parallel_map_weighted, PoolStats, ScopedTask, Worke
 pub use rounds::RoundPrimitives;
 pub use scratch::{scratch_totals, MarkerSet, ScratchCounters, ScratchLease, ScratchPool};
 pub use shard::ShardedStore;
+pub use trace::{
+    chrome_trace_json, span_on, LatencyHistogram, SpanGuard, TraceContext, TraceEvent,
+    TraceTimeline,
+};

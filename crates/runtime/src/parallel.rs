@@ -11,6 +11,7 @@ use ampc_model::{
 use crate::backend::{AmpcBackend, RoundBody};
 use crate::pool::{chunk_ranges, PoolStats, ScopedTask, WorkerPool};
 use crate::shard::{FlatShard, ShardedStore};
+use crate::trace::{span_on, TraceContext};
 
 /// A write buffered by one machine: `(machine id, index within the
 /// machine's write sequence, key, value)`. The `(machine, index)` pair is
@@ -103,6 +104,10 @@ pub struct ParallelBackend {
     /// Set once a doubling failed to shrink the hot share: further
     /// doublings cannot help either, so the tuner stops re-partitioning.
     retune_stalled: bool,
+    /// Optional span recorder ([`AmpcBackend::set_trace`]): when attached,
+    /// every round emits execute/merge spans and every shard retune emits
+    /// a retune span. Measurement-only.
+    trace: Option<Arc<TraceContext>>,
 }
 
 /// Ceiling for the auto-tuned shard count.
@@ -163,6 +168,7 @@ impl ParallelBackend {
             auto_shards: false,
             last_hot_share: None,
             retune_stalled: false,
+            trace: None,
         }
     }
 
@@ -371,6 +377,9 @@ impl ParallelBackend {
         }
         self.last_hot_share = Some(share);
         let doubled = (num_shards * 2).min(MAX_AUTO_SHARDS);
+        let _span = span_on(self.trace.as_deref(), "backend.retune", "backend")
+            .with_arg("from_shards", num_shards as u64)
+            .with_arg("to_shards", doubled as u64);
         self.store = ShardedStore::from_store(self.store.to_data_store(), doubled);
     }
 }
@@ -410,12 +419,22 @@ impl AmpcBackend for ParallelBackend {
         body: &RoundBody<'_>,
     ) -> Result<RoundReport, ModelError> {
         let started = Instant::now();
+        // Guards borrow the context, so hold the Arc in a local: `self`
+        // must stay mutably borrowable for the retune below.
+        let trace = self.trace.clone();
+        let _round_span = span_on(trace.as_deref(), "backend.round", "backend")
+            .with_arg("round", self.metrics.num_rounds() as u64)
+            .with_arg("machines", machines as u64);
         let pool_before = self.pool.stats();
         let read_budget = self.config.read_budget();
         let write_budget = self.config.write_budget();
         self.store.reset_read_counts();
 
-        let mut outcomes = self.execute_machines(machines, body, read_budget, write_budget);
+        let mut outcomes = {
+            let _span = span_on(trace.as_deref(), "backend.execute", "backend")
+                .with_arg("machines", machines as u64);
+            self.execute_machines(machines, body, read_budget, write_budget)
+        };
 
         // Error precedence replays the sequential executor's event order:
         // it runs machine m's body and then merges m's writes before
@@ -437,8 +456,11 @@ impl AmpcBackend for ParallelBackend {
             return Err(error);
         }
 
-        let (next_shards, shard_writes, conflict_merges) =
-            self.merge_shards(&outcomes, policy, carry_forward)?;
+        let (next_shards, shard_writes, conflict_merges) = {
+            let _span = span_on(trace.as_deref(), "backend.merge", "backend")
+                .with_arg("shards", self.store.num_shards() as u64);
+            self.merge_shards(&outcomes, policy, carry_forward)?
+        };
         let shard_reads = self.store.read_counts();
         self.store.replace_shards(next_shards);
 
@@ -482,6 +504,10 @@ impl AmpcBackend for ParallelBackend {
 
     fn name(&self) -> &'static str {
         "parallel"
+    }
+
+    fn set_trace(&mut self, trace: Option<Arc<TraceContext>>) {
+        self.trace = trace;
     }
 }
 

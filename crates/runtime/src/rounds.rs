@@ -63,6 +63,7 @@ use crate::pool::{
     STEAL_GRANULARITY,
 };
 use crate::scratch::{ScratchCounters, ScratchPool};
+use crate::trace::{span_on, SpanGuard, TraceContext};
 
 /// Below this many items a map runs inline: the work is too small to
 /// amortize a pool round-trip.
@@ -110,6 +111,11 @@ pub struct RoundPrimitives {
     /// The type-keyed scratch registry: `TypeId::of::<T>()` →
     /// `Arc<ScratchPool<T>>` (stored type-erased).
     scratch: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+    /// Optional span recorder: when attached, the simulators running on
+    /// this context emit per-round/per-phase spans through
+    /// [`RoundPrimitives::span`]. `None` (the default) is the zero-cost
+    /// disabled path.
+    trace: Option<Arc<TraceContext>>,
 }
 
 impl std::fmt::Debug for RoundPrimitives {
@@ -135,7 +141,28 @@ impl RoundPrimitives {
             wall_nanos: AtomicU64::new(0),
             scratch_counters: Arc::new(ScratchCounters::default()),
             scratch: Mutex::new(HashMap::new()),
+            trace: None,
         }
+    }
+
+    /// Attaches (or detaches) a span recorder: simulators running on this
+    /// context will emit spans through [`RoundPrimitives::span`]. Tracing
+    /// is measurement-only — it never changes what the primitives compute.
+    pub fn with_trace(mut self, trace: Option<Arc<TraceContext>>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached span recorder, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceContext>> {
+        self.trace.as_ref()
+    }
+
+    /// Opens a span on the attached recorder; inert (a single branch, no
+    /// clock read) when no recorder is attached. The guard records one
+    /// complete event when dropped.
+    pub fn span(&self, name: &'static str, cat: &'static str) -> SpanGuard<'_> {
+        span_on(self.trace.as_deref(), name, cat)
     }
 
     /// The scratch pool for buffers of type `T`, shared by every simulator

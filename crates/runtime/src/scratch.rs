@@ -61,8 +61,9 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// A small dense id for the current thread, used to spread scratch leases
-/// over the pool's shards so concurrent workers rarely contend on one lock.
-fn thread_slot() -> usize {
+/// (and trace-event records, see `crate::trace`) over per-context shards so
+/// concurrent workers rarely contend on one lock.
+pub(crate) fn thread_slot() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };

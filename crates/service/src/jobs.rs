@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, SparseColoring};
 use ampc_model::ConflictPolicy;
+use ampc_runtime::trace::{LatencyHistogram, TraceContext, TraceTimeline};
 use ampc_runtime::RuntimeConfig;
 use sparse_graph::CsrGraph;
 
@@ -68,6 +69,14 @@ pub struct ServiceConfig {
     /// caps, bounding both result staleness and idle-server memory.
     /// In-flight (computing) entries never expire.
     pub cache_ttl: Duration,
+    /// Per-job trace-event capacity. Each computed (non-cached) job gets a
+    /// [`TraceContext`] with this many pre-allocated event slots; every
+    /// AMPC round, simulator phase and backend merge records a span into
+    /// it, and the drained timeline is served by
+    /// `GET /v1/jobs/{id}/trace`. Events beyond the capacity are dropped
+    /// and counted, never blocking the computation. `0` disables per-job
+    /// tracing entirely (no buffers, no clock reads).
+    pub trace_events: usize,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +94,7 @@ impl Default for ServiceConfig {
             max_requests_per_connection: 100,
             job_ttl: Duration::from_secs(600),
             cache_ttl: Duration::from_secs(3600),
+            trace_events: 16_384,
         }
     }
 }
@@ -173,6 +183,10 @@ struct JobRecord {
     /// When the record reached a terminal state (the TTL clock).
     finished: Option<Instant>,
     wall_nanos: u64,
+    /// The drained span timeline of the computation this job owned.
+    /// `None` while in flight, for cached/coalesced jobs (the timeline
+    /// belongs to the computing job) and when tracing is disabled.
+    timeline: Option<Arc<TraceTimeline>>,
 }
 
 /// An immutable snapshot of a job, for rendering and tests.
@@ -199,6 +213,9 @@ pub struct JobView {
     pub wall_nanos: u64,
     /// Nanoseconds since the job was submitted.
     pub age_nanos: u64,
+    /// Span timeline of the computation, when this job owned one and
+    /// tracing is enabled (`None` for cached results and in-flight jobs).
+    pub timeline: Option<Arc<TraceTimeline>>,
 }
 
 /// Why a submission was rejected.
@@ -250,6 +267,8 @@ struct QueueItem {
     key: u64,
     graph: Arc<CsrGraph>,
     spec: JobSpec,
+    /// When the item entered the queue (the queue-wait histogram clock).
+    enqueued: Instant,
 }
 
 /// The jobs map plus the FIFO eviction order, guarded by one mutex.
@@ -277,6 +296,12 @@ struct ManagerShared {
     completed: AtomicU64,
     failed: AtomicU64,
     computed: AtomicU64,
+    /// Per-job trace-event capacity (0 disables tracing).
+    trace_events: usize,
+    /// Microseconds jobs spent waiting in the submission queue.
+    queue_wait_micros: LatencyHistogram,
+    /// Microseconds computed (non-cached) jobs took to execute.
+    execution_micros: LatencyHistogram,
 }
 
 impl ManagerShared {
@@ -288,9 +313,14 @@ impl ManagerShared {
             record.finished = Some(Instant::now());
             let mut result_nodes = 0;
             match outcome {
-                FinishOutcome::Result { result, wall_nanos } => {
+                FinishOutcome::Result {
+                    result,
+                    wall_nanos,
+                    timeline,
+                } => {
                     record.result = Some(result);
                     record.wall_nanos = wall_nanos;
+                    record.timeline = timeline;
                     result_nodes = record.graph_nodes;
                 }
                 FinishOutcome::Error(message) => record.error = Some(message),
@@ -375,6 +405,7 @@ enum FinishOutcome {
     Result {
         result: Arc<ColoringOutcome>,
         wall_nanos: u64,
+        timeline: Option<Arc<TraceTimeline>>,
     },
     Error(String),
 }
@@ -419,6 +450,9 @@ impl JobManager {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             computed: AtomicU64::new(0),
+            trace_events: config.trace_events,
+            queue_wait_micros: LatencyHistogram::new(),
+            execution_micros: LatencyHistogram::new(),
         });
         let (queue_tx, queue_rx) = sync_channel::<QueueItem>(config.queue_capacity.max(1));
         let queue_rx = Arc::new(Mutex::new(queue_rx));
@@ -474,6 +508,7 @@ impl JobManager {
                     submitted: Instant::now(),
                     finished: None,
                     wall_nanos: 0,
+                    timeline: None,
                 },
             );
         }
@@ -488,6 +523,7 @@ impl JobManager {
                     FinishOutcome::Result {
                         result,
                         wall_nanos: 0,
+                        timeline: None,
                     },
                 );
                 Ok(id)
@@ -506,6 +542,7 @@ impl JobManager {
                     key,
                     graph,
                     spec,
+                    enqueued: Instant::now(),
                 }) {
                     Ok(()) => Ok(id),
                     Err(TrySendError::Full(item)) | Err(TrySendError::Disconnected(item)) => {
@@ -593,6 +630,17 @@ impl JobManager {
             cache: self.shared.cache.counters(),
         }
     }
+
+    /// Microseconds jobs spent waiting in the submission queue
+    /// (log-bucketed, lock-free — records concurrently with reads).
+    pub fn queue_wait_micros(&self) -> &LatencyHistogram {
+        &self.shared.queue_wait_micros
+    }
+
+    /// Microseconds computed (non-cached) jobs took to execute.
+    pub fn execution_micros(&self) -> &LatencyHistogram {
+        &self.shared.execution_micros
+    }
 }
 
 impl Drop for JobManager {
@@ -617,7 +665,17 @@ fn view_of(id: u64, record: &JobRecord) -> JobView {
         error: record.error.clone(),
         wall_nanos: record.wall_nanos,
         age_nanos: record.submitted.elapsed().as_nanos() as u64,
+        timeline: record.timeline.clone(),
     }
+}
+
+/// Deterministic trace id of a job: the FNV-1a hash of the job id,
+/// rendered as 16 hex digits. Stable across restarts for the same id,
+/// echoed in job JSON and the `X-Trace-Id` response header.
+pub fn trace_id(job_id: u64) -> String {
+    let mut hash = Fnv::new();
+    hash.write_u64(job_id);
+    format!("{:016x}", hash.finish())
 }
 
 fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueItem>>>) {
@@ -638,12 +696,22 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
             }
         }
 
+        shared
+            .queue_wait_micros
+            .record(item.enqueued.elapsed().as_micros() as u64);
+
+        // One pre-allocated trace context per computed job: the fixed-size
+        // event buffers are created before the computation starts, so the
+        // AMPC rounds themselves stay allocation-free while recording.
+        let trace = (shared.trace_events > 0)
+            .then(|| Arc::new(TraceContext::with_capacity(shared.trace_events)));
+
         let started = Instant::now();
         // Panic isolation: a panicking computation must neither kill the
         // persistent worker nor leave the cache entry in-flight forever —
         // it becomes a failed job like any other error.
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            SparseColoring::color_request(&item.graph, &item.spec.request)
+            SparseColoring::color_request_traced(&item.graph, &item.spec.request, trace.clone())
         }))
         .unwrap_or_else(|payload| {
             let detail = payload
@@ -657,6 +725,8 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
         });
         let wall_nanos = started.elapsed().as_nanos() as u64;
         shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared.execution_micros.record(wall_nanos / 1_000);
+        let timeline = trace.map(|trace| Arc::new(trace.finish()));
 
         match outcome {
             Ok(outcome) => {
@@ -673,8 +743,11 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
                     FinishOutcome::Result {
                         result: Arc::clone(&result),
                         wall_nanos,
+                        timeline,
                     },
                 );
+                // Coalesced waiters share the result but not the timeline:
+                // the spans belong to the computation the owner job ran.
                 for waiter in waiters {
                     shared.finish(
                         waiter,
@@ -683,6 +756,7 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
                         FinishOutcome::Result {
                             result: Arc::clone(&result),
                             wall_nanos: 0,
+                            timeline: None,
                         },
                     );
                 }

@@ -10,10 +10,11 @@
 //!
 //! | method & path | purpose |
 //! |---|---|
-//! | `POST /v1/color` | submit an edge-list body; query params select algorithm, `alpha`, `epsilon`, `delta`, `runtime`/`threads`/`shards`, `policy`; `wait=1` blocks for the result |
+//! | `POST /v1/color` | submit an edge-list body; query params select algorithm, `alpha`, `epsilon`, `delta`, `runtime`/`threads`/`shards`, `policy`; `wait=1` blocks for the result; responses carry `X-Job-Id` and `X-Trace-Id` headers |
 //! | `GET /v1/jobs/{id}` | job status plus the result and its `AmpcMetrics` (rendered through the workspace's no-serde table serializer) |
+//! | `GET /v1/jobs/{id}/trace` | the job's span timeline as Chrome trace-event JSON (Perfetto-loadable): every AMPC round, simulator phase and backend merge of the computation |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | per-endpoint counters, queue depth, job/cache counters, persistent-pool reuse stats, recent jobs |
+//! | `GET /metrics` | per-endpoint counters, queue depth, job/cache counters, latency histograms, persistent-pool reuse stats, recent jobs; `?format=prometheus` switches to the Prometheus text exposition |
 //!
 //! ## Architecture
 //!
@@ -45,6 +46,7 @@ pub mod server;
 
 pub use cache::{CacheCounters, Claim, ResultCache};
 pub use jobs::{
-    job_key, JobManager, JobSpec, JobStatus, JobView, ManagerCounters, ServiceConfig, SubmitError,
+    job_key, trace_id, JobManager, JobSpec, JobStatus, JobView, ManagerCounters, ServiceConfig,
+    SubmitError,
 };
 pub use server::{Server, ServerHandle};

@@ -10,11 +10,12 @@ use std::time::{Duration, Instant};
 use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, RuntimeConfig, SparseColoring};
 use ampc_coloring_bench::Table;
 use ampc_model::ConflictPolicy;
+use ampc_runtime::trace::LatencyHistogram;
 use ampc_runtime::WorkerPool;
 use sparse_graph::read_edge_list_bounded;
 
 use crate::http::{read_head, HttpError, RequestHead, Response};
-use crate::jobs::{JobManager, JobSpec, JobView, ServiceConfig, SubmitError};
+use crate::jobs::{trace_id, JobManager, JobSpec, JobView, ServiceConfig, SubmitError};
 use crate::json::{array_u64, Object};
 
 /// Per-read socket timeout for an in-flight request (the cumulative
@@ -53,6 +54,9 @@ struct ServerState {
     /// free for non-waiting endpoints (`/healthz`, `/metrics`), so slow
     /// jobs cannot make the whole server unresponsive.
     max_sync_waiters: usize,
+    /// Microseconds each request took from parsed head to rendered
+    /// response (log-bucketed; includes body read and synchronous waits).
+    request_micros: LatencyHistogram,
 }
 
 /// An RAII reservation of one synchronous-wait slot; dropping it releases
@@ -112,6 +116,7 @@ impl Server {
                 counters: EndpointCounters::default(),
                 sync_waiters: AtomicUsize::new(0),
                 max_sync_waiters: config.acceptors.max(1).saturating_sub(1),
+                request_micros: LatencyHistogram::new(),
             }),
         })
     }
@@ -265,7 +270,11 @@ fn serve_connection(stream: &mut TcpStream, manager: &Arc<JobManager>, state: &S
                 .fetch_add(1, Ordering::Relaxed);
             let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         }
+        let handled = Instant::now();
         let response = handle_request(stream, &mut head, manager, state);
+        state
+            .request_micros
+            .record(handled.elapsed().as_micros() as u64);
         // The socket is reusable only when it is positioned at the end of
         // this request's body (drain is idempotent; the handler usually
         // consumed the body already).
@@ -297,7 +306,13 @@ fn handle_request(
         }
         ("GET", "/metrics") => {
             state.counters.metrics.fetch_add(1, Ordering::Relaxed);
-            Response::json(200, metrics_json(manager, state))
+            if head.query_param("format") == Some("prometheus") {
+                let mut response = Response::text(200, metrics_prometheus(manager, state));
+                response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                response
+            } else {
+                Response::json(200, metrics_json(manager, state))
+            }
         }
         ("POST", "/v1/color") => {
             state.counters.color.fetch_add(1, Ordering::Relaxed);
@@ -318,10 +333,22 @@ fn handle_request(
         }
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             state.counters.jobs.fetch_add(1, Ordering::Relaxed);
-            match path["/v1/jobs/".len()..].parse::<u64>() {
-                Ok(id) => match manager.status(id) {
-                    Some(view) => Response::json(200, job_json(&view)),
-                    None => error_response(404, &format!("unknown job id {id}")),
+            let rest = &path["/v1/jobs/".len()..];
+            let (id_text, action) = match rest.split_once('/') {
+                None => (rest, None),
+                Some((id_text, action)) => (id_text, Some(action)),
+            };
+            match id_text.parse::<u64>() {
+                Ok(id) => match action {
+                    None => match manager.status(id) {
+                        Some(view) => Response::json(200, job_json(&view))
+                            .with_header("X-Trace-Id", trace_id(id)),
+                        None => error_response(404, &format!("unknown job id {id}")),
+                    },
+                    Some("trace") => handle_trace(manager, id),
+                    Some(other) => {
+                        error_response(404, &format!("no sub-resource `{other}` on jobs"))
+                    }
                 },
                 Err(_) => {
                     state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -343,6 +370,34 @@ fn handle_request(
 /// Reads and discards the (untouched) request body.
 fn drain_body(stream: &mut TcpStream, head: &mut RequestHead) {
     let _ = head.drain(stream);
+}
+
+/// `GET /v1/jobs/{id}/trace`: the job's span timeline as Chrome
+/// trace-event JSON (loadable in Perfetto / `chrome://tracing`). Only the
+/// job that owned the computation carries a timeline — cached and
+/// coalesced jobs answer 404, in-flight jobs 409.
+fn handle_trace(manager: &Arc<JobManager>, id: u64) -> Response {
+    match manager.status(id) {
+        None => error_response(404, &format!("unknown job id {id}")),
+        Some(view) => match &view.timeline {
+            Some(timeline) => Response::json(200, timeline.chrome_trace_json())
+                .with_header("X-Trace-Id", trace_id(id)),
+            None if !view.status.is_terminal() => error_response(
+                409,
+                &format!(
+                    "job {id} is still {}; its trace is available once it finishes",
+                    view.status.label()
+                ),
+            ),
+            None => error_response(
+                404,
+                &format!(
+                    "job {id} has no trace (served from cache, coalesced onto another \
+                     computation, or tracing is disabled)"
+                ),
+            ),
+        },
+    }
 }
 
 /// Parses the query string and body of `POST /v1/color`, submits the job
@@ -463,7 +518,9 @@ fn handle_color(
                         .finish(),
                 ),
             };
-            return Ok(response.with_header("X-Job-Id", job.to_string()));
+            return Ok(response
+                .with_header("X-Job-Id", job.to_string())
+                .with_header("X-Trace-Id", trace_id(job)));
         }
     }
     let view = manager.status(job);
@@ -472,7 +529,9 @@ fn handle_color(
         // cache hit resolved at submission) needs no wait at all — serve
         // it outright instead of a contradictory 202 "done".
         if let Some(view) = view.as_ref().filter(|view| view.status.is_terminal()) {
-            return Ok(Response::json(200, job_json(view)).with_header("X-Job-Id", job.to_string()));
+            return Ok(Response::json(200, job_json(view))
+                .with_header("X-Job-Id", job.to_string())
+                .with_header("X-Trace-Id", trace_id(job)));
         }
     }
     let status_label = view.map_or("expired", |view| view.status.label());
@@ -483,7 +542,9 @@ fn handle_color(
             "all synchronous wait slots are busy; poll GET /v1/jobs/{id}",
         );
     }
-    Ok(Response::json(202, accepted.finish()).with_header("X-Job-Id", job.to_string()))
+    Ok(Response::json(202, accepted.finish())
+        .with_header("X-Job-Id", job.to_string())
+        .with_header("X-Trace-Id", trace_id(job)))
 }
 
 /// The node cap for a request with a `body_bytes`-sized edge list: the
@@ -683,6 +744,8 @@ fn job_json(view: &JobView) -> String {
     let mut object = Object::new()
         .u64("job", view.id)
         .str("status", view.status.label())
+        .str("trace_id", &trace_id(view.id))
+        .bool("trace_available", view.timeline.is_some())
         .bool("cached", view.cached)
         .raw(
             "graph",
@@ -743,7 +806,11 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
     let mut table = Table::new(
         "runtime",
         "per-round runtime stats",
-        "wall clock, shard loads and pool reuse of every recorded AMPC round",
+        "wall clock, shard loads and pool reuse of every recorded AMPC round; \
+         the coloring-phase row's wall_clock_us is real elapsed time (the max \
+         over concurrently simulated layers) while intra_wall_us sums worker \
+         occupancy across those layers, so occupancy can legitimately exceed \
+         wall clock on multi-threaded runs",
         &[
             "round",
             "wall_clock_us",
@@ -924,8 +991,305 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                 .u64("allocs", allocs)
                 .finish()
         })
+        .raw(
+            "latency",
+            Object::new()
+                .raw("request_micros", histogram_json(&state.request_micros))
+                .raw(
+                    "queue_wait_micros",
+                    histogram_json(manager.queue_wait_micros()),
+                )
+                .raw(
+                    "execution_micros",
+                    histogram_json(manager.execution_micros()),
+                )
+                .finish(),
+        )
         .raw("recent_jobs", recent.to_json())
         .finish()
+}
+
+/// Summary of one log-bucketed latency histogram for the JSON metrics
+/// document: count, mean, quantiles and the non-empty buckets.
+fn histogram_json(histogram: &LatencyHistogram) -> String {
+    let buckets = histogram.nonzero_buckets();
+    Object::new()
+        .u64("count", histogram.count())
+        .u64("sum", histogram.sum())
+        .f64("mean", histogram.mean())
+        .u64("p50", histogram.quantile(0.5))
+        .u64("p90", histogram.quantile(0.9))
+        .u64("p99", histogram.quantile(0.99))
+        .u64("max", histogram.max())
+        .raw("bucket_le", array_u64(buckets.iter().map(|&(le, _)| le)))
+        .raw(
+            "bucket_count",
+            array_u64(buckets.iter().map(|&(_, count)| count)),
+        )
+        .finish()
+}
+
+/// The Prometheus text-exposition rendering of `/metrics`
+/// (`?format=prometheus`): every counter/gauge family with `# HELP` and
+/// `# TYPE` lines, plus the three latency histograms in the native
+/// `_bucket{le=…}` / `_sum` / `_count` shape.
+fn metrics_prometheus(manager: &Arc<JobManager>, state: &ServerState) -> String {
+    let counters = manager.counters();
+    let pool = WorkerPool::global();
+    let pool_stats = pool.stats();
+    let (scratch_reuses, scratch_allocs) = ampc_runtime::scratch_totals();
+    let mut out = String::with_capacity(4096);
+
+    let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+        push_family(out, name, help, "gauge");
+        push_sample(out, name, &[], value);
+    };
+    let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+        push_family(out, name, help, "counter");
+        push_sample(out, name, &[], value as f64);
+    };
+
+    gauge(
+        &mut out,
+        "ampc_uptime_seconds",
+        "Seconds since the server started.",
+        state.started.elapsed().as_secs_f64(),
+    );
+
+    push_family(
+        &mut out,
+        "ampc_http_requests_total",
+        "HTTP requests served, by endpoint outcome.",
+        "counter",
+    );
+    for (endpoint, value) in [
+        ("healthz", state.counters.healthz.load(Ordering::Relaxed)),
+        ("metrics", state.counters.metrics.load(Ordering::Relaxed)),
+        ("color", state.counters.color.load(Ordering::Relaxed)),
+        ("jobs", state.counters.jobs.load(Ordering::Relaxed)),
+        (
+            "not_found",
+            state.counters.not_found.load(Ordering::Relaxed),
+        ),
+        (
+            "bad_request",
+            state.counters.bad_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "queue_rejected",
+            state.counters.queue_rejected.load(Ordering::Relaxed),
+        ),
+        ("timeout", state.counters.timeouts.load(Ordering::Relaxed)),
+    ] {
+        push_sample(
+            &mut out,
+            "ampc_http_requests_total",
+            &[("endpoint", endpoint)],
+            value as f64,
+        );
+    }
+
+    counter(
+        &mut out,
+        "ampc_http_connections_total",
+        "TCP connections accepted.",
+        state.counters.connections.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "ampc_http_keepalive_reused_total",
+        "Requests served on an already-used (kept-alive) connection.",
+        state.counters.keepalive_reused.load(Ordering::Relaxed),
+    );
+
+    counter(
+        &mut out,
+        "ampc_jobs_submitted_total",
+        "Jobs accepted (including cache hits and coalesced jobs).",
+        counters.submitted,
+    );
+    counter(
+        &mut out,
+        "ampc_jobs_completed_total",
+        "Jobs finished successfully.",
+        counters.completed,
+    );
+    counter(
+        &mut out,
+        "ampc_jobs_failed_total",
+        "Jobs finished with an error.",
+        counters.failed,
+    );
+    counter(
+        &mut out,
+        "ampc_jobs_computed_total",
+        "Colorings actually computed to completion (successful cache misses).",
+        counters.computed,
+    );
+    gauge(
+        &mut out,
+        "ampc_jobs_running",
+        "Jobs currently computing.",
+        counters.running as f64,
+    );
+    gauge(
+        &mut out,
+        "ampc_queue_depth",
+        "Jobs currently waiting in the submission queue.",
+        counters.queue_depth as f64,
+    );
+    gauge(
+        &mut out,
+        "ampc_queue_capacity",
+        "Configured capacity of the bounded submission queue.",
+        counters.queue_capacity as f64,
+    );
+
+    counter(
+        &mut out,
+        "ampc_cache_hits_total",
+        "Submissions served from the ready-result cache.",
+        counters.cache.hits,
+    );
+    counter(
+        &mut out,
+        "ampc_cache_misses_total",
+        "Submissions that claimed a fresh computation.",
+        counters.cache.misses,
+    );
+    counter(
+        &mut out,
+        "ampc_cache_coalesced_total",
+        "Submissions coalesced onto an identical in-flight computation.",
+        counters.cache.coalesced,
+    );
+    counter(
+        &mut out,
+        "ampc_cache_evicted_total",
+        "Cache entries evicted by the capacity or node-budget caps.",
+        counters.cache.evicted,
+    );
+    counter(
+        &mut out,
+        "ampc_cache_expired_total",
+        "Cache entries swept by the TTL.",
+        counters.cache.expired,
+    );
+    gauge(
+        &mut out,
+        "ampc_cache_entries",
+        "Ready results currently cached.",
+        counters.cache.entries as f64,
+    );
+
+    gauge(
+        &mut out,
+        "ampc_pool_workers",
+        "Persistent runtime-pool worker threads.",
+        pool.num_workers() as f64,
+    );
+    counter(
+        &mut out,
+        "ampc_pool_steals_total",
+        "Tasks stolen between runtime-pool workers.",
+        pool_stats.steals,
+    );
+    counter(
+        &mut out,
+        "ampc_pool_overflows_total",
+        "Tasks that overflowed a worker's bounded deque.",
+        pool_stats.overflows,
+    );
+    counter(
+        &mut out,
+        "ampc_scratch_reuses_total",
+        "Scratch buffers reused from a pool instead of allocated.",
+        scratch_reuses,
+    );
+    counter(
+        &mut out,
+        "ampc_scratch_allocs_total",
+        "Scratch buffers allocated fresh.",
+        scratch_allocs,
+    );
+
+    push_histogram(
+        &mut out,
+        "ampc_request_latency_microseconds",
+        "HTTP request handling latency (parsed head to rendered response).",
+        &state.request_micros,
+    );
+    push_histogram(
+        &mut out,
+        "ampc_queue_wait_microseconds",
+        "Time jobs spent waiting in the submission queue.",
+        manager.queue_wait_micros(),
+    );
+    push_histogram(
+        &mut out,
+        "ampc_job_execution_microseconds",
+        "Wall-clock execution time of computed (non-cached) jobs.",
+        manager.execution_micros(),
+    );
+    out
+}
+
+fn push_family(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (index, (label, label_value)) in labels.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(label);
+            out.push_str("=\"");
+            out.push_str(label_value);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    // Counters and gauges are integral or finite here; {} on f64 renders
+    // integers without a trailing ".0", which Prometheus parses fine.
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// One histogram family in Prometheus shape: cumulative `_bucket{le=…}`
+/// samples over the non-empty buckets, the mandatory `+Inf` bucket, then
+/// `_sum` and `_count`.
+fn push_histogram(out: &mut String, name: &str, help: &str, histogram: &LatencyHistogram) {
+    push_family(out, name, help, "histogram");
+    let bucket_name = format!("{name}_bucket");
+    let buckets = histogram.cumulative_buckets();
+    // A record racing this scrape may have bumped a bucket after `count`
+    // was read (or vice versa); clamping keeps +Inf >= every bucket, the
+    // monotonicity Prometheus requires of one exposition.
+    let total = histogram.count().max(buckets.last().map_or(0, |&(_, c)| c));
+    for (le, cumulative) in buckets {
+        push_sample(
+            out,
+            &bucket_name,
+            &[("le", le.to_string().as_str())],
+            cumulative as f64,
+        );
+    }
+    push_sample(out, &bucket_name, &[("le", "+Inf")], total as f64);
+    push_sample(out, &format!("{name}_sum"), &[], histogram.sum() as f64);
+    push_sample(out, &format!("{name}_count"), &[], total as f64);
 }
 
 #[cfg(test)]
@@ -977,6 +1341,111 @@ mod tests {
         assert_eq!(status, 400);
         let (status, _) = request(addr, "GET", "/v1/jobs/424242", "");
         assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/v1/jobs/424242/trace", "");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/v1/jobs/1/nope", "");
+        assert_eq!(status, 404);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_families_and_histograms() {
+        let handle = boot();
+        let addr = handle.addr();
+        // A request before the scrape so the latency histogram is non-empty.
+        let (status, _) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let (status, body) = request(addr, "GET", "/metrics?format=prometheus", "");
+        assert_eq!(status, 200);
+        for needle in [
+            "# HELP ampc_http_requests_total",
+            "# TYPE ampc_http_requests_total counter",
+            "ampc_http_requests_total{endpoint=\"healthz\"} 1",
+            "# TYPE ampc_queue_depth gauge",
+            "# TYPE ampc_request_latency_microseconds histogram",
+            "ampc_request_latency_microseconds_bucket{le=\"+Inf\"}",
+            "ampc_request_latency_microseconds_sum",
+            "ampc_request_latency_microseconds_count",
+        ] {
+            assert!(body.contains(needle), "missing `{needle}` in:\n{body}");
+        }
+        // Every sample name+labels appears exactly once (no duplicates).
+        let mut samples: Vec<&str> = body
+            .lines()
+            .filter(|line| !line.starts_with('#') && !line.is_empty())
+            .map(|line| line.rsplit_once(' ').expect("sample line").0)
+            .collect();
+        let total = samples.len();
+        samples.sort_unstable();
+        samples.dedup();
+        assert_eq!(samples.len(), total, "duplicate samples in:\n{body}");
+        // The default format is still the JSON document.
+        let (status, body) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.starts_with('{'), "{body}");
+        assert!(body.contains("\"latency\""), "{body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_endpoint_serves_chrome_trace_json() {
+        let handle = boot();
+        let addr = handle.addr();
+        let (status, response) = request(
+            addr,
+            "POST",
+            "/v1/color?algorithm=two-alpha-plus-one&alpha=1&wait=1",
+            "0 1\n1 2\n2 3\n3 0\n",
+        );
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"trace_id\":\""), "{response}");
+        assert!(response.contains("\"trace_available\":true"), "{response}");
+        let id = ampc_coloring_bench::http_client::json_u64(&response, "job").expect("job id");
+        let (status, trace) = request(addr, "GET", &format!("/v1/jobs/{id}/trace"), "");
+        assert_eq!(status, 200, "{trace}");
+        assert!(trace.contains("\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("\"phase.coloring\""), "{trace}");
+        assert!(trace.contains("\"backend.round\""), "{trace}");
+
+        // A cache hit shares the result but not the timeline.
+        let (status, response) = request(
+            addr,
+            "POST",
+            "/v1/color?algorithm=two-alpha-plus-one&alpha=1&wait=1",
+            "0 1\n1 2\n2 3\n3 0\n",
+        );
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"cached\":true"), "{response}");
+        assert!(response.contains("\"trace_available\":false"), "{response}");
+        let cached = ampc_coloring_bench::http_client::json_u64(&response, "job").expect("job id");
+        let (status, body) = request(addr, "GET", &format!("/v1/jobs/{cached}/trace"), "");
+        assert_eq!(status, 404, "{body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn disabled_tracing_serves_no_timelines() {
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 1,
+                acceptors: 2,
+                trace_events: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .start()
+        .unwrap();
+        let addr = handle.addr();
+        let (status, response) = request(addr, "POST", "/v1/color?alpha=1&wait=1", "0 1\n1 2\n");
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"trace_available\":false"), "{response}");
+        let id = ampc_coloring_bench::http_client::json_u64(&response, "job").expect("job id");
+        let (status, body) = request(addr, "GET", &format!("/v1/jobs/{id}/trace"), "");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("tracing is disabled"), "{body}");
         handle.shutdown();
     }
 
@@ -1261,6 +1730,7 @@ mod tests {
             counters: EndpointCounters::default(),
             sync_waiters: AtomicUsize::new(0),
             max_sync_waiters: 2,
+            request_micros: LatencyHistogram::new(),
         };
         let first = WaitSlot::acquire(&state).expect("slot 1");
         let second = WaitSlot::acquire(&state).expect("slot 2");

@@ -19,6 +19,8 @@
 //! * `--cache-ttl-s=N` — age in seconds at which ready result-cache
 //!   entries expire (default 3600; the sweep runs alongside the cache's
 //!   entry-count and memory-budget caps).
+//! * `--trace-events=N` — span-buffer capacity per computed job (default
+//!   16384; `0` disables per-job tracing and `GET /v1/jobs/{id}/trace`).
 
 use std::time::Duration;
 
@@ -53,6 +55,9 @@ fn main() {
         // Same floor: a zero TTL would expire entries as they publish.
         config.cache_ttl = Duration::from_secs(seconds.max(1));
     }
+    if let Some(events) = parse_flag::<usize>(&args, "trace-events") {
+        config.trace_events = events;
+    }
 
     let server = match Server::bind(&addr, config) {
         Ok(server) => server,
@@ -68,7 +73,9 @@ fn main() {
         "  POST /v1/color    e.g. curl -sS --data-binary @graph.txt \
          'http://{bound}/v1/color?algorithm=two-alpha-plus-one&alpha=2&wait=1'"
     );
-    println!("  GET  /v1/jobs/{{id}}  GET /healthz  GET /metrics");
+    println!(
+        "  GET  /v1/jobs/{{id}}  GET /v1/jobs/{{id}}/trace  GET /healthz  GET /metrics[?format=prometheus]"
+    );
 
     // Serve until killed.
     loop {

@@ -505,6 +505,61 @@ fn shared_scratch_across_workloads_stays_bit_identical() {
     assert!(stats.scratch_allocs > 0, "cold leases are counted too");
 }
 
+/// The tracing subsystem's bit-identity guard: attaching a `TraceContext`
+/// to a run is output-invisible. Colorings, color counts, round counts and
+/// the model-level metrics are identical with tracing on and off, on both
+/// backends — recording a span is a clock read plus a buffer push, never
+/// a scheduling or merge decision.
+#[test]
+fn tracing_on_and_off_are_bit_identical() {
+    use ampc_runtime::trace::TraceContext;
+    use std::sync::Arc;
+    for workload in [
+        Workload::ForestUnion { n: 400, k: 2 },
+        Workload::HubAndSpoke {
+            n: 400,
+            communities: 8,
+        },
+    ] {
+        let graph = workload.build(106);
+        let alpha = workload.alpha_bound();
+        for runtime in [
+            RuntimeConfig::Sequential,
+            RuntimeConfig::parallel().with_threads(4).with_shards(8),
+        ] {
+            let builder = SparseColoring::new()
+                .algorithm(Algorithm::TwoAlphaPlusOne)
+                .alpha(alpha)
+                .runtime(runtime);
+            let untraced = builder.color(&graph).expect("untraced run succeeds");
+            let trace = Arc::new(TraceContext::new());
+            let traced = builder
+                .color_traced(&graph, Some(Arc::clone(&trace)))
+                .expect("traced run succeeds");
+            let label = runtime.label();
+            assert_eq!(
+                untraced.coloring, traced.coloring,
+                "workload {workload:?}, runtime {label}"
+            );
+            assert_eq!(untraced.colors_used, traced.colors_used);
+            assert_eq!(untraced.total_rounds, traced.total_rounds);
+            assert_eq!(
+                untraced.metrics, traced.metrics,
+                "model-level metrics must not see the trace ({label})"
+            );
+            // The traced run actually recorded the pipeline's phases.
+            assert!(trace.recorded() > 0, "spans recorded ({label})");
+            let timeline = trace.finish();
+            for name in ["phase.partition", "phase.coloring", "partition.round"] {
+                assert!(
+                    timeline.events.iter().any(|event| event.name == name),
+                    "span `{name}` missing from the {label} timeline"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn large_arboricity_variant_agrees_too() {
     // The Theorem 1.5 per-layer driver takes a different code path

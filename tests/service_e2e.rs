@@ -146,6 +146,79 @@ fn served_colorings_are_bit_identical_to_direct_calls() {
     handle.shutdown();
 }
 
+/// Minimal structural validation of a Chrome trace-event document: the
+/// JSON must be brace/bracket-balanced (outside strings) and carry a
+/// non-empty `traceEvents` array of complete (`"ph":"X"`) events.
+fn assert_chrome_trace_json(body: &str) {
+    assert!(
+        body.starts_with('{') && body.trim_end().ends_with('}'),
+        "trace body must be a JSON object: {body}"
+    );
+    let (mut depth, mut max_depth, mut in_string, mut escaped) = (0i64, 0i64, false, false);
+    for ch in body.chars() {
+        if in_string {
+            match ch {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '{' | '[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces/brackets in trace JSON: {body}");
+    assert!(!in_string, "unterminated string in trace JSON: {body}");
+    // Object → traceEvents array → event objects: at least three levels.
+    assert!(max_depth >= 3, "trace JSON has no event objects: {body}");
+    assert!(body.contains("\"traceEvents\":["), "{body}");
+    assert!(
+        !body.contains("\"traceEvents\":[]"),
+        "trace must be non-empty: {body}"
+    );
+    assert!(body.contains("\"ph\":\"X\""), "{body}");
+}
+
+#[test]
+fn job_trace_is_served_as_chrome_trace_json() {
+    let _guard = E2E_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let handle = boot();
+    let addr = handle.addr();
+
+    let workload = Workload::PlanarGrid { side: 10 };
+    let graph = workload.build(7);
+    let target = format!(
+        "/v1/color?algorithm=two-alpha-plus-one&alpha={}&runtime=parallel&threads=3&shards=8&wait=1&min_nodes={}",
+        workload.alpha_bound(),
+        graph.num_nodes()
+    );
+    let (status, body) = http(addr, "POST", &target, &write_edge_list(&graph));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"trace_available\":true"), "{body}");
+    let job = json_u64(&body, "job").expect("job id");
+
+    let (status, trace) = http(addr, "GET", &format!("/v1/jobs/{job}/trace"), "");
+    assert_eq!(status, 200, "{trace}");
+    assert_chrome_trace_json(&trace);
+    // The timeline covers the driver phases and the backend rounds under
+    // them — the spans the tentpole wires through `RoundPrimitives`.
+    for span in ["phase.partition", "phase.coloring", "backend.round"] {
+        assert!(trace.contains(span), "missing {span} span: {trace}");
+    }
+
+    handle.shutdown();
+}
+
 #[test]
 fn ten_job_sequence_spawns_no_per_round_threads() {
     let _guard = E2E_LOCK
