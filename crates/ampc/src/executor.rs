@@ -230,6 +230,13 @@ impl AmpcExecutor {
         &self.metrics
     }
 
+    /// Mutable metrics access, for backends that amend the executor's
+    /// records with host measurements taken outside the executor (see
+    /// [`AmpcMetrics::last_runtime_mut`]).
+    pub fn metrics_mut(&mut self) -> &mut AmpcMetrics {
+        &mut self.metrics
+    }
+
     /// Consumes the executor and returns the final store and metrics.
     pub fn into_parts(self) -> (DataStore, AmpcMetrics) {
         (self.store, self.metrics)

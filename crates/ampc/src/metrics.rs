@@ -133,6 +133,24 @@ pub struct RoundRuntimeStats {
     /// Scratch-buffer acquisitions that had to allocate while this logical
     /// round ran (cold pools, first-touch buffers, capacity growth).
     pub scratch_allocs: u64,
+    /// CPU cycles retired while this round ran, sampled from the hardware
+    /// counter groups of the round's threads (`ampc-runtime`'s
+    /// `perf_event_open(2)` wrapper). Zero when hardware sampling is
+    /// unavailable — consult the sampler's availability flag before
+    /// interpreting zeros. Like the pool counters, attribution is
+    /// approximate when concurrent executions share the worker pool.
+    pub cycles: u64,
+    /// Instructions retired while this round ran (zero when sampling is
+    /// unavailable); `instructions / cycles` is the round's IPC.
+    pub instructions: u64,
+    /// Cache references (usually last-level) while this round ran.
+    pub cache_references: u64,
+    /// Cache misses (usually last-level) while this round ran;
+    /// `cache_misses / cache_references` is the miss rate the ROADMAP's
+    /// memory-latency hypothesis is tested against.
+    pub cache_misses: u64,
+    /// Mispredicted branches while this round ran.
+    pub branch_misses: u64,
 }
 
 impl RoundRuntimeStats {
@@ -169,7 +187,22 @@ impl RoundRuntimeStats {
             intra_wall_nanos: self.intra_wall_nanos + other.intra_wall_nanos,
             scratch_reuses: self.scratch_reuses + other.scratch_reuses,
             scratch_allocs: self.scratch_allocs + other.scratch_allocs,
+            cycles: self.cycles + other.cycles,
+            instructions: self.instructions + other.instructions,
+            cache_references: self.cache_references + other.cache_references,
+            cache_misses: self.cache_misses + other.cache_misses,
+            branch_misses: self.branch_misses + other.branch_misses,
         }
+    }
+
+    /// Instructions per cycle, when the round carries hardware samples.
+    pub fn ipc(&self) -> Option<f64> {
+        (self.cycles > 0).then(|| self.instructions as f64 / self.cycles as f64)
+    }
+
+    /// Cache-miss fraction (`0.0..=1.0`), when references were sampled.
+    pub fn cache_miss_rate(&self) -> Option<f64> {
+        (self.cache_references > 0).then(|| self.cache_misses as f64 / self.cache_references as f64)
     }
 }
 
@@ -249,6 +282,15 @@ impl AmpcMetrics {
     /// Appends a round's runtime measurements.
     pub fn record_runtime(&mut self, stats: RoundRuntimeStats) {
         self.runtime.push(stats);
+    }
+
+    /// Mutable access to the most recently recorded runtime stats, for
+    /// executors that amend a round's record with measurements gathered
+    /// around (rather than inside) the round — e.g. the runtime backend
+    /// folding hardware-counter deltas into the sequential executor's
+    /// wall-clock record.
+    pub fn last_runtime_mut(&mut self) -> Option<&mut RoundRuntimeStats> {
+        self.runtime.last_mut()
     }
 
     /// Appends another execution's metrics (used when an algorithm chains

@@ -71,7 +71,7 @@ fn allocations_now() -> u64 {
 use ampc_coloring_bench::args::{has_flag, parse_flag};
 use ampc_coloring_bench::{Table, Workload};
 use ampc_runtime::trace::TraceContext;
-use ampc_runtime::RoundPrimitives;
+use ampc_runtime::{perf, PerfCounters, RoundPrimitives};
 use arbo_coloring::{
     arb_linial_coloring_with_runtime, kw_color_reduction_with_runtime, ArbLinialResult,
     KwReductionResult,
@@ -91,17 +91,21 @@ fn degeneracy_orientation(graph: &CsrGraph) -> Orientation {
 
 /// Best-of-`reps` wall clock of `run`, with the best rep's heap-allocation
 /// delta (each rep builds a fresh primitives context, so every rep pays
-/// the same cold-scratch warm-up and the deltas are comparable).
-fn best_of<R>(reps: usize, mut run: impl FnMut() -> R) -> (Duration, u64, R) {
-    let mut best: Option<(Duration, u64, R)> = None;
+/// the same cold-scratch warm-up and the deltas are comparable) and its
+/// hardware-counter delta (process-wide snapshot over the main thread and
+/// every registered pool worker; all-zero when perf is unavailable).
+fn best_of<R>(reps: usize, mut run: impl FnMut() -> R) -> (Duration, u64, PerfCounters, R) {
+    let mut best: Option<(Duration, u64, PerfCounters, R)> = None;
     for _ in 0..reps.max(1) {
         let allocs_before = allocations_now();
+        let perf_before = perf::snapshot();
         let started = Instant::now();
         let result = run();
         let elapsed = started.elapsed();
+        let perf_delta = perf::snapshot().saturating_delta(&perf_before);
         let allocs = allocations_now().saturating_sub(allocs_before);
         if best.as_ref().is_none_or(|(b, ..)| elapsed < *b) {
-            best = Some((elapsed, allocs, result));
+            best = Some((elapsed, allocs, perf_delta, result));
         }
     }
     best.expect("at least one rep ran")
@@ -119,6 +123,9 @@ struct Cell {
     /// the simulator's round count — the cold-start scratch warm-up is
     /// amortized into it). 0 when counting is not compiled in.
     allocs_per_round: u64,
+    /// Hardware counters over the cell's best rep (all zero when perf
+    /// sampling is unavailable — see the table's `perf_available` meta).
+    perf: PerfCounters,
 }
 
 /// A primitives context for one cell: threads plus the scheduler under
@@ -181,7 +188,9 @@ fn main() {
          primitives, per thread count and scheduler; `weighted` = cost-weighted chunking \
          + work-stealing deques, `contiguous` = the PR 3 equal-width grid; parallel runs \
          verified bit-identical to threads=1; allocs_per_round = heap allocations per \
-         simulated LOCAL round (0 = built without the alloc-count feature)",
+         simulated LOCAL round (0 = built without the alloc-count feature); \
+         cycles/instructions/ipc/cache_miss_pct/branch_misses come from perf_event_open \
+         sampling of the best rep and read 0/'-' when the `perf_available` meta is false",
         &[
             "workload",
             "simulator",
@@ -191,9 +200,15 @@ fn main() {
             "speedup",
             "intra_tasks",
             "allocs_per_round",
+            "cycles",
+            "instructions",
+            "ipc",
+            "cache_miss_pct",
+            "branch_misses",
             "identical",
         ],
     );
+    table.push_meta("perf_available", perf::available().to_string());
 
     let mut cells: Vec<Cell> = Vec::new();
     let mut all_identical = true;
@@ -225,7 +240,7 @@ fn main() {
             // A fresh primitives context per rep keeps intra_tasks a
             // per-run count, consistent with the best-of-one-rep wall
             // clock (the counts are deterministic, so every rep agrees).
-            let (wall, allocs, (linial, linial_tasks)) = best_of(reps, || {
+            let (wall, allocs, perf_delta, (linial, linial_tasks)) = best_of(reps, || {
                 let primitives = RoundPrimitives::new(t).with_trace(trace.clone());
                 let result =
                     arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
@@ -253,10 +268,11 @@ fn main() {
                 identical,
                 intra_tasks: linial_tasks,
                 allocs_per_round: allocs / rounds.max(1) as u64,
+                perf: perf_delta,
             });
 
             if run_kw {
-                let (wall, allocs, (reduced, kw_tasks)) = best_of(reps, || {
+                let (wall, allocs, perf_delta, (reduced, kw_tasks)) = best_of(reps, || {
                     let primitives = RoundPrimitives::new(t).with_trace(trace.clone());
                     let result =
                         kw_color_reduction_with_runtime(&graph, &trivial, kw_bound, &primitives)
@@ -284,6 +300,7 @@ fn main() {
                     identical,
                     intra_tasks: kw_tasks,
                     allocs_per_round: allocs / rounds.max(1) as u64,
+                    perf: perf_delta,
                 });
             }
         }
@@ -317,7 +334,7 @@ fn main() {
                 &["contiguous", "weighted"]
             };
             for &scheduler in schedulers {
-                let (wall, allocs, (linial, tasks)) = best_of(reps, || {
+                let (wall, allocs, perf_delta, (linial, tasks)) = best_of(reps, || {
                     let primitives = primitives_for(t, scheduler, &trace);
                     let result =
                         arb_linial_coloring_with_runtime(&graph, &orientation, None, &primitives)
@@ -345,6 +362,7 @@ fn main() {
                     identical,
                     intra_tasks: tasks,
                     allocs_per_round: allocs / rounds.max(1) as u64,
+                    perf: perf_delta,
                 });
             }
         }
@@ -377,6 +395,15 @@ fn main() {
             format!("{speedup:.2}"),
             cell.intra_tasks.to_string(),
             cell.allocs_per_round.to_string(),
+            cell.perf.cycles.to_string(),
+            cell.perf.instructions.to_string(),
+            cell.perf
+                .ipc()
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.2}")),
+            cell.perf
+                .cache_miss_rate()
+                .map_or_else(|| "-".to_string(), |v| format!("{:.1}", v * 100.0)),
+            cell.perf.branch_misses.to_string(),
             cell.identical.to_string(),
         ]);
     }
@@ -432,6 +459,36 @@ fn main() {
         );
     }
     if smoke {
+        // When hardware counters are live, sanity-check them instead of
+        // trusting the plumbing: a simulator run must retire instructions,
+        // and IPC below 1/8 on any real CPU means the deltas are garbage
+        // (wrong scaling, crossed fds). Skipped — not failed — when perf
+        // is unavailable, which the `perf_available` meta reports honestly.
+        if perf::available() {
+            let mut consistent = true;
+            for cell in &cells {
+                if cell.perf.instructions == 0 || cell.perf.cycles < cell.perf.instructions / 8 {
+                    consistent = false;
+                    eprintln!(
+                        "intra_bench: implausible perf counters — {} / {} / {} threads={} \
+                         cycles={} instructions={}",
+                        cell.workload,
+                        cell.simulator,
+                        cell.scheduler,
+                        cell.threads,
+                        cell.perf.cycles,
+                        cell.perf.instructions
+                    );
+                }
+            }
+            if !consistent {
+                eprintln!("intra_bench: FAILED — perf counter self-consistency check");
+                std::process::exit(1);
+            }
+            println!("smoke ok: perf counters self-consistent on every cell");
+        } else {
+            println!("smoke note: perf counters unavailable (perf_available=false), check skipped");
+        }
         println!("smoke ok: all parallel runs bit-identical to sequential");
     }
 }

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod diff;
 pub mod experiments;
 pub mod http_client;
 pub mod table;

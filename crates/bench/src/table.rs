@@ -15,6 +15,10 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Row data (already formatted as strings).
     pub rows: Vec<Vec<String>>,
+    /// Optional table-level facts (e.g. `perf_available`), emitted as a
+    /// `"meta"` object in the JSON. Empty for most tables; `to_json`
+    /// omits the key when empty so existing snapshots stay byte-stable.
+    pub meta: Vec<(String, String)>,
 }
 
 impl Table {
@@ -31,7 +35,14 @@ impl Table {
             claim: claim.into(),
             headers: headers.iter().map(|h| h.to_string()).collect(),
             rows: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Attaches one table-level fact, shown under the claim in the text
+    /// rendering and as a `"meta"` object entry in the JSON.
+    pub fn push_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.push((key.into(), value.into()));
     }
 
     /// Appends a row (converting every cell to a string).
@@ -54,7 +65,11 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(&format!("## {} — {}\n", self.id, self.title));
-        out.push_str(&format!("   claim: {}\n\n", self.claim));
+        out.push_str(&format!("   claim: {}\n", self.claim));
+        for (key, value) in &self.meta {
+            out.push_str(&format!("   {key}: {value}\n"));
+        }
+        out.push('\n');
         let format_row = |cells: &[String]| -> String {
             cells
                 .iter()
@@ -115,11 +130,22 @@ impl Table {
             .iter()
             .map(|row| string_array(row, "    "))
             .collect();
+        let meta = if self.meta.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = self
+                .meta
+                .iter()
+                .map(|(key, value)| format!("{}: {}", escape(key), escape(value)))
+                .collect();
+            format!("\n  \"meta\": {{{}}},", entries.join(", "))
+        };
         format!(
-            "{{\n  \"id\": {},\n  \"title\": {},\n  \"claim\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}",
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"claim\": {},{}\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}",
             escape(&self.id),
             escape(&self.title),
             escape(&self.claim),
+            meta,
             string_array(&self.headers, "").trim_start(),
             rows.join(",\n")
         )
@@ -141,6 +167,22 @@ mod tests {
         assert!(text.contains("1000"));
         let json = table.to_json();
         assert!(json.contains("\"rows\""));
+        // No meta attached — the key is absent so old snapshots compare
+        // byte-for-byte.
+        assert!(!json.contains("\"meta\""));
+    }
+
+    #[test]
+    fn meta_renders_in_text_and_json() {
+        let mut table = Table::new("E0", "demo", "claim", &["a"]);
+        table.push_meta("perf_available", "false");
+        table.push_row(vec!["1".to_string()]);
+        assert!(table.render().contains("perf_available: false"));
+        let json = table.to_json();
+        assert!(
+            json.contains("\"meta\": {\"perf_available\": \"false\"}"),
+            "{json}"
+        );
     }
 
     #[test]

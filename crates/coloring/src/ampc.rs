@@ -318,6 +318,10 @@ fn arb_linial_driver(
         span_on(trace.as_deref(), "phase.coloring", "driver").with_arg("beta", beta as u64);
     let orientation = partition.partition.orientation(graph)?;
     let primitives = RoundPrimitives::from_config(&params.runtime).with_trace(trace.clone());
+    // Hardware counters bracket the phase exactly like the span above;
+    // the delta lands in the primitives' sink and surfaces through the
+    // runtime stats folded into the result's metrics.
+    let perf_scope = primitives.perf_span();
     let result = arb_linial_coloring_with_runtime(graph, &orientation, None, &primitives)?;
     let coloring_rounds = simulation_rounds(
         graph.num_nodes(),
@@ -325,6 +329,7 @@ fn arb_linial_driver(
         result.rounds,
         params.delta,
     );
+    drop(perf_scope);
     drop(phase_span);
     Ok(AmpcColoringResult::new(
         algorithm,
@@ -382,6 +387,8 @@ pub fn color_two_alpha_plus_one_traced(
     let phase_span =
         span_on(trace.as_deref(), "phase.coloring", "driver").with_arg("beta", beta as u64);
     let primitives = RoundPrimitives::from_config(&params.runtime).with_trace(trace.clone());
+    // Counter sampling brackets phases 2 + 3 like the span above.
+    let perf_scope = primitives.perf_span();
 
     // Phase 2: color every layer independently with beta + 1 colors. The
     // layers are disjoint induced subgraphs, so they are colored in
@@ -467,6 +474,7 @@ pub fn color_two_alpha_plus_one_traced(
     let recolor_rounds = partition.partition_size().div_ceil(batch_size).max(1);
     let coloring_rounds = linial_sim + kw_rounds_max + recolor_rounds;
 
+    drop(perf_scope);
     drop(phase_span);
     Ok(AmpcColoringResult::new(
         "(2+eps)alpha+1",
@@ -531,6 +539,8 @@ pub fn color_large_arboricity_traced(
     // count. The derandomization's per-edge expectation sweeps also run on
     // the shared primitives context inside each layer.
     let primitives = RoundPrimitives::from_config(&params.runtime).with_trace(trace.clone());
+    // Counter sampling brackets the per-layer coloring like the span above.
+    let perf_scope = primitives.perf_span();
     struct LayerPalette {
         colors: Vec<(NodeId, usize)>,
         palette: usize,
@@ -580,6 +590,7 @@ pub fn color_large_arboricity_traced(
         ));
     }
 
+    drop(perf_scope);
     drop(phase_span);
     Ok(AmpcColoringResult::new(
         "alpha^(1+eps) (Thm 1.5 per layer)",

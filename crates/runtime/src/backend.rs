@@ -173,13 +173,35 @@ impl AmpcBackend for SequentialBackend {
         let _span = span_on(self.trace.as_deref(), "backend.round", "backend")
             .with_arg("round", round_index)
             .with_arg("machines", machines as u64);
-        if carry_forward {
+        // Hardware counters bracket the same boundary the span does. The
+        // executor records the round's wall-clock stats itself; the delta
+        // is folded into that record afterwards — but only when this round
+        // actually pushed one (a failed round must not clobber the
+        // previous round's counters).
+        let runtime_before = self.executor.metrics().runtime_stats().len();
+        let perf_before = crate::perf::snapshot();
+        let result = if carry_forward {
             self.executor
                 .round_carrying_forward(machines, policy, |machine, ctx| body(machine, ctx))
         } else {
             self.executor
                 .round(machines, policy, |machine, ctx| body(machine, ctx))
+        };
+        let perf = crate::perf::snapshot().saturating_delta(&perf_before);
+        let recorded = self.executor.metrics().runtime_stats().len() > runtime_before;
+        if let Some(stats) = self
+            .executor
+            .metrics_mut()
+            .last_runtime_mut()
+            .filter(|_| recorded)
+        {
+            stats.cycles = perf.cycles;
+            stats.instructions = perf.instructions;
+            stats.cache_references = perf.cache_references;
+            stats.cache_misses = perf.cache_misses;
+            stats.branch_misses = perf.branch_misses;
         }
+        result
     }
 
     fn into_parts(self: Box<Self>) -> (DataStore, AmpcMetrics) {

@@ -100,8 +100,9 @@
 //! ```
 
 // `deny` rather than `forbid`: the worker pool's scoped-batch execution
-// needs one audited lifetime erasure (see `pool.rs`), which opts in with a
-// module-level `allow`.
+// needs one audited lifetime erasure (see `pool.rs`), and the hardware
+// counter sampler needs a small FFI shim over `perf_event_open(2)` (see
+// `perf.rs`); each opts in with a module-level `allow`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -110,6 +111,7 @@ pub mod alloc_count;
 mod backend;
 mod config;
 mod parallel;
+pub mod perf;
 mod pool;
 mod rounds;
 mod scratch;
@@ -120,6 +122,7 @@ pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
 pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
 pub use config::RuntimeConfig;
 pub use parallel::ParallelBackend;
+pub use perf::{PerfCounters, PerfSink};
 pub use pool::{parallel_map, parallel_map_weighted, PoolStats, ScopedTask, WorkerPool};
 pub use rounds::RoundPrimitives;
 pub use scratch::{scratch_totals, MarkerSet, ScratchCounters, ScratchLease, ScratchPool};

@@ -426,6 +426,10 @@ impl AmpcBackend for ParallelBackend {
             .with_arg("round", self.metrics.num_rounds() as u64)
             .with_arg("machines", machines as u64);
         let pool_before = self.pool.stats();
+        // Hardware counters use the same before/after idiom as the pool
+        // stats — a process-wide snapshot of every registered thread's
+        // counter group, all-zero when sampling is unavailable.
+        let perf_before = crate::perf::snapshot();
         let read_budget = self.config.read_budget();
         let write_budget = self.config.write_budget();
         self.store.reset_read_counts();
@@ -476,6 +480,7 @@ impl AmpcBackend for ParallelBackend {
         report.store_words = self.store.space_in_words();
         self.metrics.record(report.clone());
         let pool_after = self.pool.stats();
+        let perf = crate::perf::snapshot().saturating_delta(&perf_before);
         self.metrics.record_runtime(RoundRuntimeStats {
             wall_clock_nanos: started.elapsed().as_nanos() as u64,
             conflict_merges,
@@ -492,6 +497,11 @@ impl AmpcBackend for ParallelBackend {
             } else {
                 0
             },
+            cycles: perf.cycles,
+            instructions: perf.instructions,
+            cache_references: perf.cache_references,
+            cache_misses: perf.cache_misses,
+            branch_misses: perf.branch_misses,
             ..RoundRuntimeStats::default()
         });
         self.retune_shards(&shard_reads);

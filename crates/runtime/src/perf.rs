@@ -1,0 +1,579 @@
+//! Hardware performance-counter sampling via `perf_event_open(2)`.
+//!
+//! The ROADMAP's single-thread-speed work is blocked on *measurement*: wall
+//! clock alone cannot distinguish "memory-latency-bound" from "issue-bound",
+//! and the repo's policy of never asserting what it can measure needs
+//! cycles, instructions and cache misses per round. This module provides
+//! them with zero external dependencies, consistent with the offline-shims
+//! policy: the syscall is issued through a tiny FFI shim over the libc
+//! `syscall(3)` entry point that `std` already links — no `libc` crate, no
+//! `perf-event` crate.
+//!
+//! # Model
+//!
+//! Each sampling thread owns one **counter group**: five hardware events
+//! (cycles, instructions, cache references, cache misses, branch misses)
+//! multiplexed behind a single leader fd, read with one `read(2)` returning
+//! the whole group atomically (`PERF_FORMAT_GROUP`). Groups are opened
+//! lazily, enabled once, and registered in a process-wide list; a
+//! [`snapshot`] sums the current readings of every registered thread, so a
+//! *delta of two snapshots* brackets the hardware work the process did in
+//! between — the same before/after idiom the worker-pool stats already use
+//! (and with the same caveat: concurrent executions sharing the pool
+//! attribute each other's work to whichever round is being measured).
+//!
+//! Counter values are scaled by `time_enabled / time_running` when the
+//! kernel had to multiplex the group onto limited PMU hardware, the
+//! standard estimate used by `perf stat`.
+//!
+//! # Graceful degradation
+//!
+//! Availability is probed **once** per process: non-Linux targets, a kernel
+//! with `perf_event_paranoid` too strict, a seccomp filter rejecting the
+//! syscall, or the explicit `AMPC_PERF=0` override all make [`available`]
+//! return `false`, after which every API here is an inert no-op returning
+//! zero counters — never an error. Consumers report `perf.available=false`
+//! honestly instead of fabricating numbers.
+//!
+//! Sampling is measurement-only: it never influences scheduling, chunking
+//! or merge order, so the workspace's bit-identity contract is unaffected
+//! by sampling on or off (pinned by `tests/backend_equivalence.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One reading (or delta) of the five-event hardware counter group.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// CPU cycles retired (`PERF_COUNT_HW_CPU_CYCLES`).
+    pub cycles: u64,
+    /// Instructions retired (`PERF_COUNT_HW_INSTRUCTIONS`).
+    pub instructions: u64,
+    /// Cache references, usually last-level (`PERF_COUNT_HW_CACHE_REFERENCES`).
+    pub cache_references: u64,
+    /// Cache misses, usually last-level (`PERF_COUNT_HW_CACHE_MISSES`).
+    pub cache_misses: u64,
+    /// Mispredicted branches (`PERF_COUNT_HW_BRANCH_MISSES`).
+    pub branch_misses: u64,
+}
+
+impl PerfCounters {
+    /// `true` when every counter is zero (nothing measured, or perf
+    /// unavailable).
+    pub fn is_zero(&self) -> bool {
+        *self == PerfCounters::default()
+    }
+
+    /// Instructions per cycle, the canonical "issue-bound vs stalled"
+    /// ratio. `None` when cycles were not measured.
+    pub fn ipc(&self) -> Option<f64> {
+        (self.cycles > 0).then(|| self.instructions as f64 / self.cycles as f64)
+    }
+
+    /// Fraction of cache references that missed, in `0.0..=1.0`. `None`
+    /// when references were not measured.
+    pub fn cache_miss_rate(&self) -> Option<f64> {
+        (self.cache_references > 0).then(|| self.cache_misses as f64 / self.cache_references as f64)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &PerfCounters) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.cache_references += other.cache_references;
+        self.cache_misses += other.cache_misses;
+        self.branch_misses += other.branch_misses;
+    }
+
+    /// Element-wise `self - earlier`, saturating at zero so a thread
+    /// registering mid-window can never underflow the delta.
+    pub fn saturating_delta(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cache_references: self
+                .cache_references
+                .saturating_sub(earlier.cache_references),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+        }
+    }
+}
+
+/// A lock-free accumulator for sampled counter deltas, shared by reference
+/// like the trace context: scopes add into it, readers snapshot it.
+#[derive(Debug, Default)]
+pub struct PerfSink {
+    cycles: AtomicU64,
+    instructions: AtomicU64,
+    cache_references: AtomicU64,
+    cache_misses: AtomicU64,
+    branch_misses: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl PerfSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        PerfSink::default()
+    }
+
+    /// Adds one sampled delta.
+    pub fn record(&self, delta: &PerfCounters) {
+        self.cycles.fetch_add(delta.cycles, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(delta.instructions, Ordering::Relaxed);
+        self.cache_references
+            .fetch_add(delta.cache_references, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(delta.cache_misses, Ordering::Relaxed);
+        self.branch_misses
+            .fetch_add(delta.branch_misses, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The accumulated totals.
+    pub fn counters(&self) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles.load(Ordering::Relaxed),
+            instructions: self.instructions.load(Ordering::Relaxed),
+            cache_references: self.cache_references.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            branch_misses: self.branch_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of deltas recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+/// `true` when the given `AMPC_PERF` value forces sampling off. Factored
+/// out of the cached probe so the policy is unit-testable without touching
+/// process-global state.
+pub fn env_disables(value: Option<&str>) -> bool {
+    matches!(
+        value.map(str::trim),
+        Some("0") | Some("off") | Some("false") | Some("no")
+    )
+}
+
+/// Whether hardware counters can be sampled in this process. Probed once
+/// (syscall support, `perf_event_paranoid`, seccomp, the `AMPC_PERF=0`
+/// override) and cached for the process lifetime.
+pub fn available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        if env_disables(std::env::var("AMPC_PERF").ok().as_deref()) {
+            return false;
+        }
+        imp::probe()
+    })
+}
+
+/// Opens and enables this thread's counter group if sampling is available
+/// and it has none yet. Worker threads call this once at startup; safe to
+/// call from any thread, any number of times. A no-op when unavailable.
+pub fn register_current_thread() {
+    if available() {
+        imp::ensure_registered();
+    }
+}
+
+/// Sums the current counter readings of every registered thread. Two
+/// snapshots bracket a measured region: `end.saturating_delta(&start)` is
+/// the hardware work the process's registered threads did in between.
+/// All-zero when sampling is unavailable.
+pub fn snapshot() -> PerfCounters {
+    if !available() {
+        return PerfCounters::default();
+    }
+    imp::ensure_registered();
+    imp::read_all()
+}
+
+/// RAII sampling scope: snapshots on creation and, on drop, records the
+/// delta into `sink`. Inert — no syscalls at all — when `sink` is `None`
+/// or sampling is unavailable, mirroring [`crate::trace::span_on`].
+#[must_use = "the scope samples when dropped"]
+pub struct PerfScope<'a> {
+    sink: Option<&'a PerfSink>,
+    start: PerfCounters,
+}
+
+/// Opens a [`PerfScope`] accumulating into `sink` (if any).
+pub fn sample_into(sink: Option<&PerfSink>) -> PerfScope<'_> {
+    let sink = sink.filter(|_| available());
+    PerfScope {
+        start: if sink.is_some() {
+            snapshot()
+        } else {
+            PerfCounters::default()
+        },
+        sink,
+    }
+}
+
+impl Drop for PerfScope<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.record(&snapshot().saturating_delta(&self.start));
+        }
+    }
+}
+
+/// Linux implementation: the FFI shim, the counter-group plumbing and the
+/// process-wide registry of per-thread groups.
+///
+/// The one `unsafe` surface of this module (the crate otherwise denies
+/// unsafe code, see `lib.rs`): four libc entry points and a `repr(C)`
+/// attribute struct. Audited invariants: the attribute struct matches
+/// `PERF_ATTR_SIZE_VER0` (64 bytes, accepted by every kernel that has the
+/// syscall), fds are only read/ioctl'd while their owning `ThreadGroup` is
+/// alive (groups registered in the global list are never dropped), and the
+/// group read buffer is sized for the maximum possible reply.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Arc, Mutex, OnceLock, PerfCounters};
+    use std::os::raw::{c_int, c_long, c_ulong, c_void};
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 241;
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    const SYS_PERF_EVENT_OPEN: c_long = -1;
+
+    const PERF_TYPE_HARDWARE: u32 = 0;
+    /// `PERF_COUNT_HW_{CPU_CYCLES, INSTRUCTIONS, CACHE_REFERENCES,
+    /// CACHE_MISSES, BRANCH_MISSES}`, in the order the group is opened and
+    /// [`PerfCounters`] is laid out.
+    const EVENT_CONFIGS: [u64; 5] = [0, 1, 2, 3, 5];
+
+    const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+    const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+    const PERF_FORMAT_GROUP: u64 = 1 << 3;
+
+    const FLAG_DISABLED: u64 = 1 << 0;
+    const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+    const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+    const PERF_IOC_FLAG_GROUP: c_ulong = 1;
+
+    /// `perf_event_attr` at `PERF_ATTR_SIZE_VER0` (64 bytes): the prefix
+    /// every kernel version accepts, and all this module needs.
+    #[repr(C)]
+    #[derive(Default)]
+    struct PerfEventAttr {
+        kind: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        bp_addr: u64,
+    }
+
+    fn open_event(config: u64, group_fd: c_int) -> Option<c_int> {
+        let leader = group_fd < 0;
+        let attr = PerfEventAttr {
+            kind: PERF_TYPE_HARDWARE,
+            size: std::mem::size_of::<PerfEventAttr>() as u32,
+            config,
+            read_format: PERF_FORMAT_TOTAL_TIME_ENABLED
+                | PERF_FORMAT_TOTAL_TIME_RUNNING
+                | PERF_FORMAT_GROUP,
+            // The group starts disabled and is enabled once fully
+            // assembled; siblings inherit the leader's enable state.
+            flags: if leader { FLAG_DISABLED } else { 0 } | FLAG_EXCLUDE_KERNEL | FLAG_EXCLUDE_HV,
+            ..PerfEventAttr::default()
+        };
+        // pid = 0, cpu = -1: measure the calling thread on every CPU.
+        let fd = unsafe {
+            syscall(
+                SYS_PERF_EVENT_OPEN,
+                &attr as *const PerfEventAttr,
+                0 as c_int,
+                -1 as c_int,
+                group_fd,
+                0 as c_ulong,
+            )
+        };
+        (fd >= 0).then_some(fd as c_int)
+    }
+
+    /// One thread's five-event counter group. The fds stay open (and the
+    /// counters keep counting) for the life of the process; readings are
+    /// monotone, so deltas of two reads measure the interval between them.
+    /// Reading another thread's group fd is explicitly supported by the
+    /// perf API — the fd identifies the measured thread, not the reader.
+    pub(super) struct ThreadGroup {
+        leader: c_int,
+        siblings: Vec<c_int>,
+        /// `attached[i]` ⇔ event `i` of [`EVENT_CONFIGS`] joined the group
+        /// (a PMU may lack e.g. cache-miss events; missing ones read 0).
+        attached: [bool; 5],
+    }
+
+    impl Drop for ThreadGroup {
+        fn drop(&mut self) {
+            for &fd in self.siblings.iter().chain(std::iter::once(&self.leader)) {
+                unsafe { close(fd) };
+            }
+        }
+    }
+
+    impl ThreadGroup {
+        fn open() -> Option<ThreadGroup> {
+            let leader = open_event(EVENT_CONFIGS[0], -1)?;
+            let mut group = ThreadGroup {
+                leader,
+                siblings: Vec::with_capacity(4),
+                attached: [true, false, false, false, false],
+            };
+            for (slot, &config) in EVENT_CONFIGS.iter().enumerate().skip(1) {
+                if let Some(fd) = open_event(config, leader) {
+                    group.siblings.push(fd);
+                    group.attached[slot] = true;
+                }
+            }
+            let rc = unsafe { ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) };
+            (rc == 0).then_some(group)
+        }
+
+        fn read_counters(&self) -> PerfCounters {
+            // PERF_FORMAT_GROUP reply: { nr, time_enabled, time_running,
+            // value[nr] } — at most 3 + 5 words for this group.
+            let mut buf = [0u64; 8];
+            let wanted = std::mem::size_of_val(&buf);
+            let got = unsafe { read(self.leader, buf.as_mut_ptr().cast::<c_void>(), wanted) };
+            if got < 24 {
+                return PerfCounters::default();
+            }
+            let nr = buf[0] as usize;
+            let (enabled, running) = (buf[1], buf[2]);
+            // Multiplexing estimate, as `perf stat` scales: value × the
+            // fraction of wall time the group was actually on hardware.
+            let scale = |value: u64| -> u64 {
+                if running == 0 || running >= enabled {
+                    value
+                } else {
+                    ((value as u128 * enabled as u128) / running as u128) as u64
+                }
+            };
+            let mut values = buf[3..].iter().take(nr).copied();
+            let mut out = [0u64; 5];
+            for (slot, present) in self.attached.iter().enumerate() {
+                if *present {
+                    out[slot] = scale(values.next().unwrap_or(0));
+                }
+            }
+            PerfCounters {
+                cycles: out[0],
+                instructions: out[1],
+                cache_references: out[2],
+                cache_misses: out[3],
+                branch_misses: out[4],
+            }
+        }
+    }
+
+    // The fds are plain integers read via thread-safe syscalls.
+    unsafe impl Send for ThreadGroup {}
+    unsafe impl Sync for ThreadGroup {}
+
+    fn registry() -> &'static Mutex<Vec<Arc<ThreadGroup>>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadGroup>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static THREAD_GROUP: std::cell::OnceCell<Option<Arc<ThreadGroup>>> =
+            const { std::cell::OnceCell::new() };
+    }
+
+    /// Availability probe: can this process open a hardware cycles event?
+    pub(super) fn probe() -> bool {
+        match open_event(EVENT_CONFIGS[0], -1) {
+            Some(fd) => {
+                unsafe { close(fd) };
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(super) fn ensure_registered() {
+        THREAD_GROUP.with(|cell| {
+            cell.get_or_init(|| {
+                let group = ThreadGroup::open().map(Arc::new);
+                if let Some(group) = &group {
+                    registry()
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(Arc::clone(group));
+                }
+                group
+            });
+        });
+    }
+
+    pub(super) fn read_all() -> PerfCounters {
+        let groups: Vec<Arc<ThreadGroup>> = registry()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        let mut total = PerfCounters::default();
+        for group in groups {
+            total.add(&group.read_counters());
+        }
+        total
+    }
+}
+
+/// Non-Linux stub: sampling is never available, every entry point is inert.
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::PerfCounters;
+
+    pub(super) fn probe() -> bool {
+        false
+    }
+
+    pub(super) fn ensure_registered() {}
+
+    pub(super) fn read_all() -> PerfCounters {
+        PerfCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_values() {
+        for off in ["0", "off", "false", "no", " 0 "] {
+            assert!(env_disables(Some(off)), "{off:?} must force sampling off");
+        }
+        for on in ["1", "on", "true", "yes", ""] {
+            assert!(!env_disables(Some(on)), "{on:?} must not force off");
+        }
+        assert!(!env_disables(None), "unset must not force off");
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let zero = PerfCounters::default();
+        assert!(zero.is_zero());
+        assert_eq!(zero.ipc(), None);
+        assert_eq!(zero.cache_miss_rate(), None);
+
+        let c = PerfCounters {
+            cycles: 1000,
+            instructions: 2500,
+            cache_references: 400,
+            cache_misses: 100,
+            branch_misses: 7,
+        };
+        assert!((c.ipc().unwrap() - 2.5).abs() < 1e-9);
+        assert!((c.cache_miss_rate().unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let small = PerfCounters {
+            cycles: 5,
+            ..PerfCounters::default()
+        };
+        let big = PerfCounters {
+            cycles: 8,
+            instructions: 3,
+            ..PerfCounters::default()
+        };
+        let delta = big.saturating_delta(&small);
+        assert_eq!(delta.cycles, 3);
+        assert_eq!(delta.instructions, 3);
+        // Never underflows when a thread registered mid-window.
+        assert_eq!(small.saturating_delta(&big), PerfCounters::default());
+    }
+
+    #[test]
+    fn sink_accumulates() {
+        let sink = PerfSink::new();
+        sink.record(&PerfCounters {
+            cycles: 10,
+            instructions: 20,
+            ..PerfCounters::default()
+        });
+        sink.record(&PerfCounters {
+            cycles: 1,
+            cache_misses: 4,
+            ..PerfCounters::default()
+        });
+        let total = sink.counters();
+        assert_eq!(total.cycles, 11);
+        assert_eq!(total.instructions, 20);
+        assert_eq!(total.cache_misses, 4);
+        assert_eq!(sink.samples(), 2);
+    }
+
+    #[test]
+    fn inert_scope_records_nothing() {
+        // No sink: no sample, regardless of availability.
+        drop(sample_into(None));
+        // A sink with sampling forced off behaves as unavailable: the
+        // scope records a sample of all-zero counters or (when the probe
+        // failed) nothing measurable — either way the totals stay zero.
+        if !available() {
+            let sink = PerfSink::new();
+            drop(sample_into(Some(&sink)));
+            assert_eq!(sink.samples(), 0, "unavailable scopes are inert");
+            assert!(sink.counters().is_zero());
+            assert!(snapshot().is_zero(), "snapshots are zero when unavailable");
+        }
+    }
+
+    #[test]
+    fn scoped_sampling_is_self_consistent_when_available() {
+        if !available() {
+            // Graceful degradation is itself under test elsewhere; nothing
+            // to assert against real hardware here.
+            return;
+        }
+        let sink = PerfSink::new();
+        {
+            let _scope = sample_into(Some(&sink));
+            // Burn measurable work: a data-dependent loop the optimizer
+            // cannot fold away below a few thousand instructions.
+            let mut acc = 1u64;
+            for i in 1..50_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            assert_ne!(acc, 0);
+        }
+        assert_eq!(sink.samples(), 1);
+        let counters = sink.counters();
+        assert!(
+            counters.instructions > 0,
+            "instructions counted: {counters:?}"
+        );
+        assert!(
+            counters.cycles >= counters.instructions / 8,
+            "cycles consistent with a max-issue-width machine: {counters:?}"
+        );
+    }
+}

@@ -214,6 +214,11 @@ impl PoolShared {
 }
 
 fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    // Hardware-counter sampling (`crate::perf`) sums per-thread counter
+    // groups; a worker registers its group once, up front, so every task it
+    // ever runs is visible to snapshot deltas. No-op when perf sampling is
+    // unavailable.
+    crate::perf::register_current_thread();
     while let Some((batch, task)) = shared.claim(index) {
         // Counted at claim time: `execute` may return the instant the
         // batch's last `run` finishes, and a post-run increment could be

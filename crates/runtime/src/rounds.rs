@@ -58,6 +58,7 @@ use std::time::Instant;
 use ampc_model::RoundRuntimeStats;
 
 use crate::config::RuntimeConfig;
+use crate::perf::{self, PerfCounters, PerfSink};
 use crate::pool::{
     chunk_ranges, cost_grouped_ranges, weighted_chunk_grid, ScopedTask, WorkerPool,
     STEAL_GRANULARITY,
@@ -116,6 +117,14 @@ pub struct RoundPrimitives {
     /// [`RoundPrimitives::span`]. `None` (the default) is the zero-cost
     /// disabled path.
     trace: Option<Arc<TraceContext>>,
+    /// Accumulated hardware-counter deltas from [`RoundPrimitives::perf_span`]
+    /// scopes, surfaced through [`RoundPrimitives::runtime_stats`]. Stays
+    /// all-zero when sampling is unavailable or disabled.
+    perf: PerfSink,
+    /// Whether [`RoundPrimitives::perf_span`] samples at all (on by
+    /// default; [`RoundPrimitives::without_perf`] is the A/B/test knob —
+    /// sampling is measurement-only either way).
+    perf_enabled: bool,
 }
 
 impl std::fmt::Debug for RoundPrimitives {
@@ -142,6 +151,8 @@ impl RoundPrimitives {
             scratch_counters: Arc::new(ScratchCounters::default()),
             scratch: Mutex::new(HashMap::new()),
             trace: None,
+            perf: PerfSink::new(),
+            perf_enabled: true,
         }
     }
 
@@ -163,6 +174,31 @@ impl RoundPrimitives {
     /// complete event when dropped.
     pub fn span(&self, name: &'static str, cat: &'static str) -> SpanGuard<'_> {
         span_on(self.trace.as_deref(), name, cat)
+    }
+
+    /// Disables hardware-counter sampling on this context:
+    /// [`RoundPrimitives::perf_span`] scopes become inert and
+    /// [`RoundPrimitives::runtime_stats`] reports zero counters. Sampling
+    /// is measurement-only, so results are bit-identical either way (the
+    /// equivalence suite pins this).
+    pub fn without_perf(mut self) -> Self {
+        self.perf_enabled = false;
+        self
+    }
+
+    /// Opens an RAII hardware-counter scope accumulating into this
+    /// context's sink: drivers bracket a phase with it at the same
+    /// boundaries they open wall-clock spans, and the deltas surface as
+    /// `cycles`/`instructions`/… in [`RoundPrimitives::runtime_stats`].
+    /// Inert (no syscalls) when sampling is unavailable or disabled.
+    pub fn perf_span(&self) -> perf::PerfScope<'_> {
+        perf::sample_into(self.perf_enabled.then_some(&self.perf))
+    }
+
+    /// The hardware counters sampled so far by [`RoundPrimitives::perf_span`]
+    /// scopes on this context.
+    pub fn perf_counters(&self) -> PerfCounters {
+        self.perf.counters()
     }
 
     /// The scratch pool for buffers of type `T`, shared by every simulator
@@ -257,11 +293,17 @@ impl RoundPrimitives {
     /// The counters as a [`RoundRuntimeStats`] record (all model-level
     /// fields zero), ready for [`ampc_model::AmpcMetrics::record_runtime`].
     pub fn runtime_stats(&self) -> RoundRuntimeStats {
+        let perf = self.perf.counters();
         RoundRuntimeStats {
             intra_tasks: self.tasks_executed(),
             intra_wall_nanos: self.wall_nanos(),
             scratch_reuses: self.scratch_reuses(),
             scratch_allocs: self.scratch_allocs(),
+            cycles: perf.cycles,
+            instructions: perf.instructions,
+            cache_references: perf.cache_references,
+            cache_misses: perf.cache_misses,
+            branch_misses: perf.branch_misses,
             ..RoundRuntimeStats::default()
         }
     }

@@ -20,6 +20,7 @@ use ampc_coloring::{Algorithm, ColorRequest, ColoringOutcome, SparseColoring};
 use ampc_model::ConflictPolicy;
 use ampc_runtime::trace::{LatencyHistogram, TraceContext, TraceTimeline};
 use ampc_runtime::RuntimeConfig;
+use ampc_runtime::{PerfCounters, PerfSink};
 use sparse_graph::CsrGraph;
 
 use crate::cache::{CacheCounters, Claim, ResultCache};
@@ -260,6 +261,13 @@ pub struct ManagerCounters {
     pub running: usize,
     /// Cache counters.
     pub cache: CacheCounters,
+    /// Hardware counters summed over every computed job's recorded rounds
+    /// (all-zero when `perf_event_open` sampling is unavailable — check
+    /// `ampc_runtime::perf::available()` before reading zeros as idle).
+    pub perf: PerfCounters,
+    /// Computed jobs whose rounds carried at least one nonzero hardware
+    /// sample.
+    pub perf_sampled_jobs: u64,
 }
 
 struct QueueItem {
@@ -302,6 +310,9 @@ struct ManagerShared {
     queue_wait_micros: LatencyHistogram,
     /// Microseconds computed (non-cached) jobs took to execute.
     execution_micros: LatencyHistogram,
+    /// Hardware-counter totals over computed jobs (one recorded delta per
+    /// job that carried samples).
+    perf: PerfSink,
 }
 
 impl ManagerShared {
@@ -453,6 +464,7 @@ impl JobManager {
             trace_events: config.trace_events,
             queue_wait_micros: LatencyHistogram::new(),
             execution_micros: LatencyHistogram::new(),
+            perf: PerfSink::new(),
         });
         let (queue_tx, queue_rx) = sync_channel::<QueueItem>(config.queue_capacity.max(1));
         let queue_rx = Arc::new(Mutex::new(queue_rx));
@@ -628,6 +640,8 @@ impl JobManager {
             queue_capacity: self.config.queue_capacity,
             running: self.shared.running.load(Ordering::Relaxed),
             cache: self.shared.cache.counters(),
+            perf: self.shared.perf.counters(),
+            perf_sampled_jobs: self.shared.perf.samples(),
         }
     }
 
@@ -731,6 +745,22 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
         match outcome {
             Ok(outcome) => {
                 shared.computed.fetch_add(1, Ordering::Relaxed);
+                // Fold the job's per-round hardware samples into the
+                // service-wide totals (skipped when sampling was
+                // unavailable and the rounds carry only zeros).
+                let mut perf = PerfCounters::default();
+                for stats in outcome.metrics.runtime_stats() {
+                    perf.add(&PerfCounters {
+                        cycles: stats.cycles,
+                        instructions: stats.instructions,
+                        cache_references: stats.cache_references,
+                        cache_misses: stats.cache_misses,
+                        branch_misses: stats.branch_misses,
+                    });
+                }
+                if !perf.is_zero() {
+                    shared.perf.record(&perf);
+                }
                 let result = Arc::new(outcome);
                 let waiters =
                     shared

@@ -27,6 +27,7 @@ const READ_TIMEOUT: Duration = Duration::from_secs(30);
 struct EndpointCounters {
     healthz: AtomicU64,
     metrics: AtomicU64,
+    version: AtomicU64,
     color: AtomicU64,
     jobs: AtomicU64,
     not_found: AtomicU64,
@@ -301,6 +302,18 @@ fn handle_request(
                 Object::new()
                     .str("status", "ok")
                     .u64("uptime_nanos", state.started.elapsed().as_nanos() as u64)
+                    .finish(),
+            )
+        }
+        ("GET", "/v1/version") => {
+            state.counters.version.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                Object::new()
+                    .str("name", env!("CARGO_PKG_NAME"))
+                    .raw("build_info", build_info_json())
+                    .f64("uptime_seconds", state.started.elapsed().as_secs_f64())
+                    .bool("perf_available", ampc_runtime::perf::available())
                     .finish(),
             )
         }
@@ -800,17 +813,54 @@ fn result_json(outcome: &ColoringOutcome, wall_nanos: u64) -> String {
         .finish()
 }
 
+/// Short git hash of the build, injected by the crate's build script (or
+/// an `AMPC_GIT_HASH` override at compile time); "unknown" for builds
+/// without either.
+fn build_git_hash() -> &'static str {
+    option_env!("AMPC_GIT_HASH").unwrap_or("unknown")
+}
+
+/// The rustc that produced this build, via the build script (or an
+/// `AMPC_RUSTC_VERSION` override).
+fn build_rustc() -> &'static str {
+    option_env!("AMPC_RUSTC_VERSION").unwrap_or("unknown")
+}
+
+/// The `build_info` block shared by `GET /v1/version` and `/metrics`: a
+/// scraper can tell exactly which build it is talking to.
+fn build_info_json() -> String {
+    Object::new()
+        .str("version", env!("CARGO_PKG_VERSION"))
+        .str("git_hash", build_git_hash())
+        .str("rustc", build_rustc())
+        .finish()
+}
+
+/// Formats an optional ratio with two decimals, "-" when the underlying
+/// counters were not sampled (perf unavailable).
+fn ratio_cell(value: Option<f64>) -> String {
+    value.map_or_else(|| "-".to_string(), |v| format!("{v:.2}"))
+}
+
+/// Formats an optional rate as a percentage with one decimal, "-" when
+/// not sampled.
+fn percent_cell(value: Option<f64>) -> String {
+    value.map_or_else(|| "-".to_string(), |v| format!("{:.1}", v * 100.0))
+}
+
 /// The per-round runtime measurements rendered through the workspace's
 /// no-serde [`Table`] serializer.
 fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
     let mut table = Table::new(
         "runtime",
         "per-round runtime stats",
-        "wall clock, shard loads and pool reuse of every recorded AMPC round; \
-         the coloring-phase row's wall_clock_us is real elapsed time (the max \
-         over concurrently simulated layers) while intra_wall_us sums worker \
-         occupancy across those layers, so occupancy can legitimately exceed \
-         wall clock on multi-threaded runs",
+        "wall clock, shard loads, pool reuse and hardware counters of every \
+         recorded AMPC round; the coloring-phase row's wall_clock_us is real \
+         elapsed time (the max over concurrently simulated layers) while \
+         intra_wall_us sums worker occupancy across those layers, so \
+         occupancy can legitimately exceed wall clock on multi-threaded \
+         runs; cycles/instructions/ipc/cache_miss_pct come from \
+         perf_event_open sampling and read '-'/0 when unavailable",
         &[
             "round",
             "wall_clock_us",
@@ -826,6 +876,11 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             "intra_wall_us",
             "scratch_reuses",
             "scratch_allocs",
+            "cycles",
+            "instructions",
+            "ipc",
+            "cache_miss_pct",
+            "branch_misses",
         ],
     );
     for (round, stats) in outcome.metrics.runtime_stats().iter().enumerate() {
@@ -844,6 +899,11 @@ fn runtime_stats_table(outcome: &ColoringOutcome) -> Table {
             (stats.intra_wall_nanos / 1_000).to_string(),
             stats.scratch_reuses.to_string(),
             stats.scratch_allocs.to_string(),
+            stats.cycles.to_string(),
+            stats.instructions.to_string(),
+            ratio_cell(stats.ipc()),
+            percent_cell(stats.cache_miss_rate()),
+            stats.branch_misses.to_string(),
         ]);
     }
     table
@@ -888,13 +948,29 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
         ]);
     }
 
+    let perf = counters.perf;
     Object::new()
         .u64("uptime_nanos", state.started.elapsed().as_nanos() as u64)
+        .f64("uptime_seconds", state.started.elapsed().as_secs_f64())
+        .raw("build_info", build_info_json())
+        .raw(
+            "perf",
+            Object::new()
+                .bool("available", ampc_runtime::perf::available())
+                .u64("cycles", perf.cycles)
+                .u64("instructions", perf.instructions)
+                .u64("cache_references", perf.cache_references)
+                .u64("cache_misses", perf.cache_misses)
+                .u64("branch_misses", perf.branch_misses)
+                .u64("sampled_jobs", counters.perf_sampled_jobs)
+                .finish(),
+        )
         .raw(
             "endpoints",
             Object::new()
                 .u64("healthz", state.counters.healthz.load(Ordering::Relaxed))
                 .u64("metrics", state.counters.metrics.load(Ordering::Relaxed))
+                .u64("version", state.counters.version.load(Ordering::Relaxed))
                 .u64("color", state.counters.color.load(Ordering::Relaxed))
                 .u64("jobs", state.counters.jobs.load(Ordering::Relaxed))
                 .u64(
@@ -1056,6 +1132,25 @@ fn metrics_prometheus(manager: &Arc<JobManager>, state: &ServerState) -> String 
         state.started.elapsed().as_secs_f64(),
     );
 
+    // The conventional build-identity pseudo-gauge: constant 1, with the
+    // identifying facts carried as labels.
+    push_family(
+        &mut out,
+        "ampc_build_info",
+        "Build identity of the serving binary (constant 1).",
+        "gauge",
+    );
+    push_sample(
+        &mut out,
+        "ampc_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git_hash", build_git_hash()),
+            ("rustc", build_rustc()),
+        ],
+        1.0,
+    );
+
     push_family(
         &mut out,
         "ampc_http_requests_total",
@@ -1065,6 +1160,7 @@ fn metrics_prometheus(manager: &Arc<JobManager>, state: &ServerState) -> String 
     for (endpoint, value) in [
         ("healthz", state.counters.healthz.load(Ordering::Relaxed)),
         ("metrics", state.counters.metrics.load(Ordering::Relaxed)),
+        ("version", state.counters.version.load(Ordering::Relaxed)),
         ("color", state.counters.color.load(Ordering::Relaxed)),
         ("jobs", state.counters.jobs.load(Ordering::Relaxed)),
         (
@@ -1200,6 +1296,88 @@ fn metrics_prometheus(manager: &Arc<JobManager>, state: &ServerState) -> String 
         "Tasks that overflowed a worker's bounded deque.",
         pool_stats.overflows,
     );
+    counter(
+        &mut out,
+        "ampc_pool_tasks_total",
+        "Tasks executed by runtime-pool worker threads.",
+        pool_stats.tasks_per_worker.iter().sum(),
+    );
+    counter(
+        &mut out,
+        "ampc_pool_helper_tasks_total",
+        "Tasks executed inline by submitting threads while helping.",
+        pool_stats.helper_tasks,
+    );
+    counter(
+        &mut out,
+        "ampc_pool_idle_nanoseconds_total",
+        "Cumulative nanoseconds runtime-pool workers spent parked idle.",
+        pool_stats.idle_nanos_per_worker.iter().sum(),
+    );
+
+    gauge(
+        &mut out,
+        "ampc_sync_waiters",
+        "Synchronous color requests currently parked waiting for a result.",
+        state.sync_waiters.load(Ordering::Relaxed) as f64,
+    );
+    gauge(
+        &mut out,
+        "ampc_sync_waiters_max",
+        "Configured cap on concurrent synchronous waiters.",
+        state.max_sync_waiters as f64,
+    );
+
+    // Hardware perf counters aggregated over computed jobs. `available`
+    // reports whether perf_event_open produced live counters; when it is
+    // 0 every total below stays 0 (graceful degradation, not an error).
+    gauge(
+        &mut out,
+        "ampc_perf_available",
+        "1 when hardware perf counters are live, 0 when sampling is disabled or unsupported.",
+        if ampc_runtime::perf::available() {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    counter(
+        &mut out,
+        "ampc_perf_sampled_jobs_total",
+        "Computed jobs whose rounds contributed hardware counter samples.",
+        counters.perf_sampled_jobs,
+    );
+    counter(
+        &mut out,
+        "ampc_perf_cycles_total",
+        "CPU cycles attributed to computed coloring rounds.",
+        counters.perf.cycles,
+    );
+    counter(
+        &mut out,
+        "ampc_perf_instructions_total",
+        "Instructions retired in computed coloring rounds.",
+        counters.perf.instructions,
+    );
+    counter(
+        &mut out,
+        "ampc_perf_cache_references_total",
+        "Cache references in computed coloring rounds.",
+        counters.perf.cache_references,
+    );
+    counter(
+        &mut out,
+        "ampc_perf_cache_misses_total",
+        "Cache misses in computed coloring rounds.",
+        counters.perf.cache_misses,
+    );
+    counter(
+        &mut out,
+        "ampc_perf_branch_misses_total",
+        "Branch mispredictions in computed coloring rounds.",
+        counters.perf.branch_misses,
+    );
+
     counter(
         &mut out,
         "ampc_scratch_reuses_total",
@@ -1384,6 +1562,130 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.starts_with('{'), "{body}");
         assert!(body.contains("\"latency\""), "{body}");
+        handle.shutdown();
+    }
+
+    /// Pins the gauge/counter/histogram kind of EVERY exposed family.
+    /// Prometheus clients apply different semantics per kind (counters
+    /// get rate(), gauges don't), so a silent kind change corrupts
+    /// downstream dashboards. Adding a family means adding it here.
+    #[test]
+    fn prometheus_family_types_are_pinned() {
+        let expected = [
+            ("ampc_uptime_seconds", "gauge"),
+            ("ampc_build_info", "gauge"),
+            ("ampc_http_requests_total", "counter"),
+            ("ampc_http_connections_total", "counter"),
+            ("ampc_http_keepalive_reused_total", "counter"),
+            ("ampc_jobs_submitted_total", "counter"),
+            ("ampc_jobs_completed_total", "counter"),
+            ("ampc_jobs_failed_total", "counter"),
+            ("ampc_jobs_computed_total", "counter"),
+            ("ampc_jobs_running", "gauge"),
+            ("ampc_queue_depth", "gauge"),
+            ("ampc_queue_capacity", "gauge"),
+            ("ampc_cache_hits_total", "counter"),
+            ("ampc_cache_misses_total", "counter"),
+            ("ampc_cache_coalesced_total", "counter"),
+            ("ampc_cache_evicted_total", "counter"),
+            ("ampc_cache_expired_total", "counter"),
+            ("ampc_cache_entries", "gauge"),
+            ("ampc_pool_workers", "gauge"),
+            ("ampc_pool_steals_total", "counter"),
+            ("ampc_pool_overflows_total", "counter"),
+            ("ampc_pool_tasks_total", "counter"),
+            ("ampc_pool_helper_tasks_total", "counter"),
+            ("ampc_pool_idle_nanoseconds_total", "counter"),
+            ("ampc_sync_waiters", "gauge"),
+            ("ampc_sync_waiters_max", "gauge"),
+            ("ampc_perf_available", "gauge"),
+            ("ampc_perf_sampled_jobs_total", "counter"),
+            ("ampc_perf_cycles_total", "counter"),
+            ("ampc_perf_instructions_total", "counter"),
+            ("ampc_perf_cache_references_total", "counter"),
+            ("ampc_perf_cache_misses_total", "counter"),
+            ("ampc_perf_branch_misses_total", "counter"),
+            ("ampc_scratch_reuses_total", "counter"),
+            ("ampc_scratch_allocs_total", "counter"),
+            ("ampc_request_latency_microseconds", "histogram"),
+            ("ampc_queue_wait_microseconds", "histogram"),
+            ("ampc_job_execution_microseconds", "histogram"),
+        ];
+        let handle = boot();
+        let (status, body) = request(handle.addr(), "GET", "/metrics?format=prometheus", "");
+        assert_eq!(status, 200);
+        let mut seen: Vec<(&str, &str)> = body
+            .lines()
+            .filter_map(|line| line.strip_prefix("# TYPE "))
+            .map(|rest| rest.split_once(' ').expect("TYPE line"))
+            .collect();
+        for (family, kind) in expected {
+            let position = seen
+                .iter()
+                .position(|&(name, _)| name == family)
+                .unwrap_or_else(|| panic!("family `{family}` missing from exposition:\n{body}"));
+            assert_eq!(
+                seen.remove(position).1,
+                kind,
+                "family `{family}` changed kind"
+            );
+        }
+        assert!(
+            seen.is_empty(),
+            "unaudited families {seen:?} — classify them here"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn version_endpoint_and_metrics_carry_build_info_and_perf() {
+        let handle = boot();
+        let addr = handle.addr();
+        let (status, body) = request(addr, "GET", "/v1/version", "");
+        assert_eq!(status, 200);
+        for needle in [
+            "\"name\":\"ampc-service\"",
+            "\"version\":\"",
+            "\"git_hash\":\"",
+            "\"rustc\":\"",
+            "\"uptime_seconds\":",
+            "\"perf_available\":",
+        ] {
+            assert!(body.contains(needle), "missing `{needle}` in:\n{body}");
+        }
+
+        // The same build identity and the perf block appear in /metrics,
+        // with `available` honestly reporting the probe result.
+        let (status, body) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"build_info\":{"), "{body}");
+        assert!(body.contains("\"uptime_seconds\":"), "{body}");
+        let expected = format!(
+            "\"perf\":{{\"available\":{}",
+            ampc_runtime::perf::available()
+        );
+        assert!(body.contains(&expected), "missing `{expected}` in:\n{body}");
+
+        // The /v1/version hits above are counted under their own endpoint
+        // label, and perf availability is exposed as a 0/1 gauge.
+        let (status, body) = request(addr, "GET", "/metrics?format=prometheus", "");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("ampc_http_requests_total{endpoint=\"version\"} 1"),
+            "{body}"
+        );
+        let perf_gauge = format!(
+            "ampc_perf_available {}",
+            if ampc_runtime::perf::available() {
+                1
+            } else {
+                0
+            }
+        );
+        assert!(
+            body.contains(&perf_gauge),
+            "missing `{perf_gauge}`:\n{body}"
+        );
         handle.shutdown();
     }
 

@@ -505,6 +505,71 @@ fn shared_scratch_across_workloads_stays_bit_identical() {
     assert!(stats.scratch_allocs > 0, "cold leases are counted too");
 }
 
+/// Hardware-counter sampling is measurement-only: a run with the
+/// primitives' perf sink disabled must produce byte-for-byte the same
+/// coloring, palette trajectory and task counts as the default sampling
+/// run. (Whether counters are actually live depends on the host —
+/// `perf::available()` — but the enabled/disabled code paths diverge
+/// either way, which is what this pins.)
+#[test]
+fn perf_sampling_on_and_off_are_bit_identical() {
+    for workload in [
+        Workload::ForestUnion { n: 400, k: 2 },
+        Workload::HubAndSpoke {
+            n: 400,
+            communities: 8,
+        },
+    ] {
+        let graph = workload.build(109);
+        let decomposition = sparse_graph::degeneracy_ordering(&graph);
+        let mut position = vec![0usize; graph.num_nodes()];
+        for (i, &v) in decomposition.ordering.iter().enumerate() {
+            position[v] = i;
+        }
+        let orientation = Orientation::from_total_order(&graph, |v| position[v]);
+        for threads in [1, 4] {
+            let sampled = RoundPrimitives::new(threads);
+            let with_perf = {
+                let scope = sampled.perf_span();
+                let result = arb_linial_coloring_with_runtime(&graph, &orientation, None, &sampled)
+                    .expect("sampled run succeeds");
+                drop(scope);
+                result
+            };
+            let unsampled = RoundPrimitives::new(threads).without_perf();
+            let without_perf = {
+                // The span is inert on a perf-disabled context: no
+                // syscalls, nothing recorded.
+                let scope = unsampled.perf_span();
+                let result =
+                    arb_linial_coloring_with_runtime(&graph, &orientation, None, &unsampled)
+                        .expect("unsampled run succeeds");
+                drop(scope);
+                result
+            };
+            assert_eq!(
+                with_perf.coloring, without_perf.coloring,
+                "workload {workload:?}, threads {threads}"
+            );
+            assert_eq!(
+                with_perf.palette_trajectory,
+                without_perf.palette_trajectory
+            );
+            assert_eq!(with_perf.rounds, without_perf.rounds);
+            // The disabled sink really recorded nothing.
+            assert!(
+                unsampled.perf_counters().is_zero(),
+                "disabled sink must stay zero"
+            );
+            // And the sampled run's counters honor availability: all-zero
+            // when perf is unavailable on this host.
+            if !ampc_runtime::perf::available() {
+                assert!(sampled.perf_counters().is_zero());
+            }
+        }
+    }
+}
+
 /// The tracing subsystem's bit-identity guard: attaching a `TraceContext`
 /// to a run is output-invisible. Colorings, color counts, round counts and
 /// the model-level metrics are identical with tracing on and off, on both

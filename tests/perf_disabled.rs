@@ -1,0 +1,80 @@
+//! Forced perf-disable (`AMPC_PERF=0`) end to end.
+//!
+//! Its own integration-test binary on purpose: availability is probed
+//! once per process through a `OnceLock`, so the env var must be set
+//! before anything touches `ampc_runtime::perf` — sharing a process
+//! with other tests would race that initialization. The single test
+//! below sets the variable first, then checks the whole degradation
+//! chain: the probe reports unavailable, snapshots and sampled stats
+//! stay zeroed, colorings are unaffected, and the service surfaces
+//! `perf.available=false` in both `/metrics` renderings.
+
+use std::time::Duration;
+
+use ampc_coloring_repro::{Algorithm, RuntimeConfig, SparseColoring, Workload};
+use ampc_service::{Server, ServiceConfig};
+
+#[test]
+fn forced_off_perf_is_zeroed_everywhere_and_reported_in_metrics() {
+    std::env::set_var("AMPC_PERF", "0");
+
+    assert!(
+        !ampc_runtime::perf::available(),
+        "AMPC_PERF=0 must force-disable sampling even on perf-capable hosts"
+    );
+    assert!(
+        ampc_runtime::perf::snapshot().is_zero(),
+        "snapshots are zeroed when sampling is off"
+    );
+
+    // A computation under the parallel backend still works, and its
+    // per-round runtime stats carry zeroed hardware counters.
+    let workload = Workload::ForestUnion { n: 500, k: 2 };
+    let graph = workload.build(31);
+    let result = SparseColoring::new()
+        .algorithm(Algorithm::TwoAlphaPlusOne)
+        .alpha(workload.alpha_bound())
+        .runtime(RuntimeConfig::parallel().with_threads(4))
+        .color(&graph)
+        .expect("coloring succeeds with sampling forced off");
+    assert!(!result.metrics.runtime_stats().is_empty());
+    for stats in result.metrics.runtime_stats() {
+        assert_eq!(stats.cycles, 0, "forced-off counters must read zero");
+        assert_eq!(stats.instructions, 0);
+        assert_eq!(stats.ipc(), None, "no IPC without samples");
+    }
+
+    // The service reports the forced-off state honestly on both /metrics
+    // renderings and /v1/version.
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            acceptors: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind")
+    .start()
+    .expect("start");
+    let get = |target: &str| -> String {
+        let (status, body) = ampc_coloring_bench::http_client::request(
+            handle.addr(),
+            "GET",
+            target,
+            "",
+            Some(Duration::from_secs(30)),
+        )
+        .expect("request");
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+    let body = get("/metrics");
+    assert!(body.contains("\"perf\":{\"available\":false"), "{body}");
+    let body = get("/metrics?format=prometheus");
+    assert!(body.contains("\nampc_perf_available 0\n"), "{body}");
+    assert!(body.contains("\nampc_perf_cycles_total 0\n"), "{body}");
+    let body = get("/v1/version");
+    assert!(body.contains("\"perf_available\":false"), "{body}");
+    handle.shutdown();
+}
