@@ -1,0 +1,101 @@
+//! Criterion benches for the word-level GF(2)/bitset kernels behind the
+//! intra-layer simulators: XOR, masked parity and and-not intersection
+//! over packed `&[u64]`, dispatched (AVX2/SSE2 where the probe finds
+//! them) against the always-compiled scalar reference.
+//!
+//! The A/B is in-process: `dispatched` goes through `ampc_runtime::simd`'s
+//! probe-once dispatcher, `scalar` calls the reference module directly.
+//! Both produce identical bits (pinned by the simd unit tests), so only
+//! throughput differs. Run with
+//! `cargo bench -p ampc-coloring-bench --bench kernel_benches`; under
+//! `AMPC_SIMD=0` the two arms should coincide — a cheap sanity check that
+//! the override really pins the scalar path.
+//!
+//! Lengths cover the regimes the simulators hit: 1–2 words is a derand
+//! seed row (`id_bits + 1` packed bits), 16–64 words is a per-layer color
+//! bitset, 4096 words is the streaming regime where memory bandwidth,
+//! not instruction choice, should dominate and the arms converge.
+
+use ampc_runtime::simd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Deterministic xorshift64* word stream, mirroring the simd unit tests:
+/// benches must not depend on ambient entropy.
+fn words(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed.max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        })
+        .collect()
+}
+
+const LENS: [usize; 5] = [2, 16, 64, 512, 4096];
+
+fn bench_xor_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_xor_words");
+    for len in LENS {
+        let a = words(0xA11CE ^ len as u64, len);
+        let b = words(0xB0B ^ (len as u64) << 8, len);
+        group.bench_with_input(BenchmarkId::new("dispatched", len), &len, |bench, _| {
+            let mut out = Vec::with_capacity(len);
+            bench.iter(|| {
+                simd::xor_words(black_box(&a), black_box(&b), &mut out);
+                black_box(out.last().copied())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", len), &len, |bench, _| {
+            let mut out = vec![0u64; len];
+            bench.iter(|| {
+                simd::scalar::xor_words_into(black_box(&a), black_box(&b), &mut out);
+                black_box(out.last().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_masked_parity");
+    for len in LENS {
+        let a = words(0xFEED ^ len as u64, len);
+        let mask = words(0xD00D ^ (len as u64) << 8, len);
+        group.bench_with_input(BenchmarkId::new("dispatched", len), &len, |bench, _| {
+            bench.iter(|| black_box(simd::masked_parity(black_box(&a), black_box(&mask))));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", len), &len, |bench, _| {
+            bench.iter(|| black_box(simd::scalar::masked_parity(black_box(&a), black_box(&mask))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_and_not_any(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_and_not_any");
+    for len in LENS {
+        // a ⊆ cover, so the scan never short-circuits: this benches the
+        // worst case (full traversal), the one the seed-fixing loop pays
+        // when an edge query stays inside the already-fixed prefix.
+        let a = words(0xCAFE ^ len as u64, len);
+        let cover: Vec<u64> = a.iter().map(|&x| x | 0x8000_0000_0000_0001).collect();
+        group.bench_with_input(BenchmarkId::new("dispatched", len), &len, |bench, _| {
+            bench.iter(|| black_box(simd::and_not_any(black_box(&a), black_box(&cover))));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", len), &len, |bench, _| {
+            bench.iter(|| black_box(simd::scalar::and_not_any(black_box(&a), black_box(&cover))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xor_words,
+    bench_masked_parity,
+    bench_and_not_any
+);
+criterion_main!(benches);

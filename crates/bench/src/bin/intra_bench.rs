@@ -7,16 +7,23 @@
 //! cannot help. Every parallel run is checked bit-identical to the
 //! sequential reference before its timing is reported.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! * **balanced** — degeneracy-oriented forest-union / power-law graphs
-//!   (near-uniform per-node cost), the PR 3 matrix.
+//!   (near-uniform per-node cost), the PR 3 matrix, plus the derand
+//!   simulator's bit-packed GF(2) kernels on the same graphs.
 //! * **skewed** — power-law and hub-and-spoke graphs oriented **by node
 //!   id**, which piles most of the Arb-Linial work onto a few hub nodes
 //!   clustered in index space. Here every thread count runs twice: once
 //!   with the PR 3 `contiguous` equal-width chunk grid and once with the
 //!   cost-`weighted` grid + work-stealing deques, so the scheduler A/B is
 //!   recorded directly in `BENCH_intra.json`.
+//! * **relabel** — the cache-aware CSR relabeling A/B at threads = 1:
+//!   each policy (`off` / `degree-sorted` / `rcm`) permutes the graph,
+//!   colors it on the permuted layout, and un-permutes the result, which
+//!   is verified byte-identical to the `off` reference before its timing
+//!   is reported. The speedup column of a relabeled row is therefore the
+//!   pure memory-layout win.
 //!
 //! ```text
 //! # smoke: small graphs, assert bit-identity, exit non-zero on mismatch
@@ -28,6 +35,8 @@
 //!
 //! Flags: `--n=NODES` (default 100000), `--reps=R` (default 3; best-of-R
 //! wall clock per cell), `--threads=a,b,c` (default `1,2,4,8`),
+//! `--relabel=a,b,c` (relabel policies for the A/B section, default
+//! `off,degree-sorted,rcm`; unknown labels are rejected),
 //! `--json=PATH`, `--smoke` (n=5000, reps=1), `--alloc-budget=N` (fail if
 //! any cell's steady-state `allocs_per_round` exceeds `N`; also read from
 //! the `AMPC_ALLOC_BUDGET` env var; requires the `alloc-count` feature),
@@ -71,12 +80,13 @@ fn allocations_now() -> u64 {
 use ampc_coloring_bench::args::{has_flag, parse_flag};
 use ampc_coloring_bench::{Table, Workload};
 use ampc_runtime::trace::TraceContext;
-use ampc_runtime::{perf, PerfCounters, RoundPrimitives};
+use ampc_runtime::{perf, simd, PerfCounters, RoundPrimitives};
 use arbo_coloring::{
-    arb_linial_coloring_with_runtime, kw_color_reduction_with_runtime, ArbLinialResult,
-    KwReductionResult,
+    arb_linial_coloring_with_runtime, derandomized_coloring_relabeled,
+    derandomized_coloring_with_runtime, kw_color_reduction_with_runtime, ArbLinialResult,
+    DerandColoringResult, DerandParams, KwReductionResult,
 };
-use sparse_graph::{Coloring, CsrGraph, Orientation};
+use sparse_graph::{relabel, Coloring, CsrGraph, Orientation, RelabelPolicy};
 
 /// Orients every edge along the degeneracy order — the low out-degree
 /// orientation a β-partition provides (out-degree ≈ degeneracy ≤ 2α − 1).
@@ -115,6 +125,8 @@ struct Cell {
     workload: String,
     simulator: &'static str,
     scheduler: &'static str,
+    /// Relabel policy label ("off" outside the relabel A/B section).
+    relabel: &'static str,
     threads: usize,
     wall: Duration,
     identical: bool,
@@ -157,6 +169,26 @@ fn main() {
     threads.retain(|&t| t != 1);
     threads.insert(0, 1);
 
+    // Relabel policies for the A/B section. The first listed policy is the
+    // section's reference (with the default list that is `off`), so a
+    // filtered list still self-checks. Unknown labels fail loudly.
+    let relabel_policies: Vec<RelabelPolicy> = match parse_flag::<String>(&args, "relabel") {
+        None => RelabelPolicy::ALL.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|text| match RelabelPolicy::parse(text) {
+                Some(policy) => policy,
+                None => {
+                    eprintln!(
+                        "intra_bench: FAILED — unknown relabel policy `{text}` \
+                         (expected off, degree-sorted or rcm)"
+                    );
+                    std::process::exit(1);
+                }
+            })
+            .collect(),
+    };
+
     // A malformed budget must fail loudly, not silently disable the gate
     // (the same fail-loudly contract as the missing-feature refusal below):
     // fetch the raw string and reject anything that is not an integer.
@@ -185,16 +217,21 @@ fn main() {
         "intra",
         "intra-layer seq vs parallel matrix",
         "wall clock of the LOCAL simulators (whole graph = one layer) on the round \
-         primitives, per thread count and scheduler; `weighted` = cost-weighted chunking \
-         + work-stealing deques, `contiguous` = the PR 3 equal-width grid; parallel runs \
+         primitives, per thread count, scheduler and relabel policy; `weighted` = \
+         cost-weighted chunking + work-stealing deques, `contiguous` = the PR 3 \
+         equal-width grid; relabel != off rows run on a cache-aware permuted graph and \
+         are verified to un-permute to the relabel=off reference; parallel runs \
          verified bit-identical to threads=1; allocs_per_round = heap allocations per \
          simulated LOCAL round (0 = built without the alloc-count feature); \
          cycles/instructions/ipc/cache_miss_pct/branch_misses come from perf_event_open \
-         sampling of the best rep and read 0/'-' when the `perf_available` meta is false",
+         sampling of the best rep and read 0/'-' when the `perf_available` meta is false; \
+         simd_path is the per-process GF(2) kernel dispatch tier (avx2/sse2/scalar), a \
+         runner fact bench_diff treats as context, never a row key",
         &[
             "workload",
             "simulator",
             "scheduler",
+            "relabel",
             "threads",
             "wall_ms",
             "speedup",
@@ -205,10 +242,13 @@ fn main() {
             "ipc",
             "cache_miss_pct",
             "branch_misses",
+            "simd_path",
             "identical",
         ],
     );
     table.push_meta("perf_available", perf::available().to_string());
+    table.push_meta("simd_available", simd::available().to_string());
+    table.push_meta("simd_path", simd::dispatch_path().to_string());
 
     let mut cells: Vec<Cell> = Vec::new();
     let mut all_identical = true;
@@ -234,8 +274,14 @@ fn main() {
         // keep Δ small, so KW runs there only.
         let run_kw = matches!(workload, Workload::ForestUnion { .. });
 
+        // Derand's cost is dominated by the per-edge GF(2) parity sweeps —
+        // the loops the bit-packed word kernels accelerate — so it rides
+        // in the balanced section on the same graphs.
+        let derand_params = DerandParams::with_x(2);
+
         let mut linial_reference: Option<ArbLinialResult> = None;
         let mut kw_reference: Option<KwReductionResult> = None;
+        let mut derand_reference: Option<DerandColoringResult> = None;
         for &t in &threads {
             // A fresh primitives context per rep keeps intra_tasks a
             // per-run count, consistent with the best-of-one-rep wall
@@ -263,6 +309,7 @@ fn main() {
                 workload: workload.label(),
                 simulator: "arb-linial",
                 scheduler: "weighted",
+                relabel: "off",
                 threads: t,
                 wall,
                 identical,
@@ -295,6 +342,7 @@ fn main() {
                     workload: workload.label(),
                     simulator: "kuhn-wattenhofer",
                     scheduler: "weighted",
+                    relabel: "off",
                     threads: t,
                     wall,
                     identical,
@@ -303,6 +351,38 @@ fn main() {
                     perf: perf_delta,
                 });
             }
+
+            let (wall, allocs, perf_delta, (derand, derand_tasks)) = best_of(reps, || {
+                let primitives = RoundPrimitives::new(t).with_trace(trace.clone());
+                let result =
+                    derandomized_coloring_with_runtime(&graph, &derand_params, &primitives);
+                (result, primitives.tasks_executed())
+            });
+            let rounds = derand.mpc_rounds;
+            let identical = match &derand_reference {
+                None => {
+                    derand_reference = Some(derand);
+                    true
+                }
+                Some(reference) => {
+                    reference.coloring == derand.coloring
+                        && reference.uncolored_history == derand.uncolored_history
+                        && reference.mpc_rounds == derand.mpc_rounds
+                }
+            };
+            all_identical &= identical;
+            cells.push(Cell {
+                workload: workload.label(),
+                simulator: "derand",
+                scheduler: "weighted",
+                relabel: "off",
+                threads: t,
+                wall,
+                identical,
+                intra_tasks: derand_tasks,
+                allocs_per_round: allocs / rounds.max(1) as u64,
+                perf: perf_delta,
+            });
         }
     }
 
@@ -357,6 +437,7 @@ fn main() {
                     workload: label.clone(),
                     simulator: "arb-linial",
                     scheduler,
+                    relabel: "off",
                     threads: t,
                     wall,
                     identical,
@@ -368,14 +449,126 @@ fn main() {
         }
     }
 
-    // Speedups are relative to the threads=1 run of the same (workload,
-    // simulator) — the same baseline for both schedulers, so the A/B is a
-    // straight wall_ms (or speedup) comparison between rows.
+    // Section 3 — relabel A/B at threads = 1: each policy permutes the
+    // graph, the simulator runs on the permuted layout, and the result is
+    // un-permuted and compared byte-for-byte against the section's
+    // reference (the first listed policy — `off` by default). Arb-Linial
+    // takes the ORIGINAL by-id orientation and initial coloring pushed
+    // through the permutation (recomputing either on the relabeled graph
+    // would change tie-breaks); derand's GF(2) queries encode node ids, so
+    // its relabeled entry point encodes the original ids back. Relabel
+    // time itself is excluded — the rows measure coloring on the layout.
+    for workload in [
+        Workload::PowerLaw {
+            n,
+            edges_per_node: 3,
+        },
+        Workload::HubAndSpoke {
+            n,
+            communities: (n / 500).max(2),
+        },
+    ] {
+        let graph = workload.build(11);
+        let orientation = Orientation::from_total_order(&graph, |v| v);
+        let initial = Coloring::new((0..graph.num_nodes()).collect());
+        let derand_params = DerandParams::with_x(2);
+        let label = format!("{}+relabel", workload.label());
+
+        let mut linial_reference: Option<(Coloring, Vec<usize>)> = None;
+        let mut derand_reference: Option<(Coloring, Vec<usize>, usize)> = None;
+        for &policy in &relabel_policies {
+            let (relabeled, permutation) = relabel(&graph, policy);
+            let pushed_orientation = permutation.permute_orientation(&orientation);
+            let pushed_initial = Coloring::new(permutation.permute_colors(initial.colors()));
+
+            let (wall, allocs, perf_delta, (linial, linial_tasks)) = best_of(reps, || {
+                let primitives = RoundPrimitives::new(1).with_trace(trace.clone());
+                let result = arb_linial_coloring_with_runtime(
+                    &relabeled,
+                    &pushed_orientation,
+                    Some(&pushed_initial),
+                    &primitives,
+                )
+                .expect("Arb-Linial succeeds");
+                (result, primitives.tasks_executed())
+            });
+            let rounds = linial.rounds;
+            let unpermuted = permutation.unpermute_coloring(&linial.coloring);
+            let identical = match &linial_reference {
+                None => {
+                    linial_reference = Some((unpermuted, linial.palette_trajectory));
+                    true
+                }
+                Some((coloring, trajectory)) => {
+                    *coloring == unpermuted && *trajectory == linial.palette_trajectory
+                }
+            };
+            all_identical &= identical;
+            cells.push(Cell {
+                workload: label.clone(),
+                simulator: "arb-linial",
+                scheduler: "weighted",
+                relabel: policy.label(),
+                threads: 1,
+                wall,
+                identical,
+                intra_tasks: linial_tasks,
+                allocs_per_round: allocs / rounds.max(1) as u64,
+                perf: perf_delta,
+            });
+
+            let (wall, allocs, perf_delta, (derand, derand_tasks)) = best_of(reps, || {
+                let primitives = RoundPrimitives::new(1).with_trace(trace.clone());
+                let result = derandomized_coloring_relabeled(
+                    &relabeled,
+                    &derand_params,
+                    &permutation,
+                    &primitives,
+                );
+                (result, primitives.tasks_executed())
+            });
+            let rounds = derand.mpc_rounds;
+            let unpermuted = permutation.unpermute_coloring(&derand.coloring);
+            let identical = match &derand_reference {
+                None => {
+                    derand_reference =
+                        Some((unpermuted, derand.uncolored_history, derand.mpc_rounds));
+                    true
+                }
+                Some((coloring, history, mpc_rounds)) => {
+                    *coloring == unpermuted
+                        && *history == derand.uncolored_history
+                        && *mpc_rounds == derand.mpc_rounds
+                }
+            };
+            all_identical &= identical;
+            cells.push(Cell {
+                workload: label.clone(),
+                simulator: "derand",
+                scheduler: "weighted",
+                relabel: policy.label(),
+                threads: 1,
+                wall,
+                identical,
+                intra_tasks: derand_tasks,
+                allocs_per_round: allocs / rounds.max(1) as u64,
+                perf: perf_delta,
+            });
+        }
+    }
+
+    // Speedups are relative to the threads=1 relabel=off run of the same
+    // (workload, simulator) — the same baseline for both schedulers and
+    // every relabel policy, so each A/B is a straight wall_ms (or speedup)
+    // comparison between rows.
     let baseline = |workload: &str, simulator: &str| -> Duration {
         cells
             .iter()
             .find(|cell| {
-                cell.workload == workload && cell.simulator == simulator && cell.threads == 1
+                cell.workload == workload
+                    && cell.simulator == simulator
+                    && cell.relabel == "off"
+                    && cell.threads == 1
             })
             .map_or(Duration::ZERO, |cell| cell.wall)
     };
@@ -390,6 +583,7 @@ fn main() {
             cell.workload.clone(),
             cell.simulator.to_string(),
             cell.scheduler.to_string(),
+            cell.relabel.to_string(),
             cell.threads.to_string(),
             format!("{:.3}", cell.wall.as_secs_f64() * 1e3),
             format!("{speedup:.2}"),
@@ -404,6 +598,7 @@ fn main() {
                 .cache_miss_rate()
                 .map_or_else(|| "-".to_string(), |v| format!("{:.1}", v * 100.0)),
             cell.perf.branch_misses.to_string(),
+            simd::dispatch_path().to_string(),
             cell.identical.to_string(),
         ]);
     }
@@ -417,7 +612,7 @@ fn main() {
         println!("wrote {path}");
     }
     if !all_identical {
-        eprintln!("intra_bench: FAILED — a parallel run diverged from the sequential reference");
+        eprintln!("intra_bench: FAILED — a parallel or relabeled run diverged from its reference");
         std::process::exit(1);
     }
     if alloc_budget > 0 {
@@ -489,6 +684,6 @@ fn main() {
         } else {
             println!("smoke note: perf counters unavailable (perf_available=false), check skipped");
         }
-        println!("smoke ok: all parallel runs bit-identical to sequential");
+        println!("smoke ok: parallel runs bit-identical to sequential, relabeled runs to off");
     }
 }

@@ -22,7 +22,7 @@
 
 use std::fmt;
 
-use ampc_runtime::RoundPrimitives;
+use ampc_runtime::{simd, RoundPrimitives};
 use sparse_graph::{Coloring, CsrGraph, NodeId, Orientation};
 
 use crate::primes::next_prime;
@@ -244,7 +244,14 @@ fn reduction_round_into(
             own.clear();
             decode_into(colors[v], own);
             neighbors.clear();
-            for &u in orientation.out_neighbors(v) {
+            let out = orientation.out_neighbors(v);
+            for (at, &u) in out.iter().enumerate() {
+                // The color gather is scattered even though the out-list
+                // streams sequentially; prefetch a few iterations ahead to
+                // hide the latency on wide orientations.
+                if let Some(&ahead) = out.get(at + simd::PREFETCH_LOOKAHEAD) {
+                    simd::prefetch_read(colors, ahead);
+                }
                 decode_into(colors[u], neighbors);
             }
             let mut chosen = None;

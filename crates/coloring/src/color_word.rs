@@ -1,0 +1,94 @@
+//! Compact color storage shared by the intra-layer simulators.
+//!
+//! The Kuhn–Wattenhofer sweeps and the layered recoloring waves stream the
+//! whole color array through every elimination round, so the width of a
+//! stored color is the dominant memory-bandwidth knob: `u32` colors halve
+//! the bytes per node versus `usize` on 64-bit targets, doubling the number
+//! of colors per cache line the conflict scans pull in.
+//!
+//! [`ColorWord`] abstracts that width so each simulator keeps a single
+//! generic sweep body and picks the storage at run time: `u32` whenever the
+//! initial palette fits (always, in practice — palettes are bounded by the
+//! initial coloring, itself at most `n`), `usize` as a lossless fallback so
+//! absurd palettes keep working instead of silently truncating. Both
+//! instantiations run the *same* decision code on the *same* `usize`
+//! arithmetic — colors are widened on load and narrowed on store — so the
+//! choice of storage width cannot change any decision, only its speed.
+
+/// A fixed-width color storage word.
+///
+/// Implementors must represent every color in `0..=MAX_COLOR` losslessly;
+/// [`ColorWord::NONE`] is a sentinel strictly above `MAX_COLOR`, used by
+/// the recoloring waves for "not yet finally colored" without paying for an
+/// `Option` discriminant.
+pub(crate) trait ColorWord: Copy + Default + Eq + Send + Sync + 'static {
+    /// Largest color value representable (exclusive of [`ColorWord::NONE`]).
+    const MAX_COLOR: usize;
+    /// Sentinel for "no color"; never returned by [`ColorWord::from_usize`].
+    const NONE: Self;
+
+    /// Narrows a `usize` color. Debug-asserts `color <= MAX_COLOR`.
+    fn from_usize(color: usize) -> Self;
+
+    /// Widens back to `usize` for arithmetic.
+    fn to_usize(self) -> usize;
+
+    /// Whether every color of a palette `{0, …, palette - 1}` fits, with
+    /// [`ColorWord::NONE`] left over as a sentinel.
+    fn fits_palette(palette: usize) -> bool {
+        palette <= Self::MAX_COLOR
+    }
+}
+
+impl ColorWord for u32 {
+    const MAX_COLOR: usize = u32::MAX as usize - 1;
+    const NONE: Self = u32::MAX;
+
+    #[inline(always)]
+    fn from_usize(color: usize) -> Self {
+        debug_assert!(color <= Self::MAX_COLOR, "color {color} overflows u32");
+        color as u32
+    }
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl ColorWord for usize {
+    const MAX_COLOR: usize = usize::MAX - 1;
+    const NONE: Self = usize::MAX;
+
+    #[inline(always)]
+    fn from_usize(color: usize) -> Self {
+        color
+    }
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_palette_fit() {
+        assert_eq!(<u32 as ColorWord>::from_usize(7).to_usize(), 7);
+        assert_eq!(<usize as ColorWord>::from_usize(7).to_usize(), 7);
+        assert!(<u32 as ColorWord>::fits_palette(0));
+        assert!(<u32 as ColorWord>::fits_palette(u32::MAX as usize - 1));
+        assert!(!<u32 as ColorWord>::fits_palette(u32::MAX as usize));
+        assert!(<usize as ColorWord>::fits_palette(usize::MAX - 1));
+    }
+
+    #[test]
+    fn none_sentinels_are_outside_the_color_range() {
+        assert!(<u32 as ColorWord>::NONE.to_usize() > <u32 as ColorWord>::MAX_COLOR);
+        assert!(<usize as ColorWord>::NONE.to_usize() > <usize as ColorWord>::MAX_COLOR);
+        assert_ne!(<u32 as ColorWord>::from_usize(0), <u32 as ColorWord>::NONE);
+    }
+}

@@ -21,10 +21,27 @@
 //! `O(log_x n)` phases suffice — each phase costs `O(1/δ²)` MPC rounds of
 //! aggregation, matching the `O(log_x n)` rounds (for constant `δ`) of the
 //! theorem.
+//!
+//! # Bit-packed GF(2) representation
+//!
+//! Everything GF(2)-valued here — seed rows, node encodings, the per-phase
+//! edge-query table — is packed 64 coordinates per `u64` word and operated
+//! on with the word/SIMD kernels of [`ampc_runtime::simd`]. A seed row is
+//! a pair of masks (`fixed` = which coordinates are decided, `value` ⊆
+//! `fixed` = which are decided *to 1*), so the per-edge collision
+//! probability is three word-ops per color bit: "any queried coordinate
+//! still free?" (`d & !fixed ≠ 0` → probability 1/2), else "does the fixed
+//! parity hit the target?" (`popcount(d & value) & 1`). The probabilities
+//! this produces are bit-identical to the former one-byte-per-coordinate
+//! evaluation: each is exactly `0.5`, `1.0` or `0.0` per row, multiplied
+//! in row order — dyadic rationals with no rounding anywhere.
 
 use ampc_model::mpc::{MpcConfig, MpcCostTracker};
-use ampc_runtime::RoundPrimitives;
-use sparse_graph::{Coloring, CsrGraph, NodeId, PartialColoring};
+use ampc_runtime::{simd, RoundPrimitives};
+use sparse_graph::{Coloring, CsrGraph, NodeId, NodePermutation, PartialColoring};
+
+/// Bits per packed GF(2) word.
+const WORD_BITS: usize = 64;
 
 /// Parameters of the derandomized coloring.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,110 +97,143 @@ pub struct DerandColoringResult {
     pub mpc_rounds: usize,
 }
 
+/// `2^-k` exactly, by exponent construction (`k` far below the subnormal
+/// threshold here: it is bounded by the seed's row count).
+fn half_pow(k: u32) -> f64 {
+    debug_assert!(k < 1023, "2^-{k} is not a normal f64");
+    f64::from_bits(u64::from(1023 - k) << 52)
+}
+
+/// Bits of `v`'s id field landing in packed word `word` of an encoding
+/// with `cols` coordinates: coordinates `64·word ..` clipped to the id
+/// field `0..cols-1` (coordinate `cols-1` is the appended constant 1,
+/// never an id bit). Shared by [`encode_into`] and the seed's per-node
+/// parity so the two can never disagree on clipping.
+fn id_field_word(v: NodeId, cols: usize, word: usize) -> u64 {
+    let base = word * WORD_BITS;
+    let field = cols - 1;
+    if base >= field {
+        return 0;
+    }
+    let mut bits = if base >= usize::BITS as usize {
+        0
+    } else {
+        (v >> base) as u64
+    };
+    let available = field - base;
+    if available < WORD_BITS {
+        bits &= (1u64 << available) - 1;
+    }
+    bits
+}
+
 /// The seed: a 0/1 matrix over GF(2) with `rows = color bits` and
-/// `cols = node-id bits + 1`. Row-major bit order; entry `(r, c)` is bit
-/// `r * cols + c`.
+/// `cols = node-id bits + 1`, stored as two word-packed masks per row.
+/// Flat bit index `r * cols + c` addresses entry `(r, c)`, matching the
+/// batch loop's bit numbering.
 #[derive(Debug, Clone)]
 struct Seed {
     rows: usize,
     cols: usize,
-    /// `None` = still random, `Some(b)` = fixed to `b`.
-    bits: Vec<Option<bool>>,
+    /// Packed words per row: `cols.div_ceil(64)`.
+    words: usize,
+    /// Bit set ⇔ the coordinate has been fixed (by a candidate write or a
+    /// committed batch); clear ⇔ still random.
+    fixed: Vec<u64>,
+    /// Bit set ⇔ fixed *to 1*. Invariant: `value ⊆ fixed` — [`Seed::set_bit`]
+    /// clears the value bit whenever it fixes a coordinate to 0, so parity
+    /// masks never see stale candidate bits.
+    value: Vec<u64>,
 }
 
 impl Seed {
     fn new(rows: usize, cols: usize) -> Self {
+        let words = cols.div_ceil(WORD_BITS);
         Seed {
             rows,
             cols,
-            bits: vec![None; rows * cols],
+            words,
+            fixed: vec![0; rows * words],
+            value: vec![0; rows * words],
         }
     }
 
-    fn bit(&self, row: usize, col: usize) -> Option<bool> {
-        self.bits[row * self.cols + col]
+    fn row_fixed(&self, row: usize) -> &[u64] {
+        &self.fixed[row * self.words..(row + 1) * self.words]
     }
 
-    /// The color of node `v` once every bit is fixed. The parity is
-    /// computed straight from the bits of `v` (the encoding is `v`'s bits
-    /// plus an appended constant 1), so no per-node encoding buffer is
-    /// materialized — this runs once per uncolored node per phase.
+    fn row_value(&self, row: usize) -> &[u64] {
+        &self.value[row * self.words..(row + 1) * self.words]
+    }
+
+    /// Fixes flat bit `bit_index` (= `row * cols + col`) to `bit`,
+    /// overwriting any earlier fixing — the batch loop writes every
+    /// candidate assignment over the same positions and commits the winner
+    /// last.
+    fn set_bit(&mut self, bit_index: usize, bit: bool) {
+        let (row, col) = (bit_index / self.cols, bit_index % self.cols);
+        let word = row * self.words + col / WORD_BITS;
+        let mask = 1u64 << (col % WORD_BITS);
+        self.fixed[word] |= mask;
+        if bit {
+            self.value[word] |= mask;
+        } else {
+            self.value[word] &= !mask;
+        }
+    }
+
+    /// The color of node `v` once every bit is fixed: one masked parity
+    /// per row, straight off `v`'s bits — no per-node encoding buffer.
     fn color_of(&self, v: NodeId) -> usize {
         let mut color = 0usize;
+        let constant = self.cols - 1;
         for row in 0..self.rows {
-            let mut parity = false;
-            for col in 0..self.cols - 1 {
-                if (v >> col) & 1 == 1 && self.bit(row, col).expect("seed fully fixed") {
-                    parity ^= true;
-                }
+            let value = self.row_value(row);
+            let mut folded = 0u64;
+            for (word, &mask) in value.iter().enumerate() {
+                folded ^= mask & id_field_word(v, self.cols, word);
             }
             // The appended constant-1 coordinate.
-            if self.bit(row, self.cols - 1).expect("seed fully fixed") {
-                parity ^= true;
-            }
-            if parity {
+            let constant_hit = value[constant / WORD_BITS] >> (constant % WORD_BITS) & 1;
+            if (u64::from(folded.count_ones()) + constant_hit) & 1 == 1 {
                 color |= 1 << row;
             }
         }
         color
     }
 
-    /// Probability (over the still-random bits) that row `row` of `M·d`
-    /// equals `target_bit`, where `d` is a non-zero GF(2) vector.
-    fn row_probability(&self, row: usize, d: &[bool], target_bit: bool) -> f64 {
-        let mut fixed_parity = false;
-        let mut has_free_bit = false;
-        for (col, &d_set) in d.iter().enumerate() {
-            if !d_set {
-                continue;
-            }
-            match self.bit(row, col) {
-                Some(true) => fixed_parity ^= true,
-                Some(false) => {}
-                None => has_free_bit = true,
-            }
-        }
-        if has_free_bit {
-            0.5
-        } else if fixed_parity == target_bit {
-            1.0
-        } else {
-            0.0
-        }
-    }
-
     /// Probability that `M·d` equals the bit pattern `target` (given the
-    /// currently fixed bits), for a non-zero `d`.
-    fn collision_probability(&self, d: &[bool], target: usize) -> f64 {
-        let mut probability = 1.0;
+    /// currently fixed bits), for a non-zero `d`. Per row: any queried
+    /// coordinate still random makes the row's parity uniform (probability
+    /// 1/2); otherwise the fixed parity either hits the target bit
+    /// (probability 1) or misses it (0). Rows are independent; the first
+    /// impossible row short-circuits to 0 exactly like the row-by-row
+    /// product it replaces, and the surviving product `0.5^free_rows` is
+    /// reconstructed exactly by exponent arithmetic.
+    fn collision_probability(&self, d: &[u64], target: usize) -> f64 {
+        let mut free_rows = 0u32;
         for row in 0..self.rows {
             let target_bit = (target >> row) & 1 == 1;
-            probability *= self.row_probability(row, d, target_bit);
-            if probability == 0.0 {
-                break;
+            if simd::and_not_any(d, self.row_fixed(row)) {
+                free_rows += 1;
+            } else if simd::masked_parity(d, self.row_value(row)) != target_bit {
+                return 0.0;
             }
         }
-        probability
+        half_pow(free_rows)
     }
 }
 
 /// Binary encoding of a node id with an appended constant-1 coordinate (so
 /// that the encoding is never the zero vector and distinct nodes differ),
-/// written into a reused buffer.
-fn encode_into(v: NodeId, cols: usize, out: &mut Vec<bool>) {
+/// packed into `cols.div_ceil(64)` words in a reused buffer.
+fn encode_into(v: NodeId, cols: usize, out: &mut Vec<u64>) {
     out.clear();
-    for i in 0..cols - 1 {
-        out.push((v >> i) & 1 == 1);
+    for word in 0..cols.div_ceil(WORD_BITS) {
+        out.push(id_field_word(v, cols, word));
     }
-    out.push(true);
-}
-
-/// XOR of two encodings, written in place into a reused buffer (the
-/// allocating `xor` of earlier revisions, minus the per-call `Vec`; the
-/// unit tests pin equality against that path).
-fn xor_into(a: &[bool], b: &[bool], out: &mut Vec<bool>) {
-    out.clear();
-    out.extend(a.iter().zip(b).map(|(&x, &y)| x ^ y));
+    let constant = cols - 1;
+    out[constant / WORD_BITS] |= 1u64 << (constant % WORD_BITS);
 }
 
 /// Runs the deterministic `2x∆`-coloring of Theorem 1.5.
@@ -229,7 +279,43 @@ pub fn derandomized_coloring_with_runtime(
     params: &DerandParams,
     primitives: &RoundPrimitives,
 ) -> DerandColoringResult {
+    derand_run(graph, params, None, primitives)
+}
+
+/// [`derandomized_coloring_with_runtime`] on a cache-aware relabeled
+/// graph: node `v` is encoded by its *original* id
+/// (`permutation.to_old(v)`) instead of `v` itself.
+///
+/// The derandomized coloring is the one simulator whose decisions *read*
+/// node ids — the GF(2) seed queries encode them — so running it naively
+/// on a relabeled graph would change every query, every fixed seed, and
+/// every color. Encoding the original ids restores the exact original
+/// query multiset (the seed search's edge sums are exact dyadic rationals,
+/// hence addition-order-independent; see the relabel module docs), so the
+/// returned coloring, un-permuted through the same permutation, is
+/// bit-identical to the unrelabeled run.
+pub fn derandomized_coloring_relabeled(
+    graph: &CsrGraph,
+    params: &DerandParams,
+    permutation: &NodePermutation,
+    primitives: &RoundPrimitives,
+) -> DerandColoringResult {
+    derand_run(graph, params, Some(permutation.old_ids()), primitives)
+}
+
+/// Shared body: `encode_ids`, when present, maps a node to the id its
+/// GF(2) encoding uses (`None` = encode the node's own id).
+fn derand_run(
+    graph: &CsrGraph,
+    params: &DerandParams,
+    encode_ids: Option<&[NodeId]>,
+    primitives: &RoundPrimitives,
+) -> DerandColoringResult {
     assert!(params.x >= 2, "x must be at least 2");
+    if let Some(ids) = encode_ids {
+        assert_eq!(ids.len(), graph.num_nodes(), "encoding-id table size");
+    }
+    let enc_id = |v: NodeId| encode_ids.map_or(v, |ids| ids[v]);
     let n = graph.num_nodes();
     let max_degree = graph.max_degree();
 
@@ -241,6 +327,7 @@ pub fn derandomized_coloring_with_runtime(
     let color_bits = palette.trailing_zeros() as usize;
     let id_bits = (usize::BITS - n.max(2).leading_zeros()) as usize;
     let cols = id_bits + 1;
+    let words = cols.div_ceil(WORD_BITS);
 
     let mpc = MpcConfig::new(n + graph.num_edges(), params.delta);
     let mut tracker = MpcCostTracker::new();
@@ -251,21 +338,20 @@ pub fn derandomized_coloring_with_runtime(
     let mut phases = 0usize;
 
     // Per-phase buffers, allocated once per run and recycled across
-    // phases: U-membership, the relevant-edge query table (flattened GF(2)
-    // vectors with stride `cols` plus per-edge targets), encoding scratch,
-    // tentative colors and conflict flags. The per-candidate probability
-    // buffer is leased from the primitives' scratch registry so concurrent
-    // layer invocations sharing one context recycle each other's buffers.
+    // phases: U-membership, the relevant-edge query table (flattened
+    // word-packed GF(2) vectors with stride `words` plus per-edge
+    // targets), tentative colors and conflict flags. Encoding scratch and
+    // the per-candidate probability buffer are leased from the primitives'
+    // scratch registry so concurrent layer invocations sharing one context
+    // recycle each other's buffers.
     let mut in_u: Vec<bool> = Vec::new();
-    let mut edge_dirs: Vec<bool> = Vec::new();
+    let mut edge_dirs: Vec<u64> = Vec::new();
     let mut edge_targets: Vec<usize> = Vec::new();
-    let mut encode_a: Vec<bool> = Vec::new();
-    let mut encode_b: Vec<bool> = Vec::new();
-    let mut xor_buf: Vec<bool> = Vec::new();
     let mut tentative: Vec<(NodeId, usize)> = Vec::new();
     let mut tentative_colors: Vec<Option<usize>> = Vec::new();
     let mut conflicts: Vec<bool> = Vec::new();
     let mut still_uncolored: Vec<NodeId> = Vec::new();
+    let encodings = primitives.scratch_pool::<Vec<u64>>();
     let probabilities = primitives.scratch_pool::<Vec<f64>>();
 
     while !uncolored.is_empty() && phases < params.max_phases {
@@ -291,25 +377,30 @@ pub fn derandomized_coloring_with_runtime(
         // derandomization) then allocate nothing per edge.
         edge_dirs.clear();
         edge_targets.clear();
-        for (u, v) in graph.edges() {
-            match (in_u[u], in_u[v]) {
-                (false, false) => continue,
-                (true, true) => {
-                    encode_into(u, cols, &mut encode_a);
-                    encode_into(v, cols, &mut encode_b);
-                    xor_into(&encode_a, &encode_b, &mut xor_buf);
-                    edge_dirs.extend_from_slice(&xor_buf);
-                    edge_targets.push(0);
-                }
-                (true, false) => {
-                    encode_into(u, cols, &mut encode_a);
-                    edge_dirs.extend_from_slice(&encode_a);
-                    edge_targets.push(partial.color(v).expect("colored node has a color"));
-                }
-                (false, true) => {
-                    encode_into(v, cols, &mut encode_a);
-                    edge_dirs.extend_from_slice(&encode_a);
-                    edge_targets.push(partial.color(u).expect("colored node has a color"));
+        {
+            let mut encode_a = encodings.lease();
+            let mut encode_b = encodings.lease();
+            let mut xor_buf = encodings.lease();
+            for (u, v) in graph.edges() {
+                match (in_u[u], in_u[v]) {
+                    (false, false) => continue,
+                    (true, true) => {
+                        encode_into(enc_id(u), cols, &mut encode_a);
+                        encode_into(enc_id(v), cols, &mut encode_b);
+                        simd::xor_words(&encode_a, &encode_b, &mut xor_buf);
+                        edge_dirs.extend_from_slice(&xor_buf);
+                        edge_targets.push(0);
+                    }
+                    (true, false) => {
+                        encode_into(enc_id(u), cols, &mut encode_a);
+                        edge_dirs.extend_from_slice(&encode_a);
+                        edge_targets.push(partial.color(v).expect("colored node has a color"));
+                    }
+                    (false, true) => {
+                        encode_into(enc_id(v), cols, &mut encode_a);
+                        edge_dirs.extend_from_slice(&encode_a);
+                        edge_targets.push(partial.color(u).expect("colored node has a color"));
+                    }
                 }
             }
         }
@@ -323,7 +414,7 @@ pub fn derandomized_coloring_with_runtime(
         // therefore every seed decision — matches the sequential
         // evaluation bit for bit.
         let edge_probability = |seed: &Seed, edge: usize| -> f64 {
-            let query = &edge_dirs[edge * cols..(edge + 1) * cols];
+            let query = &edge_dirs[edge * words..(edge + 1) * words];
             seed.collision_probability(query, edge_targets[edge])
         };
         let expectation = |seed: &Seed| -> f64 {
@@ -359,12 +450,12 @@ pub fn derandomized_coloring_with_runtime(
             let mut best_assignment = 0usize;
             let mut best_value = f64::INFINITY;
             for assignment in 0..(1usize << width) {
-                // The batch's bits were still free (`None`), so each
-                // candidate is evaluated by writing its bits directly into
-                // the seed — no per-candidate clone; the winning
-                // assignment is written back after the scan.
+                // The batch's bits were still free, so each candidate is
+                // evaluated by writing its bits directly into the seed —
+                // no per-candidate clone; the winning assignment is
+                // written back after the scan.
                 for (offset, bit_index) in (next_bit..upper).enumerate() {
-                    seed.bits[bit_index] = Some((assignment >> offset) & 1 == 1);
+                    seed.set_bit(bit_index, (assignment >> offset) & 1 == 1);
                 }
                 let value = expectation(&seed);
                 if value < best_value {
@@ -373,7 +464,7 @@ pub fn derandomized_coloring_with_runtime(
                 }
             }
             for (offset, bit_index) in (next_bit..upper).enumerate() {
-                seed.bits[bit_index] = Some((best_assignment >> offset) & 1 == 1);
+                seed.set_bit(bit_index, (best_assignment >> offset) & 1 == 1);
             }
             tracker.charge_aggregation(&mpc, num_edges.max(1));
             next_bit = upper;
@@ -382,7 +473,11 @@ pub fn derandomized_coloring_with_runtime(
         // Apply the fully fixed seed to U and freeze conflict-free nodes.
         // Both sweeps are pure per-node functions of the fixed seed (and
         // the previous phases' colors), so they fan out over the pool.
-        primitives.par_map_into(&uncolored, |_, &v| (v, seed.color_of(v)), &mut tentative);
+        primitives.par_map_into(
+            &uncolored,
+            |_, &v| (v, seed.color_of(enc_id(v))),
+            &mut tentative,
+        );
         tentative_colors.clear();
         tentative_colors.resize(n, None);
         for &(v, c) in &tentative {
@@ -398,7 +493,14 @@ pub fn derandomized_coloring_with_runtime(
                 &tentative,
                 |_, &(v, _)| graph.degree(v),
                 |_, &(v, color)| {
-                    graph.neighbors(v).iter().any(|&w| {
+                    let neighbors = graph.neighbors(v);
+                    neighbors.iter().enumerate().any(|(at, &w)| {
+                        // The scan is a gather over node-indexed state;
+                        // hint the line a few neighbors ahead while the
+                        // current one resolves.
+                        if let Some(&ahead) = neighbors.get(at + simd::PREFETCH_LOOKAHEAD) {
+                            simd::prefetch_read(tentative_colors, ahead);
+                        }
                         let other = if in_u[w] {
                             tentative_colors[w]
                         } else {
@@ -457,6 +559,31 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use sparse_graph::generators;
+
+    #[test]
+    fn relabeled_runs_unpermute_to_the_reference() {
+        use sparse_graph::{relabel, RelabelPolicy};
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let graph = generators::gnm(300, 700, &mut rng);
+        let params = DerandParams::with_x(2);
+        let reference = derandomized_coloring(&graph, &params);
+        for policy in [RelabelPolicy::DegreeSorted, RelabelPolicy::Rcm] {
+            let (relabeled, permutation) = relabel(&graph, policy);
+            let run = derandomized_coloring_relabeled(
+                &relabeled,
+                &params,
+                &permutation,
+                &RoundPrimitives::sequential(),
+            );
+            assert_eq!(
+                permutation.unpermute_coloring(&run.coloring),
+                reference.coloring,
+                "{policy:?}"
+            );
+            assert_eq!(run.uncolored_history, reference.uncolored_history);
+            assert_eq!(run.mpc_rounds, reference.mpc_rounds);
+        }
+    }
 
     #[test]
     fn produces_a_proper_coloring_within_the_palette() {
@@ -550,15 +677,20 @@ mod tests {
         assert_eq!(result.phases, 1);
     }
 
+    /// Reads coordinate `i` of a packed encoding.
+    fn packed_bit(words: &[u64], i: usize) -> bool {
+        words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
     #[test]
-    fn in_place_xor_and_encode_match_the_allocating_path() {
-        // The pre-allocation-discipline reference implementations: a fresh
-        // Vec per encode and per XOR. The in-place forms must produce the
-        // same bits no matter what stale contents the reused buffers hold.
+    fn packed_encode_and_xor_match_the_bool_reference() {
+        // The pre-bitset reference implementations: one `bool` per
+        // coordinate. The packed forms must produce the same coordinates
+        // no matter what stale contents the reused buffers hold.
         let encode_reference = |v: NodeId, cols: usize| -> Vec<bool> {
             let mut bits = Vec::with_capacity(cols);
             for i in 0..cols - 1 {
-                bits.push((v >> i) & 1 == 1);
+                bits.push(i < usize::BITS as usize && (v >> i) & 1 == 1);
             }
             bits.push(true);
             bits
@@ -567,21 +699,37 @@ mod tests {
             a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
         };
 
-        let mut encode_a = vec![true; 3]; // stale garbage to discard
+        let mut encode_a = vec![u64::MAX; 3]; // stale garbage to discard
         let mut encode_b = Vec::new();
-        let mut xor_buf = vec![false; 64];
-        for cols in [2usize, 5, 11, 40] {
+        let mut xor_buf = vec![0u64; 7];
+        for cols in [2usize, 5, 11, 40, 64, 65, 130] {
             for (u, v) in [(0usize, 1usize), (3, 3), (12_345, 678), (65_535, 2)] {
                 encode_into(u, cols, &mut encode_a);
                 encode_into(v, cols, &mut encode_b);
-                assert_eq!(encode_a, encode_reference(u, cols), "encode({u}, {cols})");
-                assert_eq!(encode_b, encode_reference(v, cols), "encode({v}, {cols})");
-                xor_into(&encode_a, &encode_b, &mut xor_buf);
-                assert_eq!(
-                    xor_buf,
-                    xor_reference(&encode_a, &encode_b),
-                    "xor of {u} and {v} at {cols} cols"
-                );
+                let reference_u = encode_reference(u, cols);
+                let reference_v = encode_reference(v, cols);
+                assert_eq!(encode_a.len(), cols.div_ceil(WORD_BITS));
+                for i in 0..cols {
+                    assert_eq!(
+                        packed_bit(&encode_a, i),
+                        reference_u[i],
+                        "encode({u}, {cols}) bit {i}"
+                    );
+                    assert_eq!(
+                        packed_bit(&encode_b, i),
+                        reference_v[i],
+                        "encode({v}, {cols}) bit {i}"
+                    );
+                }
+                simd::xor_words(&encode_a, &encode_b, &mut xor_buf);
+                let reference_xor = xor_reference(&reference_u, &reference_v);
+                for (i, &expected) in reference_xor.iter().enumerate() {
+                    assert_eq!(
+                        packed_bit(&xor_buf, i),
+                        expected,
+                        "xor of {u} and {v} at {cols} cols, bit {i}"
+                    );
+                }
             }
         }
     }
@@ -589,16 +737,146 @@ mod tests {
     #[test]
     fn seed_collision_probabilities_are_consistent() {
         let mut seed = Seed::new(3, 5);
-        let d = vec![true, false, true, false, true];
-        // Fully random: probability 1/8 for any target.
+        // Query over coordinates 0, 2, 4; fully random seed gives
+        // probability 1/8 for any target.
+        let d = vec![0b10101u64];
         assert!((seed.collision_probability(&d, 0) - 0.125).abs() < 1e-12);
         assert!((seed.collision_probability(&d, 5) - 0.125).abs() < 1e-12);
         // Fix row 0 so that its parity over d is 1: targets with bit0 = 0
         // become impossible at row 0.
-        seed.bits[0] = Some(true); // (row 0, col 0)
-        seed.bits[2] = Some(false); // (row 0, col 2)
-        seed.bits[4] = Some(false); // (row 0, col 4)
+        seed.set_bit(0, true); // (row 0, col 0)
+        seed.set_bit(2, false); // (row 0, col 2)
+        seed.set_bit(4, false); // (row 0, col 4)
         assert_eq!(seed.collision_probability(&d, 0), 0.0);
         assert!((seed.collision_probability(&d, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seed_probabilities_match_the_option_bool_reference_bit_for_bit() {
+        // The pre-bitset seed: one Option<bool> per entry, row-by-row
+        // probability product with an early break at zero. The packed seed
+        // must reproduce its f64s exactly (they are all dyadic), for every
+        // mix of free/fixed bits — including seeds wider than one word.
+        struct Reference {
+            rows: usize,
+            cols: usize,
+            bits: Vec<Option<bool>>,
+        }
+        impl Reference {
+            fn collision_probability(&self, d: &[bool], target: usize) -> f64 {
+                let mut probability = 1.0;
+                for row in 0..self.rows {
+                    let target_bit = (target >> row) & 1 == 1;
+                    let mut fixed_parity = false;
+                    let mut has_free_bit = false;
+                    for (col, &d_set) in d.iter().enumerate() {
+                        if !d_set {
+                            continue;
+                        }
+                        match self.bits[row * self.cols + col] {
+                            Some(true) => fixed_parity ^= true,
+                            Some(false) => {}
+                            None => has_free_bit = true,
+                        }
+                    }
+                    probability *= if has_free_bit {
+                        0.5
+                    } else if fixed_parity == target_bit {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    if probability == 0.0 {
+                        break;
+                    }
+                }
+                probability
+            }
+        }
+
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (rows, cols) in [(1usize, 2usize), (3, 5), (6, 19), (4, 70), (2, 130)] {
+            let mut seed = Seed::new(rows, cols);
+            let mut reference = Reference {
+                rows,
+                cols,
+                bits: vec![None; rows * cols],
+            };
+            // Progressively fix a pseudo-random third of the bits, checking
+            // probabilities for several queries at each step.
+            for step in 0..4 {
+                for bit_index in 0..rows * cols {
+                    if next() % 3 == 0 {
+                        let bit = next() & 1 == 1;
+                        seed.set_bit(bit_index, bit);
+                        reference.bits[bit_index] = Some(bit);
+                    }
+                }
+                for query in 0..8 {
+                    let d_bool: Vec<bool> = (0..cols).map(|_| next() % 4 != 0).collect();
+                    let mut d_packed = vec![0u64; cols.div_ceil(WORD_BITS)];
+                    for (i, &set) in d_bool.iter().enumerate() {
+                        if set {
+                            d_packed[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+                        }
+                    }
+                    for target in [0usize, 1, 5, (1 << rows) - 1] {
+                        let expected = reference.collision_probability(&d_bool, target);
+                        let actual = seed.collision_probability(&d_packed, target);
+                        assert_eq!(
+                            expected.to_bits(),
+                            actual.to_bits(),
+                            "({rows}x{cols}) step {step} query {query} target {target}: \
+                             {expected} vs {actual}"
+                        );
+                    }
+                }
+            }
+            // Fully fix the seed and check color_of against the reference
+            // parity computed from bool encodings.
+            for bit_index in 0..rows * cols {
+                if reference.bits[bit_index].is_none() {
+                    let bit = next() & 1 == 1;
+                    seed.set_bit(bit_index, bit);
+                    reference.bits[bit_index] = Some(bit);
+                }
+            }
+            for v in [0usize, 1, 2, 7, 100, 54_321] {
+                let mut expected = 0usize;
+                for row in 0..rows {
+                    let mut parity = false;
+                    for col in 0..cols - 1 {
+                        if col < usize::BITS as usize
+                            && (v >> col) & 1 == 1
+                            && reference.bits[row * cols + col].unwrap()
+                        {
+                            parity ^= true;
+                        }
+                    }
+                    if reference.bits[row * cols + (cols - 1)].unwrap() {
+                        parity ^= true;
+                    }
+                    if parity {
+                        expected |= 1 << row;
+                    }
+                }
+                assert_eq!(seed.color_of(v), expected, "({rows}x{cols}) color_of({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn half_pow_is_exact() {
+        let mut product = 1.0f64;
+        for k in 0..64u32 {
+            assert_eq!(half_pow(k).to_bits(), product.to_bits(), "2^-{k}");
+            product *= 0.5;
+        }
     }
 }

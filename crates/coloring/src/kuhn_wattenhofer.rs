@@ -9,8 +9,10 @@
 //! of colors in `∆ + 1` rounds; repeating until only `∆ + 1` colors remain
 //! costs `O(∆ log(m / ∆))` rounds — the complexity quoted by the paper.
 
-use ampc_runtime::{MarkerSet, RoundPrimitives};
+use ampc_runtime::{simd, BitSet, RoundPrimitives};
 use sparse_graph::{Coloring, CsrGraph};
+
+use crate::color_word::ColorWord;
 
 /// Result of the Kuhn–Wattenhofer reduction.
 #[derive(Debug, Clone)]
@@ -93,19 +95,51 @@ pub fn kw_color_reduction_with_runtime(
     }
 
     let target = degree_bound + 1;
-    let mut colors: Vec<usize> = initial.colors().to_vec();
-    let mut palette = initial.palette_size().max(1);
+    let initial_palette = initial.palette_size().max(1);
+    // Colors only ever shrink (a member's replacement stays strictly below
+    // its old color's block ceiling, compaction renumbers downward), so the
+    // initial palette bounds every intermediate color and the storage width
+    // can be chosen once up front: `u32` halves the bytes every sweep
+    // streams, `usize` is the lossless fallback for absurd palettes.
+    let (colors, rounds, trajectory) = if <u32 as ColorWord>::fits_palette(initial_palette) {
+        kw_sweeps::<u32>(graph, initial.colors(), initial_palette, target, primitives)
+    } else {
+        kw_sweeps::<usize>(graph, initial.colors(), initial_palette, target, primitives)
+    };
+
+    let coloring = Coloring::new(colors);
+    debug_assert!(coloring.is_proper(graph));
+    Ok(KwReductionResult {
+        coloring,
+        rounds,
+        palette_trajectory: trajectory,
+    })
+}
+
+/// The halving sweeps, generic over the color storage width. All decision
+/// arithmetic is `usize` — colors are widened on load and narrowed on store
+/// — so both instantiations compute bit-identical colorings.
+fn kw_sweeps<C: ColorWord>(
+    graph: &CsrGraph,
+    initial_colors: &[usize],
+    initial_palette: usize,
+    target: usize,
+    primitives: &RoundPrimitives,
+) -> (Vec<usize>, usize, Vec<usize>) {
+    let mut colors: Vec<C> = initial_colors.iter().map(|&c| C::from_usize(c)).collect();
+    let mut palette = initial_palette;
     let mut rounds = 0usize;
     let mut trajectory = vec![palette];
 
     // Steady-state allocation-free sweeps: the per-decision "used colors"
-    // set is an epoch-stamped MarkerSet leased per worker from the
-    // context's scratch registry (O(1) clear between nodes, no
-    // `vec![false; target]` per node), and the recolor-index / compaction
-    // buffers are reused across every elimination round.
-    let markers = primitives.scratch_pool::<MarkerSet>();
+    // set is a word-packed BitSet leased per worker from the context's
+    // scratch registry (a palette-sized clear is a few cache lines; the
+    // free-color probe is a word scan instead of a per-color loop), and the
+    // recolor-index / compaction buffers are reused across every
+    // elimination round.
+    let used_sets = primitives.scratch_pool::<BitSet>();
     let mut recolor: Vec<usize> = Vec::new();
-    let mut compacted: Vec<usize> = Vec::new();
+    let mut compacted: Vec<C> = Vec::new();
 
     while palette > target {
         let _sweep_span = primitives
@@ -127,7 +161,7 @@ pub fn kw_color_reduction_with_runtime(
             primitives.par_collect_indices_into(
                 graph.num_nodes(),
                 |v| {
-                    let c = colors[v];
+                    let c = colors[v].to_usize();
                     c % block == offset && c < palette
                 },
                 &mut recolor,
@@ -141,19 +175,26 @@ pub fn kw_color_reduction_with_runtime(
                 &mut colors,
                 |v| graph.degree(v),
                 |v, snapshot| {
-                    let mut used = markers.lease();
+                    let mut used = used_sets.lease();
                     used.reset(target);
-                    let block_start = (snapshot[v] / block) * block;
-                    for &w in graph.neighbors(v) {
-                        let cw = snapshot[w];
+                    let block_start = (snapshot[v].to_usize() / block) * block;
+                    let neighbors = graph.neighbors(v);
+                    for (at, &w) in neighbors.iter().enumerate() {
+                        // The neighbor ids are sequential in CSR but the
+                        // color gather is scattered; prefetch a few
+                        // iterations ahead to hide the latency.
+                        if let Some(&ahead) = neighbors.get(at + simd::PREFETCH_LOOKAHEAD) {
+                            simd::prefetch_read(snapshot, ahead);
+                        }
+                        let cw = snapshot[w].to_usize();
                         if cw >= block_start && cw < block_start + target {
-                            used.mark(cw - block_start);
+                            used.insert(cw - block_start);
                         }
                     }
-                    let free = (0..target)
-                        .find(|&c| !used.is_marked(c))
+                    let free = used
+                        .first_absent()
                         .expect("a free color exists because the degree is at most degree_bound");
-                    block_start + free
+                    C::from_usize(block_start + free)
                 },
             );
         }
@@ -165,10 +206,11 @@ pub fn kw_color_reduction_with_runtime(
         primitives.par_node_map_into(
             colors.len(),
             |v| {
-                let b = colors[v] / block;
-                let within = colors[v] % block;
+                let c = colors[v].to_usize();
+                let b = c / block;
+                let within = c % block;
                 debug_assert!(within < target);
-                b * target + within
+                C::from_usize(b * target + within)
             },
             &mut compacted,
         );
@@ -180,13 +222,8 @@ pub fn kw_color_reduction_with_runtime(
         }
     }
 
-    let coloring = Coloring::new(colors);
-    debug_assert!(coloring.is_proper(graph));
-    Ok(KwReductionResult {
-        coloring,
-        rounds,
-        palette_trajectory: trajectory,
-    })
+    let colors: Vec<usize> = colors.iter().map(|c| c.to_usize()).collect();
+    (colors, rounds, trajectory)
 }
 
 #[cfg(test)]
@@ -269,6 +306,20 @@ mod tests {
             assert_eq!(reference.palette_trajectory, parallel.palette_trajectory);
             assert!(primitives.tasks_executed() > 0);
         }
+    }
+
+    #[test]
+    fn u32_and_usize_storage_widths_agree_bit_for_bit() {
+        // Real palettes always take the u32 fast path, so exercise the
+        // usize fallback directly against it: same sweeps, same results.
+        let mut rng = ChaCha8Rng::seed_from_u64(87);
+        let graph = generators::preferential_attachment(800, 2, &mut rng);
+        let initial: Vec<usize> = (0..800).collect();
+        let target = graph.max_degree() + 1;
+        let primitives = RoundPrimitives::sequential();
+        let narrow = kw_sweeps::<u32>(&graph, &initial, 800, target, &primitives);
+        let wide = kw_sweeps::<usize>(&graph, &initial, 800, target, &primitives);
+        assert_eq!(narrow, wide);
     }
 
     #[test]

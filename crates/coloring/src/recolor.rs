@@ -12,9 +12,11 @@
 
 use std::fmt;
 
-use ampc_runtime::{MarkerSet, RoundPrimitives};
+use ampc_runtime::{simd, BitSet, RoundPrimitives};
 use beta_partition::{BetaPartition, Layer};
 use sparse_graph::{Coloring, CsrGraph, NodeId};
+
+use crate::color_word::ColorWord;
 
 /// Structured failures of the layered recoloring pass (analogous to
 /// [`crate::ArbLinialError`]): every precondition violation and internal
@@ -244,6 +246,42 @@ pub fn recolor_layers_with_runtime(
     }
     let repaired_conflicts = check.conflicts;
 
+    // The palette is β + 1, which always fits the u32 fast path in
+    // practice; the usize instantiation is the lossless fallback. Both run
+    // the same wave code on the same usize arithmetic.
+    let colors = if <u32 as ColorWord>::fits_palette(palette) {
+        recolor_waves::<u32>(graph, partition, initial, order, palette, primitives)?
+    } else {
+        recolor_waves::<usize>(graph, partition, initial, order, palette, primitives)?
+    };
+    let coloring = Coloring::new(colors);
+    debug_assert!(coloring.is_proper(graph));
+
+    let sequential_waves = partition.size() * palette;
+    Ok(RecolorResult {
+        coloring,
+        repaired_conflicts,
+        sequential_waves,
+    })
+}
+
+/// The recoloring waves, generic over the color storage width.
+///
+/// Final colors live in a flat `Vec<C>` with [`ColorWord::NONE`] standing
+/// in for "not yet colored" — half the bytes of `Vec<Option<usize>>` even
+/// at `usize` width, a quarter at `u32` — and the per-decision used-color
+/// set is a word-packed [`BitSet`] whose `first_absent` / `last_absent`
+/// word scans replace the per-color probe loops. All decision arithmetic
+/// stays `usize`, so both instantiations compute identical colorings.
+fn recolor_waves<C: ColorWord>(
+    graph: &CsrGraph,
+    partition: &BetaPartition,
+    initial: &Coloring,
+    order: RecolorOrder,
+    palette: usize,
+    primitives: &RoundPrimitives,
+) -> Result<Vec<usize>, RecolorError> {
+    let n = graph.num_nodes();
     let layer_of = |v: NodeId| -> usize {
         match partition.layer(v) {
             Layer::Finite(layer) => layer,
@@ -261,13 +299,12 @@ pub fn recolor_layers_with_runtime(
             .then(a.cmp(&b))
     });
 
-    let mut final_colors: Vec<Option<usize>> = vec![None; n];
+    let mut final_colors: Vec<C> = vec![C::NONE; n];
     // Steady-state allocation-free waves: the per-decision "used colors"
-    // set is an epoch-stamped MarkerSet leased per worker (no
-    // `vec![false; palette]` per node) and the wave-choice buffer is
-    // recycled across waves.
-    let markers = primitives.scratch_pool::<MarkerSet>();
-    let mut choices: Vec<Option<usize>> = Vec::new();
+    // set is a BitSet leased per worker (no `vec![false; palette]` per
+    // node) and the wave-choice buffer is recycled across waves.
+    let used_sets = primitives.scratch_pool::<BitSet>();
+    let mut choices: Vec<C> = Vec::new();
     let mut start = 0usize;
     while start < schedule.len() {
         // One wave: the maximal run of schedule entries sharing
@@ -286,7 +323,7 @@ pub fn recolor_layers_with_runtime(
             .with_arg("color", key.1 as u64)
             .with_arg("members", wave.len() as u64);
         {
-            let snapshot: &[Option<usize>] = &final_colors;
+            let snapshot: &[C] = &final_colors;
             // Weighted by degree: a wave member's decision scans its whole
             // adjacency list, and waves of a skewed layer mix hubs with
             // leaves.
@@ -294,55 +331,53 @@ pub fn recolor_layers_with_runtime(
                 wave,
                 |_, &v| graph.degree(v),
                 |_, &v| {
-                    let mut used = markers.lease();
+                    let mut used = used_sets.lease();
                     used.reset(palette);
-                    for &w in graph.neighbors(v) {
-                        if let Some(c) = snapshot[w] {
+                    let neighbors = graph.neighbors(v);
+                    for (at, &w) in neighbors.iter().enumerate() {
+                        // The color gather is scattered even though the
+                        // neighbor ids stream sequentially; prefetch a few
+                        // iterations ahead to hide the latency.
+                        if let Some(&ahead) = neighbors.get(at + simd::PREFETCH_LOOKAHEAD) {
+                            simd::prefetch_read(snapshot, ahead);
+                        }
+                        let cw = snapshot[w];
+                        if cw != C::NONE {
+                            let c = cw.to_usize();
                             if c < palette {
-                                used.mark(c);
+                                used.insert(c);
                             }
                         }
                     }
-                    match order {
-                        RecolorOrder::HighestAvailable => {
-                            (0..palette).rev().find(|&c| !used.is_marked(c))
-                        }
-                        RecolorOrder::SmallestAvailable => {
-                            (0..palette).find(|&c| !used.is_marked(c))
-                        }
-                    }
+                    let choice = match order {
+                        RecolorOrder::HighestAvailable => used.last_absent(),
+                        RecolorOrder::SmallestAvailable => used.first_absent(),
+                    };
+                    choice.map_or(C::NONE, C::from_usize)
                 },
                 &mut choices,
             );
         }
         for (&v, &choice) in wave.iter().zip(choices.iter()) {
-            let Some(color) = choice else {
+            if choice == C::NONE {
                 return Err(RecolorError::NoFreeColor { node: v, palette });
-            };
-            final_colors[v] = Some(color);
+            }
+            final_colors[v] = choice;
         }
         start = end;
     }
 
     let mut colors = Vec::with_capacity(n);
-    for (node, color) in final_colors.into_iter().enumerate() {
-        match color {
-            Some(color) => colors.push(color),
+    for (node, &color) in final_colors.iter().enumerate() {
+        if color == C::NONE {
             // Unreachable when the schedule covers every node (it is built
             // from `graph.nodes()`), but a structured error beats a
             // release-mode unwrap panic if that invariant ever breaks.
-            None => return Err(RecolorError::Uncolored { node }),
+            return Err(RecolorError::Uncolored { node });
         }
+        colors.push(color.to_usize());
     }
-    let coloring = Coloring::new(colors);
-    debug_assert!(coloring.is_proper(graph));
-
-    let sequential_waves = partition.size() * palette;
-    Ok(RecolorResult {
-        coloring,
-        repaired_conflicts,
-        sequential_waves,
-    })
+    Ok(colors)
 }
 
 #[cfg(test)]
@@ -437,6 +472,27 @@ mod tests {
                 assert_eq!(reference.repaired_conflicts, parallel.repaired_conflicts);
                 assert_eq!(reference.sequential_waves, parallel.sequential_waves);
             }
+        }
+    }
+
+    #[test]
+    fn u32_and_usize_storage_widths_agree_bit_for_bit() {
+        // Real palettes always take the u32 fast path, so exercise the
+        // usize fallback directly against it.
+        let mut rng = ChaCha8Rng::seed_from_u64(95);
+        let graph = generators::forest_union(600, 2, &mut rng);
+        let partition = natural_partition(&graph, 6);
+        let initial = per_layer_coloring(&graph, &partition);
+        let primitives = RoundPrimitives::sequential();
+        for order in [
+            RecolorOrder::HighestAvailable,
+            RecolorOrder::SmallestAvailable,
+        ] {
+            let narrow =
+                recolor_waves::<u32>(&graph, &partition, &initial, order, 7, &primitives).unwrap();
+            let wide = recolor_waves::<usize>(&graph, &partition, &initial, order, 7, &primitives)
+                .unwrap();
+            assert_eq!(narrow, wide, "{order:?}");
         }
     }
 

@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 
 use crate::csr::CsrGraph;
+use crate::relabel::{relabel, NodePermutation, RelabelPolicy};
 use crate::types::{canonical_edge, Edge, NodeId};
 
 /// Incrementally collects undirected edges and produces a [`CsrGraph`].
@@ -99,6 +100,15 @@ impl GraphBuilder {
             list.sort_unstable();
         }
         CsrGraph::from_sorted_adjacency(adjacency)
+    }
+
+    /// Finalizes into a cache-aware relabeled [`CsrGraph`] plus the
+    /// [`NodePermutation`] mapping results back to the builder's ids.
+    /// Equivalent to [`GraphBuilder::build`] followed by
+    /// [`relabel`](crate::relabel::relabel); see the relabel module docs
+    /// for the permute → color → un-permute bit-identity story.
+    pub fn build_relabeled(self, policy: RelabelPolicy) -> (CsrGraph, NodePermutation) {
+        relabel(&self.build(), policy)
     }
 }
 

@@ -85,6 +85,17 @@ impl CsrGraph {
         CsrGraph { offsets, targets }
     }
 
+    /// Internal constructor from prebuilt CSR arrays; used by the relabel
+    /// machinery, which emits already-sorted, already-deduplicated rows and
+    /// would waste a full adjacency-list round-trip on
+    /// [`CsrGraph::from_sorted_adjacency`].
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(targets.len()));
+        debug_assert!(offsets.windows(2).all(|pair| pair[0] <= pair[1]));
+        CsrGraph { offsets, targets }
+    }
+
     /// Number of nodes `n`.
     pub fn num_nodes(&self) -> usize {
         self.offsets.len() - 1

@@ -17,7 +17,12 @@
 //!   out-degree orientations,
 //! * edge [`Orientation`]s with acyclicity checks and out-degree statistics,
 //! * proper vertex [`Coloring`]s with validation helpers and greedy
-//!   reference algorithms.
+//!   reference algorithms,
+//! * cache-aware **node relabeling** ([`RelabelPolicy`] /
+//!   [`NodePermutation`]): deterministic degree-sorted and reverse
+//!   Cuthill–McKee permutations applied at build time, with
+//!   permute/un-permute helpers so relabeled runs stay bit-identical to
+//!   unrelabeled ones.
 //!
 //! # Quick example
 //!
@@ -45,6 +50,7 @@ mod degeneracy;
 mod forest;
 mod io;
 mod orientation;
+mod relabel;
 mod subgraph;
 mod types;
 
@@ -64,5 +70,6 @@ pub use io::{
     ParseEdgeListError,
 };
 pub use orientation::Orientation;
+pub use relabel::{relabel, NodePermutation, RelabelPolicy};
 pub use subgraph::InducedSubgraph;
 pub use types::{canonical_edge, Edge, NodeId};

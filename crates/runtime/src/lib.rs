@@ -100,9 +100,10 @@
 //! ```
 
 // `deny` rather than `forbid`: the worker pool's scoped-batch execution
-// needs one audited lifetime erasure (see `pool.rs`), and the hardware
+// needs one audited lifetime erasure (see `pool.rs`), the hardware
 // counter sampler needs a small FFI shim over `perf_event_open(2)` (see
-// `perf.rs`); each opts in with a module-level `allow`.
+// `perf.rs`), and the SIMD kernels need `core::arch` intrinsics (see
+// `simd.rs`); each opts in with a module-level `allow`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -116,6 +117,7 @@ mod pool;
 mod rounds;
 mod scratch;
 mod shard;
+pub mod simd;
 pub mod trace;
 
 pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
@@ -125,7 +127,7 @@ pub use parallel::ParallelBackend;
 pub use perf::{PerfCounters, PerfSink};
 pub use pool::{parallel_map, parallel_map_weighted, PoolStats, ScopedTask, WorkerPool};
 pub use rounds::RoundPrimitives;
-pub use scratch::{scratch_totals, MarkerSet, ScratchCounters, ScratchLease, ScratchPool};
+pub use scratch::{scratch_totals, BitSet, MarkerSet, ScratchCounters, ScratchLease, ScratchPool};
 pub use shard::ShardedStore;
 pub use trace::{
     chrome_trace_json, span_on, LatencyHistogram, SpanGuard, TraceContext, TraceEvent,

@@ -325,6 +325,111 @@ impl MarkerSet {
     }
 }
 
+/// A word-packed bitset over a small universe `0..len` — the compact
+/// color-set companion to [`MarkerSet`].
+///
+/// Where [`MarkerSet`] spends a `u32` stamp per slot to buy O(1) clear over
+/// *large* domains, `BitSet` packs 64 slots per `u64` word: for the palette
+/// domains of the elimination sweeps and recoloring waves (tens to a few
+/// thousand colors) the whole set fits in a cache line or two, the clear is
+/// a short `memset`, and — the reason it exists — **free-color queries
+/// become word scans**: [`BitSet::first_absent`] / [`BitSet::last_absent`]
+/// replace per-color probe loops with `!word` plus a trailing/leading-zero
+/// count, 64 candidate colors per instruction.
+#[derive(Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Bits per [`BitSet`] storage word.
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// An empty set ([`BitSet::reset`] sizes it).
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Clears the set and sizes it to cover `0..len`. Cost is one word-fill
+    /// over `len / 64` words — for palette-sized domains, a few cache
+    /// lines.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.len = len;
+    }
+
+    /// The universe size set by the last [`BitSet::reset`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the universe is empty (`len == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain of the last
+    /// [`BitSet::reset`].
+    #[inline]
+    pub fn insert(&mut self, value: usize) {
+        assert!(value < self.len, "BitSet::insert out of domain");
+        self.words[value / WORD_BITS] |= 1u64 << (value % WORD_BITS);
+    }
+
+    /// Whether `value` was inserted since the last [`BitSet::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain of the last
+    /// [`BitSet::reset`].
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        assert!(value < self.len, "BitSet::contains out of domain");
+        self.words[value / WORD_BITS] >> (value % WORD_BITS) & 1 == 1
+    }
+
+    /// The smallest value in `0..len` *not* in the set, or `None` when the
+    /// set is full. Equivalent to `(0..len).find(|&c| !set.contains(c))`,
+    /// 64 candidates per word scan.
+    pub fn first_absent(&self) -> Option<usize> {
+        for (index, &word) in self.words.iter().enumerate() {
+            let free = !word;
+            if free != 0 {
+                // Only the last word carries out-of-domain bits, and when
+                // a middle word has a free bit the candidate is always in
+                // domain — so one range check covers both cases.
+                let candidate = index * WORD_BITS + free.trailing_zeros() as usize;
+                return (candidate < self.len).then_some(candidate);
+            }
+        }
+        None
+    }
+
+    /// The largest value in `0..len` *not* in the set, or `None` when the
+    /// set is full. Equivalent to `(0..len).rev().find(|&c|
+    /// !set.contains(c))`.
+    pub fn last_absent(&self) -> Option<usize> {
+        for (index, &word) in self.words.iter().enumerate().rev() {
+            let mut free = !word;
+            // Mask off the out-of-domain tail of the last word.
+            let in_domain = self.len - index * WORD_BITS;
+            if in_domain < WORD_BITS {
+                free &= (1u64 << in_domain) - 1;
+            }
+            if free != 0 {
+                return Some(index * WORD_BITS + (WORD_BITS - 1) - free.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +530,62 @@ mod tests {
         let fresh = pool.lease();
         assert_eq!(pool.counters().allocs(), 3);
         drop(fresh);
+    }
+
+    #[test]
+    fn bitset_matches_the_probe_loop_reference() {
+        // Domains straddling the word width, including the exact-word and
+        // empty edges.
+        for len in [0, 1, 2, 63, 64, 65, 127, 128, 130, 200] {
+            let mut set = BitSet::new();
+            set.reset(len);
+            // Deterministic pseudo-random membership.
+            let mut member = vec![false; len];
+            for (value, slot) in member.iter_mut().enumerate() {
+                if (value * 2_654_435_761) % 7 < 3 {
+                    set.insert(value);
+                    *slot = true;
+                }
+            }
+            for (value, &expected) in member.iter().enumerate() {
+                assert_eq!(set.contains(value), expected, "len {len} value {value}");
+            }
+            assert_eq!(
+                set.first_absent(),
+                (0..len).find(|&value| !member[value]),
+                "first_absent at len {len}"
+            );
+            assert_eq!(
+                set.last_absent(),
+                (0..len).rev().find(|&value| !member[value]),
+                "last_absent at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitset_full_and_boundary_behavior() {
+        let mut set = BitSet::new();
+        set.reset(65);
+        for value in 0..65 {
+            set.insert(value);
+        }
+        assert_eq!(set.first_absent(), None, "full set has no absent value");
+        assert_eq!(set.last_absent(), None);
+        // Reset clears and resizes; only the tail value stays absent-able.
+        set.reset(64);
+        for value in 0..63 {
+            set.insert(value);
+        }
+        assert_eq!(set.first_absent(), Some(63));
+        assert_eq!(set.last_absent(), Some(63));
+        set.insert(63);
+        assert_eq!(set.first_absent(), None);
+        // Empty universe.
+        set.reset(0);
+        assert!(set.is_empty());
+        assert_eq!(set.first_absent(), None);
+        assert_eq!(set.last_absent(), None);
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! SIMD capability probe and word-level GF(2)/bitset kernels.
+//!
+//! The intra-layer simulators' hot loops are bound by data width, not
+//! scheduling: the derandomized coloring evaluates GF(2) parities over
+//! bit-packed seed rows, and the elimination sweeps scan word-packed color
+//! sets. This module owns the word-level kernels those loops run on —
+//! XOR, masked parity (`popcount(a & mask) & 1`) and and-not intersection
+//! tests over `&[u64]` — with three dispatch tiers:
+//!
+//! * an explicit AVX2 path (4 × `u64` per instruction),
+//! * an explicit SSE2 path (2 × `u64`, baseline on `x86_64`), and
+//! * a portable scalar path ([`scalar`]) that is **bit-identical** to both
+//!   vector paths and always compiled, so equivalence tests can compare a
+//!   dispatched result against the reference in-process.
+//!
+//! # Probe-once dispatch
+//!
+//! Mirroring [`crate::perf`], the dispatch path is probed **once** per
+//! process: the `AMPC_SIMD=0` environment override (same spelling rules as
+//! `AMPC_PERF`) or the `force-scalar` cargo feature pin the scalar path;
+//! otherwise `x86_64` hosts pick AVX2 when `is_x86_feature_detected!`
+//! says so and SSE2 otherwise, and every other architecture runs scalar.
+//! All three paths produce identical bits for identical inputs — the
+//! probe affects wall clock only, never results, so the workspace's
+//! bit-identity contract is indifferent to it (pinned by
+//! `tests/backend_equivalence.rs` and CI's forced-scalar job).
+//!
+//! Kernels shorter than [`SIMD_MIN_WORDS`] words skip the vector paths
+//! entirely: the common seed-row width is one or two words (`id_bits + 1`
+//! packed bits), where the win comes from the word packing itself and a
+//! vector setup would cost more than it saves.
+//!
+//! # Prefetch
+//!
+//! [`prefetch_read`] is a portable software-prefetch shim over
+//! `PREFETCHT0` for the CSR neighbor scans: a pure latency hint that never
+//! faults and never changes results, compiled to a no-op off `x86_64`.
+//! It is deliberately *not* gated on the probe — a hint cannot violate
+//! the forced-scalar equivalence story.
+
+// Explicit vector paths and the prefetch hint need `core::arch`
+// intrinsics; this module opts out of the crate-wide `deny(unsafe_code)`
+// the same way `pool.rs` and `perf.rs` do, with the unsafety confined to
+// bounds-checked pointer arithmetic over caller-validated slices.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Slices shorter than this many words dispatch straight to [`scalar`]:
+/// below it the vector setup overhead exceeds the arithmetic saved.
+pub const SIMD_MIN_WORDS: usize = 4;
+
+/// How many neighbor-list entries ahead of the cursor the CSR scans issue
+/// [`prefetch_read`] hints: far enough to cover DRAM latency at a few
+/// cycles per scan step, near enough to stay inside the list.
+pub const PREFETCH_LOOKAHEAD: usize = 8;
+
+/// The resolved dispatch tier. Probed once, cached for the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    Scalar,
+}
+
+fn path() -> Path {
+    static PATH: OnceLock<Path> = OnceLock::new();
+    *PATH.get_or_init(|| {
+        if cfg!(feature = "force-scalar") {
+            return Path::Scalar;
+        }
+        // Same override spelling as `AMPC_PERF` (0 / off / false / no).
+        if crate::perf::env_disables(std::env::var("AMPC_SIMD").ok().as_deref()) {
+            return Path::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Path::Avx2
+            } else {
+                Path::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Path::Scalar
+        }
+    })
+}
+
+/// `true` when a vector (non-scalar) path is dispatching. `false` on
+/// non-`x86_64` hosts, under `AMPC_SIMD=0`, or with the `force-scalar`
+/// feature — in all of which every kernel still works, bit-identically,
+/// through [`scalar`].
+pub fn available() -> bool {
+    path() != Path::Scalar
+}
+
+/// The dispatch tier as a stable label: `"avx2"`, `"sse2"` or `"scalar"`.
+/// Surfaced in bench table `meta` so recorded numbers carry the path that
+/// produced them.
+pub fn dispatch_path() -> &'static str {
+    match path() {
+        #[cfg(target_arch = "x86_64")]
+        Path::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        Path::Sse2 => "sse2",
+        Path::Scalar => "scalar",
+    }
+}
+
+/// `out = a ^ b`, word-wise. `out` is cleared and resized to the common
+/// length; `a` and `b` must be the same length.
+pub fn xor_words(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    assert_eq!(a.len(), b.len(), "xor_words operands must match");
+    out.clear();
+    out.resize(a.len(), 0);
+    if a.len() < SIMD_MIN_WORDS {
+        scalar::xor_words_into(a, b, out);
+        return;
+    }
+    match path() {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: the probe confirmed AVX2 at process start.
+        Path::Avx2 => unsafe { x86::xor_words_avx2(a, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        // Safety: SSE2 is baseline on x86_64.
+        Path::Sse2 => unsafe { x86::xor_words_sse2(a, b, out) },
+        Path::Scalar => scalar::xor_words_into(a, b, out),
+    }
+}
+
+/// Parity of `popcount(a & mask)`: `true` for odd. The GF(2) inner
+/// product of two packed bit vectors.
+pub fn masked_parity(a: &[u64], mask: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), mask.len());
+    if a.len() < SIMD_MIN_WORDS {
+        return scalar::masked_parity(a, mask);
+    }
+    match path() {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: the probe confirmed AVX2 at process start.
+        Path::Avx2 => unsafe { x86::masked_parity_avx2(a, mask) },
+        #[cfg(target_arch = "x86_64")]
+        // Safety: SSE2 is baseline on x86_64.
+        Path::Sse2 => unsafe { x86::masked_parity_sse2(a, mask) },
+        Path::Scalar => scalar::masked_parity(a, mask),
+    }
+}
+
+/// `true` when `a & !b` has any bit set — i.e. some bit of `a` falls
+/// outside `b`. The seed-fixing loop asks this per row ("does this edge
+/// query touch a still-free seed bit?").
+pub fn and_not_any(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < SIMD_MIN_WORDS {
+        return scalar::and_not_any(a, b);
+    }
+    match path() {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: the probe confirmed AVX2 at process start.
+        Path::Avx2 => unsafe { x86::and_not_any_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // Safety: SSE2 is baseline on x86_64.
+        Path::Sse2 => unsafe { x86::and_not_any_sse2(a, b) },
+        Path::Scalar => scalar::and_not_any(a, b),
+    }
+}
+
+/// Hints the cache hierarchy to pull `data[index]` toward L1
+/// (`PREFETCHT0`). Out-of-range indices and non-`x86_64` targets are
+/// no-ops; the hint never faults and never changes observable state.
+#[inline(always)]
+pub fn prefetch_read<T>(data: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < data.len() {
+        // Safety: the pointer is in bounds, and PREFETCHT0 is
+        // architecturally a hint — it cannot fault even on a bad address.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                data.as_ptr().add(index).cast::<i8>(),
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, index);
+    }
+}
+
+/// The portable reference kernels — always compiled, bit-identical to the
+/// vector paths, and the path every dispatch takes under `AMPC_SIMD=0`.
+/// Public so equivalence tests can compare a dispatched result against
+/// the reference without spawning a second process.
+pub mod scalar {
+    /// `out[i] = a[i] ^ b[i]`; `out` must already have the operands'
+    /// length.
+    pub fn xor_words_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        for ((slot, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *slot = x ^ y;
+        }
+    }
+
+    /// Parity of `popcount(a & mask)`. Folding the masked words with XOR
+    /// first and popcounting once is exact: parity of a sum of popcounts
+    /// equals the popcount parity of the XOR fold.
+    pub fn masked_parity(a: &[u64], mask: &[u64]) -> bool {
+        let folded = a.iter().zip(mask).fold(0u64, |acc, (&x, &m)| acc ^ (x & m));
+        folded.count_ones() & 1 == 1
+    }
+
+    /// `true` when `a & !b` is nonzero in any word.
+    pub fn and_not_any(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(&x, &y)| x & !y != 0)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Explicit vector kernels. Every function is `unsafe` only because of
+    //! `#[target_feature]`; all memory access is unaligned loads/stores at
+    //! indices bounded by the slice lengths the safe dispatchers checked.
+
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; `out.len() == a.len() ==
+    /// b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_words_avx2(a: &[u64], b: &[u64], out: &mut [u64]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), _mm256_xor_si256(va, vb));
+            i += 4;
+        }
+        while i < n {
+            out[i] = a[i] ^ b[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// `out.len() == a.len() == b.len()` (SSE2 is baseline on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn xor_words_sse2(a: &[u64], b: &[u64], out: &mut [u64]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+            let vb = _mm_loadu_si128(b.as_ptr().add(i).cast());
+            _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), _mm_xor_si128(va, vb));
+            i += 2;
+        }
+        if i < n {
+            out[i] = a[i] ^ b[i];
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; `a.len() == mask.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn masked_parity_avx2(a: &[u64], mask: &[u64]) -> bool {
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vm = _mm256_loadu_si256(mask.as_ptr().add(i).cast());
+            acc = _mm256_xor_si256(acc, _mm256_and_si256(va, vm));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut folded = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+        while i < n {
+            folded ^= a[i] & mask[i];
+            i += 1;
+        }
+        folded.count_ones() & 1 == 1
+    }
+
+    /// # Safety
+    /// `a.len() == mask.len()` (SSE2 is baseline on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn masked_parity_sse2(a: &[u64], mask: &[u64]) -> bool {
+        let n = a.len();
+        let mut acc = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 2 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+            let vm = _mm_loadu_si128(mask.as_ptr().add(i).cast());
+            acc = _mm_xor_si128(acc, _mm_and_si128(va, vm));
+            i += 2;
+        }
+        let mut lanes = [0u64; 2];
+        _mm_storeu_si128(lanes.as_mut_ptr().cast(), acc);
+        let mut folded = lanes[0] ^ lanes[1];
+        if i < n {
+            folded ^= a[i] & mask[i];
+        }
+        folded.count_ones() & 1 == 1
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_not_any_avx2(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            // `_mm256_andnot_si256(x, y)` computes `!x & y`.
+            let hit = _mm256_andnot_si256(vb, va);
+            if _mm256_testz_si256(hit, hit) == 0 {
+                return true;
+            }
+            i += 4;
+        }
+        while i < n {
+            if a[i] & !b[i] != 0 {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// # Safety
+    /// `a.len() == b.len()` (SSE2 is baseline on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn and_not_any_sse2(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+            let vb = _mm_loadu_si128(b.as_ptr().add(i).cast());
+            let hit = _mm_andnot_si128(vb, va);
+            // SSE2 has no TESTZ: compare every byte against zero and
+            // check the 16-bit equality mask instead.
+            let all_zero = _mm_movemask_epi8(_mm_cmpeq_epi8(hit, _mm_setzero_si128())) == 0xFFFF;
+            if !all_zero {
+                return true;
+            }
+            i += 2;
+        }
+        if i < n && a[i] & !b[i] != 0 {
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* word stream — no `rand` dependency in
+    /// this crate, and tests must not depend on ambient entropy.
+    fn words(seed: u64, len: usize) -> Vec<u64> {
+        let mut state = seed.max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatch_path_is_a_known_label() {
+        let label = dispatch_path();
+        assert!(
+            ["avx2", "sse2", "scalar"].contains(&label),
+            "unexpected path {label}"
+        );
+        assert_eq!(available(), label != "scalar");
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_reference_across_lengths() {
+        // Lengths straddle SIMD_MIN_WORDS and every vector-width tail
+        // residue (0..=3 mod 4, 0..=1 mod 2).
+        for len in [0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33, 64, 100] {
+            let a = words(0xA11CE ^ len as u64, len);
+            let b = words(0xB0B ^ (len as u64) << 8, len);
+
+            let mut dispatched = Vec::new();
+            xor_words(&a, &b, &mut dispatched);
+            let mut reference = vec![0u64; len];
+            scalar::xor_words_into(&a, &b, &mut reference);
+            assert_eq!(dispatched, reference, "xor mismatch at len {len}");
+
+            assert_eq!(
+                masked_parity(&a, &b),
+                scalar::masked_parity(&a, &b),
+                "parity mismatch at len {len}"
+            );
+            assert_eq!(
+                and_not_any(&a, &b),
+                scalar::and_not_any(&a, &b),
+                "and-not mismatch at len {len}"
+            );
+            // Force both branches of the intersection test: a ⊆ b never
+            // escapes b, and an extra bit outside b always does.
+            let cover: Vec<u64> = a.iter().map(|&x| x | 0x8000_0000_0000_0001).collect();
+            let inside: Vec<u64> = a.iter().map(|&x| x & 0x7FFF_FFFF_FFFF_FFFE).collect();
+            assert!(!and_not_any(&inside, &cover));
+            assert_eq!(and_not_any(&a, &inside), scalar::and_not_any(&a, &inside));
+        }
+    }
+
+    #[test]
+    fn masked_parity_counts_exactly() {
+        // Hand-checkable case: three overlapping bits → odd parity.
+        let a = vec![0b1011u64, 0, 0, 0, 1];
+        let m = vec![0b1110u64, 0, 0, 0, 1];
+        // a & m = 0b1010 plus the lone top word bit = 3 bits set.
+        assert!(masked_parity(&a, &m));
+        assert!(scalar::masked_parity(&a, &m));
+    }
+
+    #[test]
+    fn prefetch_is_inert() {
+        let data = vec![1u32, 2, 3];
+        prefetch_read(&data, 0);
+        prefetch_read(&data, 2);
+        prefetch_read(&data, 999); // out of range: no-op, no fault
+        prefetch_read::<u64>(&[], 0);
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let mut out = vec![7u64; 3];
+        xor_words(&[], &[], &mut out);
+        assert!(out.is_empty());
+        assert!(!masked_parity(&[], &[]));
+        assert!(!and_not_any(&[], &[]));
+    }
+}

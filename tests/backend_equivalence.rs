@@ -9,11 +9,12 @@ use ampc_coloring_repro::{Algorithm, RuntimeConfig, SparseColoring, Workload};
 use ampc_model::{AmpcConfig, ConflictPolicy, DataStore, Key, ModelError, Value};
 use ampc_runtime::{AmpcBackend, RoundPrimitives};
 use arbo_coloring::{
-    arb_linial_coloring_with_runtime, derandomized_coloring_with_runtime,
-    kw_color_reduction_with_runtime, recolor_layers_with_runtime, DerandParams, RecolorOrder,
+    arb_linial_coloring_with_runtime, derandomized_coloring_relabeled,
+    derandomized_coloring_with_runtime, kw_color_reduction_with_runtime,
+    recolor_layers_with_runtime, DerandParams, RecolorOrder,
 };
 use beta_partition::{ampc_beta_partition, natural_partition, PartitionParams};
-use sparse_graph::{Coloring, CsrGraph, Orientation};
+use sparse_graph::{relabel, Coloring, CsrGraph, Orientation, RelabelPolicy};
 
 const ALL_WORKLOADS: [Workload; 5] = [
     Workload::ForestUnion { n: 400, k: 2 },
@@ -361,6 +362,141 @@ fn recolor_and_derand_sweeps_are_bit_identical_across_thread_counts() {
             );
             assert_eq!(derand_reference.uncolored_history, derand.uncolored_history);
             assert_eq!(derand_reference.mpc_rounds, derand.mpc_rounds);
+        }
+    }
+}
+
+/// The relabel × thread matrix of the memory-layout pass: every simulator,
+/// run on a cache-aware relabeled instance (permute → color → un-permute),
+/// reproduces the unrelabeled sequential reference byte for byte, for
+/// every workload, relabel policy and thread count.
+///
+/// The ingredients of the contract (pinned here, argued in
+/// `sparse_graph::relabel`'s module docs): orientations are computed on
+/// the *original* graph and pushed through the permutation; initial
+/// colorings are permuted alongside the graph; the derandomized coloring —
+/// whose GF(2) queries read node ids — encodes *original* ids via
+/// [`derandomized_coloring_relabeled`]. This same matrix doubles as the
+/// forced-scalar equivalence gate: CI runs the suite once with
+/// `AMPC_SIMD=0`, so any divergence between the SIMD and portable-scalar
+/// kernels breaks the identity asserted here in exactly one of the two
+/// jobs.
+#[test]
+fn relabeled_runs_unpermute_to_the_unrelabeled_reference() {
+    for workload in ALL_WORKLOADS {
+        let graph = workload.build(108);
+        let n = graph.num_nodes();
+        let orientation = Orientation::from_total_order(&graph, |v| v);
+        let initial = Coloring::new((0..n).collect());
+        let delta = graph.max_degree();
+        let beta = 2 * workload.alpha_bound() + 2;
+        let derand_params = DerandParams::with_x(2);
+
+        let sequential = RoundPrimitives::sequential();
+        let linial_reference =
+            arb_linial_coloring_with_runtime(&graph, &orientation, Some(&initial), &sequential)
+                .expect("reference Arb-Linial succeeds");
+        let kw_reference = kw_color_reduction_with_runtime(&graph, &initial, delta, &sequential)
+            .expect("reference KW succeeds");
+        let recolor_reference = recolor_layers_with_runtime(
+            &graph,
+            &natural_partition(&graph, beta),
+            &initial,
+            RecolorOrder::HighestAvailable,
+            &sequential,
+        )
+        .expect("reference recolor succeeds");
+        let derand_reference =
+            derandomized_coloring_with_runtime(&graph, &derand_params, &sequential);
+
+        for policy in RelabelPolicy::ALL {
+            let (relabeled, permutation) = relabel(&graph, policy);
+            // Push the *original* instance through the permutation: the
+            // orientation keeps its original tie-breaks, the initial colors
+            // follow their nodes.
+            let pushed_orientation = permutation.permute_orientation(&orientation);
+            let pushed_initial = Coloring::new(permutation.permute_colors(initial.colors()));
+            // The natural partition peels whole threshold sets at a time,
+            // so its layers are label-independent and can be recomputed on
+            // the relabeled graph directly.
+            let pushed_partition = natural_partition(&relabeled, beta);
+
+            for threads in [1usize, 4] {
+                let primitives = RoundPrimitives::new(threads);
+                let label = format!(
+                    "workload {workload:?}, {}, threads {threads}",
+                    policy.label()
+                );
+
+                let linial = arb_linial_coloring_with_runtime(
+                    &relabeled,
+                    &pushed_orientation,
+                    Some(&pushed_initial),
+                    &primitives,
+                )
+                .expect("relabeled Arb-Linial succeeds");
+                assert_eq!(
+                    permutation.unpermute_coloring(&linial.coloring),
+                    linial_reference.coloring,
+                    "arb-linial: {label}"
+                );
+                assert_eq!(
+                    linial_reference.palette_trajectory, linial.palette_trajectory,
+                    "arb-linial trajectory: {label}"
+                );
+
+                let kw = kw_color_reduction_with_runtime(
+                    &relabeled,
+                    &pushed_initial,
+                    delta,
+                    &primitives,
+                )
+                .expect("relabeled KW succeeds");
+                assert_eq!(
+                    permutation.unpermute_coloring(&kw.coloring),
+                    kw_reference.coloring,
+                    "kw: {label}"
+                );
+                assert_eq!(
+                    kw_reference.palette_trajectory, kw.palette_trajectory,
+                    "kw trajectory: {label}"
+                );
+
+                let recolored = recolor_layers_with_runtime(
+                    &relabeled,
+                    &pushed_partition,
+                    &pushed_initial,
+                    RecolorOrder::HighestAvailable,
+                    &primitives,
+                )
+                .expect("relabeled recolor succeeds");
+                assert_eq!(
+                    permutation.unpermute_coloring(&recolored.coloring),
+                    recolor_reference.coloring,
+                    "recolor: {label}"
+                );
+                assert_eq!(
+                    recolor_reference.repaired_conflicts, recolored.repaired_conflicts,
+                    "recolor conflicts: {label}"
+                );
+
+                let derand = derandomized_coloring_relabeled(
+                    &relabeled,
+                    &derand_params,
+                    &permutation,
+                    &primitives,
+                );
+                assert_eq!(
+                    permutation.unpermute_coloring(&derand.coloring),
+                    derand_reference.coloring,
+                    "derand: {label}"
+                );
+                assert_eq!(
+                    derand_reference.uncolored_history, derand.uncolored_history,
+                    "derand history: {label}"
+                );
+                assert_eq!(derand_reference.mpc_rounds, derand.mpc_rounds);
+            }
         }
     }
 }
