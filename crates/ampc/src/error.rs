@@ -44,6 +44,26 @@ pub enum ModelError {
         /// Description of the misuse.
         String,
     ),
+    /// A round panicked (in a machine body or the merge phase) and every
+    /// permitted retry was exhausted. Panics from injected faults are
+    /// always retried before this surfaces; a real panic is reported with
+    /// whatever payload detail could be extracted.
+    RoundPanicked {
+        /// Round (0-based, per backend) that kept panicking.
+        round: usize,
+        /// Best-effort panic payload description.
+        detail: String,
+    },
+    /// A round overran its configured wall-clock deadline on every
+    /// permitted attempt.
+    RoundDeadlineExceeded {
+        /// Round (0-based, per backend) that kept overrunning.
+        round: usize,
+        /// The deadline that was in force, in milliseconds.
+        deadline_ms: u64,
+        /// Number of attempts made (initial run + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -74,6 +94,22 @@ impl fmt::Display for ModelError {
                 write!(f, "conflicting writes to key {key}")
             }
             ModelError::InvalidUsage(message) => write!(f, "invalid simulator usage: {message}"),
+            ModelError::RoundPanicked { round, detail } => {
+                write!(
+                    f,
+                    "round {round} panicked after exhausting retries: {detail}"
+                )
+            }
+            ModelError::RoundDeadlineExceeded {
+                round,
+                deadline_ms,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "round {round} exceeded its {deadline_ms} ms deadline on all {attempts} attempts"
+                )
+            }
         }
     }
 }

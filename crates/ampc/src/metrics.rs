@@ -314,6 +314,17 @@ impl AmpcMetrics {
     pub(crate) fn push_round(&mut self, report: RoundReport) {
         self.rounds.push(report);
     }
+
+    /// Discards the most recent round report (and its runtime stats, when
+    /// one was recorded for it), restoring the metrics to their pre-round
+    /// state. Used by the runtime's per-round deadline enforcement to roll
+    /// back an attempt whose overrun was only detected after it committed.
+    pub fn discard_last_round(&mut self) {
+        self.rounds.pop();
+        while self.runtime.len() > self.rounds.len() {
+            self.runtime.pop();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,8 +52,9 @@ pub fn request(
 ///
 /// # Errors
 ///
-/// Transport failures from [`request`], or a timeout description if no
-/// terminal state is reached in time.
+/// Transport failures from [`request`] (after one retry of transient
+/// ones), or a timeout description if no terminal state is reached in
+/// time.
 pub fn poll_terminal<A: ToSocketAddrs + Clone>(
     addr: A,
     job: u64,
@@ -61,13 +62,19 @@ pub fn poll_terminal<A: ToSocketAddrs + Clone>(
 ) -> Result<(u16, String), String> {
     let deadline = Instant::now() + timeout;
     loop {
-        let (status, body) = request(
-            addr.clone(),
-            "GET",
-            &format!("/v1/jobs/{job}"),
-            "",
-            Some(timeout),
-        )?;
+        let target = format!("/v1/jobs/{job}");
+        let (status, body) = match request(addr.clone(), "GET", &target, "", Some(timeout)) {
+            Ok(response) => response,
+            // One poll landing on a reset or starved connection (e.g. the
+            // server recycling an acceptor mid-poll) must not abort a
+            // whole wait that still has deadline budget — retry exactly
+            // once before giving up for real.
+            Err(error) if is_transient_transport_error(&error) && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+                request(addr.clone(), "GET", &target, "", Some(timeout))?
+            }
+            Err(error) => return Err(error),
+        };
         if status != 200
             || body.contains("\"status\":\"done\"")
             || body.contains("\"status\":\"failed\"")
@@ -81,6 +88,26 @@ pub fn poll_terminal<A: ToSocketAddrs + Clone>(
         }
         std::thread::sleep(Duration::from_millis(5));
     }
+}
+
+/// Classifies a [`request`] error as a retriable transport hiccup: a
+/// connection reset/abort or a would-block/timed-out read. Refused
+/// connections and HTTP-level failures are NOT transient — the server is
+/// down or answering; retrying would only mask that.
+fn is_transient_transport_error(error: &str) -> bool {
+    let transient = [
+        "Connection reset",
+        "connection reset",
+        "Connection aborted",
+        "connection aborted",
+        "Resource temporarily unavailable",
+        "operation would block",
+        "timed out",
+        "Broken pipe",
+        "broken pipe",
+    ];
+    (error.starts_with("connect:") || error.starts_with("read:") || error.starts_with("write:"))
+        && transient.iter().any(|needle| error.contains(needle))
 }
 
 /// Extracts a `"field":123` number from a flat JSON rendering — the one
@@ -118,5 +145,28 @@ mod tests {
         assert_eq!(json_coloring(body), Some(vec![0, 1, 2]));
         assert_eq!(json_coloring(r#"{"coloring":[]}"#), Some(Vec::new()));
         assert_eq!(json_coloring(r#"{"job":1}"#), None);
+    }
+
+    #[test]
+    fn transient_transport_errors_are_classified() {
+        assert!(is_transient_transport_error(
+            "read: Connection reset by peer (os error 104)"
+        ));
+        assert!(is_transient_transport_error(
+            "read: Resource temporarily unavailable (os error 11)"
+        ));
+        assert!(is_transient_transport_error(
+            "write: Broken pipe (os error 32)"
+        ));
+        assert!(is_transient_transport_error(
+            "connect: Connection timed out (os error 110)"
+        ));
+        // A refused connection means nothing is listening: not transient.
+        assert!(!is_transient_transport_error(
+            "connect: Connection refused (os error 111)"
+        ));
+        // HTTP-level problems are never transport hiccups.
+        assert!(!is_transient_transport_error("missing status line"));
+        assert!(!is_transient_transport_error("bad status line"));
     }
 }

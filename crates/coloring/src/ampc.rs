@@ -30,6 +30,17 @@ pub enum ColoringError {
     Partition(PartitionError),
     /// A coloring subroutine reported an inconsistency.
     Internal(String),
+    /// An AMPC round kept failing — panicking or overrunning its deadline —
+    /// after the runtime's bounded retries were exhausted. Unlike
+    /// [`ColoringError::Partition`] / [`ColoringError::Internal`] this is
+    /// an *availability* failure, not a logic error: the job may succeed
+    /// if resubmitted (the service's job-level retry does exactly that).
+    RoundFailure {
+        /// Round index (0-based within the failing phase).
+        round: usize,
+        /// What kept happening: the panic payload or the blown deadline.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ColoringError {
@@ -37,6 +48,9 @@ impl fmt::Display for ColoringError {
         match self {
             ColoringError::Partition(err) => write!(f, "beta-partition phase failed: {err}"),
             ColoringError::Internal(message) => write!(f, "coloring phase failed: {message}"),
+            ColoringError::RoundFailure { round, reason } => {
+                write!(f, "round {round} failed permanently: {reason}")
+            }
         }
     }
 }
@@ -45,7 +59,46 @@ impl std::error::Error for ColoringError {}
 
 impl From<PartitionError> for ColoringError {
     fn from(err: PartitionError) -> Self {
+        // Retry-exhaustion failures are surfaced structurally so callers
+        // (the service's job supervisor) can tell a transient round
+        // failure from a deterministic partition error.
+        if let PartitionError::Model(model) = &err {
+            if let Some(failure) = ColoringError::from_round_failure(model) {
+                return failure;
+            }
+        }
         ColoringError::Partition(err)
+    }
+}
+
+impl ColoringError {
+    /// The structured form of the runtime's retry-exhaustion errors, or
+    /// `None` for ordinary (deterministic) model errors.
+    fn from_round_failure(error: &ampc_model::ModelError) -> Option<ColoringError> {
+        match error {
+            ampc_model::ModelError::RoundPanicked { round, detail } => {
+                Some(ColoringError::RoundFailure {
+                    round: *round,
+                    reason: format!("panicked: {detail}"),
+                })
+            }
+            ampc_model::ModelError::RoundDeadlineExceeded {
+                round,
+                deadline_ms,
+                attempts,
+            } => Some(ColoringError::RoundFailure {
+                round: *round,
+                reason: format!(
+                    "exceeded its {deadline_ms} ms deadline on all {attempts} attempts"
+                ),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this failure is transient (a whole-job retry may succeed).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ColoringError::RoundFailure { .. })
     }
 }
 

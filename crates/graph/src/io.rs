@@ -440,4 +440,70 @@ mod tests {
         let parsed = parse_edge_list(&text, 0).unwrap();
         assert_eq!(parsed, g);
     }
+
+    /// Property-style fuzzing of the untrusted-input path: hundreds of
+    /// randomly mutated edge lists (and pure byte soup) must either parse
+    /// or fail with a structured error pointing at a real line — never
+    /// panic, never disagree between the in-memory and streaming parsers,
+    /// and never accept a node id past the configured bound. The LCG is
+    /// seeded deterministically so any failure reproduces exactly.
+    #[test]
+    fn fuzzed_edge_lists_never_panic_and_parsers_agree() {
+        let mut lcg = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        let seed_text = "# header\nc comment\n0 1\n1 2\n2 3\n3 0\n4 5\n% tail\n";
+        for case in 0..400 {
+            // Half the cases mutate a valid document, half are raw noise —
+            // the former probe near-miss grammar, the latter probe the
+            // tokenizer's worst inputs.
+            let text = if case % 2 == 0 {
+                let mut bytes = seed_text.as_bytes().to_vec();
+                for _ in 0..=(next() % 8) {
+                    let at = next() as usize % bytes.len();
+                    bytes[at] = next() as u8;
+                }
+                String::from_utf8_lossy(&bytes).into_owned()
+            } else {
+                let len = next() as usize % 64;
+                let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                String::from_utf8_lossy(&bytes).into_owned()
+            };
+            let limit = 1 + next() as usize % 4096;
+
+            let in_memory = parse_edge_list(&text, 0);
+            let streamed = read_edge_list(std::io::Cursor::new(text.as_bytes()), 0);
+            match (&in_memory, &streamed) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "case {case}: parsers diverged on {text:?}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "case {case}: errors diverged on {text:?}");
+                    let lines = text.lines().count().max(1);
+                    assert!(
+                        a.line() >= 1 && a.line() <= lines,
+                        "case {case}: error line {} outside 1..={lines} for {text:?}",
+                        a.line()
+                    );
+                    // Every error renders a line-numbered message.
+                    assert!(a.to_string().contains(&format!("line {}", a.line())));
+                }
+                _ => panic!("case {case}: parsers disagreed on Ok/Err for {text:?}"),
+            }
+
+            // The bounded reader upholds its allocation guard: whatever it
+            // accepts fits the limit (plus min_nodes padding of 0 here).
+            if let Ok(graph) =
+                read_edge_list_bounded(std::io::Cursor::new(text.as_bytes()), 0, limit)
+            {
+                assert!(
+                    graph.num_nodes() <= limit,
+                    "case {case}: {} nodes accepted past limit {limit} for {text:?}",
+                    graph.num_nodes()
+                );
+            }
+        }
+    }
 }

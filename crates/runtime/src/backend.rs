@@ -7,6 +7,7 @@ use ampc_model::{
     ModelError, RoundReport, Value,
 };
 
+use crate::faults::{self, AttemptFailure};
 use crate::trace::{span_on, TraceContext};
 
 /// A machine closure executed once per machine in a round.
@@ -169,6 +170,87 @@ impl AmpcBackend for SequentialBackend {
         carry_forward: bool,
         body: &RoundBody<'_>,
     ) -> Result<RoundReport, ModelError> {
+        let plan = faults::active();
+        let deadline = faults::round_deadline();
+        if plan.is_none() && deadline.is_none() && faults::max_round_retries() == 0 {
+            // The production fast path: no plan, no deadline, no retries.
+            return self.round_once(machines, policy, carry_forward, body);
+        }
+        // Attempts of one logical round (and both backends) share the same
+        // round index — it only advances on success — so they share the
+        // same injection cells.
+        let round = self.executor.metrics().num_rounds();
+        // Panics and model errors already leave the executor untouched
+        // ("failed rounds leave no trace"); only a deadline overrun is
+        // detected *after* the round committed, so it alone needs an input
+        // snapshot to roll back to. Cloned once, and only in deadline mode.
+        let snapshot = deadline.map(|_| self.executor.store().clone());
+        faults::run_with_retries(round, |attempt| {
+            let started = std::time::Instant::now();
+            // The sequential merge happens inside the executor where it
+            // cannot be intercepted, so an injected merge failure fires
+            // before the round runs — behaviorally identical: the attempt
+            // is lost whole and the retry replays from the same input.
+            if let Some(plan) = &plan {
+                if plan.merge_fails(round as u64, attempt) {
+                    faults::note_merge_failure();
+                    std::panic::panic_any(faults::InjectedPanic);
+                }
+            }
+            let result = if let Some(plan) = &plan {
+                let faulty_body = |machine: usize, ctx: &mut MachineContext<'_>| {
+                    if let Some(fault) = plan.task_fault(round as u64, machine as u64, attempt) {
+                        faults::apply(fault);
+                    }
+                    body(machine, ctx)
+                };
+                self.round_once(machines, policy, carry_forward, &faulty_body)
+            } else {
+                self.round_once(machines, policy, carry_forward, body)
+            };
+            match result {
+                Ok(report) => {
+                    if let Some(limit) = deadline {
+                        if started.elapsed() > limit {
+                            // Committed before the overrun was known: put
+                            // the store and metrics back, discard whole.
+                            if let Some(snapshot) = &snapshot {
+                                *self.executor.store_mut() = snapshot.clone();
+                            }
+                            self.executor.metrics_mut().discard_last_round();
+                            return Err(AttemptFailure::Deadline(limit.as_millis() as u64));
+                        }
+                    }
+                    Ok(report)
+                }
+                Err(error) => Err(AttemptFailure::Fatal(error)),
+            }
+        })
+    }
+
+    fn into_parts(self: Box<Self>) -> (DataStore, AmpcMetrics) {
+        self.executor.into_parts()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn set_trace(&mut self, trace: Option<Arc<TraceContext>>) {
+        self.trace = trace;
+    }
+}
+
+impl SequentialBackend {
+    /// One un-supervised round on the wrapped executor (the pre-fault-plane
+    /// `run_round` body).
+    fn round_once(
+        &mut self,
+        machines: usize,
+        policy: ConflictPolicy,
+        carry_forward: bool,
+        body: &RoundBody<'_>,
+    ) -> Result<RoundReport, ModelError> {
         let round_index = self.executor.metrics().num_rounds() as u64;
         let _span = span_on(self.trace.as_deref(), "backend.round", "backend")
             .with_arg("round", round_index)
@@ -202,18 +284,6 @@ impl AmpcBackend for SequentialBackend {
             stats.branch_misses = perf.branch_misses;
         }
         result
-    }
-
-    fn into_parts(self: Box<Self>) -> (DataStore, AmpcMetrics) {
-        self.executor.into_parts()
-    }
-
-    fn name(&self) -> &'static str {
-        "sequential"
-    }
-
-    fn set_trace(&mut self, trace: Option<Arc<TraceContext>>) {
-        self.trace = trace;
     }
 }
 

@@ -111,6 +111,7 @@
 pub mod alloc_count;
 mod backend;
 mod config;
+pub mod faults;
 mod parallel;
 pub mod perf;
 mod pool;

@@ -121,6 +121,12 @@ struct PoolShared {
     /// Round-robin cursor so consecutive batches start at different home
     /// deques (keeps single-task-per-batch workloads spread out).
     next_home: AtomicUsize,
+    /// Workers respawned by the supervision path after being poisoned
+    /// (see [`crate::faults::poison_current_worker`]).
+    restarts: AtomicU64,
+    /// Join handles of supervised replacement threads, drained by the
+    /// pool's `Drop`.
+    respawned: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl PoolShared {
@@ -211,6 +217,30 @@ impl PoolShared {
         let _guard = lock(&self.sleep);
         self.work_available.notify_all();
     }
+
+    /// Supervision path for a poisoned worker: its unclaimed tasks drain
+    /// back into the shared injector (they stay claimable, so no batch
+    /// loses a task), a replacement thread is spawned under the same
+    /// index, and the pool's `Drop` joins the replacement later. The
+    /// poisoned thread returns right after this.
+    fn supervise_respawn(self: &Arc<Self>, index: usize) {
+        let orphans: Vec<QueuedTask> = {
+            let mut deque = lock(&self.deques[index]);
+            deque.drain(..).collect()
+        };
+        if !orphans.is_empty() {
+            lock(&self.injector).extend(orphans);
+        }
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(self);
+        let handle = thread::Builder::new()
+            .name(format!("ampc-pool-{index}"))
+            .spawn(move || worker_loop(shared, index))
+            .expect("respawning a pool worker failed");
+        lock(&self.respawned).push(handle);
+        // The orphaned tasks need a runner other than this exiting thread.
+        self.wake_workers();
+    }
 }
 
 fn worker_loop(shared: Arc<PoolShared>, index: usize) {
@@ -225,6 +255,14 @@ fn worker_loop(shared: Arc<PoolShared>, index: usize) {
         // missed by a stats snapshot taken right after.
         shared.workers[index].tasks.fetch_add(1, Ordering::Relaxed);
         batch.run(task);
+        // Panic isolation: a task panic is caught by `Batch::run`, so it
+        // can never kill a worker — but a task that *poisoned* this worker
+        // (the fault plane's AbortWorker injection) makes it exit here and
+        // hand its index to a supervised replacement.
+        if crate::faults::take_worker_poison() {
+            shared.supervise_respawn(index);
+            return;
+        }
     }
 }
 
@@ -246,6 +284,10 @@ pub struct PoolStats {
     /// Tasks routed to the shared injector because their home deque was
     /// full ([`DEQUE_CAPACITY`]).
     pub overflows: u64,
+    /// Workers the supervision path respawned after poisoning: each one is
+    /// a worker thread that exited and was replaced under the same index,
+    /// with its unclaimed tasks drained back to the injector.
+    pub worker_restarts: u64,
 }
 
 impl PoolStats {
@@ -312,6 +354,8 @@ impl WorkerPool {
             steals: AtomicU64::new(0),
             overflows: AtomicU64::new(0),
             next_home: AtomicUsize::new(0),
+            restarts: AtomicU64::new(0),
+            respawned: Mutex::new(Vec::new()),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -371,6 +415,7 @@ impl WorkerPool {
             helper_tasks: self.shared.helper_tasks.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
             overflows: self.shared.overflows.load(Ordering::Relaxed),
+            worker_restarts: self.shared.restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -387,6 +432,9 @@ impl WorkerPool {
             // One task gains nothing from a queue round-trip.
             let mut tasks = tasks;
             (tasks.pop().expect("len checked"))();
+            // A worker-abort fault that ran inline poisoned the *submitter*
+            // thread; clear the stray flag (only pool workers restart).
+            let _ = crate::faults::take_worker_poison();
             return;
         }
 
@@ -428,6 +476,9 @@ impl WorkerPool {
             batch.run(task);
             shared.helper_tasks.fetch_add(1, Ordering::Relaxed);
         }
+        // As in the single-task path: a poison fault that a helping
+        // submitter absorbed must not linger on this non-worker thread.
+        let _ = crate::faults::take_worker_poison();
         let mut pending = lock(&batch.pending);
         while *pending > 0 {
             pending = batch
@@ -450,6 +501,14 @@ impl Drop for WorkerPool {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake_workers();
         for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Supervised replacements observe the same shutdown flag; a
+        // replacement may itself have respawned, so drain until empty.
+        loop {
+            let Some(handle) = lock(&self.shared.respawned).pop() else {
+                break;
+            };
             let _ = handle.join();
         }
     }
@@ -1019,6 +1078,55 @@ mod tests {
         }
         let expected: u64 = (1..=16).sum();
         assert!(totals.iter().all(|&v| v == expected), "{totals:?}");
+    }
+
+    #[test]
+    fn poisoned_workers_are_respawned_and_their_tasks_survive() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        let pool = WorkerPool::new(2);
+        let before = pool.stats().worker_restarts;
+        let ran = Counter::new(0);
+        // Every task poisons whichever runner executes it: a worker that
+        // claims even one restarts; the helping submitter just clears its
+        // flag. The loop re-submits until a worker provably restarted. On a
+        // loaded host the submitter can drain a whole batch before the two
+        // worker threads ever get scheduled — and the respawn itself lands
+        // only after the batch's last `run` returns — so each round yields
+        // the CPU for a moment before re-checking.
+        let mut rounds = 0usize;
+        let mut total = 0u64;
+        while pool.stats().worker_restarts == before && rounds < 200 {
+            let tasks: Vec<ScopedTask<'_>> = (0..64)
+                .map(|_| {
+                    let ran = &ran;
+                    Box::new(move || {
+                        crate::faults::poison_current_worker();
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            pool.execute(tasks);
+            rounds += 1;
+            total += 64;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Every task still completed — poisoning only retires the thread
+        // after the batch bookkeeping, never drops work.
+        assert_eq!(ran.load(Ordering::Relaxed), total);
+        let after = pool.stats();
+        assert!(
+            after.worker_restarts > before,
+            "a poisoned worker must restart (rounds = {rounds})"
+        );
+        // The pool still serves batches afterwards with the same width.
+        assert_eq!(pool.num_workers(), 2);
+        let mut ok = [false; 8];
+        let tasks: Vec<ScopedTask<'_>> = ok
+            .iter_mut()
+            .map(|slot| Box::new(move || *slot = true) as ScopedTask<'_>)
+            .collect();
+        pool.execute(tasks);
+        assert!(ok.iter().all(|&v| v));
     }
 
     #[test]

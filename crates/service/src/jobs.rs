@@ -78,6 +78,16 @@ pub struct ServiceConfig {
     /// and counted, never blocking the computation. `0` disables per-job
     /// tracing entirely (no buffers, no clock reads).
     pub trace_events: usize,
+    /// How many times a job whose computation failed *transiently* — a
+    /// caught panic or a round that exhausted its runtime-level retries —
+    /// is re-run before it is reported as failed. Deterministic errors
+    /// (bad parameters, partition failures) never retry.
+    pub job_retries: u32,
+    /// Per-AMPC-round wall-clock deadline in milliseconds, enforced by the
+    /// runtime backends (an overrunning round attempt is discarded and
+    /// retried; persistent overrun fails the round). `0` disables, leaving
+    /// any `AMPC_ROUND_DEADLINE_MS` environment setting in force.
+    pub round_deadline_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +106,8 @@ impl Default for ServiceConfig {
             job_ttl: Duration::from_secs(600),
             cache_ttl: Duration::from_secs(3600),
             trace_events: 16_384,
+            job_retries: 1,
+            round_deadline_ms: 0,
         }
     }
 }
@@ -268,6 +280,9 @@ pub struct ManagerCounters {
     /// Computed jobs whose rounds carried at least one nonzero hardware
     /// sample.
     pub perf_sampled_jobs: u64,
+    /// Whole-job computations re-run after a transient failure (caught
+    /// panic or retry-exhausted round).
+    pub jobs_retried: u64,
 }
 
 struct QueueItem {
@@ -306,6 +321,9 @@ struct ManagerShared {
     computed: AtomicU64,
     /// Per-job trace-event capacity (0 disables tracing).
     trace_events: usize,
+    /// Transient-failure retry budget per job.
+    job_retries: u32,
+    jobs_retried: AtomicU64,
     /// Microseconds jobs spent waiting in the submission queue.
     queue_wait_micros: LatencyHistogram,
     /// Microseconds computed (non-cached) jobs took to execute.
@@ -442,6 +460,12 @@ impl std::fmt::Debug for JobManager {
 impl JobManager {
     /// Spawns the persistent job workers and returns the manager.
     pub fn new(config: ServiceConfig) -> Self {
+        // The round deadline lives in the runtime (it gates the backends'
+        // attempt loops); only a nonzero config value overrides the
+        // `AMPC_ROUND_DEADLINE_MS` environment setting.
+        if config.round_deadline_ms > 0 {
+            ampc_runtime::faults::set_round_deadline_ms(config.round_deadline_ms);
+        }
         let shared = Arc::new(ManagerShared {
             jobs: Mutex::new(JobsState::default()),
             job_done: Condvar::new(),
@@ -462,6 +486,8 @@ impl JobManager {
             failed: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             trace_events: config.trace_events,
+            job_retries: config.job_retries,
+            jobs_retried: AtomicU64::new(0),
             queue_wait_micros: LatencyHistogram::new(),
             execution_micros: LatencyHistogram::new(),
             perf: PerfSink::new(),
@@ -642,6 +668,7 @@ impl JobManager {
             cache: self.shared.cache.counters(),
             perf: self.shared.perf.counters(),
             perf_sampled_jobs: self.shared.perf.samples(),
+            jobs_retried: self.shared.jobs_retried.load(Ordering::Relaxed),
         }
     }
 
@@ -714,33 +741,51 @@ fn worker_loop(shared: Arc<ManagerShared>, queue_rx: Arc<Mutex<Receiver<QueueIte
             .queue_wait_micros
             .record(item.enqueued.elapsed().as_micros() as u64);
 
-        // One pre-allocated trace context per computed job: the fixed-size
-        // event buffers are created before the computation starts, so the
-        // AMPC rounds themselves stay allocation-free while recording.
-        let trace = (shared.trace_events > 0)
-            .then(|| Arc::new(TraceContext::with_capacity(shared.trace_events)));
-
         let started = Instant::now();
-        // Panic isolation: a panicking computation must neither kill the
-        // persistent worker nor leave the cache entry in-flight forever —
-        // it becomes a failed job like any other error.
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            SparseColoring::color_request_traced(&item.graph, &item.spec.request, trace.clone())
-        }))
-        .unwrap_or_else(|payload| {
-            let detail = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string());
-            Err(ampc_coloring::Error::InvalidRequest(format!(
-                "job computation panicked: {detail}"
-            )))
-        });
+        let mut attempt = 0u32;
+        let (outcome, timeline) = loop {
+            // One pre-allocated trace context per attempt: the fixed-size
+            // event buffers are created before the computation starts, so
+            // the AMPC rounds themselves stay allocation-free while
+            // recording (a retried attempt gets a fresh context — the
+            // discarded attempt's spans describe work that was thrown
+            // away).
+            let trace = (shared.trace_events > 0)
+                .then(|| Arc::new(TraceContext::with_capacity(shared.trace_events)));
+            // Panic isolation: a panicking computation must neither kill
+            // the persistent worker nor leave the cache entry in-flight
+            // forever — it becomes a failed job like any other error.
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                SparseColoring::color_request_traced(&item.graph, &item.spec.request, trace.clone())
+            }));
+            // Transient failures — a caught panic, or a round that
+            // exhausted the runtime's own bounded retries — may succeed on
+            // a clean re-run; deterministic errors never do.
+            let transient = match &caught {
+                Err(_) => true,
+                Ok(Err(ampc_coloring::Error::Coloring(error))) => error.is_transient(),
+                Ok(_) => false,
+            };
+            let outcome = caught.unwrap_or_else(|payload| {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(ampc_coloring::Error::InvalidRequest(format!(
+                    "job computation panicked: {detail}"
+                )))
+            });
+            if outcome.is_err() && transient && attempt < shared.job_retries {
+                attempt += 1;
+                shared.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            break (outcome, trace.map(|trace| Arc::new(trace.finish())));
+        };
         let wall_nanos = started.elapsed().as_nanos() as u64;
         shared.running.fetch_sub(1, Ordering::Relaxed);
         shared.execution_micros.record(wall_nanos / 1_000);
-        let timeline = trace.map(|trace| Arc::new(trace.finish()));
 
         match outcome {
             Ok(outcome) => {

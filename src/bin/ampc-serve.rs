@@ -21,6 +21,12 @@
 //!   entry-count and memory-budget caps).
 //! * `--trace-events=N` — span-buffer capacity per computed job (default
 //!   16384; `0` disables per-job tracing and `GET /v1/jobs/{id}/trace`).
+//! * `--job-retries=N` — how many times a *transiently* failed job
+//!   (exhausted round retries, a caught panic) is recomputed before it is
+//!   reported failed (default 1; deterministic errors never retry).
+//! * `--round-deadline-ms=N` — per-AMPC-round deadline; an overrunning
+//!   round is rolled back and replayed (default 0 = disabled; the
+//!   `AMPC_ROUND_DEADLINE_MS` env var stays in force when unset).
 
 use std::time::Duration;
 
@@ -57,6 +63,12 @@ fn main() {
     }
     if let Some(events) = parse_flag::<usize>(&args, "trace-events") {
         config.trace_events = events;
+    }
+    if let Some(retries) = parse_flag::<u32>(&args, "job-retries") {
+        config.job_retries = retries;
+    }
+    if let Some(ms) = parse_flag::<u64>(&args, "round-deadline-ms") {
+        config.round_deadline_ms = ms;
     }
 
     let server = match Server::bind(&addr, config) {
