@@ -17,12 +17,17 @@
 //! `--concurrency=C` (default 4), `--workload=forest|grid|powerlaw|tree`
 //! (default forest), `--n=NODES` (default 2000), `--unique` /
 //! `--cached` (vary the seed per job — default — or repeat one graph to
-//! measure the cache path), `--runtime=parallel|sequential` (default
-//! parallel) and `--threads=N` — forwarded as the service's
-//! `runtime`/`threads` query params, which now also drive the intra-layer
-//! round primitives — `--json=PATH`, `--smoke`.
+//! measure the cache path), `--runtime=parallel|sequential|process`
+//! (default parallel), `--threads=N` and `--workers=N` — forwarded as
+//! the service's `runtime`/`threads`/`workers` query params, which drive
+//! the round scheduler, the intra-layer round primitives and the
+//! multi-process backend — `--json=PATH`, `--smoke`.
+//!
+//! A `503` answer (the server shedding load or draining for shutdown) is
+//! retried after its advertised `Retry-After` delay, a bounded number of
+//! times; the `shed_retries` column reports how often that happened.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -54,6 +59,7 @@ fn color_target(
     graph: &CsrGraph,
     runtime: &str,
     threads: Option<usize>,
+    workers: Option<usize>,
 ) -> String {
     let mut target = format!(
         "/v1/color?algorithm=two-alpha-plus-one&alpha={}&runtime={runtime}&wait=1&min_nodes={}",
@@ -63,8 +69,16 @@ fn color_target(
     if let Some(threads) = threads {
         target.push_str(&format!("&threads={threads}"));
     }
+    if let Some(workers) = workers {
+        target.push_str(&format!("&workers={workers}"));
+    }
     target
 }
+
+/// How many times a shed (`503`) submission is retried before the
+/// failure is surfaced — a draining or overloaded server gets a bounded
+/// benefit of the doubt, not an infinite hammer.
+const MAX_SHED_RETRIES: u32 = 5;
 
 /// One synchronous `POST /v1/color?wait=1` with a pre-serialized body;
 /// returns `(status, body)`. Serialization stays outside so measured
@@ -75,15 +89,41 @@ fn color_target(
 /// in that case poll the job like any well-behaved client until it
 /// reaches a terminal state, so the measured latency still covers the
 /// whole computation.
-fn post_color(addr: &str, target: &str, body: &str) -> Result<(u16, String), String> {
-    let (status, response) =
-        http_client::request(addr, "POST", target, body, Some(Duration::from_secs(300)))?;
-    if status != 202 {
-        return Ok((status, response));
+///
+/// A `503` (load shed or drain mode) is honored politely: sleep for the
+/// advertised `Retry-After` seconds (default 1 when absent) and resubmit,
+/// at most [`MAX_SHED_RETRIES`] times; each resubmission bumps
+/// `shed_retries`, which lands in the report so back-pressure under load
+/// is visible instead of silently inflating latency.
+fn post_color(
+    addr: &str,
+    target: &str,
+    body: &str,
+    shed_retries: &AtomicU64,
+) -> Result<(u16, String), String> {
+    let mut sheds = 0u32;
+    loop {
+        let (status, headers, response) = http_client::request_with_headers(
+            addr,
+            "POST",
+            target,
+            body,
+            Some(Duration::from_secs(300)),
+        )?;
+        if status == 503 && sheds < MAX_SHED_RETRIES {
+            sheds += 1;
+            shed_retries.fetch_add(1, Ordering::Relaxed);
+            let delay = http_client::retry_after_seconds(&headers).unwrap_or(1);
+            thread::sleep(Duration::from_secs(delay));
+            continue;
+        }
+        if status != 202 {
+            return Ok((status, response));
+        }
+        let job = http_client::json_u64(&response, "job")
+            .ok_or_else(|| format!("202 without a job id: {response}"))?;
+        return http_client::poll_terminal(addr, job, Duration::from_secs(300));
     }
-    let job = http_client::json_u64(&response, "job")
-        .ok_or_else(|| format!("202 without a job id: {response}"))?;
-    http_client::poll_terminal(addr, job, Duration::from_secs(300))
 }
 
 /// Validates a served coloring against the locally rebuilt graph.
@@ -135,16 +175,19 @@ fn main() {
     let workload = workload_for(&kind, n);
     let runtime: String = parse_flag(&args, "runtime").unwrap_or_else(|| "parallel".to_string());
     let threads: Option<usize> = parse_flag(&args, "threads");
+    let workers: Option<usize> = parse_flag(&args, "workers");
 
     if has_flag(&args, "smoke") {
         // One request; exit non-zero unless it is HTTP 200 with a proper
         // coloring (the CI gate).
         let graph = workload.build(0);
         let body = write_edge_list(&graph);
+        let shed_retries = AtomicU64::new(0);
         match post_color(
             &addr,
-            &color_target(workload, &graph, &runtime, threads),
+            &color_target(workload, &graph, &runtime, threads, workers),
             &body,
+            &shed_retries,
         ) {
             Ok((200, body)) => match check_coloring(&graph, &body) {
                 Ok(colors) => {
@@ -180,6 +223,8 @@ fn main() {
     // shared Vec + sort, and the buckets land in BENCH_service.json.
     let latencies = Arc::new(LatencyHistogram::new());
     let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    // Total 503-shed resubmissions across all clients (Retry-After path).
+    let shed_retries = Arc::new(AtomicU64::new(0));
 
     let started = Instant::now();
     let clients: Vec<_> = (0..concurrency)
@@ -189,6 +234,7 @@ fn main() {
             let next_job = Arc::clone(&next_job);
             let latencies = Arc::clone(&latencies);
             let failures = Arc::clone(&failures);
+            let shed_retries = Arc::clone(&shed_retries);
             thread::spawn(move || loop {
                 let job = next_job.fetch_add(1, Ordering::Relaxed);
                 if job >= jobs {
@@ -199,9 +245,9 @@ fn main() {
                 let seed = if cached_mode { 0 } else { job as u64 };
                 let graph = workload.build(seed);
                 let body = write_edge_list(&graph);
-                let target = color_target(workload, &graph, &runtime, threads);
+                let target = color_target(workload, &graph, &runtime, threads, workers);
                 let request_started = Instant::now();
-                match post_color(&addr, &target, &body) {
+                match post_color(&addr, &target, &body, &shed_retries) {
                     Ok((200, body)) => {
                         let elapsed = request_started.elapsed();
                         match check_coloring(&graph, &body) {
@@ -250,6 +296,7 @@ fn main() {
             "throughput_jobs_per_s",
             "p50_ms",
             "p99_ms",
+            "shed_retries",
         ],
     );
     table.push_row(vec![
@@ -262,6 +309,7 @@ fn main() {
         format!("{throughput:.2}"),
         format!("{:.3}", p50_micros as f64 / 1e3),
         format!("{:.3}", p99_micros as f64 / 1e3),
+        shed_retries.load(Ordering::Relaxed).to_string(),
     ]);
     print!("{}", table.render());
     if let Some(path) = parse_flag::<String>(&args, "json") {

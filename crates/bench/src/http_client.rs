@@ -19,6 +19,24 @@ pub fn request(
     body: &str,
     read_timeout: Option<Duration>,
 ) -> Result<(u16, String), String> {
+    let (status, _, body) = request_with_headers(addr, method, target, body, read_timeout)?;
+    Ok((status, body))
+}
+
+/// Sends one request and returns `(status, raw response headers, body)` —
+/// the variant for callers that must see headers (e.g. `Retry-After` on a
+/// `503` from a draining server).
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn request_with_headers(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    target: &str,
+    body: &str,
+    read_timeout: Option<Duration>,
+) -> Result<(u16, String, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream.set_read_timeout(read_timeout).ok();
     let head = format!(
@@ -39,11 +57,22 @@ pub fn request(
         .ok_or("missing status line")?
         .parse()
         .map_err(|_| "bad status line")?;
-    let body = raw
+    let (headers, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_string())
+        .map(|(headers, body)| (headers.to_string(), body.to_string()))
         .unwrap_or_default();
-    Ok((status, body))
+    Ok((status, headers, body))
+}
+
+/// Extracts a `Retry-After: N` (delay-seconds form) value from a raw
+/// response-header block, case-insensitively.
+pub fn retry_after_seconds(headers: &str) -> Option<u64> {
+    headers.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse().ok())?
+    })
 }
 
 /// Polls `GET /v1/jobs/{job}` until the job reaches a terminal state
@@ -145,6 +174,19 @@ mod tests {
         assert_eq!(json_coloring(body), Some(vec![0, 1, 2]));
         assert_eq!(json_coloring(r#"{"coloring":[]}"#), Some(Vec::new()));
         assert_eq!(json_coloring(r#"{"job":1}"#), None);
+    }
+
+    #[test]
+    fn retry_after_is_scraped_case_insensitively() {
+        let headers = "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\nRetry-After: 7\r\ncontent-length: 2";
+        assert_eq!(retry_after_seconds(headers), Some(7));
+        let lower = "HTTP/1.1 503 X\r\nretry-after:  1 ";
+        assert_eq!(retry_after_seconds(lower), Some(1));
+        assert_eq!(retry_after_seconds("HTTP/1.1 200 OK\r\nx: y"), None);
+        assert_eq!(
+            retry_after_seconds("HTTP/1.1 503 X\r\nRetry-After: soon"),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,740 @@
+//! The length-prefixed binary wire protocol between the
+//! [`crate::ProcessBackend`] supervisor and its `ampc-shard-worker` child
+//! processes, plus the worker-side serve loop.
+//!
+//! ## Framing
+//!
+//! Every message travels as one frame: a little-endian `u32` payload
+//! length followed by the payload bytes. The child reads frames from
+//! stdin and answers on stdout; stderr is left alone for diagnostics.
+//! Std-only by design — the same no-registry constraint the rest of the
+//! workspace holds — so the encoding is hand-rolled little-endian, not a
+//! serde format.
+//!
+//! ## Messages
+//!
+//! Supervisor → worker ([`Request`]):
+//!
+//! * `Ping` — liveness probe; the worker answers `Pong`.
+//! * `Merge` — one round's merge work: the conflict policy plus, for each
+//!   shard assigned to this worker, the round's buffered writes in global
+//!   `(machine, write index)` order.
+//! * `Shutdown` — orderly exit (the worker also exits cleanly on stdin
+//!   EOF, which is what reaps children when the supervisor dies).
+//!
+//! Worker → supervisor ([`Response`]):
+//!
+//! * `Pong`.
+//! * `Merge` — per shard: the merged entries (in the deterministic
+//!   [`FlatShard`] slot order the in-process merge would produce), the
+//!   routed-write and conflict-merge counts, and under
+//!   [`ConflictPolicy::Error`] the first conflicting write as
+//!   `(machine, index, key, existing, incoming)` so the supervisor can
+//!   reconstruct the exact [`ampc_model::ModelError`] the sequential
+//!   executor would have raised.
+//!
+//! ## Determinism
+//!
+//! The worker is **stateless across rounds**: a merge response is a pure
+//! function of the request, computed with the same [`FlatShard`] replay
+//! the in-process [`crate::ParallelBackend`] uses. That purity is what
+//! makes crash recovery bit-identical — a respawned worker re-fed the
+//! same round input returns byte-for-byte the same response the dead one
+//! would have.
+
+use std::io::{self, Read, Write};
+
+use ampc_model::{ConflictPolicy, Key, Value};
+
+use crate::shard::FlatShard;
+
+/// Sanity cap on a single frame (1 GiB): anything larger is protocol
+/// corruption, not a real merge batch.
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// One buffered write in the global sequential-application order:
+/// `(machine, index within the machine's write sequence, key, value)`.
+pub(crate) type WireWrite = (u64, u64, Key, Value);
+
+/// The writes routed to one shard, in `(machine, index)` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardWrites {
+    /// Global shard index (the supervisor owns the shard→worker map).
+    pub shard: u32,
+    /// The round's buffered writes destined for this shard.
+    pub writes: Vec<WireWrite>,
+}
+
+/// One round's merge work for one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MergeRequest {
+    /// Supervisor-chosen dispatch id, echoed verbatim in the response so
+    /// the supervisor can discard stale frames from a superseded dispatch
+    /// (e.g. a late answer arriving after a replay).
+    pub id: u64,
+    /// The conflict policy in force this round.
+    pub policy: ConflictPolicy,
+    /// Per-shard write batches, one entry per shard assigned to this
+    /// worker.
+    pub shards: Vec<ShardWrites>,
+}
+
+/// A supervisor → worker message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One round's merge work.
+    Merge(MergeRequest),
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// The first conflicting write of a shard under [`ConflictPolicy::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardConflict {
+    /// Machine that issued the conflicting write.
+    pub machine: u64,
+    /// Index of the write within that machine's write sequence.
+    pub index: u64,
+    /// The contested key.
+    pub key: Key,
+    /// The value already staged for the key.
+    pub existing: Value,
+    /// The incoming value that conflicted with it.
+    pub incoming: Value,
+}
+
+/// The merge result for one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardMergeResult {
+    /// Global shard index, echoed from the request.
+    pub shard: u32,
+    /// Writes replayed into the staged table (up to and including a
+    /// conflicting one).
+    pub writes_routed: u64,
+    /// Writes that hit an already-staged key and were policy-resolved.
+    pub conflict_merges: u64,
+    /// First conflicting write in `(machine, index)` order, if any.
+    pub conflict: Option<ShardConflict>,
+    /// Merged entries in deterministic slot order (empty on conflict —
+    /// the round is lost anyway).
+    pub entries: Vec<(Key, Value)>,
+}
+
+/// A worker → supervisor message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Response {
+    /// Liveness answer.
+    Pong,
+    /// One round's merge results.
+    Merge {
+        /// Dispatch id echoed from the request.
+        id: u64,
+        /// Per-shard results, in request order.
+        shards: Vec<ShardMergeResult>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+/// Writes one length-prefixed frame.
+pub(crate) fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. EOF *between* frames surfaces as
+/// [`io::ErrorKind::UnexpectedEof`] with an empty-read marker the serve
+/// loop maps to a clean exit; EOF mid-frame is a hard protocol error.
+pub(crate) fn read_frame(reader: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, CLEAN_EOF));
+            }
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                ));
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Marker message of a clean between-frames EOF.
+const CLEAN_EOF: &str = "clean EOF at a frame boundary";
+
+/// Whether a [`read_frame`] error is the clean between-frames EOF.
+pub(crate) fn is_clean_eof(error: &io::Error) -> bool {
+    error.kind() == io::ErrorKind::UnexpectedEof && error.to_string() == CLEAN_EOF
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives.
+
+fn put_u8(buf: &mut Vec<u8>, value: u8) {
+    buf.push(value);
+}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Keys and values share one layout: a word count byte followed by the
+/// words, little-endian.
+fn put_words(buf: &mut Vec<u8>, words: &[u64]) {
+    put_u8(buf, words.len() as u8);
+    for &word in words {
+        put_u64(buf, word);
+    }
+}
+
+fn put_key(buf: &mut Vec<u8>, key: &Key) {
+    put_words(buf, key.words());
+}
+
+fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    put_words(buf, value.words());
+}
+
+/// A bounds-checked little-endian reader over one frame payload.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn words(&mut self) -> Result<([u64; ampc_model::MAX_WORDS], usize), String> {
+        let len = self.u8()? as usize;
+        if len > ampc_model::MAX_WORDS {
+            return Err(format!("{len}-word key/value exceeds MAX_WORDS"));
+        }
+        let mut words = [0u64; ampc_model::MAX_WORDS];
+        for word in words.iter_mut().take(len) {
+            *word = self.u64()?;
+        }
+        Ok((words, len))
+    }
+
+    fn key(&mut self) -> Result<Key, String> {
+        let (words, len) = self.words()?;
+        Ok(Key::from_words(&words[..len]))
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        let (words, len) = self.words()?;
+        Ok(Value::from_words(&words[..len]))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("frame truncated at byte {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message encoding.
+
+const REQ_PING: u8 = 0;
+const REQ_MERGE: u8 = 1;
+const REQ_SHUTDOWN: u8 = 2;
+const RESP_PONG: u8 = 0;
+const RESP_MERGE: u8 = 1;
+
+fn policy_code(policy: ConflictPolicy) -> u8 {
+    match policy {
+        ConflictPolicy::KeepMin => 0,
+        ConflictPolicy::KeepMax => 1,
+        ConflictPolicy::KeepFirst => 2,
+        ConflictPolicy::Error => 3,
+    }
+}
+
+fn policy_from_code(code: u8) -> Result<ConflictPolicy, String> {
+    Ok(match code {
+        0 => ConflictPolicy::KeepMin,
+        1 => ConflictPolicy::KeepMax,
+        2 => ConflictPolicy::KeepFirst,
+        3 => ConflictPolicy::Error,
+        other => return Err(format!("unknown conflict policy code {other}")),
+    })
+}
+
+impl Request {
+    /// Serializes the request into one frame payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => put_u8(&mut buf, REQ_PING),
+            Request::Shutdown => put_u8(&mut buf, REQ_SHUTDOWN),
+            Request::Merge(merge) => {
+                put_u8(&mut buf, REQ_MERGE);
+                put_u64(&mut buf, merge.id);
+                put_u8(&mut buf, policy_code(merge.policy));
+                put_u32(&mut buf, merge.shards.len() as u32);
+                for shard in &merge.shards {
+                    put_u32(&mut buf, shard.shard);
+                    put_u32(&mut buf, shard.writes.len() as u32);
+                    for (machine, index, key, value) in &shard.writes {
+                        put_u64(&mut buf, *machine);
+                        put_u64(&mut buf, *index);
+                        put_key(&mut buf, key);
+                        put_value(&mut buf, value);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parses one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed byte range.
+    pub(crate) fn decode(payload: &[u8]) -> Result<Request, String> {
+        let mut dec = Decoder::new(payload);
+        let request = match dec.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_MERGE => {
+                let id = dec.u64()?;
+                let policy = policy_from_code(dec.u8()?)?;
+                let num_shards = dec.u32()? as usize;
+                let mut shards = Vec::with_capacity(num_shards);
+                for _ in 0..num_shards {
+                    let shard = dec.u32()?;
+                    let num_writes = dec.u32()? as usize;
+                    let mut writes = Vec::with_capacity(num_writes.min(1 << 20));
+                    for _ in 0..num_writes {
+                        let machine = dec.u64()?;
+                        let index = dec.u64()?;
+                        let key = dec.key()?;
+                        let value = dec.value()?;
+                        writes.push((machine, index, key, value));
+                    }
+                    shards.push(ShardWrites { shard, writes });
+                }
+                Request::Merge(MergeRequest { id, policy, shards })
+            }
+            other => return Err(format!("unknown request tag {other}")),
+        };
+        dec.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the response into one frame payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong => put_u8(&mut buf, RESP_PONG),
+            Response::Merge { id, shards } => {
+                put_u8(&mut buf, RESP_MERGE);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, shards.len() as u32);
+                for shard in shards {
+                    put_u32(&mut buf, shard.shard);
+                    put_u64(&mut buf, shard.writes_routed);
+                    put_u64(&mut buf, shard.conflict_merges);
+                    match &shard.conflict {
+                        None => put_u8(&mut buf, 0),
+                        Some(conflict) => {
+                            put_u8(&mut buf, 1);
+                            put_u64(&mut buf, conflict.machine);
+                            put_u64(&mut buf, conflict.index);
+                            put_key(&mut buf, &conflict.key);
+                            put_value(&mut buf, &conflict.existing);
+                            put_value(&mut buf, &conflict.incoming);
+                        }
+                    }
+                    put_u32(&mut buf, shard.entries.len() as u32);
+                    for (key, value) in &shard.entries {
+                        put_key(&mut buf, key);
+                        put_value(&mut buf, value);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parses one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed byte range.
+    pub(crate) fn decode(payload: &[u8]) -> Result<Response, String> {
+        let mut dec = Decoder::new(payload);
+        let response = match dec.u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_MERGE => {
+                let id = dec.u64()?;
+                let num_shards = dec.u32()? as usize;
+                let mut shards = Vec::with_capacity(num_shards);
+                for _ in 0..num_shards {
+                    let shard = dec.u32()?;
+                    let writes_routed = dec.u64()?;
+                    let conflict_merges = dec.u64()?;
+                    let conflict = match dec.u8()? {
+                        0 => None,
+                        1 => Some(ShardConflict {
+                            machine: dec.u64()?,
+                            index: dec.u64()?,
+                            key: dec.key()?,
+                            existing: dec.value()?,
+                            incoming: dec.value()?,
+                        }),
+                        other => return Err(format!("bad conflict flag {other}")),
+                    };
+                    let num_entries = dec.u32()? as usize;
+                    let mut entries = Vec::with_capacity(num_entries.min(1 << 20));
+                    for _ in 0..num_entries {
+                        let key = dec.key()?;
+                        let value = dec.value()?;
+                        entries.push((key, value));
+                    }
+                    shards.push(ShardMergeResult {
+                        shard,
+                        writes_routed,
+                        conflict_merges,
+                        conflict,
+                        entries,
+                    });
+                }
+                Response::Merge { id, shards }
+            }
+            other => return Err(format!("unknown response tag {other}")),
+        };
+        dec.finish()?;
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker-side merge (pure) and serve loop.
+
+/// Merges one shard's writes exactly as the in-process parallel merge
+/// does: replay in the given `(machine, index)` order into a staged
+/// [`FlatShard`] via the single-probe upsert, resolving collisions with
+/// the policy, stopping at the first [`ConflictPolicy::Error`] conflict.
+fn merge_shard(policy: ConflictPolicy, shard: &ShardWrites) -> ShardMergeResult {
+    let mut staged = FlatShard::default();
+    let mut writes_routed = 0u64;
+    let mut conflict_merges = 0u64;
+    let mut conflict = None;
+    for &(machine, index, key, value) in &shard.writes {
+        writes_routed += 1;
+        if let Some(existing) = staged.get_or_insert(key, value) {
+            conflict_merges += 1;
+            match policy.resolve(&key, *existing, value) {
+                Ok(resolved) => *existing = resolved,
+                Err(_) => {
+                    conflict = Some(ShardConflict {
+                        machine,
+                        index,
+                        key,
+                        existing: *existing,
+                        incoming: value,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    let entries = if conflict.is_some() {
+        Vec::new()
+    } else {
+        staged.into_entries().collect()
+    };
+    ShardMergeResult {
+        shard: shard.shard,
+        writes_routed,
+        conflict_merges,
+        conflict,
+        entries,
+    }
+}
+
+/// Serves one merge request.
+pub(crate) fn serve_merge(request: &MergeRequest) -> Response {
+    Response::Merge {
+        id: request.id,
+        shards: request
+            .shards
+            .iter()
+            .map(|shard| merge_shard(request.policy, shard))
+            .collect(),
+    }
+}
+
+/// The worker serve loop over arbitrary byte streams (unit-testable
+/// in-memory; the binary wires it to stdin/stdout). Returns the process
+/// exit code: 0 for an orderly shutdown or a clean EOF, non-zero on
+/// protocol corruption.
+pub(crate) fn serve(input: &mut impl Read, output: &mut impl Write) -> i32 {
+    loop {
+        let payload = match read_frame(input) {
+            Ok(payload) => payload,
+            Err(error) if is_clean_eof(&error) => return 0,
+            Err(error) => {
+                eprintln!("ampc-shard-worker: transport error: {error}");
+                return 1;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(error) => {
+                eprintln!("ampc-shard-worker: malformed request: {error}");
+                return 2;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => return 0,
+            Request::Merge(merge) => serve_merge(&merge),
+        };
+        let frame = response.encode();
+        if let Err(error) = write_frame(output, &frame).and_then(|()| output.flush()) {
+            eprintln!("ampc-shard-worker: write error: {error}");
+            return 1;
+        }
+    }
+}
+
+/// Entry point of the `ampc-shard-worker` binary: serve frames on
+/// stdin/stdout until shutdown or EOF. Returns the process exit code.
+pub fn shard_worker_main() -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    serve(&mut input, &mut output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(machine: u64, index: u64, key: u64, value: u64) -> WireWrite {
+        (machine, index, Key::pair(7, key), Value::single(value))
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_junk() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        let eof = read_frame(&mut cursor).unwrap_err();
+        assert!(is_clean_eof(&eof));
+
+        // EOF mid-header is NOT clean.
+        let mut truncated = io::Cursor::new(vec![5u8, 0]);
+        let error = read_frame(&mut truncated).unwrap_err();
+        assert!(!is_clean_eof(&error));
+
+        // Oversized length prefix is rejected before allocation.
+        let mut huge = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut huge).is_err());
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        let request = Request::Merge(MergeRequest {
+            id: 42,
+            policy: ConflictPolicy::KeepFirst,
+            shards: vec![
+                ShardWrites {
+                    shard: 3,
+                    writes: vec![write(0, 0, 9, 1), write(5, 2, 9, 2)],
+                },
+                ShardWrites {
+                    shard: 7,
+                    writes: vec![],
+                },
+            ],
+        });
+        assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        for request in [Request::Ping, Request::Shutdown] {
+            assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        }
+
+        let response = Response::Merge {
+            id: 42,
+            shards: vec![ShardMergeResult {
+                shard: 3,
+                writes_routed: 2,
+                conflict_merges: 1,
+                conflict: Some(ShardConflict {
+                    machine: 5,
+                    index: 2,
+                    key: Key::pair(7, 9),
+                    existing: Value::single(1),
+                    incoming: Value::single(2),
+                }),
+                entries: vec![(Key::single(1), Value::pair(2, 3))],
+            }],
+        };
+        assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+        assert_eq!(
+            Response::decode(&Response::Pong.encode()).unwrap(),
+            Response::Pong
+        );
+
+        // Malformed payloads are rejected, not misparsed.
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[99]).is_err());
+        let mut trailing = Request::Ping.encode();
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn merge_replays_writes_in_order_and_reports_the_first_conflict() {
+        // KeepFirst: the earlier (machine, index) write wins.
+        let request = MergeRequest {
+            id: 1,
+            policy: ConflictPolicy::KeepFirst,
+            shards: vec![ShardWrites {
+                shard: 0,
+                writes: vec![write(1, 0, 5, 10), write(2, 0, 5, 20), write(2, 1, 6, 30)],
+            }],
+        };
+        let Response::Merge { id, shards } = serve_merge(&request) else {
+            panic!("merge answers merge");
+        };
+        assert_eq!(id, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].writes_routed, 3);
+        assert_eq!(shards[0].conflict_merges, 1);
+        assert!(shards[0].conflict.is_none());
+        let mut entries = shards[0].entries.clone();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![
+                (Key::pair(7, 5), Value::single(10)),
+                (Key::pair(7, 6), Value::single(30)),
+            ]
+        );
+
+        // Error policy: the first conflicting write is reported with both
+        // values, and the replay stops there.
+        let request = MergeRequest {
+            id: 2,
+            policy: ConflictPolicy::Error,
+            shards: vec![ShardWrites {
+                shard: 4,
+                writes: vec![write(1, 0, 5, 10), write(3, 2, 5, 20), write(9, 0, 8, 1)],
+            }],
+        };
+        let Response::Merge { shards, .. } = serve_merge(&request) else {
+            panic!("merge answers merge");
+        };
+        let conflict = shards[0].conflict.expect("conflict detected");
+        assert_eq!((conflict.machine, conflict.index), (3, 2));
+        assert_eq!(conflict.existing, Value::single(10));
+        assert_eq!(conflict.incoming, Value::single(20));
+        assert_eq!(shards[0].writes_routed, 2, "replay stops at the conflict");
+        assert!(shards[0].entries.is_empty());
+    }
+
+    #[test]
+    fn serve_loop_answers_ping_merge_and_exits_cleanly() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        let merge = Request::Merge(MergeRequest {
+            id: 0,
+            policy: ConflictPolicy::KeepMin,
+            shards: vec![ShardWrites {
+                shard: 2,
+                writes: vec![write(0, 0, 1, 9), write(1, 0, 1, 4)],
+            }],
+        });
+        write_frame(&mut wire, &merge.encode()).unwrap();
+        write_frame(&mut wire, &Request::Shutdown.encode()).unwrap();
+
+        let mut input = io::Cursor::new(wire);
+        let mut output = Vec::new();
+        assert_eq!(serve(&mut input, &mut output), 0);
+
+        let mut replies = io::Cursor::new(output);
+        let pong = Response::decode(&read_frame(&mut replies).unwrap()).unwrap();
+        assert_eq!(pong, Response::Pong);
+        let Response::Merge { id, shards } =
+            Response::decode(&read_frame(&mut replies).unwrap()).unwrap()
+        else {
+            panic!("second reply is the merge result");
+        };
+        assert_eq!(id, 0);
+        assert_eq!(shards[0].entries, vec![(Key::pair(7, 1), Value::single(4))]);
+        assert!(is_clean_eof(&read_frame(&mut replies).unwrap_err()));
+
+        // Clean EOF without a shutdown frame is also exit 0.
+        assert_eq!(serve(&mut io::Cursor::new(Vec::new()), &mut Vec::new()), 0);
+        // Garbage is a non-zero exit.
+        let mut garbage = Vec::new();
+        write_frame(&mut garbage, &[200]).unwrap();
+        assert_ne!(serve(&mut io::Cursor::new(garbage), &mut Vec::new()), 0);
+    }
+}

@@ -16,9 +16,14 @@
 //!   across a thread pool (contiguous machine ranges per worker), preserving
 //!   the per-machine read/write budget enforcement of the sequential
 //!   executor.
-//! * [`AmpcBackend`] — the executor abstraction both backends implement, so
-//!   every algorithm in the workspace runs on either through a
+//! * [`AmpcBackend`] — the executor abstraction all backends implement, so
+//!   every algorithm in the workspace runs on any of them through a
 //!   [`RuntimeConfig`] switch.
+//! * [`ProcessBackend`] — the multi-process round scheduler (stage 1 of
+//!   distributed execution): shard merges run in supervised
+//!   `ampc-shard-worker` **child OS processes** speaking a length-prefixed
+//!   binary protocol over pipes; a killed worker is respawned and the
+//!   round replayed from retained input, bit-identically.
 //! * [`WorkerPool`] — a **persistent** worker pool: threads are spawned once
 //!   per pool (the process-wide [`WorkerPool::global`] pool by default) and
 //!   reused across rounds, backends and jobs, instead of scoped-spawning
@@ -112,9 +117,11 @@ pub mod alloc_count;
 mod backend;
 mod config;
 pub mod faults;
+mod ipc;
 mod parallel;
 pub mod perf;
 mod pool;
+mod process_backend;
 mod rounds;
 mod scratch;
 mod shard;
@@ -124,9 +131,11 @@ pub mod trace;
 pub use ampc_model::{ConflictPolicy, RoundRuntimeStats};
 pub use backend::{AmpcBackend, RoundBody, SequentialBackend};
 pub use config::RuntimeConfig;
+pub use ipc::shard_worker_main;
 pub use parallel::ParallelBackend;
 pub use perf::{PerfCounters, PerfSink};
 pub use pool::{parallel_map, parallel_map_weighted, PoolStats, ScopedTask, WorkerPool};
+pub use process_backend::ProcessBackend;
 pub use rounds::RoundPrimitives;
 pub use scratch::{scratch_totals, BitSet, MarkerSet, ScratchCounters, ScratchLease, ScratchPool};
 pub use shard::ShardedStore;

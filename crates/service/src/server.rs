@@ -52,6 +52,10 @@ struct EndpointCounters {
 struct ServerState {
     started: Instant,
     shutdown: AtomicBool,
+    /// Graceful-shutdown drain: while set, new `POST /v1/color`
+    /// submissions are answered `503 + Retry-After` (read-only endpoints
+    /// keep serving) so queued and running jobs can finish.
+    draining: AtomicBool,
     counters: EndpointCounters,
     /// Synchronous (`wait=1`) requests currently parking an acceptor.
     sync_waiters: AtomicUsize,
@@ -136,6 +140,7 @@ impl Server {
             state: Arc::new(ServerState {
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
                 counters: EndpointCounters::default(),
                 sync_waiters: AtomicUsize::new(0),
                 max_sync_waiters: config.acceptors.max(1).saturating_sub(1),
@@ -218,6 +223,44 @@ impl ServerHandle {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+
+    /// Enters drain mode: new `POST /v1/color` submissions are answered
+    /// `503 + Retry-After` while every other endpoint (job polling,
+    /// `/healthz`, `/metrics`) keeps serving, so in-flight work can finish
+    /// and stragglers can still collect results.
+    pub fn begin_drain(&self) {
+        self.state.draining.store(true, Ordering::Release);
+    }
+
+    /// Waits (bounded by `timeout`) for the submission queue to empty and
+    /// every running job to finish. Returns whether the service went
+    /// fully idle within the deadline.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let counters = self.manager.counters();
+            if counters.queue_depth == 0 && counters.running == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Graceful shutdown: [`ServerHandle::drain`] with a bounded deadline,
+    /// then [`ServerHandle::shutdown`]. Joining the acceptors and dropping
+    /// the job manager reaps every worker thread — and, with them, every
+    /// `ampc-shard-worker` child process (each backend's drop SIGKILLs and
+    /// waits on its children). Returns whether the drain completed in
+    /// time; on `false`, still-queued jobs were abandoned at the deadline.
+    pub fn shutdown_graceful(self, drain_timeout: Duration) -> bool {
+        let drained = self.drain(drain_timeout);
+        self.shutdown();
+        drained
     }
 }
 
@@ -343,11 +386,15 @@ fn handle_request(
                 Object::new()
                     .str("status", label)
                     .u64("uptime_nanos", state.started.elapsed().as_nanos() as u64)
+                    .bool("draining", state.draining.load(Ordering::Relaxed))
                     .bool("breaker_open", breaker)
                     .u64("worker_restarts", restarts)
                     .u64("requests_shed", state.counters.shed.load(Ordering::Relaxed))
                     .u64("jobs_retried", counters.jobs_retried)
                     .u64("rounds_retried", faults.rounds_retried)
+                    .u64("workers_alive", ampc_runtime::faults::workers_alive())
+                    .u64("worker_process_restarts", faults.worker_process_restarts)
+                    .u64("rounds_replayed", faults.rounds_replayed)
                     .finish(),
             )
         }
@@ -476,6 +523,17 @@ fn handle_color(
     manager: &Arc<JobManager>,
     state: &ServerState,
 ) -> Result<Response, Box<Response>> {
+    // A draining server turns every new submission away before parsing:
+    // the queue is being emptied for shutdown, and `Retry-After` points
+    // stragglers at the replacement instance.
+    if state.draining.load(Ordering::Acquire) {
+        state.counters.shed.fetch_add(1, Ordering::Relaxed);
+        drain_body(stream, head);
+        return Err(Box::new(
+            error_response(503, "shutting down: submissions are draining")
+                .with_header("Retry-After", "1"),
+        ));
+    }
     // The circuit breaker is consulted (and stepped) before any parsing:
     // while open, the cheapest possible 503 turns new work away so the
     // workers can drain the backlog. `Retry-After` tells well-behaved
@@ -677,12 +735,23 @@ fn parse_spec(head: &RequestHead) -> Result<JobSpec, Response> {
             .map_err(|_| error_response(400, &format!("bad max_rounds `{raw}`")))?;
     }
 
-    // Both values size allocations (worker chunks, shard hash maps), so an
-    // untrusted client must not be able to pick them arbitrarily large.
+    // All three values size allocations (worker chunks, shard hash maps,
+    // child processes), so an untrusted client must not be able to pick
+    // them arbitrarily large.
     const MAX_THREADS: usize = 256;
     const MAX_SHARDS: usize = 4096;
+    const MAX_WORKERS: usize = 32;
     let threads = parse_optional_response(head, "threads")?;
     let shards = parse_optional_response(head, "shards")?;
+    let workers = parse_optional_response(head, "workers")?;
+    if let Some(workers) = workers {
+        if workers == 0 || workers > MAX_WORKERS {
+            return Err(error_response(
+                400,
+                &format!("workers must lie in 1..={MAX_WORKERS}"),
+            ));
+        }
+    }
     if let Some(threads) = threads {
         if threads == 0 || threads > MAX_THREADS {
             return Err(error_response(
@@ -702,24 +771,32 @@ fn parse_spec(head: &RequestHead) -> Result<JobSpec, Response> {
             ));
         }
     }
-    let runtime_kind =
-        head.query_param("runtime")
-            .unwrap_or(if threads.is_some() || shards.is_some() {
-                "parallel"
-            } else {
-                "sequential"
-            });
+    let runtime_kind = head.query_param("runtime").unwrap_or({
+        if workers.is_some() {
+            "process"
+        } else if threads.is_some() || shards.is_some() {
+            "parallel"
+        } else {
+            "sequential"
+        }
+    });
     request.runtime = match runtime_kind {
         "sequential" => {
-            if threads.is_some() || shards.is_some() {
+            if threads.is_some() || shards.is_some() || workers.is_some() {
                 return Err(error_response(
                     400,
-                    "threads/shards only apply to runtime=parallel",
+                    "threads/shards/workers only apply to runtime=parallel|process",
                 ));
             }
             RuntimeConfig::Sequential
         }
         "parallel" => {
+            if workers.is_some() {
+                return Err(error_response(
+                    400,
+                    "workers only applies to runtime=process",
+                ));
+            }
             let mut runtime = RuntimeConfig::parallel();
             if let Some(threads) = threads {
                 runtime = runtime.with_threads(threads);
@@ -729,10 +806,23 @@ fn parse_spec(head: &RequestHead) -> Result<JobSpec, Response> {
             }
             runtime
         }
+        "process" => {
+            if threads.is_some() || shards.is_some() {
+                return Err(error_response(
+                    400,
+                    "threads/shards only apply to runtime=parallel",
+                ));
+            }
+            let mut runtime = RuntimeConfig::process();
+            if let Some(workers) = workers {
+                runtime = runtime.with_workers(workers);
+            }
+            runtime
+        }
         other => {
             return Err(error_response(
                 400,
-                &format!("unknown runtime `{other}` (sequential|parallel)"),
+                &format!("unknown runtime `{other}` (sequential|parallel|process)"),
             ));
         }
     };
@@ -1163,6 +1253,10 @@ fn metrics_json(manager: &Arc<JobManager>, state: &ServerState) -> String {
                 .u64("injected_merge_failures", faults.injected_merge_failures)
                 .u64("injected_allocs", faults.injected_allocs)
                 .u64("worker_poisons", faults.worker_poisons)
+                .u64("worker_kills", faults.worker_kills)
+                .u64("workers_alive", ampc_runtime::faults::workers_alive())
+                .u64("worker_process_restarts", faults.worker_process_restarts)
+                .u64("rounds_replayed", faults.rounds_replayed)
                 .finish()
         })
         .raw(
@@ -1538,6 +1632,7 @@ fn metrics_prometheus(manager: &Arc<JobManager>, state: &ServerState) -> String 
         ("stall", faults.injected_stalls),
         ("merge_failure", faults.injected_merge_failures),
         ("alloc_pressure", faults.injected_allocs),
+        ("worker_kill", faults.worker_kills),
     ] {
         push_sample(
             &mut out,
@@ -1546,6 +1641,26 @@ fn metrics_prometheus(manager: &Arc<JobManager>, state: &ServerState) -> String 
             value as f64,
         );
     }
+    // The multi-process backend's supervision plane: live shard-worker
+    // children, crash respawns, and rounds replayed onto a fresh child.
+    gauge(
+        &mut out,
+        "ampc_workers_alive",
+        "Live ampc-shard-worker child processes across all process backends.",
+        ampc_runtime::faults::workers_alive() as f64,
+    );
+    counter(
+        &mut out,
+        "ampc_worker_process_restarts_total",
+        "Shard-worker child processes respawned after dying mid-round.",
+        faults.worker_process_restarts,
+    );
+    counter(
+        &mut out,
+        "ampc_rounds_replayed_total",
+        "Round inputs replayed onto a respawned shard-worker child.",
+        faults.rounds_replayed,
+    );
 
     push_histogram(
         &mut out,
@@ -1629,6 +1744,24 @@ fn push_histogram(out: &mut String, name: &str, help: &str, histogram: &LatencyH
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Whether the `ampc-shard-worker` binary (a workspace-root bin, not
+    /// built by a `-p ampc-service` test run) is available for
+    /// runtime=process jobs.
+    fn shard_worker_built() -> bool {
+        if std::env::var_os("AMPC_SHARD_WORKER").is_some() {
+            return true;
+        }
+        let Ok(exe) = std::env::current_exe() else {
+            return false;
+        };
+        let name = format!("ampc-shard-worker{}", std::env::consts::EXE_SUFFIX);
+        let found = [exe.parent(), exe.parent().and_then(std::path::Path::parent)]
+            .into_iter()
+            .flatten()
+            .any(|dir| dir.join(&name).is_file());
+        found
+    }
 
     fn boot() -> ServerHandle {
         Server::bind(
@@ -1769,6 +1902,9 @@ mod tests {
             ("ampc_jobs_retried_total", "counter"),
             ("ampc_rounds_retried_total", "counter"),
             ("ampc_faults_injected_total", "counter"),
+            ("ampc_workers_alive", "gauge"),
+            ("ampc_worker_process_restarts_total", "counter"),
+            ("ampc_rounds_replayed_total", "counter"),
             ("ampc_request_latency_microseconds", "histogram"),
             ("ampc_queue_wait_microseconds", "histogram"),
             ("ampc_job_execution_microseconds", "histogram"),
@@ -1940,6 +2076,23 @@ mod tests {
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"status\":\"done\""), "{response}");
 
+        // The multi-process runtime serves jobs too (`workers=` alone
+        // implies it, like `threads=` implies parallel) — when the
+        // ampc-shard-worker binary is built; skip quietly when this crate's
+        // tests run without the workspace root's bins.
+        if shard_worker_built() {
+            let (status, response) = request(
+                addr,
+                "POST",
+                "/v1/color?algorithm=two-alpha-plus-one&alpha=1&workers=2&wait=1",
+                body,
+            );
+            assert_eq!(status, 200, "{response}");
+            assert!(response.contains("\"status\":\"done\""), "{response}");
+        } else {
+            eprintln!("skipping runtime=process leg: ampc-shard-worker not built");
+        }
+
         // Async path: 202 then poll.
         let (status, response) = request(addr, "POST", "/v1/color?alpha=1", body);
         assert_eq!(status, 202, "{response}");
@@ -1956,6 +2109,66 @@ mod tests {
         handle.shutdown();
     }
 
+    /// Graceful shutdown, stage by stage: drain mode sheds new
+    /// submissions with `503 + Retry-After` while read-only endpoints and
+    /// result polling keep serving, and the bounded drain reports an idle
+    /// service before the acceptors stop.
+    #[test]
+    fn drain_mode_sheds_submissions_and_drains_cleanly() {
+        let handle = boot();
+        let addr = handle.addr();
+        let body = "0 1\n1 2\n2 3\n";
+
+        // Before draining: submissions are accepted.
+        let (status, response) = request(addr, "POST", "/v1/color?alpha=1&wait=1", body);
+        assert_eq!(status, 200, "{response}");
+        let (status, response) = request(addr, "POST", "/v1/color?alpha=1", body);
+        assert_eq!(status, 202, "{response}");
+        let id = ampc_coloring_bench::http_client::json_u64(&response, "job").expect("job id");
+
+        handle.begin_drain();
+
+        // New submissions are shed with 503 + Retry-After (read the raw
+        // head: the shared client discards headers).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, _, _) = raw_request(&mut stream, "POST", "/v1/color?alpha=1", body, "");
+        assert_eq!(status, 503);
+        drop(stream);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        {
+            use std::io::{Read, Write};
+            let head = format!(
+                "POST /v1/color?alpha=1 HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(head.as_bytes()).unwrap();
+            stream.write_all(body.as_bytes()).unwrap();
+            let mut response = String::new();
+            let _ = stream.read_to_string(&mut response);
+            assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+            assert!(
+                response.to_ascii_lowercase().contains("retry-after:"),
+                "missing Retry-After in:\n{response}"
+            );
+        }
+
+        // Read-only endpoints keep serving: stragglers can still poll
+        // results and orchestrators can watch the drain.
+        let (status, response) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(response.contains("\"draining\":true"), "{response}");
+        let (status, response) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{response}");
+        let (status, _) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+
+        // The queue empties and the running jobs finish inside the bound.
+        assert!(
+            handle.shutdown_graceful(Duration::from_secs(30)),
+            "service did not drain in time"
+        );
+    }
+
     #[test]
     fn invalid_inputs_are_4xx() {
         let handle = boot();
@@ -1967,6 +2180,12 @@ mod tests {
             "/v1/color?policy=keep-max",
             "/v1/color?runtime=warp",
             "/v1/color?runtime=sequential&threads=4",
+            "/v1/color?runtime=sequential&workers=2",
+            "/v1/color?runtime=parallel&workers=2",
+            "/v1/color?runtime=process&threads=2",
+            "/v1/color?runtime=process&shards=8",
+            "/v1/color?workers=0",
+            "/v1/color?workers=1000",
             "/v1/color?epsilon=abc",
             "/v1/color?shards=1000000000",
             "/v1/color?threads=0",
@@ -2191,6 +2410,7 @@ mod tests {
         let state = ServerState {
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             counters: EndpointCounters::default(),
             sync_waiters: AtomicUsize::new(0),
             max_sync_waiters: 2,

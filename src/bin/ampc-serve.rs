@@ -27,11 +27,40 @@
 //! * `--round-deadline-ms=N` — per-AMPC-round deadline; an overrunning
 //!   round is rolled back and replayed (default 0 = disabled; the
 //!   `AMPC_ROUND_DEADLINE_MS` env var stays in force when unset).
+//! * `--drain-timeout-s=N` — graceful-shutdown budget (default 30). On
+//!   SIGTERM/SIGINT the server stops accepting submissions (new `POST
+//!   /v1/color` gets `503` + `Retry-After`), finishes the queued and
+//!   running jobs within the budget, reaps every job worker and
+//!   `ampc-shard-worker` child, and exits 0 (1 if the drain timed out).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use ampc_coloring_bench::args::parse_flag;
 use ampc_service::{Server, ServiceConfig};
+
+/// Set from the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Async-signal-safe: a single atomic store.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_shutdown_signal` for SIGTERM and SIGINT via the libc
+/// `signal(2)` wrapper (std links libc; no extra dependency).
+fn install_signal_handlers() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_shutdown_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +99,8 @@ fn main() {
     if let Some(ms) = parse_flag::<u64>(&args, "round-deadline-ms") {
         config.round_deadline_ms = ms;
     }
+    let drain_timeout =
+        Duration::from_secs(parse_flag::<u64>(&args, "drain-timeout-s").unwrap_or(30));
 
     let server = match Server::bind(&addr, config) {
         Ok(server) => server,
@@ -79,7 +110,8 @@ fn main() {
         }
     };
     let bound = server.local_addr().expect("bound listener has an address");
-    let _handle = server.start().expect("starting acceptors");
+    install_signal_handlers();
+    let handle = server.start().expect("starting acceptors");
     println!("ampc-serve listening on http://{bound}");
     println!(
         "  POST /v1/color    e.g. curl -sS --data-binary @graph.txt \
@@ -89,8 +121,18 @@ fn main() {
         "  GET  /v1/jobs/{{id}}  GET /v1/jobs/{{id}}/trace  GET /healthz  GET /metrics[?format=prometheus]"
     );
 
-    // Serve until killed.
-    loop {
-        std::thread::park();
+    // Serve until SIGTERM/SIGINT, then drain gracefully. `park_timeout`
+    // (not `park`) so the handler's store is observed promptly even
+    // though a signal delivers no unpark.
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::park_timeout(Duration::from_millis(100));
     }
+    println!("ampc-serve: shutdown signal received; draining (timeout {drain_timeout:?})");
+    let drained = handle.shutdown_graceful(drain_timeout);
+    if drained {
+        println!("ampc-serve: drained cleanly; bye");
+        std::process::exit(0);
+    }
+    eprintln!("ampc-serve: drain timed out after {drain_timeout:?}; exiting anyway");
+    std::process::exit(1);
 }

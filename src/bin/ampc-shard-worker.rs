@@ -1,0 +1,13 @@
+//! The shard-merge worker child process behind
+//! [`ampc_runtime::ProcessBackend`].
+//!
+//! Spawned by the supervisor with stdin/stdout as the wire (length-prefixed
+//! binary frames); stateless across rounds, so a respawned worker re-fed
+//! the same round input produces byte-for-byte the same response. Exits 0
+//! on a `Shutdown` request or a clean EOF (the supervisor closing — or
+//! dying with — the pipe), non-zero on transport errors or malformed
+//! frames.
+
+fn main() {
+    std::process::exit(ampc_runtime::shard_worker_main());
+}

@@ -1,9 +1,11 @@
 //! The chaos equivalence matrix: with a deterministic fault plan injecting
-//! panics, stalls, merge failures, allocation pressure and worker aborts
-//! into the AMPC backends — and bounded retry replaying failed rounds —
-//! every workload, on every backend and thread count, still produces
-//! byte-identical colorings, partition trajectories, round counts and
-//! model-level metrics to the fault-free sequential reference.
+//! panics, stalls, merge failures, allocation pressure, worker aborts and
+//! shard-worker **process kills** (genuine SIGKILLs of `ampc-shard-worker`
+//! children) into the AMPC backends — and bounded retry replaying failed
+//! rounds — every workload, on every backend, thread count and
+//! worker-process count, still produces byte-identical colorings,
+//! partition trajectories, round counts and model-level metrics to the
+//! fault-free sequential reference.
 //!
 //! The fault plane is process-global (one plan, one set of counters), so
 //! the whole matrix lives in a single `#[test]`: references are computed
@@ -36,6 +38,10 @@ fn runtime_matrix() -> Vec<RuntimeConfig> {
         RuntimeConfig::parallel().with_threads(2).with_shards(1),
         RuntimeConfig::parallel().with_threads(4).with_shards(8),
         RuntimeConfig::parallel().with_threads(7).with_shards(3),
+        // The multi-process backend: the `kill` fault kind SIGKILLs its
+        // shard-worker children, exercising respawn + round replay.
+        RuntimeConfig::process().with_workers(2),
+        RuntimeConfig::process().with_workers(4),
     ]
 }
 
@@ -71,7 +77,7 @@ fn chaos_matrix_is_bit_identical_to_the_fault_free_reference() {
     // 0 after only a handful of rounds — for this seed the first firing
     // merge cell is round 1, well within every program.
     let plan = FaultPlan::parse(
-        "seed=11,panic=1/211,stall=1/191,stall_ms=1,merge=1/5,alloc=1/97,abort=1/307",
+        "seed=11,panic=1/211,stall=1/191,stall_ms=1,merge=1/5,alloc=1/97,abort=1/307,kill=1/5",
     )
     .expect("plan parses");
     let restarts_before = WorkerPool::global().stats().worker_restarts;
@@ -156,6 +162,7 @@ fn chaos_matrix_is_bit_identical_to_the_fault_free_reference() {
         for runtime in [
             RuntimeConfig::Sequential,
             RuntimeConfig::parallel().with_threads(4).with_shards(8),
+            RuntimeConfig::process().with_workers(2),
         ] {
             let outcome = SparseColoring::new()
                 .algorithm(Algorithm::TwoAlphaPlusOne)
@@ -186,6 +193,10 @@ fn chaos_matrix_is_bit_identical_to_the_fault_free_reference() {
     let deadline_trips = counters.deadline_trips - counters_before.deadline_trips;
     let merge_failures = counters.injected_merge_failures - counters_before.injected_merge_failures;
     let worker_restarts = WorkerPool::global().stats().worker_restarts - restarts_before;
+    let worker_kills = counters.worker_kills - counters_before.worker_kills;
+    let worker_process_restarts =
+        counters.worker_process_restarts - counters_before.worker_process_restarts;
+    let rounds_replayed = counters.rounds_replayed - counters_before.rounds_replayed;
     assert!(injected_panics > 0, "no panics injected: {counters:?}");
     assert!(rounds_retried > 0, "no rounds retried: {counters:?}");
     assert!(
@@ -200,13 +211,26 @@ fn chaos_matrix_is_bit_identical_to_the_fault_free_reference() {
         worker_restarts > 0,
         "no pool worker was poisoned and respawned: {counters:?}"
     );
+    assert!(
+        worker_kills > 0,
+        "no shard-worker child was SIGKILLed: {counters:?}"
+    );
+    assert!(
+        worker_process_restarts > 0,
+        "no shard-worker child was respawned: {counters:?}"
+    );
+    assert!(
+        rounds_replayed > 0,
+        "no round was replayed onto a respawned worker: {counters:?}"
+    );
 
     // One greppable line for the CI chaos leg's job summary.
     println!(
         "CHAOS_COUNTERS injected_panics={injected_panics} injected_stalls={} \
          injected_merge_failures={merge_failures} injected_allocs={} worker_poisons={} \
          rounds_retried={rounds_retried} deadline_trips={deadline_trips} \
-         worker_restarts={worker_restarts}",
+         worker_restarts={worker_restarts} worker_kills={worker_kills} \
+         worker_process_restarts={worker_process_restarts} rounds_replayed={rounds_replayed}",
         counters.injected_stalls - counters_before.injected_stalls,
         counters.injected_allocs - counters_before.injected_allocs,
         counters.worker_poisons - counters_before.worker_poisons,

@@ -1,0 +1,152 @@
+//! End-to-end crash recovery for the multi-process backend: a live
+//! `ampc-shard-worker` child SIGKILLed mid-computation — both via the
+//! deterministic `kill` fault kind and directly via `kill(2)` on the
+//! child pid from an asynchronous killer thread — never perturbs the
+//! final coloring: it is byte-identical to the fault-free sequential
+//! reference, and the supervision counters prove the crash was real.
+//!
+//! The fault plane is process-global, so both legs live in one `#[test]`
+//! in their own test binary (the same isolation discipline as
+//! `chaos_equivalence.rs`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ampc_coloring_repro::{Algorithm, RuntimeConfig, SparseColoring, Workload};
+use ampc_runtime::faults::{self, FaultPlan};
+
+/// Pids of live `ampc-shard-worker` children of *this* process, via a
+/// `/proc` scan (other concurrently-running test binaries own their own
+/// workers; the ppid filter keeps hands off them).
+fn our_shard_worker_pids() -> Vec<u32> {
+    let own = std::process::id().to_string();
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return pids;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        // `comm` is truncated to 15 characters by the kernel.
+        let comm = std::fs::read_to_string(format!("/proc/{pid}/comm")).unwrap_or_default();
+        if !comm.trim().starts_with("ampc-shard-work") {
+            continue;
+        }
+        let status = std::fs::read_to_string(format!("/proc/{pid}/status")).unwrap_or_default();
+        let is_ours = status.lines().any(|line| {
+            line.strip_prefix("PPid:")
+                .is_some_and(|ppid| ppid.trim() == own)
+        });
+        if is_ours {
+            pids.push(pid);
+        }
+    }
+    pids
+}
+
+#[test]
+fn killed_workers_never_perturb_the_coloring() {
+    let workload = Workload::PowerLaw {
+        n: 500,
+        edges_per_node: 3,
+    };
+    let graph = workload.build(97);
+    let alpha = workload.alpha_bound();
+    let color = |runtime: RuntimeConfig| {
+        SparseColoring::new()
+            .algorithm(Algorithm::TwoAlphaPlusOne)
+            .alpha(alpha)
+            .runtime(runtime)
+            .color(&graph)
+            .expect("coloring succeeds")
+    };
+
+    // Fault-free sequential reference, before any plan is installed.
+    let reference = color(RuntimeConfig::Sequential);
+    assert!(reference.coloring.is_proper(&graph));
+
+    // -- Leg A: the deterministic `kill` fault kind. Roughly one in three
+    // (round, worker) cells SIGKILLs that worker's child right before its
+    // round input is streamed; every kill is healed by respawn + replay.
+    let counters_before = faults::counters();
+    faults::install(Some(
+        FaultPlan::parse("seed=3,kill=1/3").expect("plan parses"),
+    ));
+    for workers in [2usize, 4] {
+        let outcome = color(RuntimeConfig::process().with_workers(workers));
+        assert_eq!(
+            reference.coloring, outcome.coloring,
+            "kill-fault run diverged (workers {workers})"
+        );
+        assert_eq!(reference.colors_used, outcome.colors_used);
+        assert_eq!(reference.total_rounds, outcome.total_rounds);
+        assert_eq!(reference.metrics, outcome.metrics, "model-level only");
+    }
+    faults::install(None);
+    faults::set_max_round_retries(0);
+    let counters = faults::counters();
+    assert!(
+        counters.worker_kills > counters_before.worker_kills,
+        "the kill fault never fired: {counters:?}"
+    );
+    assert!(
+        counters.worker_process_restarts > counters_before.worker_process_restarts,
+        "no worker was respawned: {counters:?}"
+    );
+    assert!(
+        counters.rounds_replayed > counters_before.rounds_replayed,
+        "no round was replayed: {counters:?}"
+    );
+
+    // -- Leg B: direct `kill(2)` on the child pid, from an asynchronous
+    // killer thread — no fault plan, no cooperation from the supervisor.
+    // The killer SIGKILLs the first worker it sees (which is early in the
+    // run: children outlive their backend, and plenty of rounds follow),
+    // then one more a beat later.
+    let counters_before = faults::counters();
+    let done = Arc::new(AtomicBool::new(false));
+    let killer = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut kills = 0u32;
+            while !done.load(Ordering::SeqCst) && kills < 2 {
+                if let Some(&pid) = our_shard_worker_pids().first() {
+                    let _ = std::process::Command::new("kill")
+                        .args(["-9", &pid.to_string()])
+                        .status();
+                    kills += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+            kills
+        })
+    };
+    let outcome = color(RuntimeConfig::process().with_workers(2));
+    done.store(true, Ordering::SeqCst);
+    let kills = killer.join().expect("killer thread joins");
+    assert_eq!(
+        reference.coloring, outcome.coloring,
+        "direct-kill run diverged"
+    );
+    assert_eq!(reference.colors_used, outcome.colors_used);
+    assert_eq!(reference.total_rounds, outcome.total_rounds);
+    assert_eq!(reference.metrics, outcome.metrics, "model-level only");
+    assert!(kills >= 1, "the killer thread never found a worker");
+    let counters = faults::counters();
+    assert!(
+        counters.worker_process_restarts > counters_before.worker_process_restarts,
+        "the externally killed worker was never respawned: {counters:?}"
+    );
+
+    // No orphans: every shard worker this process ever spawned has been
+    // killed and reaped by its backend's drop.
+    assert!(
+        our_shard_worker_pids().is_empty(),
+        "leftover ampc-shard-worker children"
+    );
+    assert_eq!(faults::workers_alive(), 0, "liveness gauge back to zero");
+}
